@@ -1,0 +1,61 @@
+"""Figure 7 benchmarks — studying ACIM.
+
+Figure 7(a): ACIM time on a 101-node query as the total number of
+redundant nodes (RedDegree × RedNodes) and the number of relevant
+constraints vary. Expected shape: flat in redundancy, growing in the
+constraint count.
+
+Figure 7(b): the share of ACIM's time spent building the images and
+ancestor/descendant hash tables (the paper reports ~60%); benchmarked
+here as the all-redundant 101-node chain plus an assertion-style check
+printed by ``tpq-bench fig7b``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.acim import acim_minimize
+from repro.workloads.icgen import relevant_constraints
+from repro.workloads.querygen import chain_constraints, chain_query, redundancy_query
+
+SIZE = 101
+DEGREE = 10
+
+
+def _workload(product: int, n_constraints: int, closed):
+    query, driving = redundancy_query(
+        SIZE, red_nodes=product // DEGREE, red_degree=DEGREE, seed=product
+    )
+    if n_constraints == 0:
+        constraints = []
+    else:
+        padding = max(0, n_constraints - len(driving))
+        constraints = driving + relevant_constraints(query, padding, seed=product)
+    return query, closed((("fig7", product, n_constraints)), constraints)
+
+
+@pytest.mark.benchmark(group="fig7a: ACIM vs redundancy (100 constraints)")
+@pytest.mark.parametrize("product", [10, 30, 50, 70, 90])
+def test_fig7a_varying_redundancy(benchmark, product, closed):
+    query, repo = _workload(product, 100, closed)
+    result = benchmark(acim_minimize, query, repo)
+    assert result.removed_count == product
+
+
+@pytest.mark.benchmark(group="fig7a: ACIM vs constraint count (50 redundant)")
+@pytest.mark.parametrize("n_constraints", [0, 50, 100, 150])
+def test_fig7a_varying_constraints(benchmark, n_constraints, closed):
+    query, repo = _workload(50, n_constraints, closed)
+    benchmark(acim_minimize, query, repo)
+
+
+@pytest.mark.benchmark(group="fig7b: all-redundant chain (tables vs total)")
+def test_fig7b_chain_total(benchmark, closed):
+    query = chain_query(SIZE)
+    repo = closed("fig7b-chain", chain_constraints(SIZE))
+    result = benchmark(acim_minimize, query, repo)
+    assert result.pattern.size == 1
+    # Report the tables share alongside the timing.
+    share = result.tables_seconds / max(result.total_seconds, 1e-12)
+    benchmark.extra_info["tables_share"] = round(share, 3)

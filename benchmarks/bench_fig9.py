@@ -1,0 +1,75 @@
+"""Figure 9 benchmarks — CDM vs ACIM, and CDM as a pre-filter.
+
+Figure 9(a): on queries where both remove exactly the same node set, CDM
+is far cheaper than ACIM and the gap widens with query size.
+
+Figure 9(b): when CDM can remove half of what ACIM can, running CDM
+first and ACIM on the smaller remainder beats direct ACIM, increasingly
+so with size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.acim import acim_minimize
+from repro.core.cdm import cdm_minimize
+from repro.workloads.querygen import equal_removal_query, half_removal_query
+
+SIZES = [20, 60, 100]
+
+
+@pytest.mark.benchmark(group="fig9a: ACIM (equal-removal workload)")
+@pytest.mark.parametrize("size", SIZES)
+def test_fig9a_acim(benchmark, size, closed):
+    query, ics = equal_removal_query(size)
+    repo = closed(("fig9a", size), ics)
+    result = benchmark(acim_minimize, query, repo)
+    assert result.removed_count == size // 2
+
+
+@pytest.mark.benchmark(group="fig9a: CDM (equal-removal workload)")
+@pytest.mark.parametrize("size", SIZES)
+def test_fig9a_cdm(benchmark, size, closed):
+    query, ics = equal_removal_query(size)
+    repo = closed(("fig9a", size), ics)
+    result = benchmark(cdm_minimize, query, repo)
+    assert result.removed_count == size // 2
+
+
+@pytest.mark.benchmark(group="fig9b: direct ACIM (half-removal workload)")
+@pytest.mark.parametrize("size", SIZES)
+def test_fig9b_direct_acim(benchmark, size, closed):
+    query, ics = half_removal_query(size)
+    repo = closed(("fig9b", size), ics)
+    benchmark(acim_minimize, query, repo)
+
+
+@pytest.mark.benchmark(group="fig9b: CDM then ACIM (half-removal workload)")
+@pytest.mark.parametrize("size", SIZES)
+def test_fig9b_prefiltered(benchmark, size, closed):
+    query, ics = half_removal_query(size)
+    repo = closed(("fig9b", size), ics)
+
+    def pipeline():
+        reduced = cdm_minimize(query, repo).pattern
+        return acim_minimize(reduced, repo)
+
+    benchmark(pipeline)
+
+
+@pytest.mark.benchmark(group="fig9b: result agreement")
+@pytest.mark.parametrize("size", [100])
+def test_fig9b_same_result(benchmark, size, closed):
+    """Theorem 5.3 at benchmark scale: the pre-filtered pipeline lands on
+    the same minimal query as direct ACIM."""
+    query, ics = half_removal_query(size)
+    repo = closed(("fig9b", size), ics)
+    direct = acim_minimize(query, repo).pattern
+
+    def pipeline():
+        reduced = cdm_minimize(query, repo).pattern
+        return acim_minimize(reduced, repo).pattern
+
+    piped = benchmark(pipeline)
+    assert piped.isomorphic(direct)

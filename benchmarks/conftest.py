@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_figNx.py`` module parametrizes the corresponding paper
+figure's x-axis points as pytest-benchmark rows, so
+``pytest benchmarks/ --benchmark-only`` prints per-point timings grouped
+per figure. The full series (and ASCII plots) can also be produced with
+``tpq-bench all``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    # Group rows by figure so the output reads like the paper's plots.
+    config.option.benchmark_group_by = "group"
+
+
+@pytest.fixture(scope="session")
+def closed():
+    """Cache of closed constraint repositories keyed by id."""
+    from repro.constraints.closure import closure
+
+    cache = {}
+
+    def get(key, constraints):
+        if key not in cache:
+            cache[key] = closure(constraints)
+        return cache[key]
+
+    return get

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Directory (LDAP) scenario: organizational white pages (Section 2.2).
+
+Builds a small corporate directory with multi-class entries, states the
+natural directory constraints from the paper — every department has some
+manager below it; every employee entry is also a person — and shows how
+they shrink directory queries, including the paper's Figure 2 (f) → (g)
+and (h) → (i) examples recast over the directory.
+
+Run with::
+
+    python examples/ldap_directory.py
+"""
+
+from repro import minimize, parse_constraints
+from repro.data import Directory, dn_of
+from repro.matching import evaluate_nodes, satisfies
+from repro.parsing import parse_xpath, to_xpath
+
+
+def build_directory() -> Directory:
+    d = Directory("Organization", rdn="o=ExampleCorp")
+    research = d.add(d.root_entry, "Dept", rdn="ou=Research")
+    d.add(research, ["Manager", "Employee", "Person"], rdn="cn=Ada")
+    dbgroup = d.add(research, "OrgUnit", rdn="ou=Databases")
+    d.add(dbgroup, ["Manager", "Employee", "Person"], rdn="cn=Grace")
+    d.add(dbgroup, ["Researcher", "Employee", "Person"], rdn="cn=Edgar")
+    d.add(dbgroup, ["DBproject", "Project"], rdn="cn=TreePatterns")
+    sales = d.add(d.root_entry, "Dept", rdn="ou=Sales")
+    d.add(sales, ["Manager", "Employee", "Person"], rdn="cn=Niklaus")
+    d.add(sales, ["PermEmp", "Employee", "Person"], rdn="cn=Barbara")
+    return d
+
+
+def main() -> None:
+    directory = build_directory()
+    print("directory:")
+    print(directory.tree.to_ascii())
+    print()
+
+    # The paper's "natural" directory constraints.
+    constraints = parse_constraints(
+        """
+        Dept ->> Manager          # every department has some manager below it
+        Employee ~ Person         # every employee entry is also a person
+        Manager ~ Employee        # managers are employees
+        PermEmp ~ Employee
+        DBproject ~ Project
+        """
+    )
+    assert satisfies(directory.tree, constraints)
+    print("directory satisfies the constraints\n")
+
+    # Query 1: "departments that have a manager below them and contain a
+    # person" — the manager branch is free given the constraints, and the
+    # manager IS a person, so everything but the Dept node goes away.
+    q1 = parse_xpath("Organization/Dept*[.//Manager][.//Person]")
+    r1 = minimize(q1, constraints)
+    print(f"q1: {to_xpath(q1)}  ->  {to_xpath(r1.pattern)}")
+    for entry in evaluate_nodes(r1.pattern, directory.tree):
+        print("    match:", dn_of(entry))
+
+    # Query 2: the paper's (f)->(g) over the directory: employees with
+    # projects / permanent employees with database projects.
+    q2 = parse_xpath(
+        "Organization*[.//Employee//Project][.//PermEmp//DBproject]"
+    )
+    r2 = minimize(q2, constraints)
+    print(f"\nq2: {to_xpath(q2)}  ->  {to_xpath(r2.pattern)}")
+
+    # Query 3: (h)->(i) needs no constraints at all.
+    q3 = parse_xpath(
+        "OrgUnit*[/Dept/Researcher//DBProject][//Dept//DBProject]"
+    )
+    r3 = minimize(q3)
+    print(f"q3: {to_xpath(q3)}  ->  {to_xpath(r3.pattern)}")
+
+    # Answers are preserved by construction.
+    assert evaluate_nodes(q1, directory.tree) == evaluate_nodes(r1.pattern, directory.tree)
+    assert evaluate_nodes(q2, directory.tree) == evaluate_nodes(r2.pattern, directory.tree)
+    print("\nanswer sets unchanged by minimization")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Value-based conditions — the paper's Section 7 extension, working.
+
+The paper conjectures that minimization carries over to patterns with
+value conditions ("price < 100") if the endomorphism test additionally
+requires the *target*'s conditions to entail the *source*'s. The
+``repro.extensions.predicates`` module implements exactly that; this
+example demonstrates the three situations it distinguishes:
+
+* a weaker-conditioned branch folds onto a stronger one;
+* equal conditions behave like the unconditioned case;
+* incomparable conditions block folding entirely.
+
+Run with::
+
+    python examples/value_predicates.py
+"""
+
+from repro import TreePattern
+from repro.data import build_tree
+from repro.extensions import ConditionedPattern, parse_condition
+from repro.parsing import to_xpath
+
+
+def book_query() -> TreePattern:
+    """``Shop*`` with two ``Book`` branches (to be conditioned)."""
+    return TreePattern.build(("Shop*", [("/", "Book"), ("/", "Book")]))
+
+
+def conditioned(query: TreePattern, first: list[str], second: list[str]) -> ConditionedPattern:
+    first_id, second_id = [n.id for n in query.nodes() if n.type == "Book"]
+    return ConditionedPattern(
+        query,
+        {
+            first_id: [parse_condition(c) for c in first],
+            second_id: [parse_condition(c) for c in second],
+        },
+    )
+
+
+def describe(cp: ConditionedPattern) -> str:
+    parts = [to_xpath(cp.pattern)]
+    for node_id, conds in sorted(cp.conditions.items()):
+        parts.append(f"#{node_id}: " + " AND ".join(c.notation() for c in conds))
+    return "   ".join(parts)
+
+
+def main() -> None:
+    # Case 1: price<100 is entailed by price<50 — the weak branch folds.
+    cp = conditioned(book_query(), ["price < 100"], ["price < 50"])
+    mini, result = cp.cim_minimize()
+    print("weaker folds onto stronger:")
+    print("   before:", describe(cp))
+    print("   after: ", describe(mini), f"(removed {result.removed_count})")
+    assert result.removed_count == 1
+
+    # Case 2: incomparable conditions — nothing may fold.
+    cp2 = conditioned(book_query(), ["price < 100"], ["year >= 2000"])
+    mini2, result2 = cp2.cim_minimize()
+    print("incomparable conditions block folding:")
+    print("   ", describe(cp2), f"(removed {result2.removed_count})")
+    assert result2.removed_count == 0
+
+    # Case 3: evaluation honours conditions.
+    shop = build_tree(("Shop", ["Book", "Book", "Book"]))
+    for price, node in zip(("30", "70", "120"), shop.root.children):
+        node.attributes["price"] = price
+    q = TreePattern.build(("Shop", [("/", "Book*")]))
+    cheap = ConditionedPattern(q, {q.output_node.id: [parse_condition("price < 100")]})
+    answers = sorted(cheap.answer_set(shop))
+    prices = [shop.node(i).attributes["price"] for i in answers]
+    print(f"evaluation: books with price < 100 -> prices {prices}")
+    assert prices == ["30", "70"]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in environments without network access or the
+``wheel`` package (``python setup.py develop`` / ``pip install -e .
+--no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

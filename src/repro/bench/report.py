@@ -1,0 +1,92 @@
+"""Rendering experiment results as text tables, CSV, and ASCII plots."""
+
+from __future__ import annotations
+
+from .timing import ExperimentResult
+
+__all__ = ["format_table", "format_csv", "format_markdown", "format_ascii_plot", "format_report"]
+
+
+def format_table(result: ExperimentResult, *, unit: str = "ms") -> str:
+    """An aligned text table: one row per x value, one column per series."""
+    scale = {"s": 1.0, "ms": 1e3, "us": 1e6}[unit]
+    headers = [result.x_label] + [f"{s.label} ({unit})" for s in result.series]
+    rows: list[list[str]] = []
+    for i, x in enumerate(result.x_values()):
+        row = [f"{x:g}"]
+        for s in result.series:
+            row.append(f"{s.ys[i] * scale:.4f}")
+        rows.append(row)
+    widths = [max(len(h), *(len(r[i]) for r in rows)) for i, h in enumerate(headers)]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_csv(result: ExperimentResult) -> str:
+    """CSV with an ``x`` column and one column per series (seconds)."""
+    lines = ["x," + ",".join(s.label for s in result.series)]
+    for i, x in enumerate(result.x_values()):
+        lines.append(f"{x:g}," + ",".join(f"{s.ys[i]:.9f}" for s in result.series))
+    return "\n".join(lines) + "\n"
+
+
+def format_markdown(result: ExperimentResult, *, unit: str = "ms") -> str:
+    """A GitHub-flavoured markdown table (plus the notes as bullets)."""
+    scale = {"s": 1.0, "ms": 1e3, "us": 1e6}[unit]
+    header = [result.x_label] + [f"{s.label} ({unit})" for s in result.series]
+    lines = [
+        f"### {result.name}: {result.title}",
+        "",
+        "| " + " | ".join(header) + " |",
+        "|" + "|".join("---" for _ in header) + "|",
+    ]
+    for i, x in enumerate(result.x_values()):
+        cells = [f"{x:g}"] + [f"{s.ys[i] * scale:.3f}" for s in result.series]
+        lines.append("| " + " | ".join(cells) + " |")
+    if result.notes:
+        lines.append("")
+        lines.extend(f"- {note}" for note in result.notes)
+    return "\n".join(lines) + "\n"
+
+
+def format_ascii_plot(result: ExperimentResult, *, width: int = 60, height: int = 16) -> str:
+    """A rough terminal plot (one mark character per series)."""
+    marks = "*o+x#@"
+    all_ys = [y for s in result.series for y in s.ys]
+    all_xs = [x for s in result.series for x in s.xs]
+    if not all_ys:
+        return "(no data)"
+    y_max = max(all_ys) or 1.0
+    x_min, x_max = min(all_xs), max(all_xs)
+    span = (x_max - x_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, s in enumerate(result.series):
+        mark = marks[si % len(marks)]
+        for x, y in zip(s.xs, s.ys):
+            col = int((x - x_min) / span * (width - 1))
+            row = height - 1 - int(y / y_max * (height - 1))
+            grid[row][col] = mark
+    lines = [f"{result.y_label}  (max {y_max * 1e3:.3f} ms)"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" {result.x_label}: {x_min:g} .. {x_max:g}")
+    legend = "   ".join(
+        f"{marks[i % len(marks)]} {s.label}" for i, s in enumerate(result.series)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)
+
+
+def format_report(result: ExperimentResult, *, plot: bool = True) -> str:
+    """Full human-readable report for one experiment."""
+    parts = [f"== {result.name}: {result.title} ==", "", format_table(result)]
+    if plot:
+        parts += ["", format_ascii_plot(result)]
+    if result.notes:
+        parts += [""] + [f"note: {n}" for n in result.notes]
+    return "\n".join(parts) + "\n"

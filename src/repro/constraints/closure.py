@@ -1,0 +1,100 @@
+"""Logical closure of an integrity-constraint set (Section 5.2).
+
+Augmentation and the CDM rules assume the constraint set is *logically
+closed*: every constraint implied by the given ones is materialized. The
+paper notes the closure "can be obtained in a straightforward way, and has
+size at most quadratic in the size of the original ICs"; this module
+implements it as a fixpoint over the sound inference rules for the three
+constraint forms:
+
+========================  ==============================================
+Rule                      Reading
+========================  ==============================================
+``t1->t2 ⊢ t1->>t2``      a required child is a required descendant
+``t1->>t2, t2->>t3 ⊢
+t1->>t3``                 descendant requirements compose transitively
+``t1~t2, t2~t3 ⊢ t1~t3``  co-occurrence composes transitively
+``t1~t2, t2->t3 ⊢
+t1->t3``                  a t1 node *is* a t2 node, so t2's obligations
+                          transfer (same for ``->>``)
+``t1->t2, t2~t3 ⊢
+t1->t3``                  the required t2 child *is* a t3 node (same for
+                          ``->>``)
+========================  ==============================================
+
+Trivial co-occurrences ``t ~ t`` are never generated (they are vacuous and
+the model class forbids them).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .model import (
+    IntegrityConstraint,
+    co_occurrence,
+    required_child,
+    required_descendant,
+)
+from .repository import ConstraintRepository, coerce_repository
+
+__all__ = ["closure", "implied_by"]
+
+
+def closure(
+    constraints: "ConstraintRepository | Iterable[IntegrityConstraint]",
+) -> ConstraintRepository:
+    """The logical closure of ``constraints`` as a closed repository.
+
+    The input is not modified. The fixpoint iterates until no rule adds a
+    new constraint; with ``T`` types the result has O(T²) constraints per
+    kind, so the computation is polynomial.
+    """
+    repo = coerce_repository(constraints).copy()
+    changed = True
+    while changed:
+        changed = False
+        for c in list(repo):
+            for implied in implied_by(c, repo):
+                if repo.add(implied):
+                    changed = True
+    repo._mark_closed()
+    return repo
+
+
+def implied_by(
+    c: IntegrityConstraint, repo: ConstraintRepository
+) -> list[IntegrityConstraint]:
+    """One-step consequences of constraint ``c`` against ``repo``.
+
+    Exposed separately so tests can exercise each inference rule in
+    isolation.
+    """
+    out: list[IntegrityConstraint] = []
+    if c.is_required_child:
+        # t1 -> t2  ⊢  t1 ->> t2
+        out.append(required_descendant(c.source, c.target))
+        # t1 -> t2, t2 ~ t3  ⊢  t1 -> t3
+        for t3 in repo.co_occurring_with(c.target):
+            out.append(required_child(c.source, t3))
+    elif c.is_required_descendant:
+        # t1 ->> t2, t2 ->> t3  ⊢  t1 ->> t3
+        for t3 in repo.required_descendants_of(c.target):
+            out.append(required_descendant(c.source, t3))
+        # t1 ->> t2, t2 -> t3  ⊢  t1 ->> t3 (child of a descendant)
+        for t3 in repo.required_children_of(c.target):
+            out.append(required_descendant(c.source, t3))
+        # t1 ->> t2, t2 ~ t3  ⊢  t1 ->> t3
+        for t3 in repo.co_occurring_with(c.target):
+            out.append(required_descendant(c.source, t3))
+    else:  # co-occurrence
+        # t1 ~ t2, t2 ~ t3  ⊢  t1 ~ t3 (skip the trivial t1 ~ t1)
+        for t3 in repo.co_occurring_with(c.target):
+            if t3 != c.source:
+                out.append(co_occurrence(c.source, t3))
+        # t1 ~ t2, t2 -> t3  ⊢  t1 -> t3; likewise for ->>
+        for t3 in repo.required_children_of(c.target):
+            out.append(required_child(c.source, t3))
+        for t3 in repo.required_descendants_of(c.target):
+            out.append(required_descendant(c.source, t3))
+    return out

@@ -1,0 +1,41 @@
+"""Inferring integrity constraints from schemas (Section 2.2).
+
+The paper's Figure 1(a) example: from an XML-Schema specification one can
+read off that every ``Book`` must have a ``Title`` child (the ``Title``
+particle is required), hence also a ``Title`` descendant; and required
+descendants compose ("if every specification for A contains a required C
+and C requires a descendant B, then A must have a descendant B") —
+exactly the closure rules of :mod:`repro.constraints.closure`.
+
+This module turns a :class:`~repro.schema.dtd.Schema` into the
+corresponding constraint repository:
+
+* a required particle ``B`` in ``element A`` yields ``A -> B``;
+* a ``type A : B`` declaration yields ``A ~ B``;
+* optionally (``close=True``, the default) the logical closure is taken,
+  materializing all the implied ``->>`` constraints.
+"""
+
+from __future__ import annotations
+
+from ..schema.dtd import Schema
+from .closure import closure
+from .model import co_occurrence, required_child
+from .repository import ConstraintRepository
+
+__all__ = ["infer_constraints"]
+
+
+def infer_constraints(schema: Schema, *, close: bool = True) -> ConstraintRepository:
+    """Constraints implied by ``schema``.
+
+    Returns a closed repository by default; pass ``close=False`` to get
+    just the directly-read-off constraints.
+    """
+    repo = ConstraintRepository()
+    for decl in schema.elements():
+        for child_type in decl.required_children():
+            repo.add(required_child(decl.name, child_type))
+    for sub, sup in schema.co_occurrences:
+        repo.add(co_occurrence(sub, sup))
+    return closure(repo) if close else repo

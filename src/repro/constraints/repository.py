@@ -1,0 +1,180 @@
+"""Hash-indexed constraint repository (Section 6.1 of the paper).
+
+The minimization algorithms probe constraints with O(1) point lookups —
+"is ``t1 -> t2`` known?", "which types must occur under ``t1``?" — so the
+repository keeps three hash indexes:
+
+* ``(kind, source, target)`` membership (a set of constraints);
+* ``(kind, source) -> {targets}`` for augmentation fan-out;
+* ``source -> {constraints}`` for relevance filtering.
+
+This is exactly why CDM's running time is independent of the repository
+size (Figure 8(a)): every rule application is one hash probe keyed by the
+pair of types in a node's information content.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .model import ConstraintKind, IntegrityConstraint
+
+__all__ = ["ConstraintRepository"]
+
+
+class ConstraintRepository:
+    """A set of integrity constraints with hash indexes.
+
+    Parameters
+    ----------
+    constraints:
+        Initial constraints (duplicates are collapsed).
+    closed:
+        Marks the repository as logically closed. The minimizers require a
+        closed repository; :meth:`closure` produces one (see
+        :mod:`repro.constraints.closure`).
+    """
+
+    def __init__(
+        self, constraints: Iterable[IntegrityConstraint] = (), *, closed: bool = False
+    ) -> None:
+        self._all: set[IntegrityConstraint] = set()
+        self._targets: dict[tuple[ConstraintKind, str], set[str]] = {}
+        self._by_source: dict[str, set[IntegrityConstraint]] = {}
+        self._closed = closed
+        for c in constraints:
+            self.add(c)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, constraint: IntegrityConstraint) -> bool:
+        """Insert a constraint; return True if it was new.
+
+        Adding to a closed repository clears the closed flag (the closure
+        property can no longer be assumed).
+        """
+        if constraint in self._all:
+            return False
+        self._all.add(constraint)
+        self._targets.setdefault((constraint.kind, constraint.source), set()).add(
+            constraint.target
+        )
+        self._by_source.setdefault(constraint.source, set()).add(constraint)
+        self._closed = False
+        return True
+
+    def update(self, constraints: Iterable[IntegrityConstraint]) -> int:
+        """Insert many constraints; return how many were new."""
+        return sum(1 for c in constraints if self.add(c))
+
+    def _mark_closed(self) -> None:
+        """Internal: flag this repository as logically closed."""
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    # Point lookups (all O(1))
+    # ------------------------------------------------------------------
+
+    def has(self, kind: ConstraintKind, source: str, target: str) -> bool:
+        """Membership test for one constraint."""
+        return target in self._targets.get((kind, source), ())
+
+    def has_required_child(self, source: str, target: str) -> bool:
+        """Whether ``source -> target`` is in the repository."""
+        return self.has(ConstraintKind.REQUIRED_CHILD, source, target)
+
+    def has_required_descendant(self, source: str, target: str) -> bool:
+        """Whether ``source ->> target`` is in the repository."""
+        return self.has(ConstraintKind.REQUIRED_DESCENDANT, source, target)
+
+    def has_co_occurrence(self, source: str, target: str) -> bool:
+        """Whether ``source ~ target`` is in the repository (directional)."""
+        return self.has(ConstraintKind.CO_OCCURRENCE, source, target)
+
+    def targets(self, kind: ConstraintKind, source: str) -> frozenset[str]:
+        """All ``t2`` with ``source <kind> t2`` in the repository."""
+        return frozenset(self._targets.get((kind, source), ()))
+
+    def required_children_of(self, source: str) -> frozenset[str]:
+        """Types required as children of ``source``."""
+        return self.targets(ConstraintKind.REQUIRED_CHILD, source)
+
+    def required_descendants_of(self, source: str) -> frozenset[str]:
+        """Types required as descendants of ``source``."""
+        return self.targets(ConstraintKind.REQUIRED_DESCENDANT, source)
+
+    def co_occurring_with(self, source: str) -> frozenset[str]:
+        """Types every ``source`` node must also carry."""
+        return self.targets(ConstraintKind.CO_OCCURRENCE, source)
+
+    def constraints_from(self, source: str) -> frozenset[IntegrityConstraint]:
+        """All constraints whose left-hand type is ``source``."""
+        return frozenset(self._by_source.get(source, ()))
+
+    # ------------------------------------------------------------------
+    # Whole-set views
+    # ------------------------------------------------------------------
+
+    @property
+    def is_closed(self) -> bool:
+        """Whether this repository is known to be logically closed."""
+        return self._closed
+
+    def relevant_to(self, types: Iterable[str]) -> "ConstraintRepository":
+        """The sub-repository of constraints whose source type occurs in
+        ``types`` (the paper's "constraints relevant to the query")."""
+        type_set = set(types)
+        return ConstraintRepository(
+            c for c in self._all if c.source in type_set
+        )
+
+    def copy(self) -> "ConstraintRepository":
+        """An independent copy (preserves the closed flag)."""
+        clone = ConstraintRepository(self._all)
+        clone._closed = self._closed
+        return clone
+
+    def types(self) -> set[str]:
+        """All type names mentioned by any constraint."""
+        out: set[str] = set()
+        for c in self._all:
+            out.add(c.source)
+            out.add(c.target)
+        return out
+
+    def __contains__(self, constraint: object) -> bool:
+        return constraint in self._all
+
+    def __iter__(self) -> Iterator[IntegrityConstraint]:
+        return iter(sorted(self._all))
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConstraintRepository):
+            return NotImplemented
+        return self._all == other._all
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        closed = ", closed" if self._closed else ""
+        return f"<ConstraintRepository {len(self._all)} constraints{closed}>"
+
+    def notation(self, sep: str = "; ") -> str:
+        """All constraints in textual notation, deterministically ordered."""
+        return sep.join(c.notation() for c in self)
+
+
+def coerce_repository(
+    constraints: "ConstraintRepository | Iterable[IntegrityConstraint] | None",
+) -> ConstraintRepository:
+    """Accept a repository, an iterable of constraints, or ``None`` (empty)
+    and return a :class:`ConstraintRepository`. Used across the public API
+    so callers can pass plain lists."""
+    if constraints is None:
+        return ConstraintRepository()
+    if isinstance(constraints, ConstraintRepository):
+        return constraints
+    return ConstraintRepository(constraints)

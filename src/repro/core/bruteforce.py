@@ -1,0 +1,81 @@
+"""Exhaustive reference minimizer (exponential; tests only).
+
+Explores *every* elimination ordering: breadth-first over subqueries
+reachable by deleting one (non-root, non-output) leaf at a time, keeping
+only equivalence-preserving deletions, and returns a smallest equivalent
+query found. By Lemma 4.2 every equivalent subquery is reachable this
+way, so the result is the true minimum — at exponential cost, which is
+fine for the ≤10-node queries the property tests use.
+
+Without constraints the equivalence check is the plain containment-
+mapping oracle; with constraints it is
+:func:`~repro.core.ic_containment.equivalent_under` (see that module's
+caveats about degenerate closures).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..constraints.model import IntegrityConstraint
+from ..constraints.repository import ConstraintRepository, coerce_repository
+from ..constraints.closure import closure
+from .containment import equivalent
+from .ic_containment import equivalent_under
+from .pattern import TreePattern
+
+__all__ = ["exhaustive_minimize"]
+
+#: Safety bound: the search is exponential in the query size.
+MAX_EXHAUSTIVE_SIZE = 12
+
+
+def exhaustive_minimize(
+    pattern: TreePattern,
+    constraints: "ConstraintRepository | Iterable[IntegrityConstraint] | None" = None,
+    *,
+    max_size: int = MAX_EXHAUSTIVE_SIZE,
+) -> TreePattern:
+    """A smallest query equivalent to ``pattern`` (under ``constraints``).
+
+    Raises
+    ------
+    ValueError
+        If the pattern exceeds ``max_size`` nodes (the search space is
+        exponential).
+    """
+    if pattern.size > max_size:
+        raise ValueError(
+            f"exhaustive search limited to {max_size} nodes (got {pattern.size})"
+        )
+    repo = coerce_repository(constraints)
+    if len(repo) and not repo.is_closed:
+        repo = closure(repo)
+
+    def equivalent_to_original(candidate: TreePattern) -> bool:
+        if len(repo):
+            return equivalent_under(candidate, pattern, repo)
+        return equivalent(candidate, pattern)
+
+    best = pattern.copy()
+    seen: set[frozenset[int]] = {frozenset(n.id for n in pattern.nodes())}
+    frontier: list[TreePattern] = [pattern.copy()]
+    while frontier:
+        next_frontier: list[TreePattern] = []
+        for query in frontier:
+            for leaf in list(query.leaves()):
+                if leaf.is_root or leaf.is_output:
+                    continue
+                candidate = query.copy()
+                candidate.delete_leaf(candidate.node(leaf.id))
+                key = frozenset(n.id for n in candidate.nodes())
+                if key in seen:
+                    continue
+                seen.add(key)
+                if not equivalent_to_original(candidate):
+                    continue
+                if candidate.size < best.size:
+                    best = candidate
+                next_frontier.append(candidate)
+        frontier = next_frontier
+    return best

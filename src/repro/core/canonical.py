@@ -1,0 +1,79 @@
+"""Canonical databases of tree patterns.
+
+The homomorphism theorem for tree patterns (Section 4) holds "in the
+presence of sufficiently many node types": the classical proof evaluates
+the candidate container query over *canonical models* of the contained
+one — data trees obtained by instantiating the pattern, expanding each
+descendant edge into a chain with ``k ≥ 0`` interposed nodes of a fresh
+dummy type no query mentions.
+
+This module builds those instances. They serve as:
+
+* semantic test instruments — a non-containment claim can be *witnessed*
+  by a canonical instance on which the answers differ;
+* self-checks — every pattern embeds into each of its canonical
+  instances with the identity-like embedding.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..data.tree import DataNode, DataTree
+from .node import PatternNode
+from .pattern import TreePattern
+
+__all__ = ["DUMMY_TYPE", "canonical_instance", "canonical_instances", "canonical_answer"]
+
+#: Fresh type used for descendant-edge expansion; queries must not use it.
+DUMMY_TYPE = "_z"
+
+
+def canonical_instance(
+    pattern: TreePattern, expansion: int = 0, *, dummy_type: str = DUMMY_TYPE
+) -> DataTree:
+    """One canonical database: the pattern instantiated with every
+    descendant edge expanded into a chain of ``expansion`` dummy nodes.
+
+    ``expansion=0`` turns d-edges into direct edges (the tightest
+    instance); larger values exercise the "maps to any chain" latitude.
+    The data node corresponding to pattern node ``v`` carries ``v``'s
+    full type-set and records ``v.id`` in its ``source`` attribute.
+    """
+    if expansion < 0:
+        raise ValueError("expansion must be >= 0")
+    tree = DataTree(pattern.root.all_types, attributes={"source": str(pattern.root.id)})
+
+    def instantiate(node: PatternNode, anchor: DataNode) -> None:
+        for child in node.children:
+            attach = anchor
+            if child.edge.is_descendant:
+                for _ in range(expansion):
+                    attach = tree.add_child(attach, dummy_type)
+            data_child = tree.add_child(
+                attach, child.all_types, attributes={"source": str(child.id)}
+            )
+            instantiate(child, data_child)
+
+    instantiate(pattern.root, tree.root)
+    return tree
+
+
+def canonical_instances(
+    pattern: TreePattern,
+    expansions: Sequence[int] = (0, 1, 2),
+    *,
+    dummy_type: str = DUMMY_TYPE,
+) -> list[DataTree]:
+    """Canonical instances for several expansion factors."""
+    return [
+        canonical_instance(pattern, k, dummy_type=dummy_type) for k in expansions
+    ]
+
+
+def canonical_answer(pattern: TreePattern, instance: DataTree) -> set[int]:
+    """The data node ids of ``instance`` stemming from the pattern's
+    output node (via the ``source`` attribute) — the answer the identity
+    embedding of the pattern into its own canonical instance produces."""
+    output_id = str(pattern.output_node.id)
+    return {n.id for n in instance.nodes() if n.attributes.get("source") == output_id}

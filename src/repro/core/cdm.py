@@ -1,0 +1,268 @@
+"""Algorithm CDM — constraint-dependent local minimization (Section 5.4/5.5).
+
+CDM eliminates, in near-linear time, every *locally redundant* leaf of a
+tree pattern under a logically closed set of ICs. A leaf ``l`` is locally
+redundant when one of the paper's four conditions holds:
+
+(i)   ``l`` (type ``t'``) is a c-child of ``n`` (type ``t``) and
+      ``t -> t'`` holds;
+(ii)  ``l`` is a d-child of ``n`` and ``t ->> t'`` holds;
+(iii) ``l`` is a c-child of ``n``, ``n`` has another c-child of type
+      ``t``, and ``t ~ t'`` holds;
+(iv)  ``l`` is a d-child of ``n``, ``n`` has some descendant of type
+      ``t``, and ``t ->> t'`` or ``t ~ t'`` holds.
+
+Testing (iv) naively needs non-local information, so CDM propagates an
+*information content* (:mod:`repro.core.infocontent`) up the tree —
+Figure 4's propagation rules — and alternates propagation with a
+per-node minimization step — Figure 6's pairwise rules, each a single
+hash probe into the constraint repository. When a node loses all its
+children, its own ``~t`` argument relaxes to ``t`` before being
+propagated, which lets redundancy cascade up the tree (Figure 5).
+
+CDM is *locally* minimal only (Theorem 5.2); it neither subsumes nor is
+subsumed by plain CIM. Its role is a fast pre-filter: CDM followed by
+ACIM still produces the unique global minimum (Theorem 5.3) — see
+:mod:`repro.core.pipeline`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..constraints.model import IntegrityConstraint
+from ..constraints.repository import ConstraintRepository, coerce_repository
+from ..constraints.closure import closure
+from .edges import EdgeKind
+from .infocontent import ArgKind, InfoArg, InfoContent
+from .node import PatternNode
+from .pattern import TreePattern
+
+__all__ = ["CdmResult", "cdm_minimize", "propagate_child_content"]
+
+
+@dataclass
+class CdmResult:
+    """Outcome of a CDM run.
+
+    Attributes
+    ----------
+    pattern:
+        The locally minimized query.
+    eliminated:
+        ``(node_id, node_type, rule)`` triples in elimination order, where
+        ``rule`` names the Figure 6 rule family that fired.
+    rule_counts:
+        How many nodes each rule family removed.
+    contents:
+        Final information content per surviving node id (only when
+        ``keep_contents=True``) — matches the boxed labels of Figure 5.
+    seconds:
+        Wall-clock time of the sweep (closure time excluded; pass a closed
+        repository for benchmark-grade numbers).
+    """
+
+    pattern: TreePattern
+    eliminated: list[tuple[int, str, str]] = field(default_factory=list)
+    rule_counts: dict[str, int] = field(default_factory=dict)
+    contents: dict[int, InfoContent] = field(default_factory=dict)
+    seconds: float = 0.0
+
+    @property
+    def removed_count(self) -> int:
+        """Number of nodes eliminated."""
+        return len(self.eliminated)
+
+
+def propagate_child_content(
+    child: PatternNode, child_content: InfoContent
+) -> list[tuple[InfoArg, Optional[int]]]:
+    """Figure 4's propagation rules for one child.
+
+    Returns the ``(argument, source)`` pairs the parent gains from
+    ``child``; ``source`` is ``child.id`` when the argument is the child's
+    own type in removable form, else ``None``.
+
+    * The child's SELF argument becomes an ``a`` (d-edge) or ``p``
+      (c-edge) obligation, keeping its constrained flag (rules 1 and 4).
+    * Every obligation held by the child becomes a *constrained* ``a``
+      obligation of the parent — whatever the edge kind, the obliged node
+      is at least two steps away (rules 2, 3, 5, 6).
+    """
+    out: list[tuple[InfoArg, Optional[int]]] = []
+    self_arg = child_content.self_arg()
+    if self_arg is None:  # pragma: no cover - contents always start with SELF
+        raise AssertionError("child content missing SELF argument")
+    kind = ArgKind.ANCESTOR if child.edge is EdgeKind.DESCENDANT else ArgKind.PARENT
+    out.append((InfoArg(kind, self_arg.type, self_arg.constrained), child.id))
+    for arg in child_content.args():
+        if arg.is_obligation:
+            out.append((InfoArg(ArgKind.ANCESTOR, arg.type, True), None))
+    return out
+
+
+def _match_rule(
+    justifier: InfoArg, target: InfoArg, repo: ConstraintRepository
+) -> Optional[str]:
+    """Figure 6's minimization rules (sound reading — see DESIGN.md).
+
+    ``target`` is a removable-form obligation; return the rule family name
+    when ``justifier`` discharges it, else ``None``.
+    """
+    if target.kind is ArgKind.ANCESTOR:
+        # The obligation asks for a descendant of type target.type.
+        if justifier.kind is ArgKind.SELF:
+            # Rules 1-2 (the closed repository turns t1 -> t2 into
+            # t1 ->> t2, so one probe covers both edge kinds here).
+            if repo.has_required_descendant(justifier.type, target.type):
+                return "self-descendant"
+        else:
+            # Rules 3-4: some descendant of type t1 exists below the node;
+            # t1 ->> t2 supplies the required t2 descendant.
+            if repo.has_required_descendant(justifier.type, target.type):
+                return "obligation-descendant"
+            # Rules 5-6 (descendant flavour): that t1 descendant *is* a
+            # t2 node, directly satisfying the obligation.
+            if repo.has_co_occurrence(justifier.type, target.type):
+                return "obligation-co-occurrence"
+    else:  # target.kind is ArgKind.PARENT — asks for a c-child leaf
+        if justifier.kind is ArgKind.SELF:
+            # Rule 2: the node's own type requires such a child.
+            if repo.has_required_child(justifier.type, target.type):
+                return "self-child"
+        elif justifier.kind is ArgKind.PARENT:
+            # Rules 5-6 (child flavour): a sibling c-child of type t1 is
+            # also a t2 node. Only a *c-child* justifier is sound here.
+            if repo.has_co_occurrence(justifier.type, target.type):
+                return "sibling-co-occurrence"
+    return None
+
+
+def cdm_minimize(
+    pattern: TreePattern,
+    constraints: "ConstraintRepository | Iterable[IntegrityConstraint] | None" = None,
+    *,
+    in_place: bool = False,
+    keep_contents: bool = False,
+) -> CdmResult:
+    """Run Algorithm CDM on ``pattern`` under ``constraints``.
+
+    The constraint set is closed first unless the repository is already
+    marked closed (pass a pre-closed repository when timing CDM itself,
+    as the Figure 8 experiments do).
+
+    One post-order sweep: each node's content is assembled from its
+    (already minimized) children, the Figure 6 rules run to a per-node
+    fixpoint — deleting discharged leaf children — and the final content
+    is what the parent later sees. Upward cascades (a node becoming an
+    unconstrained leaf) are therefore handled in the same sweep.
+    """
+    repo = coerce_repository(constraints)
+    if not repo.is_closed:
+        repo = closure(repo)
+    query = pattern if in_place else pattern.copy()
+    result = CdmResult(pattern=query)
+
+    start = time.perf_counter()
+    contents: dict[int, InfoContent] = {}
+    _sweep(query.root, contents, repo, result)
+    result.seconds = time.perf_counter() - start
+
+    if keep_contents:
+        result.contents = contents
+    return result
+
+
+def _sweep(
+    root: PatternNode,
+    contents: dict[int, InfoContent],
+    repo: ConstraintRepository,
+    result: CdmResult,
+) -> None:
+    # Explicit-stack postorder: queries can be deeper than Python's
+    # recursion budget, and deep recursion is disproportionately slow on
+    # CPython (stack-chunk thrashing).
+    stack: list[tuple[PatternNode, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if not expanded:
+            stack.append((node, True))
+            for child in node.children:
+                stack.append((child, False))
+            continue
+
+        content = InfoContent()
+        content.set_self(node.type, constrained=not node.is_leaf)
+        for child in node.children:
+            for arg, source in propagate_child_content(child, contents[child.id]):
+                content.add(arg, source)
+
+        _minimize_at(node, content, repo, result)
+
+        if node.is_leaf:
+            # All children were discharged: ~t relaxes to t before the
+            # parent reads this content (the cascading step of Figure 5).
+            content.set_self(node.type, constrained=False)
+        contents[node.id] = content
+
+
+def _minimize_at(
+    node: PatternNode,
+    content: InfoContent,
+    repo: ConstraintRepository,
+    result: CdmResult,
+) -> None:
+    # One ordered pass suffices: rule applications only ever *remove*
+    # arguments and sources, so a target that has no live justifier now
+    # will never gain one later at this node. This keeps the per-node cost
+    # at O(#targets * #args) — the paper's "quadratic in the node fanout".
+    for target in content.removable_args():
+        if not content.is_live(target):
+            continue
+        rule = _find_justification(content, target, repo)
+        if rule is not None:
+            _discharge(node, content, target, rule, result)
+
+
+def _find_justification(
+    content: InfoContent, target: InfoArg, repo: ConstraintRepository
+) -> Optional[str]:
+    for justifier in content.args():
+        if not content.is_live(justifier):
+            continue
+        if justifier == target and len(content.sources_of(target)) < 2:
+            # An argument may justify trimming its own duplicates (e.g.
+            # t ->> t), but never its sole source.
+            continue
+        rule = _match_rule(justifier, target, repo)
+        if rule is not None:
+            return rule if justifier != target else f"{rule}(self-pair)"
+    return None
+
+
+def _discharge(
+    node: PatternNode,
+    content: InfoContent,
+    target: InfoArg,
+    rule: str,
+    result: CdmResult,
+) -> bool:
+    """Delete the deletable source leaves behind ``target``; return
+    whether anything was removed."""
+    sources = sorted(content.sources_of(target))
+    keep_one = rule.endswith("(self-pair)")
+    removed_any = False
+    for source_id in sources:
+        if keep_one and not removed_any and source_id == sources[0]:
+            continue
+        child = node.pattern.node(source_id)
+        if child.is_output or child.temporary:
+            continue
+        node.pattern.delete_leaf(child)
+        content.drop_source(target, source_id)
+        result.eliminated.append((source_id, child.type, rule))
+        result.rule_counts[rule] = result.rule_counts.get(rule, 0) + 1
+        removed_any = True
+    return removed_any

@@ -1,0 +1,153 @@
+"""Chase and augmentation of tree patterns with integrity constraints.
+
+Two variants are provided:
+
+* :func:`chase` — the classical chase adapted to tree queries (Section
+  5.1): repeatedly apply every IC to every node, materializing required
+  children/descendants. Kept for exposition and tests; as the paper notes,
+  a blind chase can blow the query up arbitrarily (its depth grows without
+  bound), which is why ACIM does not use it.
+
+* :func:`augment` / :func:`augmentation_targets` — the paper's
+  *augmentation* (Section 5.2), the chase with three changes: the IC set
+  must be logically closed; ICs are applied only to **original** nodes and
+  only when the required type already occurs in the original query (so the
+  augmented query has size O(n²) and depth at most one more than the
+  input); and added nodes/edges are **temporary**.
+
+  :func:`augment` materializes temporaries into a copy (handy for the
+  containment oracle and for display); :func:`augmentation_targets`
+  returns them as never-materialized :class:`VirtualTarget` rows plus
+  co-occurrence type annotations, which is how ACIM actually runs them
+  (Section 6.1: "augmentations are not physically added to the initial
+  query").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..constraints.model import IntegrityConstraint
+from ..constraints.repository import ConstraintRepository, coerce_repository
+from ..constraints.closure import closure
+from .edges import EdgeKind
+from .images import VirtualTarget
+from .pattern import TreePattern
+
+__all__ = ["augmentation_targets", "augment", "chase"]
+
+
+def _closed(
+    constraints: "ConstraintRepository | Iterable[IntegrityConstraint]",
+) -> ConstraintRepository:
+    repo = coerce_repository(constraints)
+    return repo if repo.is_closed else closure(repo)
+
+
+def augmentation_targets(
+    pattern: TreePattern,
+    constraints: "ConstraintRepository | Iterable[IntegrityConstraint]",
+) -> tuple[list[VirtualTarget], dict[int, frozenset[str]]]:
+    """Compute the paper's augmentation without materializing it.
+
+    Returns
+    -------
+    (virtual, extra_types)
+        ``virtual`` — one :class:`VirtualTarget` per applied required-child
+        / required-descendant IC (required-descendant targets are skipped
+        when a required-child target of the same type already hangs off the
+        same node, since a c-child is in particular a descendant);
+        ``extra_types`` — per node id, the co-occurrence types to associate
+        with the node.
+
+    Only types already present in ``pattern`` are ever introduced, and ICs
+    are applied to the pattern's (original) nodes only — both per Section
+    5.2. The constraint set is closed first if needed.
+    """
+    repo = _closed(constraints)
+    present = {n.type for n in pattern.nodes() if not n.temporary}
+    virtual: list[VirtualTarget] = []
+    extra_types: dict[int, frozenset[str]] = {}
+    next_id = -1
+    for node in pattern.nodes():
+        if node.temporary:
+            # Per Section 5.2, ICs are never applied to nodes the chase
+            # itself added (this is what keeps augmentation bounded and
+            # makes repeated augmentation idempotent in the A/R/M algebra).
+            continue
+        cooc = {
+            t2 for t2 in repo.co_occurring_with(node.type) if t2 in present
+        }
+        if cooc:
+            extra_types[node.id] = frozenset(cooc)
+        child_types = {
+            t2 for t2 in repo.required_children_of(node.type) if t2 in present
+        }
+        for t2 in sorted(child_types):
+            virtual.append(VirtualTarget(next_id, t2, node.id, EdgeKind.CHILD))
+            next_id -= 1
+        for t2 in sorted(repo.required_descendants_of(node.type)):
+            # A required child of the same type already provides a
+            # (stronger) target; skip the redundant descendant row.
+            if t2 in present and t2 not in child_types:
+                virtual.append(VirtualTarget(next_id, t2, node.id, EdgeKind.DESCENDANT))
+                next_id -= 1
+    return virtual, extra_types
+
+
+def augment(
+    pattern: TreePattern,
+    constraints: "ConstraintRepository | Iterable[IntegrityConstraint]",
+) -> TreePattern:
+    """Materialized augmentation: a copy of ``pattern`` with temporary
+    nodes attached and co-occurrence types annotated.
+
+    The result is equivalent to ``pattern`` under the constraints; tests
+    use it with the containment oracle to certify ACIM's behaviour.
+    """
+    result = pattern.copy()
+    virtual, extra_types = augmentation_targets(pattern, constraints)
+    for node_id, types in extra_types.items():
+        for t in sorted(types):
+            result.add_extra_type(result.node(node_id), t)
+    for vt in virtual:
+        result.add_child(result.node(vt.parent_id), vt.node_type, vt.edge, temporary=True)
+    return result
+
+
+def chase(
+    pattern: TreePattern,
+    constraints: "ConstraintRepository | Iterable[IntegrityConstraint]",
+    *,
+    rounds: int = 1,
+) -> TreePattern:
+    """The classical (unrestricted) chase, for ``rounds`` sweeps.
+
+    Every sweep applies every required-child/descendant IC to every node —
+    including nodes added by earlier sweeps — materializing a new
+    (temporary-flagged) node per application, and applies co-occurrence
+    ICs as type annotations. Each (node, constraint) pair fires at most
+    once, so a single call terminates, but repeated sweeps grow the query
+    without bound when constraints chain — the size/depth blowup that
+    motivates augmentation.
+    """
+    repo = coerce_repository(constraints)
+    result = pattern.copy()
+    fired: set[tuple[int, IntegrityConstraint]] = set()
+    for _ in range(rounds):
+        changed = False
+        for node in list(result.nodes()):
+            for c in sorted(repo.constraints_from(node.type)):
+                key = (node.id, c)
+                if key in fired:
+                    continue
+                fired.add(key)
+                changed = True
+                if c.is_co_occurrence:
+                    result.add_extra_type(node, c.target)
+                else:
+                    edge = EdgeKind.CHILD if c.is_required_child else EdgeKind.DESCENDANT
+                    result.add_child(node, c.target, edge, temporary=True)
+        if not changed:
+            break
+    return result

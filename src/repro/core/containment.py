@@ -1,0 +1,172 @@
+"""Containment mappings between tree pattern queries.
+
+Adapting the homomorphism theorem of Chandra and Merlin to tree patterns
+(Section 4 of the paper): query ``Q1`` is contained in ``Q2``
+(``Q1 ⊆ Q2``: every database gives ``Q1(D) ⊆ Q2(D)``) iff there is a
+*containment mapping* ``h : Q2 → Q1`` such that
+
+* ``h`` preserves node types (``v`` and ``h(v)`` have the same type — with
+  augmented targets, ``v``'s original type must be among ``h(v)``'s
+  associated types) and the output marker (``h(v)`` is starred iff ``v``
+  is);
+* a c-child maps to a c-child, and a d-child to a *proper descendant*.
+
+Embeddings are unanchored in this library (see DESIGN.md), so the root of
+the mapped query may map to any node of the target query.
+
+Unlike general conjunctive queries (where this test is NP-complete), tree
+patterns admit a polynomial dynamic program: process the mapped query in
+postorder, computing for each of its nodes the set of admissible targets.
+This module is the library's *ground-truth oracle*: the minimizers
+(:mod:`repro.core.cim`, :mod:`repro.core.acim`, :mod:`repro.core.cdm`)
+are validated against it in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .node import PatternNode
+from .pattern import TreePattern
+
+__all__ = [
+    "compatible_nodes",
+    "mapping_targets",
+    "find_containment_mapping",
+    "has_containment_mapping",
+    "is_contained_in",
+    "equivalent",
+]
+
+
+def compatible_nodes(v: PatternNode, u: PatternNode) -> bool:
+    """Local (label-only) compatibility of mapping ``v`` onto ``u``.
+
+    ``u`` must carry ``v``'s original type (possibly via augmented
+    co-occurrence types), and the output node must map to the output
+    node. The converse is *not* required: a non-output node may map onto
+    the output node — the ``*`` is a query-side marker, not a data label.
+    (The paper's Figure 2(b) → 2(c) minimization, where the unstarred
+    ``Article`` branch folds onto the starred one, depends on this.)
+    """
+    return u.has_type(v.type) and (u.is_output or not v.is_output)
+
+
+def mapping_targets(source: TreePattern, target: TreePattern) -> dict[int, set[int]]:
+    """For every node ``v`` of ``source``, the ids of ``target`` nodes that
+    ``v`` can map to under some containment mapping of ``v``'s subtree.
+
+    Computed by the bottom-up dynamic program described in Section 4: a
+    target ``u`` is admissible for ``v`` iff the labels are compatible and
+    every c-child (d-child) of ``v`` has an admissible target among ``u``'s
+    children (proper descendants).
+    """
+    target_nodes = list(target.nodes())
+    targets: dict[int, set[int]] = {}
+
+    for v in source.postorder():
+        base = {u.id for u in target_nodes if compatible_nodes(v, u)}
+        if v.is_leaf:
+            targets[v.id] = base
+            continue
+        # For each d-child of v, precompute which target nodes have an
+        # admissible target in their proper-descendant set. One postorder
+        # pass over the target per child keeps the whole DP polynomial.
+        reach_below: dict[int, set[int]] = {}
+        for cv in v.children:
+            if cv.edge.is_descendant:
+                reach_below[cv.id] = _nodes_with_target_below(target, targets[cv.id])
+        admissible: set[int] = set()
+        for u in target_nodes:
+            if u.id not in base:
+                continue
+            if _children_mappable(v, u, targets, reach_below):
+                admissible.add(u.id)
+        targets[v.id] = admissible
+    return targets
+
+
+def _children_mappable(
+    v: PatternNode,
+    u: PatternNode,
+    targets: dict[int, set[int]],
+    reach_below: dict[int, set[int]],
+) -> bool:
+    for cv in v.children:
+        if cv.edge.is_child:
+            # A c-edge requires a *c-child* target: the target pattern
+            # only guarantees direct containment along its own c-edges.
+            if not any(uc.id in targets[cv.id] for uc in u.c_children()):
+                return False
+        else:
+            if u.id not in reach_below[cv.id]:
+                return False
+    return True
+
+
+def _nodes_with_target_below(target: TreePattern, admissible: set[int]) -> set[int]:
+    """Ids of target nodes having a proper descendant in ``admissible``."""
+    result: set[int] = set()
+    for u in target.postorder():
+        if any(c.id in admissible or c.id in result for c in u.children):
+            result.add(u.id)
+    return result
+
+
+def find_containment_mapping(
+    source: TreePattern, target: TreePattern
+) -> Optional[dict[int, int]]:
+    """A concrete containment mapping ``source → target`` as a dict from
+    source node ids to target node ids, or ``None`` if none exists.
+
+    The mapping is extracted top-down from the DP table; on trees a greedy
+    choice per subtree is always safe because sibling subtrees impose
+    independent requirements on the target.
+    """
+    targets = mapping_targets(source, target)
+    root_targets = targets[source.root.id]
+    if not root_targets:
+        return None
+    mapping: dict[int, int] = {}
+    # Deterministic tie-break (smallest id) keeps results reproducible.
+    root_choice = target.node(min(root_targets))
+    _assign(source.root, root_choice, targets, mapping, target)
+    return mapping
+
+
+def _assign(
+    v: PatternNode,
+    u: PatternNode,
+    targets: dict[int, set[int]],
+    mapping: dict[int, int],
+    target: TreePattern,
+) -> None:
+    mapping[v.id] = u.id
+    for cv in v.children:
+        if cv.edge.is_child:
+            candidates = (uc for uc in u.c_children() if uc.id in targets[cv.id])
+        else:
+            candidates = (ud for ud in u.descendants() if ud.id in targets[cv.id])
+        chosen = min(candidates, key=lambda n: n.id, default=None)
+        if chosen is None:  # pragma: no cover - DP guarantees a choice
+            raise AssertionError("DP admitted a target with no child assignment")
+        _assign(cv, chosen, targets, mapping, target)
+
+
+def has_containment_mapping(source: TreePattern, target: TreePattern) -> bool:
+    """Whether a containment mapping ``source → target`` exists."""
+    return bool(mapping_targets(source, target)[source.root.id])
+
+
+def is_contained_in(q1: TreePattern, q2: TreePattern) -> bool:
+    """``Q1 ⊆ Q2``: every database ``D`` satisfies ``Q1(D) ⊆ Q2(D)``.
+
+    By the homomorphism theorem for tree patterns this holds iff there is a
+    containment mapping from ``q2`` into ``q1``.
+    """
+    return has_containment_mapping(q2, q1)
+
+
+def equivalent(q1: TreePattern, q2: TreePattern) -> bool:
+    """Two-way containment: ``Q1 ⊆ Q2`` and ``Q2 ⊆ Q1``."""
+    return is_contained_in(q1, q2) and is_contained_in(q2, q1)

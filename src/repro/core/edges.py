@@ -1,0 +1,66 @@
+"""Edge kinds (axes) of tree pattern queries.
+
+A tree pattern query has two kinds of edges:
+
+* **child** edges (drawn as single edges in the paper, ``/`` in XPath):
+  the lower node must be a direct child of the upper node's image;
+* **descendant** edges (double edges, ``//`` in XPath): the lower node must
+  be a *proper* descendant of the upper node's image.
+
+Following the paper's terminology, a node connected to its parent by a
+child edge is a *c-child* and by a descendant edge a *d-child*; "child of"
+in prose covers both and is purely syntactic.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["EdgeKind", "CHILD", "DESCENDANT"]
+
+
+class EdgeKind(enum.Enum):
+    """The axis connecting a pattern node to its parent."""
+
+    #: Direct containment (``/``): image must be a child of the parent's image.
+    CHILD = "child"
+    #: Transitive containment (``//``): image must be a proper descendant.
+    DESCENDANT = "descendant"
+
+    @property
+    def symbol(self) -> str:
+        """XPath-style separator for this edge kind (``/`` or ``//``)."""
+        return "/" if self is EdgeKind.CHILD else "//"
+
+    @property
+    def is_child(self) -> bool:
+        """True for c-edges."""
+        return self is EdgeKind.CHILD
+
+    @property
+    def is_descendant(self) -> bool:
+        """True for d-edges."""
+        return self is EdgeKind.DESCENDANT
+
+    @classmethod
+    def from_symbol(cls, symbol: str) -> "EdgeKind":
+        """Map ``/`` to CHILD and ``//`` to DESCENDANT.
+
+        Raises
+        ------
+        ValueError
+            If ``symbol`` is neither separator.
+        """
+        if symbol == "/":
+            return cls.CHILD
+        if symbol == "//":
+            return cls.DESCENDANT
+        raise ValueError(f"unknown edge symbol {symbol!r} (expected '/' or '//')")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EdgeKind.{self.name}"
+
+
+#: Convenience aliases so call sites can say ``CHILD`` / ``DESCENDANT``.
+CHILD = EdgeKind.CHILD
+DESCENDANT = EdgeKind.DESCENDANT

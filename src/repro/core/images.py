@@ -1,0 +1,358 @@
+"""The ``redundant-leaf`` test via *images* sets (Figure 3 of the paper).
+
+To test whether a leaf ``b`` of query ``Q`` is redundant, associate with
+every node ``v`` the set ``images(v)`` of nodes ``v`` could map to under a
+containment mapping into ``Q - b`` (type-compatible; ``b`` itself and any
+augmentation target anchored at ``b`` are excluded from every set, so a
+surviving mapping certifies ``Q - b`` equivalent to ``Q``). The sets
+are pruned bottom-up: a target ``s`` is dropped from ``images(v)`` when
+some c-child (d-child) ``u`` of ``v`` has no member of ``images(u)`` that
+is a c-child (proper descendant) of ``s``. The leaf is redundant iff the
+pruned ``images(root)`` is non-empty (Theorem 4.2).
+
+Following Section 6.1 of the paper, the ancestor/descendant relation and
+the images sets are hash tables, and nodes contributed by IC augmentation
+are **never materialized**: they participate only as extra *targets* in
+these tables (:class:`VirtualTarget`). The walk from the leaf's parent to
+the root implements the early exits of Figure 3: empty ``images(v)`` means
+NO immediately; ``v ∈ images(v)`` means YES immediately (identity extends
+upward).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..errors import InvalidPatternError
+from .edges import EdgeKind
+from .node import PatternNode
+from .pattern import TreePattern
+
+__all__ = ["VirtualTarget", "AncestorTable", "ImagesStats", "ImagesEngine"]
+
+
+@dataclass(frozen=True)
+class VirtualTarget:
+    """An augmentation-implied node used only as a mapping target.
+
+    A required-child IC ``t1 -> t2`` applied to node ``p`` guarantees that
+    in every constraint-satisfying database the image of ``p`` has a child
+    of type ``t2``; a required-descendant IC guarantees a descendant. Such
+    guaranteed nodes are leaves with no further obligations, so they never
+    need to be mapped themselves — they only *receive* mappings.
+
+    Attributes
+    ----------
+    id:
+        Negative integer id, disjoint from real pattern node ids.
+    node_type:
+        The guaranteed node's type.
+    parent_id:
+        Id of the (real) pattern node the IC was applied to.
+    edge:
+        ``CHILD`` if the IC was ``t1 -> t2`` (the target is a c-child of
+        its parent), ``DESCENDANT`` for ``t1 ->> t2``.
+    """
+
+    id: int
+    node_type: str
+    parent_id: int
+    edge: EdgeKind
+
+    def __post_init__(self) -> None:
+        if self.id >= 0:
+            raise InvalidPatternError("virtual target ids must be negative")
+
+
+class AncestorTable:
+    """Hash-indexed ancestor/descendant relation over a pattern plus
+    virtual targets (the paper's ancestor/descendant table, Section 6.1).
+    """
+
+    def __init__(self, pattern: TreePattern, virtual: Sequence[VirtualTarget] = ()) -> None:
+        self._ancestors: dict[int, frozenset[int]] = {}
+        self._c_children: dict[int, set[int]] = {}
+        self._descendants: dict[int, set[int]] = {}
+        self._build(pattern, virtual)
+
+    def _build(self, pattern: TreePattern, virtual: Sequence[VirtualTarget]) -> None:
+        for node in pattern.nodes():
+            parent = node.parent
+            if parent is None:
+                anc: frozenset[int] = frozenset()
+            else:
+                anc = self._ancestors[parent.id] | {parent.id}
+            self._ancestors[node.id] = anc
+            self._c_children.setdefault(node.id, set())
+            self._descendants.setdefault(node.id, set())
+            if parent is not None:
+                if node.edge is EdgeKind.CHILD:
+                    self._c_children[parent.id].add(node.id)
+                for a in anc:
+                    self._descendants[a].add(node.id)
+        for vt in virtual:
+            if vt.parent_id not in self._ancestors:
+                raise InvalidPatternError(
+                    f"virtual target {vt.id} attached to unknown node {vt.parent_id}"
+                )
+            anc = self._ancestors[vt.parent_id] | {vt.parent_id}
+            self._ancestors[vt.id] = anc
+            self._c_children.setdefault(vt.id, set())
+            self._descendants.setdefault(vt.id, set())
+            if vt.edge is EdgeKind.CHILD:
+                self._c_children[vt.parent_id].add(vt.id)
+            for a in anc:
+                self._descendants[a].add(vt.id)
+
+    def is_c_child(self, node_id: int, parent_id: int) -> bool:
+        """Whether ``node_id`` is a c-child of ``parent_id``."""
+        return node_id in self._c_children.get(parent_id, ())
+
+    def is_descendant(self, node_id: int, ancestor_id: int) -> bool:
+        """Whether ``node_id`` is a proper descendant of ``ancestor_id``."""
+        return ancestor_id in self._ancestors.get(node_id, ())
+
+    def c_children_of(self, parent_id: int) -> set[int]:
+        """Ids of c-children (real and virtual) of ``parent_id``."""
+        return self._c_children.get(parent_id, set())
+
+    def descendants_of(self, ancestor_id: int) -> set[int]:
+        """Ids of proper descendants (real and virtual) of ``ancestor_id``."""
+        return self._descendants.get(ancestor_id, set())
+
+
+@dataclass
+class ImagesStats:
+    """Instrumentation counters for the images engine.
+
+    ``tables_seconds`` covers building the ancestor/descendant table and
+    initializing the images sets — the fraction studied in Figure 7(b).
+    ``prune_seconds`` covers the bottom-up pruning sweeps.
+    """
+
+    tables_seconds: float = 0.0
+    prune_seconds: float = 0.0
+    redundancy_checks: int = 0
+    max_image_size: int = 0
+    pruned_entries: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        """Tables time plus pruning time."""
+        return self.tables_seconds + self.prune_seconds
+
+
+class ImagesEngine:
+    """Runs ``redundant-leaf`` tests against one pattern.
+
+    The engine snapshots the pattern's structure into hash tables once; the
+    pattern must not be mutated while the engine is in use (CIM rebuilds
+    the engine after each deletion — see :mod:`repro.core.cim` for the
+    incremental driver).
+
+    Parameters
+    ----------
+    pattern:
+        The query under test.
+    virtual:
+        Augmentation targets (see :class:`VirtualTarget`). Empty for
+        constraint-independent minimization.
+    stats:
+        Optional shared :class:`ImagesStats` to accumulate timings into.
+    pair_filter:
+        Optional extra compatibility predicate ``(source_node_id,
+        target_id) -> bool`` applied when initializing images sets. Used
+        by the value-predicate extension (Section 7 of the paper): a
+        target is admissible only if its conditions entail the source's.
+    """
+
+    def __init__(
+        self,
+        pattern: TreePattern,
+        virtual: Sequence[VirtualTarget] = (),
+        stats: Optional[ImagesStats] = None,
+        pair_filter: Optional[Callable[[int, int], bool]] = None,
+    ) -> None:
+        self.pattern = pattern
+        self.virtual = tuple(virtual)
+        self.pair_filter = pair_filter
+        self.stats = stats if stats is not None else ImagesStats()
+        start = time.perf_counter()
+        self.ancestors = AncestorTable(pattern, self.virtual)
+        # Type index over real nodes and virtual targets: type -> ids.
+        self._by_type: dict[str, set[int]] = {}
+        self._starred: set[int] = set()
+        for node in pattern.nodes():
+            for t in node.all_types:
+                self._by_type.setdefault(t, set()).add(node.id)
+            if node.is_output:
+                self._starred.add(node.id)
+        for vt in self.virtual:
+            self._by_type.setdefault(vt.node_type, set()).add(vt.id)
+        self.stats.tables_seconds += time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def is_redundant_leaf(self, leaf: PatternNode) -> bool:
+        """The paper's ``redundant-leaf`` test for ``leaf``."""
+        return self._run(leaf) is not None
+
+    def redundancy_witness(self, leaf: PatternNode) -> Optional[dict[int, int]]:
+        """A concrete endomorphism witnessing redundancy of ``leaf``.
+
+        Returns a mapping from real node ids to target ids (which may be
+        negative = virtual), or ``None`` if the leaf is not redundant. Used
+        by tests to certify each deletion.
+        """
+        result = self._run(leaf)
+        if result is None:
+            return None
+        images, stop_node = result
+        return self._extract(images, stop_node)
+
+    # ------------------------------------------------------------------
+    # Core algorithm (Figure 3)
+    # ------------------------------------------------------------------
+
+    def _initial_images(self, leaf: PatternNode) -> dict[int, set[int]]:
+        start = time.perf_counter()
+        images: dict[int, set[int]] = {}
+        # Deleting `leaf` must leave an equivalent query, i.e. there must
+        # be a containment mapping from Q into (Q - leaf) plus the
+        # augmentation of (Q - leaf). Two target families therefore drop
+        # out of every images set:
+        #   * `leaf` itself — it is exactly what is being deleted;
+        #   * virtual targets anchored at `leaf` — an IC guarantee around
+        #     a node vanishes with the node (without this, `b ->> b`-style
+        #     closure facts let a leaf justify its own deletion).
+        excluded: set[int] = {leaf.id}
+        excluded.update(vt.id for vt in self.virtual if vt.parent_id == leaf.id)
+        for node in self.pattern.nodes():
+            candidates = set(self._by_type.get(node.type, ()))
+            candidates -= excluded
+            # The output node may only map to the output node; non-output
+            # nodes may map anywhere, including onto the output node (the
+            # marker constrains where the answer comes from, not what else
+            # may fold onto that position).
+            if node.is_output:
+                candidates &= self._starred
+            if self.pair_filter is not None:
+                candidates = {t for t in candidates if self.pair_filter(node.id, t)}
+            images[node.id] = candidates
+            if len(candidates) > self.stats.max_image_size:
+                self.stats.max_image_size = len(candidates)
+        self.stats.tables_seconds += time.perf_counter() - start
+        return images
+
+    def _run(self, leaf: PatternNode) -> Optional[tuple[dict[int, set[int]], PatternNode]]:
+        """Run the test; return ``(pruned images, stop node)`` when the
+        leaf is redundant, else ``None``.
+
+        ``stop node`` is the ancestor at which an early YES fired (identity
+        extends above it), or the root.
+        """
+        if not leaf.is_leaf:
+            raise InvalidPatternError("redundant-leaf requires a leaf node")
+        if leaf.is_output:
+            return None
+        self.stats.redundancy_checks += 1
+        images = self._initial_images(leaf)
+        if not images[leaf.id]:
+            return None
+
+        start = time.perf_counter()
+        try:
+            marked: set[int] = {leaf.id}
+            node = leaf.parent
+            while node is not None:
+                self._minimize_images(node, images, marked)
+                if not images[node.id]:
+                    return None
+                if node.id in images[node.id]:
+                    # Early YES: node maps to itself, identity extends to
+                    # all ancestors (Figure 3, step 4.3).
+                    return images, node
+                node = node.parent
+            root = self.pattern.root
+            if images[root.id]:
+                return images, root
+            return None
+        finally:
+            self.stats.prune_seconds += time.perf_counter() - start
+
+    def _minimize_images(
+        self, node: PatternNode, images: dict[int, set[int]], marked: set[int]
+    ) -> None:
+        """Prune ``images`` throughout ``node``'s subtree (post-order)."""
+        if node.is_leaf:
+            marked.add(node.id)
+            return
+        for child in node.children:
+            if child.id not in marked:
+                self._minimize_images(child, images, marked)
+        survivors: set[int] = set()
+        for s in images[node.id]:
+            if self._supports_children(s, node, images):
+                survivors.add(s)
+            else:
+                self.stats.pruned_entries += 1
+        images[node.id] = survivors
+        marked.add(node.id)
+
+    def _supports_children(
+        self, s: int, node: PatternNode, images: dict[int, set[int]]
+    ) -> bool:
+        """Whether target ``s`` has, for every child ``u`` of ``node``, an
+        appropriately-related member of ``images(u)``."""
+        for u in node.children:
+            if u.edge is EdgeKind.CHILD:
+                if not any(self.ancestors.is_c_child(w, s) for w in images[u.id]):
+                    return False
+            else:
+                if not any(self.ancestors.is_descendant(w, s) for w in images[u.id]):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Witness extraction
+    # ------------------------------------------------------------------
+
+    def _extract(
+        self, images: dict[int, set[int]], stop_node: PatternNode
+    ) -> dict[int, int]:
+        """Build a concrete endomorphism from pruned images sets.
+
+        Identity is used on ``stop_node``'s strict ancestors and their other
+        subtrees (sound: the early-YES condition means ``stop_node`` maps to
+        itself, and everything outside its subtree is untouched). Inside the
+        subtree the choice is greedy top-down, which is safe on trees.
+        """
+        mapping: dict[int, int] = {}
+        for node in self.pattern.nodes():
+            mapping[node.id] = node.id
+        root_target = (
+            stop_node.id
+            if stop_node.id in images[stop_node.id]
+            else min(images[stop_node.id])
+        )
+        self._assign(stop_node, root_target, images, mapping)
+        return mapping
+
+    def _assign(
+        self, v: PatternNode, s: int, images: dict[int, set[int]], mapping: dict[int, int]
+    ) -> None:
+        mapping[v.id] = s
+        for u in v.children:
+            if u.edge is EdgeKind.CHILD:
+                pool: Iterable[int] = self.ancestors.c_children_of(s)
+            else:
+                pool = self.ancestors.descendants_of(s)
+            choices = [w for w in pool if w in images[u.id]]
+            if not choices:  # pragma: no cover - pruning guarantees a choice
+                raise AssertionError("pruned images admitted an unsupported target")
+            self._assign(u, min(choices), images, mapping)

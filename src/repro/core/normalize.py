@@ -1,0 +1,76 @@
+"""Cheap structural normalization: syntactic sibling deduplication.
+
+CDM is to ACIM what this module is to CIM: a near-linear pre-filter that
+knocks out the *obvious* redundancies before the polynomial machinery
+runs. Two sibling subtrees that are syntactically identical (same edge
+kind, isomorphic subtrees) are mutually subsumed — one containment
+mapping folds one onto the other — so all but one can be deleted without
+any images computation. Duplicated branches are exactly what view
+expansion and mechanical query rewriting produce, so this catches a lot
+in practice (see ``examples/workload_study.py``).
+
+One bottom-up pass over canonical keys; deleting a duplicate can make
+its parent's siblings identical in turn, which the bottom-up order picks
+up in the same sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .pattern import TreePattern
+
+__all__ = ["DedupResult", "dedup_siblings"]
+
+
+@dataclass
+class DedupResult:
+    """Outcome of a deduplication pass.
+
+    Attributes
+    ----------
+    pattern:
+        The deduplicated query.
+    removed:
+        Node count removed (whole duplicate subtrees).
+    groups:
+        Number of duplicate sibling groups collapsed.
+    """
+
+    pattern: TreePattern
+    removed: int = 0
+    groups: int = 0
+    removed_ids: list[int] = field(default_factory=list)
+
+
+def dedup_siblings(pattern: TreePattern, *, in_place: bool = False) -> DedupResult:
+    """Collapse syntactically identical sibling subtrees.
+
+    Keeps, per duplicate group, the subtree containing the output node if
+    any (a duplicate of the output-bearing branch is never *identical* to
+    it — canonical keys include the ``*`` flag — so the kept one is simply
+    the first). Equivalence is preserved: folding a branch onto an
+    identical sibling is a containment mapping in both directions.
+    """
+    query = pattern if in_place else pattern.copy()
+    result = DedupResult(pattern=query)
+
+    # Process bottom-up so collapses can cascade to the parent level.
+    for node in list(query.postorder()):
+        if not query.has_node(node.id) or node.is_leaf:
+            continue
+        seen: dict[tuple[str, str], int] = {}
+        for child in list(node.children):
+            key = (child.edge.value, query.canonical_key(child))
+            if key in seen:
+                # Identical keys cannot contain the output node twice,
+                # and the kept twin was recorded first.
+                doomed = query.delete_subtree(child)
+                result.removed += len(doomed)
+                result.removed_ids.extend(n.id for n in doomed)
+                if seen[key] == 1:
+                    result.groups += 1
+                seen[key] += 1
+            else:
+                seen[key] = 1
+    return result

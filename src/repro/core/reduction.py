@@ -1,0 +1,63 @@
+"""The reduction step ``R`` of the strategy algebra (Section 5.3).
+
+*Reduction* repeatedly eliminates a leaf ``l`` of type ``t`` whose parent
+``n`` has type ``t'`` when the (closed) IC set contains ``t' -> t`` (for a
+c-edge) or ``t' ->> t`` (for a d-edge) — the directly-IC-implied leaves.
+It always removes a descendant before its ancestors and preserves
+equivalence under the ICs.
+
+Reduction is weaker than CDM (it is CDM restricted to rules (i)/(ii)) and
+exists mainly as one letter of the ``{A, R, M}`` strategy language used to
+prove ACIM optimal (Lemmas 5.2–5.4); see :mod:`repro.core.strategy`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..constraints.model import IntegrityConstraint
+from ..constraints.repository import ConstraintRepository, coerce_repository
+from ..constraints.closure import closure
+from .edges import EdgeKind
+from .node import PatternNode
+from .pattern import TreePattern
+
+__all__ = ["reduce_pattern", "is_directly_implied"]
+
+
+def is_directly_implied(leaf: PatternNode, repo: ConstraintRepository) -> bool:
+    """Whether ``leaf`` is removable by one reduction step.
+
+    The parent's full type-set (original plus co-occurrence annotations)
+    is consulted, so reduction behaves correctly on augmented queries.
+    """
+    parent = leaf.parent
+    if parent is None or leaf.is_output or not leaf.is_leaf:
+        return False
+    if leaf.edge is EdgeKind.CHILD:
+        return any(repo.has_required_child(t, leaf.type) for t in parent.all_types)
+    return any(repo.has_required_descendant(t, leaf.type) for t in parent.all_types)
+
+
+def reduce_pattern(
+    pattern: TreePattern,
+    constraints: "ConstraintRepository | Iterable[IntegrityConstraint] | None" = None,
+    *,
+    in_place: bool = False,
+) -> TreePattern:
+    """Apply reduction to fixpoint and return the reduced query.
+
+    The constraint set is closed first unless already marked closed.
+    """
+    repo = coerce_repository(constraints)
+    if not repo.is_closed:
+        repo = closure(repo)
+    query = pattern if in_place else pattern.copy()
+    changed = True
+    while changed:
+        changed = False
+        for leaf in list(query.leaves()):
+            if not leaf.is_root and is_directly_implied(leaf, repo):
+                query.delete_leaf(leaf)
+                changed = True
+    return query

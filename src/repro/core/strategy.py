@@ -1,0 +1,126 @@
+"""The A/R/M strategy algebra of Section 5.3.
+
+The paper analyses minimization-under-constraints as strings over the
+alphabet ``{A, R, M}``:
+
+* ``A`` — *augmentation*: materialize IC-implied temporary nodes and
+  co-occurrence types (:func:`repro.core.chase.augment`);
+* ``R`` — *reduction*: drop leaves directly implied by an IC on their
+  parent (:func:`repro.core.reduction.reduce_pattern`);
+* ``M`` — *minimization*: a maximal elimination ordering, i.e. CIM.
+  Temporary nodes participate as mapping **targets only** (the paper's
+  Section 6.1 semantics: an IC-implied node carries no obligations of its
+  own and never blocks its parent's mapping); internally the step
+  converts materialized temporaries to virtual targets, minimizes, and
+  re-materializes the survivors so that ``R`` can clean them up later.
+
+Lemmas 5.2–5.4 establish that the composite strategy ``A·M·R`` is
+idempotent and dominates every other string — it yields the unique
+equivalent query of least size — and that Algorithm ACIM is "nothing but
+a clever implementation of" it. This module interprets strategy strings
+so those lemmas can be checked executably (see
+``tests/test_strategy_algebra.py``), and provides :func:`amr` as the
+reference implementation ACIM is validated against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..constraints.model import IntegrityConstraint
+from ..constraints.repository import ConstraintRepository, coerce_repository
+from ..constraints.closure import closure
+from ..errors import StrategyError
+from .chase import augment
+from .cim import cim_minimize
+from .images import VirtualTarget
+from .pattern import TreePattern
+from .reduction import reduce_pattern
+
+__all__ = ["apply_strategy", "amr", "OPTIMAL_STRATEGY"]
+
+
+def _minimization_step(query: TreePattern) -> TreePattern:
+    """The ``M`` step: CIM with temporaries as pure targets.
+
+    Materialized temporary leaves become :class:`VirtualTarget` rows for
+    the duration of the elimination, then the survivors (those whose
+    anchor node is still present) are re-materialized. Temporary nodes
+    produced by :func:`~repro.core.chase.augment` are always leaves, so
+    the conversion is lossless.
+    """
+    temps = [n for n in query.nodes() if n.temporary]
+    if any(not n.is_leaf for n in temps):
+        raise StrategyError("temporary nodes must be leaves in the M step")
+    virtual = [
+        VirtualTarget(-(i + 1), n.type, n.parent.id, n.edge)
+        for i, n in enumerate(temps)
+    ]
+    for n in temps:
+        query.delete_leaf(n)
+    result = cim_minimize(query, virtual=virtual, in_place=True).pattern
+    for vt in virtual:
+        if result.has_node(vt.parent_id):
+            result.add_child(result.node(vt.parent_id), vt.node_type, vt.edge, temporary=True)
+    return result
+
+#: The provably optimal strategy string (Lemma 5.4).
+OPTIMAL_STRATEGY = "amr"
+
+
+def apply_strategy(
+    pattern: TreePattern,
+    constraints: "ConstraintRepository | Iterable[IntegrityConstraint] | None",
+    strategy: str,
+) -> TreePattern:
+    """Apply a strategy string left-to-right and return the result.
+
+    ``strategy`` is a word over ``a`` (augment), ``r`` (reduce), ``m``
+    (minimize), case-insensitive. The constraint set is closed once up
+    front, as the algebra assumes.
+
+    Node ids are preserved by every step, so results of different
+    strategies on the same input can be compared by id set — which is how
+    the dominance relation ``σ1 ⊑ σ2`` ("σ1's result contains every node
+    of σ2's") is checked in the tests.
+
+    Raises
+    ------
+    StrategyError
+        On characters outside ``{a, r, m}``.
+    """
+    repo = coerce_repository(constraints)
+    if not repo.is_closed:
+        repo = closure(repo)
+    query = pattern.copy()
+    for step in strategy.lower():
+        if step == "a":
+            query = augment(query, repo)
+        elif step == "r":
+            query = reduce_pattern(query, repo, in_place=True)
+        elif step == "m":
+            query = _minimization_step(query)
+        else:
+            raise StrategyError(
+                f"unknown strategy step {step!r} in {strategy!r} (expected a/r/m)"
+            )
+    return query
+
+
+def amr(
+    pattern: TreePattern,
+    constraints: "ConstraintRepository | Iterable[IntegrityConstraint] | None",
+) -> TreePattern:
+    """The optimal ``A·M·R`` strategy: augment, minimize, reduce.
+
+    By Lemma 5.4 this returns the unique minimal query equivalent to
+    ``pattern`` under the constraints. It is slower than
+    :func:`repro.core.acim.acim_minimize` (it materializes temporaries and
+    lets CIM chew through them) but is an independent implementation used
+    to cross-validate ACIM.
+    """
+    result = apply_strategy(pattern, constraints, OPTIMAL_STRATEGY)
+    # Augmented type annotations are internal to the algebra; the final
+    # query is a plain pattern.
+    result.clear_extra_types()
+    return result

@@ -1,0 +1,26 @@
+"""Tree-structured database substrate: trees, builders, generators, I/O."""
+
+from .tree import DataNode, DataTree, Forest
+from .builder import build_forest, build_tree
+from .generate import random_satisfying_tree, random_tree, repair, witness_tree
+from .xml_io import parse_xml, to_xml
+from .ldap import Directory, dn_of
+from .ldif import parse_ldif, to_ldif
+
+__all__ = [
+    "DataNode",
+    "DataTree",
+    "Forest",
+    "build_forest",
+    "build_tree",
+    "random_satisfying_tree",
+    "random_tree",
+    "repair",
+    "witness_tree",
+    "parse_xml",
+    "to_xml",
+    "Directory",
+    "dn_of",
+    "parse_ldif",
+    "to_ldif",
+]

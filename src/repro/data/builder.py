@@ -1,0 +1,74 @@
+"""Declarative construction of data trees.
+
+Mirrors :meth:`repro.core.pattern.TreePattern.build`: a nested tuple spec
+``(types, [child_spec, ...])`` where ``types`` is a type name, a
+``"+"``-joined multi-type string (``"Employee+Person"``), or an iterable
+of type names; a bare string is a leaf. An optional third element carries
+the node's text value.
+
+Example::
+
+    tree = build_tree(
+        ("Library", [
+            ("Book", [
+                ("Title", [], "Tree Patterns"),
+                ("Author", [("LastName", [], "Amer-Yahia")]),
+            ]),
+        ])
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+from ..errors import DataModelError
+from .tree import DataTree
+
+__all__ = ["build_tree", "build_forest"]
+
+#: Spec type: "Type", "Type+Other", or (types, children[, value]).
+TreeSpec = Union[str, tuple]
+
+
+def _parse_spec(spec: TreeSpec) -> tuple[frozenset[str], Sequence, Optional[str]]:
+    if isinstance(spec, str):
+        types_raw: "str | Iterable[str]" = spec
+        children: Sequence = ()
+        value: Optional[str] = None
+    elif isinstance(spec, tuple) and len(spec) in (2, 3):
+        types_raw = spec[0]
+        children = spec[1]
+        value = spec[2] if len(spec) == 3 else None
+    else:
+        raise DataModelError(f"bad data tree spec: {spec!r}")
+    if isinstance(types_raw, str):
+        types = frozenset(t for t in types_raw.split("+") if t)
+    else:
+        types = frozenset(types_raw)
+    if not types:
+        raise DataModelError(f"spec node has no types: {spec!r}")
+    return types, children, value
+
+
+def build_tree(spec: TreeSpec) -> DataTree:
+    """Build a :class:`~repro.data.tree.DataTree` from a nested spec."""
+    types, children, value = _parse_spec(spec)
+    tree = DataTree(types, value)
+    for child_spec in children:
+        _build_into(tree, tree.root, child_spec)
+    return tree
+
+
+def _build_into(tree: DataTree, parent, spec: TreeSpec) -> None:
+    types, children, value = _parse_spec(spec)
+    node = tree.add_child(parent, types, value)
+    for child_spec in children:
+        _build_into(tree, node, child_spec)
+
+
+def build_forest(specs: Iterable[TreeSpec]):
+    """Build a :class:`~repro.data.tree.Forest` from several tree specs."""
+    from .tree import Forest
+
+    return Forest(build_tree(s) for s in specs)

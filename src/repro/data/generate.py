@@ -1,0 +1,171 @@
+"""Random data trees, optionally repaired to satisfy integrity constraints.
+
+Semantic tests need databases on which to compare a query against its
+minimized form — and equivalence *under constraints* is only promised on
+databases satisfying them, so the generator can repair an arbitrary
+random tree into a constraint-satisfying one:
+
+1. every node gains the co-occurrence types its types imply;
+2. every unsatisfied required-child / required-descendant constraint is
+   discharged by attaching a memoized *witness subtree* of the required
+   type — itself recursively constraint-satisfying.
+
+Witness construction detects constraint sets that are unsatisfiable in
+finite trees (a type transitively requiring a descendant of its own
+type) and raises :class:`~repro.errors.ConstraintError`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Sequence
+
+from ..constraints.model import IntegrityConstraint
+from ..constraints.repository import ConstraintRepository, coerce_repository
+from ..constraints.closure import closure
+from ..errors import ConstraintError
+from .tree import DataNode, DataTree
+
+__all__ = ["random_tree", "repair", "witness_tree", "random_satisfying_tree"]
+
+
+def random_tree(
+    types: Sequence[str],
+    *,
+    size: int = 30,
+    max_fanout: int = 4,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> DataTree:
+    """A random tree of ``size`` nodes with types drawn uniformly.
+
+    Shape: each new node attaches under a uniformly random existing node
+    with remaining fanout capacity — yielding a mix of deep and bushy
+    regions.
+    """
+    if not types:
+        raise ValueError("need at least one type")
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    r = rng if rng is not None else random.Random(seed)
+    tree = DataTree(r.choice(types))
+    open_nodes = [tree.root]
+    for _ in range(size - 1):
+        parent = r.choice(open_nodes)
+        node = tree.add_child(parent, r.choice(types))
+        open_nodes.append(node)
+        if parent.children and len(parent.children) >= max_fanout:
+            open_nodes.remove(parent)
+    return tree
+
+
+def _closed(
+    constraints: "ConstraintRepository | Iterable[IntegrityConstraint]",
+) -> ConstraintRepository:
+    repo = coerce_repository(constraints)
+    return repo if repo.is_closed else closure(repo)
+
+
+def witness_tree(node_type: str, repo: ConstraintRepository) -> tuple:
+    """A minimal constraint-satisfying subtree spec rooted at a node of
+    ``node_type`` (a :func:`repro.data.builder.build_tree` spec).
+
+    Raises
+    ------
+    ConstraintError
+        When the (closed) constraints make ``node_type`` unsatisfiable in
+        finite trees (it requires a descendant of its own type).
+    """
+    return _witness(node_type, repo, frozenset())
+
+
+def _witness(node_type: str, repo: ConstraintRepository, in_progress: frozenset[str]) -> tuple:
+    if node_type in in_progress:
+        raise ConstraintError(
+            f"type {node_type!r} transitively requires a descendant of its "
+            f"own type; not satisfiable by any finite tree"
+        )
+    marker = in_progress | {node_type}
+    types = {node_type} | set(repo.co_occurring_with(node_type))
+    children: list[tuple] = []
+    covered: set[str] = set()
+    for t2 in sorted(repo.required_children_of(node_type)):
+        child = _witness(t2, repo, marker)
+        children.append(child)
+        covered |= _types_in(child)
+    for t2 in sorted(repo.required_descendants_of(node_type)):
+        if t2 not in covered:
+            child = _witness(t2, repo, marker)
+            children.append(child)
+            covered |= _types_in(child)
+    return ("+".join(sorted(types)), children)
+
+
+def _types_in(spec: tuple) -> set[str]:
+    types = set(spec[0].split("+"))
+    for child in spec[1]:
+        types |= _types_in(child)
+    return types
+
+
+def repair(
+    tree: DataTree,
+    constraints: "ConstraintRepository | Iterable[IntegrityConstraint]",
+) -> DataTree:
+    """A constraint-satisfying copy of ``tree``.
+
+    Nodes keep their shape and gain co-occurrence types; unmet child /
+    descendant requirements are discharged with witness subtrees.
+    """
+    from .builder import build_tree
+
+    repo = _closed(constraints)
+
+    def rebuild(node: DataNode) -> tuple:
+        types: set[str] = set()
+        for t in node.types:
+            types.add(t)
+            types |= set(repo.co_occurring_with(t))
+        children = [rebuild(c) for c in node.children]
+        present_below: set[str] = set()
+        for child in children:
+            present_below |= _types_in(child)
+        child_types: set[str] = set()
+        for child in children:
+            child_types |= set(child[0].split("+"))
+        for t in sorted(types):
+            for t2 in sorted(repo.required_children_of(t)):
+                if t2 not in child_types:
+                    extra = _witness(t2, repo, frozenset())
+                    children.append(extra)
+                    child_types |= set(extra[0].split("+"))
+                    present_below |= _types_in(extra)
+            for t2 in sorted(repo.required_descendants_of(t)):
+                if t2 not in present_below:
+                    extra = _witness(t2, repo, frozenset())
+                    children.append(extra)
+                    child_types |= set(extra[0].split("+"))
+                    present_below |= _types_in(extra)
+        value = node.value
+        spec = ("+".join(sorted(types)), children)
+        return spec if value is None else (spec[0], spec[1], value)
+
+    return build_tree(rebuild(tree.root))
+
+
+def random_satisfying_tree(
+    types: Sequence[str],
+    constraints: "ConstraintRepository | Iterable[IntegrityConstraint]",
+    *,
+    size: int = 30,
+    max_fanout: int = 4,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> DataTree:
+    """A random tree of roughly ``size`` nodes satisfying the constraints.
+
+    Repair may add witness nodes, so the result can be larger than
+    ``size``.
+    """
+    base = random_tree(types, size=size, max_fanout=max_fanout, seed=seed, rng=rng)
+    return repair(base, constraints)

@@ -1,0 +1,103 @@
+"""LDAP-style directory view over data trees.
+
+The paper's second motivating application is network directories
+(Section 2.1): entries with multi-valued ``objectClass`` attributes,
+arranged in an organizational hierarchy. This module provides a thin
+directory façade over :class:`~repro.data.tree.DataTree`:
+
+* entries are data nodes whose type-set plays the ``objectClass`` role —
+  which is exactly the multi-type semantics co-occurrence constraints
+  need ("every employee entry also belongs to type person");
+* every entry has a *relative distinguished name* (RDN) attribute and a
+  computed distinguished name (DN), leaf-to-root per LDAP convention.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from ..errors import DataModelError
+from .tree import DataNode, DataTree
+
+__all__ = ["Directory", "dn_of"]
+
+#: Attribute storing the entry's relative distinguished name.
+RDN_ATTR = "rdn"
+
+
+def dn_of(node: DataNode) -> str:
+    """The distinguished name of an entry: its RDN chain, leaf first.
+
+    Entries lacking an ``rdn`` attribute contribute
+    ``<primary type>=#<id>`` so every node has a usable DN.
+    """
+    parts = []
+    for n in (node, *node.ancestors()):
+        rdn = n.attributes.get(RDN_ATTR, f"{n.primary_type}=#{n.id}")
+        parts.append(rdn)
+    return ",".join(parts)
+
+
+class Directory:
+    """A directory instance: one tree plus DN-based addressing.
+
+    Example::
+
+        d = Directory("Organization", rdn="o=AT&T Labs")
+        dept = d.add(d.root_entry, ["Dept"], rdn="ou=Research")
+        d.add(dept, ["Employee", "Person"], rdn="cn=Divesh")
+    """
+
+    def __init__(
+        self,
+        root_classes: Iterable[str] | str,
+        *,
+        rdn: Optional[str] = None,
+        attributes: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        attrs = dict(attributes or {})
+        if rdn is not None:
+            attrs[RDN_ATTR] = rdn
+        self.tree = DataTree(root_classes, attributes=attrs)
+
+    @property
+    def root_entry(self) -> DataNode:
+        """The directory root entry."""
+        return self.tree.root
+
+    def add(
+        self,
+        parent: DataNode,
+        object_classes: Iterable[str] | str,
+        *,
+        rdn: Optional[str] = None,
+        attributes: Optional[Mapping[str, str]] = None,
+    ) -> DataNode:
+        """Add an entry under ``parent`` with the given object classes."""
+        attrs = dict(attributes or {})
+        if rdn is not None:
+            attrs[RDN_ATTR] = rdn
+        return self.tree.add_child(parent, object_classes, attributes=attrs)
+
+    def lookup(self, dn: str) -> DataNode:
+        """Resolve a DN produced by :func:`dn_of`.
+
+        Raises
+        ------
+        DataModelError
+            If no entry has that DN.
+        """
+        for node in self.tree.nodes():
+            if dn_of(node) == dn:
+                return node
+        raise DataModelError(f"no entry with DN {dn!r}")
+
+    def entries_of_class(self, object_class: str) -> list[DataNode]:
+        """All entries carrying ``object_class``."""
+        return self.tree.find(object_class)
+
+    def __len__(self) -> int:
+        return self.tree.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Directory entries={self.tree.size}>"

@@ -1,0 +1,114 @@
+"""LDIF import/export for directory trees.
+
+The paper's directory motivation (Section 2.1/2.2) talks about
+LDAP-style white pages; LDIF is that world's interchange format. This
+module parses the subset needed to round-trip
+:class:`~repro.data.ldap.Directory` instances:
+
+* one record per blank-line-separated block;
+* ``dn:`` line first, RDN sequence leaf-to-root;
+* multi-valued ``objectClass`` attributes become the entry's type-set;
+* other single-valued attributes become node attributes;
+* ``#`` comment lines and line continuations (leading space) supported.
+
+Parents must precede children (standard for LDIF adds); the root record
+is the one whose DN has a single RDN.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from .ldap import RDN_ATTR, Directory, dn_of
+from .tree import DataNode
+
+__all__ = ["parse_ldif", "to_ldif"]
+
+
+def _unfold(text: str) -> list[str]:
+    """Join continuation lines (leading space) and drop comments."""
+    lines: list[str] = []
+    for raw in text.splitlines():
+        if raw.startswith("#"):
+            continue
+        if raw.startswith(" ") and lines:
+            lines[-1] += raw[1:]
+        else:
+            lines.append(raw)
+    return lines
+
+
+def _records(text: str) -> list[list[tuple[str, str]]]:
+    records: list[list[tuple[str, str]]] = []
+    current: list[tuple[str, str]] = []
+    for line in _unfold(text):
+        if not line.strip():
+            if current:
+                records.append(current)
+                current = []
+            continue
+        if ":" not in line:
+            raise ParseError(f"malformed LDIF line (no ':'): {line!r}")
+        name, _, value = line.partition(":")
+        current.append((name.strip(), value.strip()))
+    if current:
+        records.append(current)
+    return records
+
+
+def parse_ldif(text: str) -> Directory:
+    """Parse LDIF text into a :class:`~repro.data.ldap.Directory`.
+
+    Raises :class:`~repro.errors.ParseError` on malformed records,
+    missing parents, or multiple roots.
+    """
+    directory: Directory | None = None
+    by_dn: dict[str, DataNode] = {}
+
+    for record in _records(text):
+        if not record or record[0][0].lower() != "dn":
+            raise ParseError("every LDIF record must start with a 'dn:' line")
+        dn = record[0][1]
+        if not dn:
+            raise ParseError("empty DN")
+        rdn, _, parent_dn = dn.partition(",")
+        classes = [value for name, value in record[1:] if name == "objectClass"]
+        attributes = {
+            name: value
+            for name, value in record[1:]
+            if name not in ("objectClass", "dn")
+        }
+        if not classes:
+            raise ParseError(f"record {dn!r} has no objectClass")
+
+        if parent_dn == "":
+            if directory is not None:
+                raise ParseError(f"second root record {dn!r}")
+            directory = Directory(classes, rdn=rdn, attributes=attributes)
+            by_dn[dn] = directory.root_entry
+        else:
+            if directory is None:
+                raise ParseError("child record before the root record")
+            parent = by_dn.get(parent_dn)
+            if parent is None:
+                raise ParseError(f"record {dn!r}: parent {parent_dn!r} not seen yet")
+            entry = directory.add(parent, classes, rdn=rdn, attributes=attributes)
+            by_dn[dn] = entry
+
+    if directory is None:
+        raise ParseError("no records in LDIF input")
+    return directory
+
+
+def to_ldif(directory: Directory) -> str:
+    """Serialize a directory to LDIF (inverse of :func:`parse_ldif`)."""
+    blocks: list[str] = []
+    for entry in directory.tree.nodes():
+        lines = [f"dn: {dn_of(entry)}"]
+        for object_class in sorted(entry.types):
+            lines.append(f"objectClass: {object_class}")
+        for name in sorted(entry.attributes):
+            if name == RDN_ATTR:
+                continue
+            lines.append(f"{name}: {entry.attributes[name]}")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks) + "\n"

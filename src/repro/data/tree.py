@@ -1,0 +1,277 @@
+"""Tree-structured databases: the data model patterns are matched against.
+
+The paper's data model is a *forest of trees* where each node has an
+associated type (Section 2.1). To support co-occurrence constraints
+("every employee entry is also a person"), a :class:`DataNode` carries a
+**set** of types — the LDAP ``objectClass`` reading; XML documents are
+the single-type special case. Nodes may also carry a text value and
+attributes, which the minimization theory ignores but the XML/LDAP
+front-ends use.
+
+Sibling order is preserved for round-tripping documents but is never
+consulted by matching, per the paper ("we do not consider order in our
+queries").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional
+
+from ..errors import DataModelError
+
+__all__ = ["DataNode", "DataTree", "Forest"]
+
+
+class DataNode:
+    """One node of a data tree.
+
+    Attributes
+    ----------
+    types:
+        Frozen set of type names; matching a pattern node of type ``t``
+        requires ``t in types``.
+    value:
+        Optional text content (XML text, LDAP attribute value).
+    attributes:
+        Optional string-to-string metadata; ignored by matching.
+    """
+
+    __slots__ = ("id", "types", "value", "attributes", "_parent", "_children", "_tree")
+
+    def __init__(
+        self,
+        tree: "DataTree",
+        node_id: int,
+        types: Iterable[str],
+        value: Optional[str] = None,
+        attributes: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        type_set = frozenset(types)
+        if not type_set:
+            raise DataModelError("data nodes must have at least one type")
+        if not all(type_set):
+            raise DataModelError("data node types must be non-empty strings")
+        self.id = node_id
+        self.types = type_set
+        self.value = value
+        self.attributes: dict[str, str] = dict(attributes or {})
+        self._parent: Optional[DataNode] = None
+        self._children: list[DataNode] = []
+        self._tree = tree
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @property
+    def tree(self) -> "DataTree":
+        """The owning tree."""
+        return self._tree
+
+    @property
+    def parent(self) -> Optional["DataNode"]:
+        """Parent node, or ``None`` for the root."""
+        return self._parent
+
+    @property
+    def children(self) -> tuple["DataNode", ...]:
+        """Children in document order."""
+        return tuple(self._children)
+
+    @property
+    def is_root(self) -> bool:
+        """True for the tree's root."""
+        return self._parent is None
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has no children."""
+        return not self._children
+
+    @property
+    def primary_type(self) -> str:
+        """A deterministic representative type (alphabetically first).
+
+        Useful for display and serialization of multi-typed nodes.
+        """
+        return min(self.types)
+
+    def has_type(self, node_type: str) -> bool:
+        """Whether ``node_type`` is among this node's types."""
+        return node_type in self.types
+
+    def ancestors(self) -> Iterator["DataNode"]:
+        """Proper ancestors, parent first."""
+        node = self._parent
+        while node is not None:
+            yield node
+            node = node._parent
+
+    def descendants(self) -> Iterator["DataNode"]:
+        """Proper descendants in preorder."""
+        stack = list(reversed(self._children))
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node._children))
+
+    def subtree(self) -> Iterator["DataNode"]:
+        """This node plus its descendants, preorder."""
+        yield self
+        yield from self.descendants()
+
+    @property
+    def depth(self) -> int:
+        """Edge distance from the root."""
+        return sum(1 for _ in self.ancestors())
+
+    def path(self) -> tuple["DataNode", ...]:
+        """Root-to-node path, inclusive."""
+        return tuple(reversed([self, *self.ancestors()]))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        types = "+".join(sorted(self.types))
+        return f"<DataNode #{self.id} {types}>"
+
+
+class DataTree:
+    """A single rooted data tree.
+
+    Nodes are created through :meth:`add_child` so the tree can maintain
+    its id registry and structural invariants.
+    """
+
+    def __init__(
+        self,
+        root_types: Iterable[str] | str,
+        value: Optional[str] = None,
+        attributes: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        self._next_id = 0
+        self._nodes: dict[int, DataNode] = {}
+        self._root = self._new_node(root_types, value, attributes)
+
+    def _new_node(
+        self,
+        types: Iterable[str] | str,
+        value: Optional[str],
+        attributes: Optional[Mapping[str, str]],
+    ) -> DataNode:
+        if isinstance(types, str):
+            types = (types,)
+        node = DataNode(self, self._next_id, types, value, attributes)
+        self._nodes[node.id] = node
+        self._next_id += 1
+        return node
+
+    def add_child(
+        self,
+        parent: DataNode,
+        types: Iterable[str] | str,
+        value: Optional[str] = None,
+        attributes: Optional[Mapping[str, str]] = None,
+    ) -> DataNode:
+        """Create a node and attach it under ``parent``."""
+        if parent.tree is not self:
+            raise DataModelError("parent node belongs to a different tree")
+        node = self._new_node(types, value, attributes)
+        node._parent = parent
+        parent._children.append(node)
+        return node
+
+    @property
+    def root(self) -> DataNode:
+        """The root node."""
+        return self._root
+
+    def node(self, node_id: int) -> DataNode:
+        """Node lookup by id (``KeyError`` if unknown)."""
+        return self._nodes[node_id]
+
+    def nodes(self) -> Iterator[DataNode]:
+        """All nodes, preorder."""
+        return self._root.subtree()
+
+    @property
+    def size(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    @property
+    def depth(self) -> int:
+        """Maximum node depth."""
+        return max(n.depth for n in self.nodes())
+
+    def types_present(self) -> set[str]:
+        """Union of all node type sets."""
+        out: set[str] = set()
+        for node in self.nodes():
+            out |= node.types
+        return out
+
+    def find(self, node_type: str) -> list[DataNode]:
+        """All nodes carrying ``node_type``, preorder."""
+        return [n for n in self.nodes() if node_type in n.types]
+
+    def is_ancestor(self, a: DataNode, b: DataNode) -> bool:
+        """Whether ``a`` is a proper ancestor of ``b``."""
+        return any(anc is a for anc in b.ancestors())
+
+    def to_ascii(self) -> str:
+        """Indented one-node-per-line rendering."""
+        lines: list[str] = []
+
+        def walk(node: DataNode, indent: int) -> None:
+            types = "+".join(sorted(node.types))
+            value = f" = {node.value!r}" if node.value is not None else ""
+            lines.append("  " * indent + types + value)
+            for child in node.children:
+                walk(child, indent + 1)
+
+        walk(self._root, 0)
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<DataTree size={self.size} root={self._root.primary_type}>"
+
+
+class Forest:
+    """A forest of data trees — the paper's database instance.
+
+    Pattern evaluation unions over the member trees.
+    """
+
+    def __init__(self, trees: Iterable[DataTree] = ()) -> None:
+        self._trees: list[DataTree] = list(trees)
+
+    def add(self, tree: DataTree) -> DataTree:
+        """Add a tree; returns it for chaining."""
+        self._trees.append(tree)
+        return tree
+
+    @property
+    def trees(self) -> tuple[DataTree, ...]:
+        """The member trees."""
+        return tuple(self._trees)
+
+    def nodes(self) -> Iterator[DataNode]:
+        """All nodes of all trees."""
+        for tree in self._trees:
+            yield from tree.nodes()
+
+    @property
+    def size(self) -> int:
+        """Total node count across trees."""
+        return sum(t.size for t in self._trees)
+
+    def __iter__(self) -> Iterator[DataTree]:
+        return iter(self._trees)
+
+    def __len__(self) -> int:
+        return len(self._trees)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Forest trees={len(self._trees)} nodes={self.size}>"

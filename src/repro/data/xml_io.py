@@ -1,0 +1,231 @@
+"""Minimal XML reader/writer for data trees.
+
+Maps XML elements to data nodes: the element tag becomes the node's type
+(plus any extra types listed in a ``repro:types`` attribute, enabling
+round-trips of multi-typed nodes), attributes become node attributes, and
+the concatenated direct text becomes the node value.
+
+The parser is self-contained (hand-rolled recursive descent) and supports
+the subset needed here: prolog, comments, elements, attributes
+(single/double quoted), self-closing tags, character data, and the five
+predefined entities. It is *not* a general-purpose XML library — no
+namespaces, CDATA, processing instructions, or DTD internal subsets.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from .tree import DataNode, DataTree
+
+__all__ = ["parse_xml", "to_xml"]
+
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"'}
+#: Attribute carrying the extra (co-occurrence) types of a node.
+TYPES_ATTR = "repro:types"
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    # -- low-level helpers -------------------------------------------------
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.text, self.pos)
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def expect(self, token: str) -> None:
+        if not self.startswith(token):
+            raise self.error(f"expected {token!r}")
+        self.pos += len(token)
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def skip_misc(self) -> None:
+        """Skip whitespace, comments, and the XML declaration."""
+        while True:
+            self.skip_ws()
+            if self.startswith("<?"):
+                end = self.text.find("?>", self.pos)
+                if end < 0:
+                    raise self.error("unterminated processing instruction")
+                self.pos = end + 2
+            elif self.startswith("<!--"):
+                end = self.text.find("-->", self.pos)
+                if end < 0:
+                    raise self.error("unterminated comment")
+                self.pos = end + 3
+            else:
+                return
+
+    def read_name(self) -> str:
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "_-.:"
+        ):
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("expected a name")
+        return self.text[start:self.pos]
+
+    def decode(self, raw: str) -> str:
+        if "&" not in raw:
+            return raw
+        out: list[str] = []
+        i = 0
+        while i < len(raw):
+            ch = raw[i]
+            if ch != "&":
+                out.append(ch)
+                i += 1
+                continue
+            end = raw.find(";", i)
+            if end < 0:
+                raise self.error("unterminated entity reference")
+            name = raw[i + 1:end]
+            if name.startswith("#x") or name.startswith("#X"):
+                out.append(chr(int(name[2:], 16)))
+            elif name.startswith("#"):
+                out.append(chr(int(name[1:])))
+            elif name in _ENTITIES:
+                out.append(_ENTITIES[name])
+            else:
+                raise self.error(f"unknown entity &{name};")
+            i = end + 1
+        return "".join(out)
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse_document(self) -> DataTree:
+        self.skip_misc()
+        if not self.startswith("<"):
+            raise self.error("expected a root element")
+        tree_holder: list[DataTree] = []
+        self.parse_element(None, tree_holder)
+        self.skip_misc()
+        if self.pos != len(self.text):
+            raise self.error("trailing content after the root element")
+        return tree_holder[0]
+
+    def parse_element(self, parent: DataNode | None, tree_holder: list[DataTree]) -> None:
+        self.expect("<")
+        tag = self.read_name()
+        attributes: dict[str, str] = {}
+        while True:
+            self.skip_ws()
+            if self.startswith("/>") or self.startswith(">"):
+                break
+            name = self.read_name()
+            self.skip_ws()
+            self.expect("=")
+            self.skip_ws()
+            quote = self.peek()
+            if quote not in "'\"":
+                raise self.error("expected a quoted attribute value")
+            self.pos += 1
+            end = self.text.find(quote, self.pos)
+            if end < 0:
+                raise self.error("unterminated attribute value")
+            attributes[name] = self.decode(self.text[self.pos:end])
+            self.pos = end + 1
+
+        extra = attributes.pop(TYPES_ATTR, "")
+        types = [tag] + [t for t in extra.split() if t]
+
+        if parent is None:
+            tree = DataTree(types, attributes=attributes)
+            tree_holder.append(tree)
+            node = tree.root
+        else:
+            node = parent.tree.add_child(parent, types, attributes=attributes)
+
+        if self.startswith("/>"):
+            self.pos += 2
+            return
+        self.expect(">")
+
+        text_parts: list[str] = []
+        while True:
+            if self.startswith("</"):
+                self.pos += 2
+                closing = self.read_name()
+                if closing != tag:
+                    raise self.error(f"mismatched closing tag </{closing}> for <{tag}>")
+                self.skip_ws()
+                self.expect(">")
+                break
+            if self.startswith("<!--"):
+                end = self.text.find("-->", self.pos)
+                if end < 0:
+                    raise self.error("unterminated comment")
+                self.pos = end + 3
+            elif self.startswith("<"):
+                self.parse_element(node, tree_holder)
+            else:
+                end = self.text.find("<", self.pos)
+                if end < 0:
+                    raise self.error(f"unterminated element <{tag}>")
+                chunk = self.decode(self.text[self.pos:end])
+                if chunk.strip():
+                    text_parts.append(chunk.strip())
+                self.pos = end
+        if text_parts:
+            node.value = " ".join(text_parts)
+
+
+def parse_xml(text: str) -> DataTree:
+    """Parse an XML document into a :class:`~repro.data.tree.DataTree`.
+
+    Raises :class:`~repro.errors.ParseError` with an offset on malformed
+    input.
+    """
+    return _Parser(text).parse_document()
+
+
+def _escape(text: str, *, attr: bool = False) -> str:
+    out = text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    if attr:
+        out = out.replace('"', "&quot;")
+    return out
+
+
+def to_xml(tree: DataTree, *, indent: int = 2) -> str:
+    """Serialize a data tree to XML (inverse of :func:`parse_xml`).
+
+    Multi-typed nodes use the alphabetically-first type as the tag and
+    list the remaining types in a ``repro:types`` attribute.
+    """
+    lines: list[str] = []
+
+    def walk(node: DataNode, level: int) -> None:
+        pad = " " * (indent * level)
+        tag = node.primary_type
+        attrs = ""
+        extra_types = sorted(node.types - {tag})
+        if extra_types:
+            attrs += f' {TYPES_ATTR}="{" ".join(extra_types)}"'
+        for name in sorted(node.attributes):
+            attrs += f' {name}="{_escape(node.attributes[name], attr=True)}"'
+        if node.is_leaf and node.value is None:
+            lines.append(f"{pad}<{tag}{attrs}/>")
+            return
+        if node.is_leaf:
+            lines.append(f"{pad}<{tag}{attrs}>{_escape(node.value)}</{tag}>")
+            return
+        lines.append(f"{pad}<{tag}{attrs}>")
+        if node.value is not None:
+            lines.append(f"{pad}{' ' * indent}{_escape(node.value)}")
+        for child in node.children:
+            walk(child, level + 1)
+        lines.append(f"{pad}</{tag}>")
+
+    walk(tree.root, 0)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,87 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "PatternError",
+    "InvalidPatternError",
+    "OutputNodeError",
+    "ConstraintError",
+    "ParseError",
+    "SchemaError",
+    "DataModelError",
+    "EvaluationError",
+    "StrategyError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class PatternError(ReproError):
+    """Base class for errors concerning tree pattern queries."""
+
+
+class InvalidPatternError(PatternError):
+    """A tree pattern violates a structural invariant.
+
+    Raised, for example, when an operation would detach a non-leaf node,
+    when a node is inserted under two parents, or when a pattern is built
+    with a cycle.
+    """
+
+
+class OutputNodeError(PatternError):
+    """A pattern has no output (``*``) node, more than one, or an
+    operation would delete the output node."""
+
+
+class ConstraintError(ReproError):
+    """An integrity constraint is malformed or used inconsistently."""
+
+
+class ParseError(ReproError):
+    """A textual query/schema/document could not be parsed.
+
+    Attributes
+    ----------
+    text:
+        The full input text being parsed.
+    position:
+        Character offset at which the failure was detected, or ``None``.
+    """
+
+    def __init__(self, message: str, text: str | None = None, position: int | None = None):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__str__()
+        if self.position is not None and self.text is not None:
+            snippet = self.text[max(0, self.position - 12): self.position + 12]
+            return f"{base} (at offset {self.position}, near {snippet!r})"
+        return base
+
+
+class SchemaError(ReproError):
+    """A schema definition is malformed or internally inconsistent."""
+
+
+class DataModelError(ReproError):
+    """A data tree / forest violates a structural invariant."""
+
+
+class EvaluationError(ReproError):
+    """Pattern evaluation against a database failed."""
+
+
+class StrategyError(ReproError):
+    """An A/R/M strategy string is malformed."""

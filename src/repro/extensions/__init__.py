@@ -1,0 +1,5 @@
+"""Extensions beyond the paper's core results (its Section 7 future work)."""
+
+from .predicates import Condition, ConditionedPattern, Op, entails, parse_condition
+
+__all__ = ["Condition", "ConditionedPattern", "Op", "entails", "parse_condition"]

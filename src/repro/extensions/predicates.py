@@ -1,0 +1,297 @@
+"""Value-based conditions on pattern nodes — the paper's future work.
+
+Section 7 sketches the extension: tree patterns whose nodes also carry
+value conditions (e.g. "the price of a book is less than 100"), where a
+containment/endomorphism mapping may send node ``v`` to node ``u`` only
+if **the conditions at ``u`` logically entail those at ``v``** — every
+data node admissible for ``u`` is then admissible for ``v``, so the
+mapping argument goes through unchanged.
+
+This module implements that sketch for conjunctions of attribute
+comparisons (``price < 100 AND binding = 'hard'``):
+
+* :class:`Condition` — one comparison ``attr op constant``;
+* :func:`entails` — sound (and, for interval-expressible conjunctions on
+  numeric attributes, complete) entailment between conjunctions;
+* :class:`ConditionedPattern` — a pattern plus per-node conditions, with
+  :meth:`ConditionedPattern.cim_minimize` (predicate-aware CIM via the
+  images engine's ``pair_filter`` hook) and
+  :meth:`ConditionedPattern.answer_set` (predicate-aware evaluation via
+  the embedding engine's ``data_filter`` hook).
+
+As the paper predicts, the only change to the machinery is the node
+compatibility test — the MEO theory is untouched.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Union
+
+from ..core.cim import CimResult, cim_minimize
+from ..core.pattern import TreePattern
+from ..data.tree import DataNode, DataTree
+from ..errors import ParseError
+from ..matching.embeddings import EmbeddingEngine
+
+__all__ = ["Op", "Condition", "parse_condition", "entails", "ConditionedPattern"]
+
+Value = Union[float, int, str]
+
+
+class Op(enum.Enum):
+    """Comparison operators."""
+
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EQ = "="
+    NE = "!="
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One comparison ``attribute op value``."""
+
+    attribute: str
+    op: Op
+    value: Value
+
+    def evaluate(self, actual: Optional[Value]) -> bool:
+        """Whether a data node's attribute value satisfies the condition
+        (missing attributes never satisfy)."""
+        if actual is None:
+            return False
+        try:
+            lhs, rhs = _coerce_pair(actual, self.value)
+        except (TypeError, ValueError):
+            return False
+        if self.op is Op.LT:
+            return lhs < rhs
+        if self.op is Op.LE:
+            return lhs <= rhs
+        if self.op is Op.GT:
+            return lhs > rhs
+        if self.op is Op.GE:
+            return lhs >= rhs
+        if self.op is Op.EQ:
+            return lhs == rhs
+        return lhs != rhs
+
+    def notation(self) -> str:
+        """``price < 100`` style rendering."""
+        return f"{self.attribute} {self.op.value} {self.value!r}"
+
+
+def _coerce_pair(a: Value, b: Value) -> tuple:
+    """Coerce both sides to a comparable pair (numeric when possible)."""
+    if isinstance(a, str) and isinstance(b, str):
+        return a, b
+    return float(a), float(b)
+
+
+def parse_condition(text: str) -> Condition:
+    """Parse ``"price < 100"`` / ``"binding = 'hard'"``.
+
+    String constants may be quoted with single or double quotes;
+    unquoted constants that parse as numbers are numeric.
+    """
+    for symbol in ("<=", ">=", "!=", "<", ">", "="):
+        if symbol in text:
+            attr, _, raw = text.partition(symbol)
+            attr, raw = attr.strip(), raw.strip()
+            if not attr or not raw:
+                raise ParseError(f"malformed condition: {text!r}")
+            value: Value
+            if raw[0] in "'\"" and raw[-1] == raw[0] and len(raw) >= 2:
+                value = raw[1:-1]
+            else:
+                try:
+                    value = float(raw) if "." in raw or "e" in raw.lower() else int(raw)
+                except ValueError:
+                    value = raw
+            return Condition(attr, Op(symbol), value)
+    raise ParseError(f"no comparison operator in condition: {text!r}")
+
+
+# ---------------------------------------------------------------------------
+# Entailment
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Interval:
+    """Solution set of numeric conditions on one attribute: an interval
+    plus excluded points."""
+
+    lo: float = -math.inf
+    hi: float = math.inf
+    lo_open: bool = False
+    hi_open: bool = False
+    excluded: frozenset[float] = frozenset()
+
+    def restrict(self, cond: Condition) -> "_Interval":
+        value = float(cond.value)  # caller guarantees numeric
+        lo, hi, lo_open, hi_open, excl = self.lo, self.hi, self.lo_open, self.hi_open, set(self.excluded)
+        if cond.op is Op.LT and (value < hi or (value == hi and not hi_open)):
+            hi, hi_open = value, True
+        elif cond.op is Op.LE and value < hi:
+            hi, hi_open = value, False
+        elif cond.op is Op.GT and (value > lo or (value == lo and not lo_open)):
+            lo, lo_open = value, True
+        elif cond.op is Op.GE and value > lo:
+            lo, lo_open = value, False
+        elif cond.op is Op.EQ:
+            lo = hi = value
+            lo_open = hi_open = False
+        elif cond.op is Op.NE:
+            excl.add(value)
+        return _Interval(lo, hi, lo_open, hi_open, frozenset(excl))
+
+    def is_empty(self) -> bool:
+        if self.lo > self.hi:
+            return True
+        if self.lo == self.hi:
+            return self.lo_open or self.hi_open or self.lo in self.excluded
+        return False
+
+    def subset_of(self, other: "_Interval") -> bool:
+        """Whether every point of self lies in other (sound; exact for
+        interval parts, conservative for excluded points)."""
+        if self.is_empty():
+            return True
+        if other.lo > self.lo or (other.lo == self.lo and other.lo_open and not self.lo_open):
+            return False
+        if other.hi < self.hi or (other.hi == self.hi and other.hi_open and not self.hi_open):
+            return False
+        for point in other.excluded:
+            if point in self.excluded:
+                continue
+            # self must not contain `point`.
+            inside = (
+                (self.lo < point or (self.lo == point and not self.lo_open))
+                and (self.hi > point or (self.hi == point and not self.hi_open))
+            )
+            if inside:
+                return False
+        return True
+
+
+def _is_numeric(c: Condition) -> bool:
+    return isinstance(c.value, (int, float)) and not isinstance(c.value, bool)
+
+
+def entails(
+    stronger: Iterable[Condition], weaker: Iterable[Condition]
+) -> bool:
+    """Whether the conjunction ``stronger`` logically entails ``weaker``.
+
+    Numeric conditions per attribute are solved as intervals (exact);
+    string conditions entail only syntactically identical ones or
+    equality-implied comparisons (sound, conservative).
+    """
+    stronger = list(stronger)
+    weaker = list(weaker)
+    strong_by_attr: dict[str, list[Condition]] = {}
+    for c in stronger:
+        strong_by_attr.setdefault(c.attribute, []).append(c)
+
+    for need in weaker:
+        have = strong_by_attr.get(need.attribute, [])
+        if need in have:
+            continue
+        if _is_numeric(need) and all(_is_numeric(c) for c in have):
+            interval = _Interval()
+            for c in have:
+                interval = interval.restrict(c)
+            target = _Interval().restrict(need)
+            if interval.subset_of(target):
+                continue
+            return False
+        # String/mixed: only equality gives leverage.
+        eq = next((c for c in have if c.op is Op.EQ), None)
+        if eq is not None and need.evaluate(eq.value):
+            continue
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Conditioned patterns
+# ---------------------------------------------------------------------------
+
+class ConditionedPattern:
+    """A tree pattern plus per-node value conditions.
+
+    Conditions are keyed by node id; nodes without entries are
+    unconditioned. The object is immutable in spirit — minimization
+    returns a new :class:`ConditionedPattern` over the minimized query,
+    keeping the conditions of surviving nodes.
+    """
+
+    def __init__(
+        self,
+        pattern: TreePattern,
+        conditions: Optional[Mapping[int, Iterable[Condition]]] = None,
+    ) -> None:
+        self.pattern = pattern
+        self.conditions: dict[int, tuple[Condition, ...]] = {}
+        for node_id, conds in (conditions or {}).items():
+            conds = tuple(conds)
+            if conds:
+                if not pattern.has_node(node_id):
+                    raise KeyError(f"no node #{node_id} in the pattern")
+                self.conditions[node_id] = conds
+
+    def conditions_at(self, node_id: int) -> tuple[Condition, ...]:
+        """The conditions at one node (possibly empty)."""
+        return self.conditions.get(node_id, ())
+
+    # -- minimization -------------------------------------------------------
+
+    def _pair_filter(self, source_id: int, target_id: int) -> bool:
+        # Virtual targets carry no conditions: they may only host
+        # unconditioned sources.
+        source_conditions = self.conditions_at(source_id)
+        if target_id < 0:
+            return not source_conditions
+        return entails(self.conditions_at(target_id), source_conditions)
+
+    def cim_minimize(self, **kwargs) -> tuple["ConditionedPattern", CimResult]:
+        """Predicate-aware CIM (Section 7's modified endomorphism test).
+
+        Accepts the keyword arguments of
+        :func:`repro.core.cim.cim_minimize`.
+        """
+        result = cim_minimize(self.pattern, pair_filter=self._pair_filter, **kwargs)
+        surviving = {
+            node_id: conds
+            for node_id, conds in self.conditions.items()
+            if result.pattern.has_node(node_id)
+        }
+        return ConditionedPattern(result.pattern, surviving), result
+
+    # -- evaluation ----------------------------------------------------------
+
+    def _data_filter(self, pattern_node, data_node: DataNode) -> bool:
+        conds = self.conditions_at(pattern_node.id)
+        if not conds:
+            return True
+        return all(
+            c.evaluate(data_node.attributes.get(c.attribute, data_node.value))
+            for c in conds
+        )
+
+    def engine(self, tree: DataTree) -> EmbeddingEngine:
+        """A predicate-aware embedding engine for ``tree``."""
+        return EmbeddingEngine(self.pattern, tree, data_filter=self._data_filter)
+
+    def answer_set(self, tree: DataTree) -> set[int]:
+        """Predicate-aware answer set over one tree."""
+        return self.engine(tree).answer_set()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        n = sum(len(v) for v in self.conditions.values())
+        return f"<ConditionedPattern size={self.pattern.size} conditions={n}>"

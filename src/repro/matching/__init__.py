@@ -1,0 +1,35 @@
+"""Pattern matching engine: embeddings, evaluation, IC satisfaction."""
+
+from .indexes import DataIndex
+from .embeddings import Embedding, EmbeddingEngine
+from .evaluator import agree_on, count_embeddings, evaluate, evaluate_nodes, matches
+from .satisfaction import Violation, satisfies, violations
+from .structural import TwigJoinEngine
+from .stats import DocumentStatistics, estimate_cost, measured_cost
+from .pathstack import PathStackEngine, is_path_pattern
+from .twigmerge import TwigMergeEngine
+from .planner import Plan, execute, plan
+
+__all__ = [
+    "DataIndex",
+    "Embedding",
+    "EmbeddingEngine",
+    "agree_on",
+    "count_embeddings",
+    "evaluate",
+    "evaluate_nodes",
+    "matches",
+    "Violation",
+    "satisfies",
+    "violations",
+    "TwigJoinEngine",
+    "DocumentStatistics",
+    "estimate_cost",
+    "measured_cost",
+    "PathStackEngine",
+    "is_path_pattern",
+    "TwigMergeEngine",
+    "Plan",
+    "plan",
+    "execute",
+]

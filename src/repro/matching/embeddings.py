@@ -1,0 +1,210 @@
+"""Embedding tree patterns into data trees.
+
+An *embedding* of pattern ``Q`` into data tree ``D`` is a mapping ``e``
+from pattern nodes to data nodes such that ``e(v)`` carries ``v``'s type,
+c-children map to children, and d-children map to proper descendants.
+Embeddings are unanchored: the pattern root may land on any data node
+(see DESIGN.md).
+
+The engine computes, by one bottom-up and one top-down dynamic-programming
+pass, the exact set of data nodes each pattern node can take in *some*
+full embedding — polynomial, independent of how many embeddings exist —
+and enumerates concrete embeddings lazily on top of the candidate sets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from ..core.node import PatternNode
+from ..core.pattern import TreePattern
+from ..data.tree import DataNode, DataTree
+from .indexes import DataIndex
+
+__all__ = ["EmbeddingEngine", "Embedding"]
+
+#: A concrete embedding: pattern node id -> data node.
+Embedding = dict[int, DataNode]
+
+
+class EmbeddingEngine:
+    """Matches one pattern against one data tree.
+
+    Parameters
+    ----------
+    pattern, tree:
+        The query and the database tree. Both are snapshotted via indexes;
+        rebuild the engine after mutating either.
+    index:
+        Optionally reuse a prebuilt :class:`~repro.matching.indexes.DataIndex`
+        (e.g. when matching many patterns against one tree).
+    data_filter:
+        Optional extra admissibility predicate ``(pattern_node, data_node)
+        -> bool``, applied on top of the type test. The value-predicate
+        extension uses it to enforce per-node conditions.
+    """
+
+    def __init__(
+        self,
+        pattern: TreePattern,
+        tree: DataTree,
+        index: Optional[DataIndex] = None,
+        data_filter: Optional[Callable[..., bool]] = None,
+    ) -> None:
+        self.pattern = pattern
+        self.tree = tree
+        self.index = index if index is not None else DataIndex(tree)
+        self.data_filter = data_filter
+        self._candidates: Optional[dict[int, set[int]]] = None
+        self._feasible: Optional[dict[int, set[int]]] = None
+
+    # ------------------------------------------------------------------
+    # Dynamic programming
+    # ------------------------------------------------------------------
+
+    def candidates(self) -> dict[int, set[int]]:
+        """Bottom-up pass: for each pattern node ``v``, data node ids where
+        ``v``'s *subtree* can embed."""
+        if self._candidates is not None:
+            return self._candidates
+        result: dict[int, set[int]] = {}
+        for v in self.pattern.postorder():
+            pool = self.index.nodes_of_type(v.type)
+            if self.data_filter is not None:
+                pool = [d for d in pool if self.data_filter(v, d)]
+            base = {d.id for d in pool}
+            if v.is_leaf:
+                result[v.id] = base
+                continue
+            admissible: set[int] = set()
+            for d_id in base:
+                d = self.tree.node(d_id)
+                if self._children_embeddable(v, d, result):
+                    admissible.add(d_id)
+            result[v.id] = admissible
+        self._candidates = result
+        return result
+
+    def _children_embeddable(
+        self, v: PatternNode, d: DataNode, result: dict[int, set[int]]
+    ) -> bool:
+        for cv in v.children:
+            if cv.edge.is_child:
+                if not any(dc.id in result[cv.id] for dc in d.children):
+                    return False
+            else:
+                if not any(
+                    self.index.is_descendant(self.tree.node(w), d)
+                    for w in result[cv.id]
+                ):
+                    return False
+        return True
+
+    def feasible(self) -> dict[int, set[int]]:
+        """Top-down pass: for each pattern node, the data node ids it takes
+        in at least one embedding of the **whole** pattern.
+
+        ``feasible(output)`` is exactly the query's answer set.
+        """
+        if self._feasible is not None:
+            return self._feasible
+        cand = self.candidates()
+        result: dict[int, set[int]] = {self.pattern.root.id: set(cand[self.pattern.root.id])}
+        for v in self.pattern.nodes():
+            if v.is_root:
+                continue
+            parent_feasible = result[v.parent.id]
+            keep: set[int] = set()
+            for w_id in cand[v.id]:
+                w = self.tree.node(w_id)
+                if v.edge.is_child:
+                    ok = w.parent is not None and w.parent.id in parent_feasible
+                else:
+                    ok = any(a.id in parent_feasible for a in w.ancestors())
+                if ok:
+                    keep.add(w_id)
+            result[v.id] = keep
+        self._feasible = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Query results
+    # ------------------------------------------------------------------
+
+    def answer_set(self) -> set[int]:
+        """Ids of data nodes the output (``*``) node takes over all
+        embeddings — the paper's answer-set semantics."""
+        return set(self.feasible()[self.pattern.output_node.id])
+
+    def answer_nodes(self) -> list[DataNode]:
+        """The answer set as nodes, in document order."""
+        ids = self.answer_set()
+        return [n for n in self.tree.nodes() if n.id in ids]
+
+    def exists(self) -> bool:
+        """Whether the pattern embeds at all."""
+        return bool(self.candidates()[self.pattern.root.id])
+
+    def count_embeddings(self) -> int:
+        """Exact number of distinct embeddings (may be exponential in the
+        pattern size; the count itself is computed in polynomial time)."""
+        cand = self.candidates()
+        memo: dict[tuple[int, int], int] = {}
+
+        def count_at(v: PatternNode, d: DataNode) -> int:
+            key = (v.id, d.id)
+            if key in memo:
+                return memo[key]
+            total = 1
+            for cv in v.children:
+                if cv.edge.is_child:
+                    pool = [dc for dc in d.children if dc.id in cand[cv.id]]
+                else:
+                    pool = [
+                        self.tree.node(w)
+                        for w in cand[cv.id]
+                        if self.index.is_descendant(self.tree.node(w), d)
+                    ]
+                total *= sum(count_at(cv, w) for w in pool)
+                if total == 0:
+                    break
+            memo[key] = total
+            return total
+
+        root = self.pattern.root
+        return sum(count_at(root, self.tree.node(d_id)) for d_id in cand[root.id])
+
+    def embeddings(self, limit: Optional[int] = None) -> Iterator[Embedding]:
+        """Lazily enumerate concrete embeddings (up to ``limit``)."""
+        cand = self.candidates()
+        emitted = 0
+
+        def extend(v: PatternNode, d: DataNode, current: Embedding) -> Iterator[Embedding]:
+            current = {**current, v.id: d}
+            remaining = list(v.children)
+
+            def recurse(i: int, acc: Embedding) -> Iterator[Embedding]:
+                if i == len(remaining):
+                    yield acc
+                    return
+                cv = remaining[i]
+                if cv.edge.is_child:
+                    pool = [dc for dc in d.children if dc.id in cand[cv.id]]
+                else:
+                    pool = [
+                        self.tree.node(w)
+                        for w in cand[cv.id]
+                        if self.index.is_descendant(self.tree.node(w), d)
+                    ]
+                for w in pool:
+                    for sub in extend(cv, w, acc):
+                        yield from recurse(i + 1, sub)
+
+            yield from recurse(0, current)
+
+        for d_id in sorted(cand[self.pattern.root.id]):
+            for emb in extend(self.pattern.root, self.tree.node(d_id), {}):
+                yield emb
+                emitted += 1
+                if limit is not None and emitted >= limit:
+                    return

@@ -1,0 +1,67 @@
+"""Indexes over data trees used by the matching engine.
+
+A :class:`DataIndex` assigns every node its preorder interval
+``[start, end)`` — making ancestor/descendant tests O(1), the classic
+region-encoding trick of XML join processing — and keeps a hash index
+from type name to the nodes carrying it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..data.tree import DataNode, DataTree
+
+__all__ = ["DataIndex"]
+
+
+class DataIndex:
+    """Preorder-interval + type index over one data tree.
+
+    The index snapshots the tree; rebuild after mutating it.
+    """
+
+    def __init__(self, tree: DataTree) -> None:
+        self.tree = tree
+        self._start: dict[int, int] = {}
+        self._end: dict[int, int] = {}
+        self._by_type: dict[str, list[DataNode]] = {}
+        self._number(tree.root)
+
+    def _number(self, root: DataNode) -> None:
+        counter = 0
+        stack: list[tuple[DataNode, bool]] = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                self._end[node.id] = counter
+                continue
+            self._start[node.id] = counter
+            counter += 1
+            for t in node.types:
+                self._by_type.setdefault(t, []).append(node)
+            stack.append((node, True))
+            stack.extend((child, False) for child in reversed(node.children))
+
+    def is_descendant(self, node: DataNode, ancestor: DataNode) -> bool:
+        """Whether ``node`` is a *proper* descendant of ``ancestor``."""
+        if node.id == ancestor.id:
+            return False
+        return (
+            self._start[ancestor.id] < self._start[node.id]
+            and self._end[node.id] <= self._end[ancestor.id]
+        )
+
+    def nodes_of_type(self, node_type: str) -> list[DataNode]:
+        """All nodes carrying ``node_type`` (document order)."""
+        return self._by_type.get(node_type, [])
+
+    def descendants_of_type(self, ancestor: DataNode, node_type: str) -> Iterator[DataNode]:
+        """Proper descendants of ``ancestor`` carrying ``node_type``."""
+        for node in self._by_type.get(node_type, []):
+            if self.is_descendant(node, ancestor):
+                yield node
+
+    def has_descendant_of_type(self, ancestor: DataNode, node_type: str) -> bool:
+        """Whether some proper descendant of ``ancestor`` carries the type."""
+        return next(self.descendants_of_type(ancestor, node_type), None) is not None

@@ -1,0 +1,185 @@
+"""PathStack: stack-based enumeration of path-pattern matches.
+
+For *linear* patterns (each node has at most one child — XPath paths
+without branches), the PathStack algorithm of the holistic twig-join
+family computes all matches in one document-order sweep of the
+per-type node streams: a stack per pattern step holds the partial
+matches currently "open"; each stack entry points to the entry of the
+parent step it extends, so the stacks compactly encode *all* solutions,
+which are emitted when a node of the leaf step arrives.
+
+Complexity: O(input streams + output solutions) — independent of how
+deeply solutions nest — versus the embedding engine's candidate-set DP.
+Used both as a third engine for differential testing and as the
+building block an optimizer would pick for path queries over large
+documents.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..core.node import PatternNode
+from ..core.pattern import TreePattern
+from ..data.tree import DataNode, DataTree
+from ..errors import EvaluationError
+from .embeddings import Embedding
+from .indexes import DataIndex
+
+__all__ = ["is_path_pattern", "PathStackEngine"]
+
+
+def is_path_pattern(pattern: TreePattern) -> bool:
+    """Whether every pattern node has at most one child (a linear path)."""
+    return all(len(n.children) <= 1 for n in pattern.nodes())
+
+
+class _Entry:
+    """One stack entry: a data node plus the index of the entry on the
+    parent step's stack it extends (-1 when the step is the root)."""
+
+    __slots__ = ("node", "parent_index")
+
+    def __init__(self, node: DataNode, parent_index: int) -> None:
+        self.node = node
+        self.parent_index = parent_index
+
+
+class PathStackEngine:
+    """Evaluates one *path* pattern against one tree via PathStack.
+
+    Raises
+    ------
+    EvaluationError
+        If the pattern is not linear (use the embedding or twig-join
+        engines for branching patterns).
+    """
+
+    def __init__(
+        self, pattern: TreePattern, tree: DataTree, index: Optional[DataIndex] = None
+    ) -> None:
+        if not is_path_pattern(pattern):
+            raise EvaluationError("PathStack handles linear (path) patterns only")
+        self.pattern = pattern
+        self.tree = tree
+        self.index = index if index is not None else DataIndex(tree)
+        self.steps: list[PatternNode] = list(pattern.nodes())  # root -> leaf
+
+    # ------------------------------------------------------------------
+
+    def _events(self) -> Iterator[tuple[int, DataNode]]:
+        """Merged document-order stream of (step index, data node)."""
+        start = self.index._start  # noqa: SLF001 - engine shares the index
+        streams: list[tuple[int, DataNode]] = []
+        for i, step in enumerate(self.steps):
+            streams.extend((i, node) for node in self.index.nodes_of_type(step.type))
+        streams.sort(key=lambda pair: (start[pair[1].id], pair[0]))
+        return iter(streams)
+
+    def solutions(self) -> Iterator[Embedding]:
+        """Enumerate all matches as pattern-node-id → data-node mappings."""
+        start = self.index._start  # noqa: SLF001
+        end = self.index._end  # noqa: SLF001
+        stacks: list[list[_Entry]] = [[] for _ in self.steps]
+        leaf_index = len(self.steps) - 1
+
+        for i, node in self._events():
+            # Close every stack entry whose interval ended before `node`.
+            for stack in stacks:
+                while stack and end[stack[-1].node.id] <= start[node.id]:
+                    stack.pop()
+            step = self.steps[i]
+            if i == 0:
+                parent_pos = -1
+            else:
+                maybe = self._parent_position(stacks[i - 1], node, step.edge.is_child)
+                if maybe is None:
+                    continue  # no open partial match to extend
+                parent_pos = maybe
+
+            if i == leaf_index:
+                yield from self._emit(stacks, node, parent_pos)
+            else:
+                stacks[i].append(_Entry(node, parent_pos))
+
+        return
+
+    @staticmethod
+    def _parent_position(stack: list[_Entry], node: DataNode, c_edge: bool) -> Optional[int]:
+        """The deepest valid position on the parent step's stack for
+        ``node``, or ``None``.
+
+        All open entries are ancestors-or-self of ``node``; at most one
+        entry (``node`` itself, when the two steps share a type) can sit
+        above ``node``'s direct parent. For a c-edge the direct parent
+        must be found; for a d-edge any proper ancestor works, so the
+        deepest non-self entry is returned.
+        """
+        if not stack:
+            return None
+        top = len(stack) - 1
+        if stack[top].node.id == node.id:
+            top -= 1
+            if top < 0:
+                return None
+        if c_edge:
+            if node.parent is not None and stack[top].node.id == node.parent.id:
+                return top
+            return None
+        return top
+
+    def _emit(
+        self, stacks: list[list[_Entry]], leaf_node: DataNode, parent_pos: int
+    ) -> Iterator[Embedding]:
+        """Expand the stack encoding into concrete solutions ending at
+        ``leaf_node``.
+
+        A solution picks one entry per non-leaf step. The *positions*
+        allowed on a step's stack depend on the edge **below** it: a
+        c-edge pins the exact recorded parent entry; a d-edge admits
+        every entry at or below the recorded (deepest valid) one, since
+        open entries nest.
+        """
+        if len(self.steps) == 1:
+            yield {self.steps[0].id: leaf_node}
+            return
+
+        def expand(step_index: int, positions: list[int]) -> Iterator[list[DataNode]]:
+            """Chains for steps 0..step_index, the step's entry drawn
+            from ``positions`` on its stack."""
+            stack = stacks[step_index]
+            edge = self.steps[step_index].edge  # edge to the step above
+            for pos in positions:
+                entry = stack[pos]
+                if step_index == 0:
+                    yield [entry.node]
+                    continue
+                if edge.is_child:
+                    parent_positions = [entry.parent_index]
+                else:
+                    parent_positions = list(range(entry.parent_index + 1))
+                for prefix in expand(step_index - 1, parent_positions):
+                    yield prefix + [entry.node]
+
+        leaf_step = self.steps[-1]
+        if leaf_step.edge.is_child:
+            top_positions = [parent_pos]
+        else:
+            top_positions = list(range(parent_pos + 1))
+        for prefix in expand(len(self.steps) - 2, top_positions):
+            solution = {
+                self.steps[k].id: data_node for k, data_node in enumerate(prefix)
+            }
+            solution[leaf_step.id] = leaf_node
+            yield solution
+
+    # ------------------------------------------------------------------
+
+    def answer_set(self) -> set[int]:
+        """Data node ids taken by the output node across all solutions."""
+        output_id = self.pattern.output_node.id
+        return {solution[output_id].id for solution in self.solutions()}
+
+    def count_solutions(self) -> int:
+        """Number of distinct path matches."""
+        return sum(1 for _ in self.solutions())

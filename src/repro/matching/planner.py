@@ -1,0 +1,118 @@
+"""A small evaluation planner: minimize, pick an engine, explain.
+
+Ties the library's pieces into the workflow a query processor would run
+per query:
+
+1. **minimize** the pattern (under the known constraints) — the paper's
+   contribution, applied where it belongs: before matching;
+2. **choose an engine** by pattern shape and document statistics —
+   PathStack for linear patterns, structural twig joins for branching
+   patterns over large documents, the DP engine otherwise;
+3. expose the decision as an explainable :class:`Plan`.
+
+The planner is deliberately simple (two thresholds, no dynamic
+programming over join orders); its purpose is an honest end-to-end
+story plus a place where the cost model is consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..constraints.model import IntegrityConstraint
+from ..constraints.repository import ConstraintRepository
+from ..core.pattern import TreePattern
+from ..core.pipeline import minimize
+from ..data.tree import DataTree
+from .embeddings import EmbeddingEngine
+from .indexes import DataIndex
+from .pathstack import PathStackEngine, is_path_pattern
+from .stats import DocumentStatistics, estimate_cost
+from .structural import TwigJoinEngine
+
+__all__ = ["Plan", "plan", "execute"]
+
+#: Documents below this node count always use the DP engine (setup costs
+#: of the join engines don't pay off).
+SMALL_DOCUMENT_NODES = 64
+
+
+@dataclass
+class Plan:
+    """An explainable evaluation plan for one query.
+
+    Attributes
+    ----------
+    pattern:
+        The (minimized) pattern that will actually be matched.
+    engine:
+        ``"pathstack"``, ``"twigjoin"``, or ``"dp"``.
+    estimated_cost:
+        The cost-model estimate for ``pattern`` on the planned statistics
+        (``None`` when no statistics were supplied).
+    removed_nodes:
+        How many nodes minimization shaved off the input query.
+    rationale:
+        Human-readable decisions, in order.
+    """
+
+    pattern: TreePattern
+    engine: str = "dp"
+    estimated_cost: Optional[float] = None
+    removed_nodes: int = 0
+    rationale: list[str] = field(default_factory=list)
+
+    def explain(self) -> str:
+        """The rationale as one printable block."""
+        head = f"engine={self.engine}, pattern size={self.pattern.size}"
+        if self.estimated_cost is not None:
+            head += f", estimated cost={self.estimated_cost:.0f}"
+        return head + "".join(f"\n  - {line}" for line in self.rationale)
+
+
+def plan(
+    pattern: TreePattern,
+    *,
+    constraints: "ConstraintRepository | Iterable[IntegrityConstraint] | None" = None,
+    statistics: Optional[DocumentStatistics] = None,
+) -> Plan:
+    """Build a :class:`Plan` for ``pattern``.
+
+    Minimization always runs (it is cheap relative to matching and never
+    hurts); the engine choice consults the statistics when given.
+    """
+    result = minimize(pattern, constraints)
+    out = Plan(pattern=result.pattern, removed_nodes=result.removed_count)
+    if result.removed_count:
+        out.rationale.append(
+            f"minimization removed {result.removed_count} of {pattern.size} nodes"
+        )
+    else:
+        out.rationale.append("query already minimal")
+
+    document_nodes = statistics.total_nodes if statistics is not None else None
+    if is_path_pattern(out.pattern) and out.pattern.size > 1:
+        out.engine = "pathstack"
+        out.rationale.append("linear pattern: holistic PathStack")
+    elif document_nodes is not None and document_nodes > SMALL_DOCUMENT_NODES:
+        out.engine = "twigjoin"
+        out.rationale.append(
+            f"branching pattern over {document_nodes} nodes: structural joins"
+        )
+    else:
+        out.engine = "dp"
+        out.rationale.append("small or unknown document: candidate-set DP")
+
+    if statistics is not None:
+        out.estimated_cost = estimate_cost(out.pattern, statistics)
+    return out
+
+
+def execute(evaluation_plan: Plan, tree: DataTree, index: Optional[DataIndex] = None) -> set[int]:
+    """Run a plan against one tree; returns the answer set (node ids)."""
+    if evaluation_plan.engine == "pathstack":
+        return PathStackEngine(evaluation_plan.pattern, tree, index).answer_set()
+    if evaluation_plan.engine == "twigjoin":
+        return TwigJoinEngine(evaluation_plan.pattern, tree, index).answer_set()
+    return EmbeddingEngine(evaluation_plan.pattern, tree, index).answer_set()

@@ -1,0 +1,86 @@
+"""Checking integrity constraints against data trees.
+
+``D ⊨ C`` — a database satisfies a constraint set — is the precondition of
+every equivalence-under-ICs statement in the paper, so tests need an
+independent, direct implementation of it: for each node and each of its
+types, required children must appear among the children, required
+descendants below, and co-occurring types on the node itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+from ..constraints.model import IntegrityConstraint
+from ..constraints.repository import ConstraintRepository, coerce_repository
+from ..data.tree import DataNode, DataTree, Forest
+from .indexes import DataIndex
+
+__all__ = ["Violation", "violations", "satisfies"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One constraint violation at one data node."""
+
+    constraint: IntegrityConstraint
+    node_id: int
+    tree_index: int
+
+    def describe(self) -> str:
+        """Human-readable description."""
+        return (
+            f"node #{self.node_id} (tree {self.tree_index}) violates "
+            f"{self.constraint.notation()}"
+        )
+
+
+Database = Union[DataTree, Forest, Iterable[DataTree]]
+
+
+def _trees(database: Database) -> list[DataTree]:
+    if isinstance(database, DataTree):
+        return [database]
+    return list(database)
+
+
+def violations(
+    database: Database,
+    constraints: "ConstraintRepository | Iterable[IntegrityConstraint]",
+    *,
+    limit: int | None = None,
+) -> list[Violation]:
+    """All constraint violations in the database (up to ``limit``).
+
+    Every type a node carries is checked — a node that is both
+    ``Employee`` and ``Person`` must satisfy both types' constraints.
+    """
+    repo = coerce_repository(constraints)
+    found: list[Violation] = []
+    for tree_index, tree in enumerate(_trees(database)):
+        index = DataIndex(tree)
+        for node in tree.nodes():
+            for node_type in node.types:
+                for c in sorted(repo.constraints_from(node_type)):
+                    if not _holds_at(c, node, index):
+                        found.append(Violation(c, node.id, tree_index))
+                        if limit is not None and len(found) >= limit:
+                            return found
+    return found
+
+
+def _holds_at(c: IntegrityConstraint, node: DataNode, index: DataIndex) -> bool:
+    if c.is_required_child:
+        return any(c.target in child.types for child in node.children)
+    if c.is_required_descendant:
+        return index.has_descendant_of_type(node, c.target)
+    return c.target in node.types  # co-occurrence
+
+
+def satisfies(
+    database: Database,
+    constraints: "ConstraintRepository | Iterable[IntegrityConstraint]",
+) -> bool:
+    """``D ⊨ C``: no node violates any constraint."""
+    return not violations(database, constraints, limit=1)

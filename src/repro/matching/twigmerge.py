@@ -1,0 +1,105 @@
+"""Twig evaluation by path decomposition + merge (PathStack-and-merge).
+
+The holistic-join literature's baseline for branching (twig) patterns:
+decompose the twig into its root-to-leaf *paths*, enumerate each path's
+solutions with the stack-based :class:`~repro.matching.pathstack.PathStackEngine`,
+and join the per-path solution sets on their shared prefixes (the branch
+nodes). This yields full twig *embeddings* — unlike
+:class:`~repro.matching.structural.TwigJoinEngine`, which computes only
+the per-node candidate/feasible sets — making it the third independent
+enumeration engine next to the DP engine.
+
+The join is a hash join keyed by the assignment of the shared pattern
+nodes, processed path by path; intermediate results are therefore
+bounded by the number of *partial* twig matches, which the pure
+path-merge approach is known to pay for (the observation that motivated
+TwigStack's holistic processing).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..core.node import PatternNode
+from ..core.pattern import TreePattern
+from ..data.tree import DataTree
+from .embeddings import Embedding
+from .indexes import DataIndex
+from .pathstack import PathStackEngine
+
+__all__ = ["root_to_leaf_paths", "TwigMergeEngine"]
+
+
+def root_to_leaf_paths(pattern: TreePattern) -> list[list[PatternNode]]:
+    """The pattern's root-to-leaf node chains, in preorder of their
+    leaves. A single-node pattern yields one one-element path."""
+    return [list(leaf.path_from_root()) for leaf in pattern.leaves()]
+
+
+def _path_pattern(chain: list[PatternNode]) -> tuple[TreePattern, dict[int, int]]:
+    """A fresh linear pattern mirroring ``chain``; returns it plus the
+    mapping from the fresh pattern's node ids to the original ids."""
+    pattern = TreePattern(chain[0].type, root_is_output=True)
+    id_map = {pattern.root.id: chain[0].id}
+    node = pattern.root
+    for original in chain[1:]:
+        node = pattern.add_child(node, original.type, original.edge)
+        id_map[node.id] = original.id
+    return pattern, id_map
+
+
+class TwigMergeEngine:
+    """Enumerates twig embeddings by merging per-path solutions."""
+
+    def __init__(
+        self, pattern: TreePattern, tree: DataTree, index: Optional[DataIndex] = None
+    ) -> None:
+        self.pattern = pattern
+        self.tree = tree
+        self.index = index if index is not None else DataIndex(tree)
+        self.paths = root_to_leaf_paths(pattern)
+
+    def _path_solutions(self, chain: list[PatternNode]) -> list[Embedding]:
+        path_pattern, id_map = _path_pattern(chain)
+        engine = PathStackEngine(path_pattern, self.tree, self.index)
+        return [
+            {id_map[k]: node for k, node in solution.items()}
+            for solution in engine.solutions()
+        ]
+
+    def embeddings(self) -> Iterator[Embedding]:
+        """All embeddings of the twig, joined path by path."""
+        partial: list[Embedding] = [{}]
+        bound: set[int] = set()
+        for chain in self.paths:
+            shared = [n.id for n in chain if n.id in bound]
+            solutions = self._path_solutions(chain)
+            # Hash the new path's solutions by their shared-prefix
+            # assignment, then extend each partial result.
+            buckets: dict[tuple[int, ...], list[Embedding]] = {}
+            for solution in solutions:
+                key = tuple(solution[node_id].id for node_id in shared)
+                buckets.setdefault(key, []).append(solution)
+            new_partial: list[Embedding] = []
+            for result in partial:
+                key = tuple(result[node_id].id for node_id in shared)
+                for solution in buckets.get(key, ()):
+                    new_partial.append({**result, **solution})
+            partial = new_partial
+            if not partial:
+                return
+            bound.update(n.id for n in chain)
+        yield from partial
+
+    def answer_set(self) -> set[int]:
+        """Data node ids taken by the output node across all embeddings."""
+        output_id = self.pattern.output_node.id
+        return {embedding[output_id].id for embedding in self.embeddings()}
+
+    def count_embeddings(self) -> int:
+        """Number of distinct twig embeddings."""
+        return sum(1 for _ in self.embeddings())
+
+    def exists(self) -> bool:
+        """Whether the twig embeds at all."""
+        return next(self.embeddings(), None) is not None

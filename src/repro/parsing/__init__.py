@@ -1,0 +1,7 @@
+"""Textual query formats: XPath subset and s-expressions."""
+
+from .xpath import parse_xpath
+from .serializer import to_xpath
+from .sexpr import parse_sexpr, to_sexpr
+
+__all__ = ["parse_xpath", "to_xpath", "parse_sexpr", "to_sexpr"]

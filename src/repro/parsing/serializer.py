@@ -1,0 +1,49 @@
+"""Serializing tree patterns back to XPath-subset strings.
+
+:func:`to_xpath` is the inverse of :func:`repro.parsing.xpath.parse_xpath`
+up to query isomorphism: the root-to-output path becomes the main spine
+and every side branch becomes a predicate, so
+``parse_xpath(to_xpath(q)).isomorphic(q)`` always holds.
+"""
+
+from __future__ import annotations
+
+from ..core.node import PatternNode
+from ..core.pattern import TreePattern
+
+__all__ = ["to_xpath"]
+
+
+def to_xpath(pattern: TreePattern) -> str:
+    """Render a pattern as an XPath-subset string.
+
+    The ``*`` marker is emitted explicitly unless the output node is the
+    last step of the main path (where the parser defaults it anyway).
+    """
+    spine: list[PatternNode] = list(pattern.output_node.path_from_root())
+    spine_ids = {n.id for n in spine}
+    parts: list[str] = []
+    for i, node in enumerate(spine):
+        if i > 0:
+            parts.append(node.edge.symbol)
+        explicit_star = node.is_output and i != len(spine) - 1
+        parts.append(_step(node, spine_ids, explicit_star))
+    return "".join(parts)
+
+
+def _step(node: PatternNode, spine_ids: set[int], explicit_star: bool) -> str:
+    out = node.type + ("*" if explicit_star else "")
+    next_on_spine = [c for c in node.children if c.id in spine_ids]
+    for child in node.children:
+        if child.id in spine_ids and child in next_on_spine:
+            continue  # rendered as the next main-path step
+        out += f"[{_branch(child)}]"
+    return out
+
+
+def _branch(node: PatternNode) -> str:
+    prefix = "" if node.edge.is_child else "//"
+    out = prefix + node.type + ("*" if node.is_output else "")
+    for child in node.children:
+        out += f"[{_branch(child)}]"
+    return out

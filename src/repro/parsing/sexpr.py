@@ -1,0 +1,138 @@
+"""S-expression round-trip format for tree patterns.
+
+A stable, whitespace-tolerant textual form used for fixtures and tooling::
+
+    (Articles
+      (/ (Article (/ Title) (// Paragraph)))
+      (/ (Article* (// (Section (// Paragraph))))))
+
+Grammar::
+
+    pattern := '(' name child* ')' | name
+    child   := '(' ('/' | '//') pattern ')'
+    name    := type name, optionally suffixed with '*'
+
+Leaves may omit their parentheses (``Title`` ≡ ``(Title)``).
+"""
+
+from __future__ import annotations
+
+from ..core.edges import EdgeKind
+from ..core.node import PatternNode
+from ..core.pattern import TreePattern
+from ..errors import ParseError
+
+__all__ = ["parse_sexpr", "to_sexpr"]
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+        elif ch in "()":
+            tokens.append(ch)
+            i += 1
+        else:
+            start = i
+            while i < len(text) and not text[i].isspace() and text[i] not in "()":
+                i += 1
+            tokens.append(text[start:i])
+    return tokens
+
+
+class _SexprParser:
+    def __init__(self, text: str) -> None:
+        self.tokens = _tokenize(text)
+        self.pos = 0
+        self.text = text
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.text)
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise self.error("unexpected end of input")
+        self.pos += 1
+        return token
+
+    def parse(self) -> TreePattern:
+        pattern = self._pattern(None, None)
+        if self.peek() is not None:
+            raise self.error(f"trailing tokens starting at {self.peek()!r}")
+        if pattern.output_node_or_none() is None:
+            pattern.root.is_output = True
+        pattern.validate()
+        return pattern
+
+    def _pattern(
+        self, pattern: TreePattern | None, attach: tuple[PatternNode, EdgeKind] | None
+    ) -> TreePattern:
+        token = self.next()
+        parenthesized = token == "("
+        if parenthesized:
+            token = self.next()
+        if token in ("(", ")", "/", "//"):
+            raise self.error(f"expected a type name, got {token!r}")
+        name, star = (token[:-1], True) if token.endswith("*") else (token, False)
+        if not name:
+            raise self.error("empty type name")
+        if pattern is None:
+            pattern = TreePattern(name, root_is_output=star)
+            node = pattern.root
+        else:
+            assert attach is not None
+            parent, edge = attach
+            node = pattern.add_child(parent, name, edge, is_output=star)
+        if parenthesized:
+            while self.peek() != ")":
+                self._child(pattern, node)
+            self.next()  # consume ')'
+        return pattern
+
+    def _child(self, pattern: TreePattern, parent: PatternNode) -> None:
+        if self.next() != "(":
+            raise self.error("expected '(' to open a child form")
+        edge_token = self.next()
+        if edge_token not in ("/", "//"):
+            raise self.error(f"expected '/' or '//', got {edge_token!r}")
+        self._pattern(pattern, (parent, EdgeKind.from_symbol(edge_token)))
+        if self.next() != ")":
+            raise self.error("expected ')' to close the child form")
+
+
+def parse_sexpr(text: str) -> TreePattern:
+    """Parse the s-expression form into a pattern (root becomes the
+    output node when no ``*`` appears)."""
+    return _SexprParser(text).parse()
+
+
+def to_sexpr(pattern: TreePattern, *, pretty: bool = False) -> str:
+    """Serialize a pattern to its s-expression form.
+
+    ``pretty=True`` produces an indented multi-line rendering.
+    """
+
+    def render(node: PatternNode, level: int) -> str:
+        label = node.type + ("*" if node.is_output else "")
+        if node.is_leaf:
+            return label
+        if pretty:
+            pad = "\n" + "  " * (level + 1)
+            inner = pad.join(
+                f"({child.edge.symbol} {render(child, level + 1)})"
+                for child in node.children
+            )
+            return f"({label}{pad}{inner})"
+        inner = " ".join(
+            f"({child.edge.symbol} {render(child, level + 1)})" for child in node.children
+        )
+        return f"({label} {inner})"
+
+    return render(pattern.root, 0)

@@ -1,0 +1,15 @@
+"""Schema substrate: content-model language, validation, IC inference."""
+
+from .dtd import ElementDecl, Occurs, Particle, Schema, parse_schema
+from .validate import SchemaViolation, conforms, schema_violations
+
+__all__ = [
+    "ElementDecl",
+    "Occurs",
+    "Particle",
+    "Schema",
+    "parse_schema",
+    "SchemaViolation",
+    "conforms",
+    "schema_violations",
+]

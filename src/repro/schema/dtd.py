@@ -1,0 +1,237 @@
+"""A small DTD/XML-Schema-like schema language.
+
+Section 2.2 of the paper derives integrity constraints from schema
+specifications ("whenever type B appears in every XML Schema
+specification for type A, every A element must have a child of type B").
+This module provides the schema substrate: a declarative content-model
+language, a parser, and a typed in-memory model that
+:mod:`repro.constraints.inference` reads constraints off.
+
+Syntax (``#`` starts a comment)::
+
+    element Book {
+        Title           # exactly one      -> required child
+        Author+         # one or more      -> required child
+        Chapter*        # zero or more
+        Publisher?      # optional
+    }
+    type Employee : Person, Principal      # co-occurrence declarations
+
+Content models are unordered (the paper ignores sibling order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..errors import SchemaError
+
+__all__ = ["Occurs", "Particle", "ElementDecl", "Schema", "parse_schema"]
+
+_UNBOUNDED = None
+
+
+@dataclass(frozen=True)
+class Occurs:
+    """Occurrence bounds of a content particle (``max_occurs=None`` means
+    unbounded)."""
+
+    min_occurs: int
+    max_occurs: Optional[int]
+
+    def __post_init__(self) -> None:
+        if self.min_occurs < 0:
+            raise SchemaError("min_occurs must be >= 0")
+        if self.max_occurs is not None and self.max_occurs < max(self.min_occurs, 1):
+            raise SchemaError("max_occurs must be >= max(min_occurs, 1)")
+
+    @property
+    def required(self) -> bool:
+        """Whether at least one occurrence is mandatory."""
+        return self.min_occurs >= 1
+
+    @classmethod
+    def from_suffix(cls, suffix: str) -> "Occurs":
+        """Map the DTD multiplicity suffixes to bounds."""
+        if suffix == "":
+            return cls(1, 1)
+        if suffix == "?":
+            return cls(0, 1)
+        if suffix == "*":
+            return cls(0, _UNBOUNDED)
+        if suffix == "+":
+            return cls(1, _UNBOUNDED)
+        raise SchemaError(f"unknown multiplicity suffix {suffix!r}")
+
+    @property
+    def suffix(self) -> str:
+        """The DTD suffix for these bounds (falls back to ``{m,n}``)."""
+        table = {(1, 1): "", (0, 1): "?", (0, _UNBOUNDED): "*", (1, _UNBOUNDED): "+"}
+        key = (self.min_occurs, self.max_occurs)
+        if key in table:
+            return table[key]
+        upper = "" if self.max_occurs is None else str(self.max_occurs)
+        return f"{{{self.min_occurs},{upper}}}"
+
+
+@dataclass(frozen=True)
+class Particle:
+    """One entry of a content model: a child type with bounds."""
+
+    type: str
+    occurs: Occurs = field(default_factory=lambda: Occurs(1, 1))
+
+    def notation(self) -> str:
+        """``Author+`` style rendering."""
+        return f"{self.type}{self.occurs.suffix}"
+
+
+@dataclass
+class ElementDecl:
+    """Content model of one element type."""
+
+    name: str
+    particles: list[Particle] = field(default_factory=list)
+
+    def particle_for(self, child_type: str) -> Optional[Particle]:
+        """The particle governing ``child_type``, if declared."""
+        for p in self.particles:
+            if p.type == child_type:
+                return p
+        return None
+
+    def required_children(self) -> list[str]:
+        """Child types with ``min_occurs >= 1``."""
+        return [p.type for p in self.particles if p.occurs.required]
+
+
+class Schema:
+    """A set of element declarations plus co-occurrence (subtype)
+    declarations."""
+
+    def __init__(self) -> None:
+        self._elements: dict[str, ElementDecl] = {}
+        self._co_occurrences: list[tuple[str, str]] = []
+
+    # -- construction -----------------------------------------------------
+
+    def declare_element(self, name: str, particles: list[Particle]) -> ElementDecl:
+        """Add an element declaration (one per type)."""
+        if name in self._elements:
+            raise SchemaError(f"duplicate declaration for element {name!r}")
+        seen: set[str] = set()
+        for p in particles:
+            if p.type in seen:
+                raise SchemaError(
+                    f"element {name!r} declares child {p.type!r} twice "
+                    f"(content models are unordered; merge the bounds)"
+                )
+            seen.add(p.type)
+        decl = ElementDecl(name, list(particles))
+        self._elements[name] = decl
+        return decl
+
+    def declare_co_occurrence(self, subtype: str, supertype: str) -> None:
+        """Declare that every ``subtype`` node is also a ``supertype``."""
+        if subtype == supertype:
+            raise SchemaError(f"type {subtype!r} cannot co-occur with itself")
+        pair = (subtype, supertype)
+        if pair not in self._co_occurrences:
+            self._co_occurrences.append(pair)
+
+    # -- access ------------------------------------------------------------
+
+    def element(self, name: str) -> Optional[ElementDecl]:
+        """The declaration for ``name``, or ``None`` (open content)."""
+        return self._elements.get(name)
+
+    def elements(self) -> Iterator[ElementDecl]:
+        """All declarations, in declaration order."""
+        return iter(self._elements.values())
+
+    @property
+    def co_occurrences(self) -> tuple[tuple[str, str], ...]:
+        """Declared (subtype, supertype) pairs."""
+        return tuple(self._co_occurrences)
+
+    def types(self) -> set[str]:
+        """Every type mentioned anywhere in the schema."""
+        out = set(self._elements)
+        for decl in self._elements.values():
+            out.update(p.type for p in decl.particles)
+        for sub, sup in self._co_occurrences:
+            out.add(sub)
+            out.add(sup)
+        return out
+
+    def notation(self) -> str:
+        """Render back to the schema language."""
+        blocks: list[str] = []
+        for decl in self._elements.values():
+            body = "\n".join(f"    {p.notation()}" for p in decl.particles)
+            blocks.append(f"element {decl.name} {{\n{body}\n}}" if body else f"element {decl.name} {{}}")
+        for sub, sup in self._co_occurrences:
+            blocks.append(f"type {sub} : {sup}")
+        return "\n".join(blocks)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+
+def parse_schema(text: str) -> Schema:
+    """Parse the schema language into a :class:`Schema`.
+
+    Raises :class:`~repro.errors.SchemaError` on malformed input.
+    """
+    schema = Schema()
+    # Strip comments, then tokenize on whitespace and punctuation.
+    lines = [line.split("#", 1)[0] for line in text.splitlines()]
+    tokens: list[str] = []
+    for line in lines:
+        for brace in "{}:,":
+            line = line.replace(brace, f" {brace} ")
+        tokens.extend(line.split())
+
+    i = 0
+
+    def need(what: str) -> str:
+        nonlocal i
+        if i >= len(tokens):
+            raise SchemaError(f"unexpected end of schema, expected {what}")
+        token = tokens[i]
+        i += 1
+        return token
+
+    while i < len(tokens):
+        keyword = need("'element' or 'type'")
+        if keyword == "element":
+            name = need("an element name")
+            if need("'{'") != "{":
+                raise SchemaError(f"expected '{{' after element {name!r}")
+            particles: list[Particle] = []
+            while True:
+                token = need("a particle or '}'")
+                if token == "}":
+                    break
+                suffix = ""
+                if token[-1] in "?*+":
+                    token, suffix = token[:-1], token[-1]
+                if not token:
+                    raise SchemaError("empty particle name")
+                particles.append(Particle(token, Occurs.from_suffix(suffix)))
+            schema.declare_element(name, particles)
+        elif keyword == "type":
+            sub = need("a type name")
+            if need("':'") != ":":
+                raise SchemaError(f"expected ':' after type {sub!r}")
+            while True:
+                sup = need("a supertype name")
+                schema.declare_co_occurrence(sub, sup)
+                if i < len(tokens) and tokens[i] == ",":
+                    i += 1
+                    continue
+                break
+        else:
+            raise SchemaError(f"expected 'element' or 'type', got {keyword!r}")
+    return schema

@@ -1,0 +1,106 @@
+"""Validating data trees against schemas.
+
+Checks each node whose type has an element declaration: every child type
+must be declared in the content model and its occurrence count must lie
+within the particle's bounds. Types without declarations have open
+content (anything goes) — matching how the paper treats schemas as a
+*source* of constraints rather than a closed-world gatekeeper.
+
+Co-occurrence declarations are checked as type-set containments.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+from ..data.tree import DataNode, DataTree, Forest
+from .dtd import Schema
+
+__all__ = ["SchemaViolation", "schema_violations", "conforms"]
+
+
+@dataclass(frozen=True)
+class SchemaViolation:
+    """One schema violation at one data node."""
+
+    node_id: int
+    tree_index: int
+    message: str
+
+
+Database = Union[DataTree, Forest, Iterable[DataTree]]
+
+
+def _trees(database: Database) -> list[DataTree]:
+    if isinstance(database, DataTree):
+        return [database]
+    return list(database)
+
+
+def schema_violations(database: Database, schema: Schema) -> list[SchemaViolation]:
+    """All schema violations across the database."""
+    found: list[SchemaViolation] = []
+    for tree_index, tree in enumerate(_trees(database)):
+        for node in tree.nodes():
+            found.extend(_check_node(node, tree_index, schema))
+    return found
+
+
+def _check_node(node: DataNode, tree_index: int, schema: Schema) -> list[SchemaViolation]:
+    out: list[SchemaViolation] = []
+    for sub, sup in schema.co_occurrences:
+        if sub in node.types and sup not in node.types:
+            out.append(
+                SchemaViolation(
+                    node.id, tree_index, f"node of type {sub!r} must also carry {sup!r}"
+                )
+            )
+    for node_type in node.types:
+        decl = schema.element(node_type)
+        if decl is None:
+            continue
+        counts: Counter[str] = Counter()
+        for child in node.children:
+            governed = [t for t in child.types if decl.particle_for(t) is not None]
+            if not governed:
+                out.append(
+                    SchemaViolation(
+                        node.id,
+                        tree_index,
+                        f"child of types {sorted(child.types)} not allowed under "
+                        f"{node_type!r}",
+                    )
+                )
+                continue
+            for t in governed:
+                counts[t] += 1
+        for particle in decl.particles:
+            n = counts.get(particle.type, 0)
+            if n < particle.occurs.min_occurs:
+                out.append(
+                    SchemaViolation(
+                        node.id,
+                        tree_index,
+                        f"{node_type!r} requires at least "
+                        f"{particle.occurs.min_occurs} {particle.type!r} "
+                        f"child(ren), found {n}",
+                    )
+                )
+            if particle.occurs.max_occurs is not None and n > particle.occurs.max_occurs:
+                out.append(
+                    SchemaViolation(
+                        node.id,
+                        tree_index,
+                        f"{node_type!r} allows at most "
+                        f"{particle.occurs.max_occurs} {particle.type!r} "
+                        f"child(ren), found {n}",
+                    )
+                )
+    return out
+
+
+def conforms(database: Database, schema: Schema) -> bool:
+    """Whether the database has no schema violations."""
+    return not schema_violations(database, schema)

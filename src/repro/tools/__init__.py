@@ -1,0 +1,6 @@
+"""Command-line tools (``tpq-minimize``, ``tpq-eval``)."""
+
+from .minimize_cli import main as minimize_main
+from .eval_cli import main as eval_main
+
+__all__ = ["minimize_main", "eval_main"]

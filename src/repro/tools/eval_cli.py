@@ -1,0 +1,122 @@
+"""``tpq-eval`` — run a tree pattern query against an XML or LDIF file.
+
+Examples::
+
+    tpq-eval 'Library//Book*[Title]' catalog.xml
+    tpq-eval 'Organization//Person*' directory.ldif --format ldif
+    tpq-eval 'Catalog/Product*[Vendor]' catalog.xml \\
+        -c 'Product -> Vendor' --minimize --engine twig --count
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..constraints.model import parse_constraints
+from ..core.pipeline import minimize
+from ..data.ldif import parse_ldif
+from ..data.ldap import dn_of
+from ..data.tree import DataNode, DataTree
+from ..data.xml_io import parse_xml
+from ..errors import ReproError
+from ..matching.embeddings import EmbeddingEngine
+from ..matching.pathstack import PathStackEngine, is_path_pattern
+from ..matching.structural import TwigJoinEngine
+from ..parsing.serializer import to_xpath
+from ..parsing.xpath import parse_xpath
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``tpq-eval`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="tpq-eval",
+        description="Evaluate a tree pattern query against an XML or LDIF document.",
+    )
+    parser.add_argument("query", help="XPath-subset query")
+    parser.add_argument("document", type=Path, help="XML or LDIF file")
+    parser.add_argument(
+        "--format",
+        choices=("auto", "xml", "ldif"),
+        default="auto",
+        help="document format (auto: by file extension)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("dp", "twig", "pathstack"),
+        default="dp",
+        help="matching engine (pathstack requires a linear query)",
+    )
+    parser.add_argument(
+        "-c", "--constraints", default=None, help="';'-separated integrity constraints"
+    )
+    parser.add_argument(
+        "--minimize",
+        action="store_true",
+        help="minimize the query (under the constraints, if given) before matching",
+    )
+    parser.add_argument("--count", action="store_true", help="print only the match count")
+    return parser
+
+
+def _load(path: Path, fmt: str) -> tuple[DataTree, bool]:
+    """Load the document; returns (tree, is_directory)."""
+    text = path.read_text()
+    if fmt == "auto":
+        fmt = "ldif" if path.suffix.lower() in (".ldif", ".ldi") else "xml"
+    if fmt == "ldif":
+        return parse_ldif(text).tree, True
+    return parse_xml(text), False
+
+
+def _describe(node: DataNode, is_directory: bool) -> str:
+    if is_directory:
+        return f"{'+'.join(sorted(node.types))}  {dn_of(node)}"
+    detail = f" = {node.value!r}" if node.value is not None else ""
+    path = "/".join(p.primary_type for p in node.path())
+    return f"{'+'.join(sorted(node.types))}{detail}  ({path})"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the tool; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        pattern = parse_xpath(args.query)
+        constraints = parse_constraints(args.constraints or "")
+        tree, is_directory = _load(args.document, args.format)
+
+        if args.minimize:
+            result = minimize(pattern, constraints)
+            pattern = result.pattern
+            print(f"# minimized to: {to_xpath(pattern)}", file=sys.stderr)
+
+        if args.engine == "twig":
+            answers = TwigJoinEngine(pattern, tree).answer_set()
+        elif args.engine == "pathstack":
+            if not is_path_pattern(pattern):
+                print("error: --engine pathstack requires a linear query", file=sys.stderr)
+                return 2
+            answers = PathStackEngine(pattern, tree).answer_set()
+        else:
+            answers = EmbeddingEngine(pattern, tree).answer_set()
+
+        if args.count:
+            print(len(answers))
+            return 0
+        for node in tree.nodes():  # document order
+            if node.id in answers:
+                print(_describe(node, is_directory))
+        return 0
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

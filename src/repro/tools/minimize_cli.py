@@ -1,0 +1,133 @@
+"""``tpq-minimize`` — minimize a tree pattern query from the command line.
+
+Examples::
+
+    tpq-minimize 'Articles/Article[Title][.//Paragraph]'
+    tpq-minimize 'a/b[c][c]' --algorithm cim --explain
+    tpq-minimize 'Book*[Title][Publisher]' -c 'Book -> Title; Book -> Publisher'
+    tpq-minimize --sexpr '(a (/ b) (/ b))' --format sexpr
+    echo 'Section ->> Paragraph' > ics.txt
+    tpq-minimize 'Articles/Article*[.//Paragraph][.//Section]' -C ics.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..constraints.model import parse_constraints
+from ..core.acim import acim_minimize
+from ..core.cdm import cdm_minimize
+from ..core.cim import cim_minimize
+from ..core.pipeline import minimize
+from ..errors import ReproError
+from ..parsing.serializer import to_xpath
+from ..parsing.sexpr import parse_sexpr, to_sexpr
+from ..parsing.xpath import parse_xpath
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``tpq-minimize`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="tpq-minimize",
+        description="Minimize a tree pattern query (CIM / CDM / ACIM / full pipeline).",
+    )
+    parser.add_argument("query", help="the query (XPath subset, or s-expression with --sexpr)")
+    parser.add_argument(
+        "--sexpr", action="store_true", help="parse the query as an s-expression"
+    )
+    parser.add_argument(
+        "-c",
+        "--constraints",
+        default=None,
+        help="inline constraints, ';'-separated (e.g. 'Book -> Title; A ~ B')",
+    )
+    parser.add_argument(
+        "-C",
+        "--constraints-file",
+        type=Path,
+        default=None,
+        help="file of constraints, one per line ('#' comments allowed)",
+    )
+    parser.add_argument(
+        "--algorithm",
+        choices=("pipeline", "cim", "cdm", "acim"),
+        default="pipeline",
+        help="which minimizer to run (default: CDM + ACIM pipeline)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("xpath", "sexpr", "ascii"),
+        default="xpath",
+        help="output rendering of the minimized query",
+    )
+    parser.add_argument(
+        "--explain", action="store_true", help="print what was removed and why"
+    )
+    return parser
+
+
+def _render(pattern, fmt: str) -> str:
+    if fmt == "xpath":
+        return to_xpath(pattern)
+    if fmt == "sexpr":
+        return to_sexpr(pattern, pretty=True)
+    return pattern.to_ascii()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the tool; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        query = parse_sexpr(args.query) if args.sexpr else parse_xpath(args.query)
+        constraint_text = args.constraints or ""
+        if args.constraints_file is not None:
+            constraint_text += "\n" + args.constraints_file.read_text()
+        constraints = parse_constraints(constraint_text)
+
+        explain_lines: list[str] = []
+        if args.algorithm == "cim":
+            run = cim_minimize(query)
+            minimized = run.pattern
+            explain_lines = [f"removed node #{i} ({t}) [CIM]" for i, t in run.eliminated]
+        elif args.algorithm == "cdm":
+            run = cdm_minimize(query, constraints)
+            minimized = run.pattern
+            explain_lines = [
+                f"removed node #{i} ({t}) [CDM rule: {rule}]" for i, t, rule in run.eliminated
+            ]
+        elif args.algorithm == "acim":
+            run = acim_minimize(query, constraints)
+            minimized = run.pattern
+            explain_lines = [f"removed node #{i} ({t}) [ACIM]" for i, t in run.eliminated]
+        else:
+            run = minimize(query, constraints)
+            minimized = run.pattern
+            if run.cdm is not None:
+                explain_lines += [
+                    f"removed node #{i} ({t}) [CDM rule: {rule}]"
+                    for i, t, rule in run.cdm.eliminated
+                ]
+            if run.acim is not None:
+                explain_lines += [
+                    f"removed node #{i} ({t}) [ACIM]" for i, t in run.acim.eliminated
+                ]
+
+        print(_render(minimized, args.format))
+        if args.explain:
+            print(f"# {query.size} -> {minimized.size} nodes", file=sys.stderr)
+            for line in explain_lines:
+                print(f"# {line}", file=sys.stderr)
+            if not explain_lines:
+                print("# query was already minimal", file=sys.stderr)
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""Workloads: random/structured query generators, constraint generators,
+and the paper's running examples."""
+
+from .querygen import (
+    bushy_cdm_query,
+    chain_constraints,
+    chain_query,
+    cyclic_chain_constraints,
+    duplicate_random_branch,
+    equal_removal_query,
+    fanout_cdm_query,
+    fanout_constraints,
+    half_removal_query,
+    random_query,
+    redundancy_query,
+    right_deep_cdm_query,
+)
+from .icgen import relevant_constraints
+from . import paper_queries
+
+__all__ = [
+    "bushy_cdm_query",
+    "chain_constraints",
+    "chain_query",
+    "cyclic_chain_constraints",
+    "duplicate_random_branch",
+    "equal_removal_query",
+    "fanout_cdm_query",
+    "fanout_constraints",
+    "half_removal_query",
+    "random_query",
+    "redundancy_query",
+    "right_deep_cdm_query",
+    "relevant_constraints",
+    "paper_queries",
+]

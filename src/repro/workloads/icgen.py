@@ -1,0 +1,73 @@
+"""Constraint workload generation.
+
+The Figure 7(a) and 8(a) experiments sweep the number of constraints
+*relevant to the query* (constraints whose left-hand type occurs in it).
+:func:`relevant_constraints` manufactures such sets deterministically:
+sources cycle through the query's types; targets are fresh types by
+default, so the added constraints exercise the repository and
+augmentation machinery without changing what is removable — letting the
+sweeps isolate the cost of constraint volume (the paper's point in both
+figures).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..constraints.model import (
+    ConstraintKind,
+    IntegrityConstraint,
+    IntegrityConstraint as IC,
+)
+from ..core.pattern import TreePattern
+
+__all__ = ["relevant_constraints"]
+
+_KINDS = (
+    ConstraintKind.REQUIRED_CHILD,
+    ConstraintKind.REQUIRED_DESCENDANT,
+    ConstraintKind.CO_OCCURRENCE,
+)
+
+
+def relevant_constraints(
+    query: TreePattern,
+    count: int,
+    *,
+    target_pool: Optional[list[str]] = None,
+    kinds: tuple[ConstraintKind, ...] = _KINDS,
+    seed: Optional[int] = None,
+) -> list[IntegrityConstraint]:
+    """``count`` distinct constraints whose sources occur in ``query``.
+
+    Targets default to fresh types (``X0``, ``X1``, ...) not present in
+    the query, so augmentation skips them (the required type must occur in
+    the query — Section 5.2) and CDM's probes miss — i.e. the constraints
+    are *relevant but inert*, the configuration both constraint-sweep
+    figures need. Pass an explicit ``target_pool`` to generate triggering
+    constraints instead.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    rng = random.Random(seed)
+    sources = sorted(query.node_types())
+    out: list[IntegrityConstraint] = []
+    seen: set[IntegrityConstraint] = set()
+    fresh = 0
+    while len(out) < count:
+        source = sources[len(out) % len(sources)]
+        if target_pool:
+            target = rng.choice(target_pool)
+        else:
+            target = f"X{fresh}"
+            fresh += 1
+        kind = kinds[len(out) % len(kinds)]
+        if source == target:
+            continue
+        constraint = IC(kind, source, target)
+        if constraint in seen:
+            continue
+        seen.add(constraint)
+        out.append(constraint)
+    return out

@@ -1,0 +1,344 @@
+"""Query workload generators for tests and the paper's experiments.
+
+Provides both generic random tree-pattern generators (for property-based
+testing) and the purpose-built constructions behind each plot of the
+evaluation section:
+
+==============================  =========================================
+Generator                       Experiment
+==============================  =========================================
+:func:`chain_query` +           Figure 7(b) — 101-node query where every
+:func:`chain_constraints`       node but the root is redundant under 100
+                                required-child constraints
+:func:`redundancy_query`        Figure 7(a) — fixed-size query with
+                                ``red_nodes`` redundant leaves, each with
+                                redundancy degree ``red_degree``
+:func:`right_deep_cdm_query` /  Figure 8(b) — all-edges-redundant queries
+:func:`bushy_cdm_query` +       of three shapes; under
+:func:`cyclic_chain_            :func:`cyclic_chain_constraints` only the
+constraints`                    marked root survives CDM
+:func:`fanout_cdm_query` +      Figure 8(b), third series — wide nodes
+:func:`fanout_constraints`      whose children discharge via co-occurrence
+                                chains (the quadratic-in-fanout regime)
+:func:`equal_removal_query`     Figure 9(a) — CDM and ACIM remove exactly
+                                the same node set
+:func:`half_removal_query`      Figure 9(b) — CDM removes half of what
+                                ACIM can (the other half needs global
+                                containment reasoning)
+==============================  =========================================
+
+All generators are deterministic given their arguments (and ``seed``
+where applicable).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from ..constraints.model import (
+    IntegrityConstraint,
+    co_occurrence,
+    required_child,
+    required_descendant,
+)
+from ..core.edges import EdgeKind
+from ..core.node import PatternNode
+from ..core.pattern import TreePattern
+
+__all__ = [
+    "random_query",
+    "duplicate_random_branch",
+    "chain_query",
+    "chain_constraints",
+    "redundancy_query",
+    "right_deep_cdm_query",
+    "bushy_cdm_query",
+    "cyclic_chain_constraints",
+    "fanout_cdm_query",
+    "fanout_constraints",
+    "equal_removal_query",
+    "half_removal_query",
+]
+
+#: Default type universe for the cyclic-type constructions.
+TYPE_CYCLE = 110
+
+
+def _type(i: int, cycle: int = TYPE_CYCLE) -> str:
+    return f"T{i % cycle}"
+
+
+# ---------------------------------------------------------------------------
+# Generic random patterns (property tests)
+# ---------------------------------------------------------------------------
+
+def random_query(
+    size: int,
+    *,
+    types: Optional[Sequence[str]] = None,
+    max_fanout: int = 3,
+    descendant_probability: float = 0.4,
+    star_anywhere: bool = True,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> TreePattern:
+    """A random tree pattern of exactly ``size`` nodes.
+
+    Types are drawn uniformly from ``types`` (default: a pool of
+    ``max(3, size // 2)`` names, small enough that repeated types — the
+    hard case for minimization — occur often). The output marker lands on
+    a uniformly random node when ``star_anywhere`` (else on the root).
+    """
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    r = rng if rng is not None else random.Random(seed)
+    pool = list(types) if types else [f"t{i}" for i in range(max(3, size // 2))]
+    pattern = TreePattern(r.choice(pool))
+    nodes = [pattern.root]
+    open_nodes = [pattern.root]
+    for _ in range(size - 1):
+        parent = r.choice(open_nodes)
+        edge = (
+            EdgeKind.DESCENDANT
+            if r.random() < descendant_probability
+            else EdgeKind.CHILD
+        )
+        node = pattern.add_child(parent, r.choice(pool), edge)
+        nodes.append(node)
+        open_nodes.append(node)
+        if len(parent.children) >= max_fanout:
+            open_nodes.remove(parent)
+    target = r.choice(nodes) if star_anywhere else pattern.root
+    target.is_output = True
+    pattern.validate()
+    return pattern
+
+
+def duplicate_random_branch(
+    pattern: TreePattern, *, seed: Optional[int] = None, rng: Optional[random.Random] = None
+) -> TreePattern:
+    """A copy of ``pattern`` with one random subtree duplicated under its
+    parent — guaranteeing at least one CIM-redundant branch. Used to make
+    random inputs where plain CIM has work to do."""
+    r = rng if rng is not None else random.Random(seed)
+    clone = pattern.copy()
+    candidates = [n for n in clone.nodes() if not n.is_root]
+    if not candidates:
+        raise ValueError("cannot duplicate a branch of a single-node pattern")
+    branch = r.choice(candidates)
+
+    def copy_subtree(node: PatternNode, parent: PatternNode) -> None:
+        twin = clone.add_child(parent, node.type, node.edge)
+        for child in node.children:
+            copy_subtree(child, twin)
+
+    copy_subtree(branch, branch.parent)
+    return clone
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: ACIM workloads
+# ---------------------------------------------------------------------------
+
+def chain_query(size: int, *, edge: EdgeKind = EdgeKind.CHILD) -> TreePattern:
+    """A path query ``T0* / T1 / ... / T(size-1)`` with distinct types.
+
+    With :func:`chain_constraints` every node but the (marked) root is
+    redundant — the Figure 7(b) configuration (101 nodes, 100
+    constraints)."""
+    pattern = TreePattern(f"T0", root_is_output=True)
+    node = pattern.root
+    for i in range(1, size):
+        node = pattern.add_child(node, f"T{i}", edge)
+    return pattern
+
+
+def chain_constraints(size: int, *, edge: EdgeKind = EdgeKind.CHILD) -> list[IntegrityConstraint]:
+    """``T(i) -> T(i+1)`` for each edge of :func:`chain_query` (or the
+    ``->>`` forms for a descendant-edge chain)."""
+    make = required_child if edge is EdgeKind.CHILD else required_descendant
+    return [make(f"T{i}", f"T{i + 1}") for i in range(size - 1)]
+
+
+def redundancy_query(
+    size: int,
+    red_nodes: int,
+    red_degree: int,
+    *,
+    seed: Optional[int] = None,
+) -> tuple[TreePattern, list[IntegrityConstraint]]:
+    """The Figure 7(a) construction: a ``size``-node query containing
+    ``red_nodes`` IC-redundant leaf positions, each duplicated
+    ``red_degree`` times (the *degree of redundancy*), so the total
+    number of redundant nodes is ``red_nodes * red_degree``.
+
+    Returns the query plus the constraints that make those leaves
+    redundant (``Spine_i -> Red_i``). The non-redundant part is a spine of
+    ``size - red_nodes * red_degree`` distinct-type nodes.
+    """
+    total_redundant = red_nodes * red_degree
+    spine_len = size - total_redundant
+    if spine_len < 1:
+        raise ValueError(
+            f"size={size} too small for {red_nodes} x {red_degree} redundant nodes"
+        )
+    if red_nodes > 0 and spine_len < red_nodes:
+        raise ValueError("need at least one spine node per redundant position")
+    rng = random.Random(seed)
+    pattern = TreePattern("S0", root_is_output=True)
+    spine = [pattern.root]
+    for i in range(1, spine_len):
+        spine.append(pattern.add_child(spine[-1], f"S{i}", EdgeKind.CHILD))
+    constraints: list[IntegrityConstraint] = []
+    anchors = rng.sample(spine, red_nodes) if red_nodes else []
+    for j, anchor in enumerate(anchors):
+        leaf_type = f"R{j}"
+        constraints.append(required_child(anchor.type, leaf_type))
+        for _ in range(red_degree):
+            pattern.add_child(anchor, leaf_type, EdgeKind.CHILD)
+    return pattern, constraints
+
+
+# ---------------------------------------------------------------------------
+# Figure 8(b): CDM shape workloads
+# ---------------------------------------------------------------------------
+
+def cyclic_chain_constraints(cycle: int = TYPE_CYCLE) -> list[IntegrityConstraint]:
+    """``T(i) -> T((i+1) mod cycle)`` — the fixed 110-constraint set under
+    which every edge of the depth-typed queries below is redundant."""
+    return [required_child(_type(i, cycle), _type(i + 1, cycle)) for i in range(cycle)]
+
+
+def right_deep_cdm_query(size: int, *, cycle: int = TYPE_CYCLE) -> TreePattern:
+    """A right-deep (path) query typed by depth modulo ``cycle``; under
+    :func:`cyclic_chain_constraints` only the marked root survives CDM."""
+    pattern = TreePattern(_type(0, cycle), root_is_output=True)
+    node = pattern.root
+    for depth in range(1, size):
+        node = pattern.add_child(node, _type(depth, cycle), EdgeKind.CHILD)
+    return pattern
+
+
+def bushy_cdm_query(size: int, *, fanout: int = 2, cycle: int = TYPE_CYCLE) -> TreePattern:
+    """A bushy (balanced, breadth-first-filled) query typed by depth
+    modulo ``cycle``; same full-reduction property as the right-deep
+    variant."""
+    pattern = TreePattern(_type(0, cycle), root_is_output=True)
+    frontier = [pattern.root]
+    produced = 1
+    while produced < size:
+        next_frontier: list[PatternNode] = []
+        for parent in frontier:
+            for _ in range(fanout):
+                if produced >= size:
+                    break
+                depth = parent.depth + 1
+                child = pattern.add_child(parent, _type(depth, cycle), EdgeKind.CHILD)
+                next_frontier.append(child)
+                produced += 1
+            if produced >= size:
+                break
+        frontier = next_frontier or frontier
+    return pattern
+
+
+def fanout_cdm_query(fanout: int, *, levels: int = 1) -> TreePattern:
+    """The quadratic-in-fanout CDM workload: each internal node has
+    ``fanout`` c-children of pairwise *distinct* types, removable only
+    through co-occurrence chains (:func:`fanout_constraints`) — so CDM
+    compares argument pairs at each node.
+
+    ``levels=1`` gives a star of ``fanout + 1`` nodes; more levels repeat
+    the construction under the first child of each group.
+    """
+    pattern = TreePattern("A", root_is_output=True)
+
+    def populate(parent: PatternNode, level: int) -> None:
+        children = [
+            pattern.add_child(parent, f"C{level}_{j}", EdgeKind.CHILD)
+            for j in range(fanout)
+        ]
+        if level + 1 < levels and children:
+            populate(children[0], level + 1)
+
+    populate(pattern.root, 0)
+    return pattern
+
+
+def fanout_constraints(fanout: int, *, levels: int = 1) -> list[IntegrityConstraint]:
+    """Constraints for :func:`fanout_cdm_query`: the group's first child
+    is required (so the whole group discharges), and each child co-occurs
+    with the next — closure turns the chain into the pairwise matrix CDM
+    probes."""
+    out: list[IntegrityConstraint] = []
+    for level in range(levels):
+        parent_type = "A" if level == 0 else f"C{level - 1}_0"
+        out.append(required_child(parent_type, f"C{level}_0"))
+        for j in range(fanout - 1):
+            out.append(co_occurrence(f"C{level}_{j}", f"C{level}_{j + 1}"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: CDM vs ACIM comparisons
+# ---------------------------------------------------------------------------
+
+def equal_removal_query(size: int) -> tuple[TreePattern, list[IntegrityConstraint]]:
+    """Figure 9(a) construction: a query where CDM and ACIM, run
+    separately, remove exactly the same nodes — every redundancy is a
+    directly-IC-implied leaf hanging off a spine of distinct types.
+
+    Half the nodes (rounded down) are redundant leaves; returns the query
+    and its constraints.
+    """
+    if size < 2:
+        raise ValueError("size must be >= 2")
+    n_leaves = size // 2
+    spine_len = size - n_leaves
+    pattern = TreePattern("S0", root_is_output=True)
+    spine = [pattern.root]
+    for i in range(1, spine_len):
+        spine.append(pattern.add_child(spine[-1], f"S{i}", EdgeKind.CHILD))
+    constraints: list[IntegrityConstraint] = []
+    for j in range(n_leaves):
+        anchor = spine[j % len(spine)]
+        leaf_type = f"L{j}"
+        pattern.add_child(anchor, leaf_type, EdgeKind.CHILD)
+        constraints.append(required_child(anchor.type, leaf_type))
+    return pattern, constraints
+
+
+def half_removal_query(size: int) -> tuple[TreePattern, list[IntegrityConstraint]]:
+    """Figure 9(b) construction: of the removable nodes, half are local
+    (IC-implied leaves — CDM catches them) and half are duplicated
+    *branches* only global containment reasoning (ACIM/CIM) can fold.
+
+    Returns the query and the constraints for the local half.
+    """
+    if size < 6:
+        raise ValueError("size must be >= 6")
+    quarter = max(1, size // 4)          # local redundant leaves
+    dup_pairs = max(1, size // 4)        # each pair = branch + duplicate
+    spine_len = size - quarter - 2 * dup_pairs
+    if spine_len < 2:
+        spine_len = 2
+    pattern = TreePattern("S0", root_is_output=True)
+    spine = [pattern.root]
+    for i in range(1, spine_len):
+        spine.append(pattern.add_child(spine[-1], f"S{i}", EdgeKind.CHILD))
+    constraints: list[IntegrityConstraint] = []
+    # Local half: directly implied leaves (CDM removes these).
+    for j in range(quarter):
+        anchor = spine[j % len(spine)]
+        leaf_type = f"L{j}"
+        pattern.add_child(anchor, leaf_type, EdgeKind.CHILD)
+        constraints.append(required_child(anchor.type, leaf_type))
+    # Global half: duplicated d-child branches (only M-steps fold these;
+    # they are invisible to CDM's local rules).
+    for j in range(dup_pairs):
+        anchor = spine[j % len(spine)]
+        branch_type = f"B{j}"
+        pattern.add_child(anchor, branch_type, EdgeKind.DESCENDANT)
+        pattern.add_child(anchor, branch_type, EdgeKind.DESCENDANT)
+    return pattern, constraints

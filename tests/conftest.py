@@ -1,0 +1,73 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import TreePattern
+from repro.constraints.closure import closure
+from repro.constraints.repository import coerce_repository
+from repro.core.containment import equivalent, find_containment_mapping
+from repro.core.edges import EdgeKind
+from repro.data.generate import random_satisfying_tree
+from repro.matching.evaluator import agree_on
+from repro.workloads.querygen import random_query
+
+
+def assert_valid_mapping(source: TreePattern, target: TreePattern, mapping: dict[int, int]):
+    """Assert that ``mapping`` is a genuine containment mapping."""
+    for v in source.nodes():
+        assert v.id in mapping, f"node #{v.id} unmapped"
+        u = target.node(mapping[v.id])
+        assert u.has_type(v.type), f"type mismatch at #{v.id}"
+        if v.is_output:
+            assert u.is_output, "output node must map to the output node"
+        if v.parent is not None:
+            pu = target.node(mapping[v.parent.id])
+            if v.edge is EdgeKind.CHILD:
+                assert u.parent is pu and u.edge is EdgeKind.CHILD, (
+                    f"c-edge broken at #{v.id}"
+                )
+            else:
+                assert target.is_ancestor(pu, u), f"d-edge broken at #{v.id}"
+
+
+def assert_equivalent(q1: TreePattern, q2: TreePattern, context: str = ""):
+    """Assert absolute equivalence via the containment oracle, with a
+    readable failure message."""
+    assert equivalent(q1, q2), (
+        f"queries not equivalent {context}\n--- q1 ---\n{q1.to_ascii()}"
+        f"\n--- q2 ---\n{q2.to_ascii()}"
+    )
+
+
+def assert_semantically_equal_under(q1, q2, constraints, *, seeds=range(4), size=40):
+    """Assert both queries answer identically on several random databases
+    satisfying the constraints."""
+    repo = closure(coerce_repository(constraints))
+    types = sorted(q1.node_types() | q2.node_types() | repo.types())
+    for seed in seeds:
+        db = random_satisfying_tree(types, repo, size=size, seed=seed)
+        assert agree_on(q1, q2, db), (
+            f"answer sets differ on satisfying database (seed {seed})\n"
+            f"--- q1 ---\n{q1.to_ascii()}\n--- q2 ---\n{q2.to_ascii()}\n"
+            f"--- db ---\n{db.to_ascii()}"
+        )
+
+
+def hom_exists(source: TreePattern, target: TreePattern) -> bool:
+    """Convenience wrapper returning containment-mapping existence."""
+    return find_containment_mapping(source, target) is not None
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(20010521)  # SIGMOD 2001 conference date
+
+
+@pytest.fixture
+def random_queries() -> list[TreePattern]:
+    """A deterministic corpus of small random patterns."""
+    return [random_query(size, seed=seed) for seed in range(6) for size in (3, 5, 8, 12)]

@@ -1,0 +1,150 @@
+"""Tests for Algorithm ACIM (minimization under constraints)."""
+
+from __future__ import annotations
+
+from repro import TreePattern, acim_minimize, amr, cim_minimize
+from repro.constraints import (
+    closure,
+    co_occurrence,
+    parse_constraints,
+    required_child,
+    required_descendant,
+)
+from repro.core.ic_containment import equivalent_under
+from repro.workloads.paper_queries import (
+    ARTICLE_TITLE,
+    FIGURE2_FG_CONSTRAINTS,
+    SECTION_PARAGRAPH,
+    figure2_a,
+    figure2_d,
+    figure2_e,
+    figure2_f,
+    figure2_g,
+)
+
+
+def q(spec) -> TreePattern:
+    return TreePattern.build(spec)
+
+
+class TestBasics:
+    def test_no_constraints_equals_cim(self, random_queries):
+        for pattern in random_queries:
+            via_acim = acim_minimize(pattern).pattern
+            via_cim = cim_minimize(pattern).pattern
+            assert via_acim.isomorphic(via_cim)
+
+    def test_direct_child_ic_removal(self):
+        pattern = q(("Book*", [("/", "Title")]))
+        result = acim_minimize(pattern, [required_child("Book", "Title")])
+        assert result.pattern.size == 1
+        assert result.eliminated[0][1] == "Title"
+
+    def test_direct_descendant_ic_removal(self):
+        pattern = q(("Book*", [("//", "LastName")]))
+        result = acim_minimize(pattern, [required_descendant("Book", "LastName")])
+        assert result.pattern.size == 1
+
+    def test_child_ic_does_not_remove_c_child_of_wrong_kind(self):
+        # a ->> b guarantees a descendant, not a child: /b must stay.
+        pattern = q(("a*", [("/", "b")]))
+        result = acim_minimize(pattern, [required_descendant("a", "b")])
+        assert result.pattern.size == 2
+
+    def test_input_never_mutated(self):
+        pattern = q(("Book*", [("/", "Title")]))
+        acim_minimize(pattern, [required_child("Book", "Title")])
+        assert pattern.size == 2
+
+    def test_no_extra_types_leak_into_result(self):
+        result = acim_minimize(figure2_f(), FIGURE2_FG_CONSTRAINTS)
+        assert all(not n.extra_types for n in result.pattern.nodes())
+        assert all(not n.temporary for n in result.pattern.nodes())
+
+
+class TestPaperChains:
+    def test_figure2_a_to_e(self):
+        result = acim_minimize(figure2_a(), [ARTICLE_TITLE, SECTION_PARAGRAPH])
+        assert result.pattern.isomorphic(figure2_e())
+
+    def test_figure2_d_needs_augmentation(self):
+        ics = [SECTION_PARAGRAPH]
+        assert cim_minimize(figure2_d()).removed_count == 0
+        result = acim_minimize(figure2_d(), ics)
+        assert result.pattern.isomorphic(figure2_e())
+        assert result.virtual_count >= 1
+
+    def test_figure2_f_to_g_co_occurrence(self):
+        result = acim_minimize(figure2_f(), FIGURE2_FG_CONSTRAINTS)
+        assert result.pattern.isomorphic(figure2_g())
+
+    def test_results_equivalent_under_ics(self):
+        for pattern, ics in [
+            (figure2_a(), [ARTICLE_TITLE, SECTION_PARAGRAPH]),
+            (figure2_d(), [SECTION_PARAGRAPH]),
+            (figure2_f(), FIGURE2_FG_CONSTRAINTS),
+        ]:
+            result = acim_minimize(pattern, ics)
+            assert equivalent_under(result.pattern, pattern, ics)
+
+
+class TestAgainstStrategyAlgebra:
+    def test_matches_amr_on_paper_queries(self):
+        cases = [
+            (figure2_a(), [ARTICLE_TITLE, SECTION_PARAGRAPH]),
+            (figure2_d(), [SECTION_PARAGRAPH]),
+            (figure2_f(), FIGURE2_FG_CONSTRAINTS),
+        ]
+        for pattern, ics in cases:
+            assert acim_minimize(pattern, ics).pattern.isomorphic(amr(pattern, ics))
+
+    def test_matches_amr_on_random_queries(self, random_queries, rng):
+        for pattern in random_queries[:12]:
+            types = sorted(pattern.node_types())
+            ics = []
+            for _ in range(3):
+                s, t = rng.choice(types), rng.choice(types)
+                if s != t:
+                    ics.append(required_descendant(s, t))
+            via_acim = acim_minimize(pattern, ics).pattern
+            via_amr = amr(pattern, ics)
+            assert via_acim.isomorphic(via_amr), (
+                f"{pattern.to_ascii()}\nICs: {[c.notation() for c in ics]}\n"
+                f"acim:\n{via_acim.to_ascii()}\namr:\n{via_amr.to_ascii()}"
+            )
+
+
+class TestStats:
+    def test_phase_timings_populated(self):
+        result = acim_minimize(figure2_a(), [ARTICLE_TITLE, SECTION_PARAGRAPH])
+        assert result.total_seconds > 0
+        assert result.tables_seconds >= 0
+        assert result.images_stats.redundancy_checks > 0
+
+    def test_closed_repo_skips_closure(self):
+        repo = closure([ARTICLE_TITLE, SECTION_PARAGRAPH])
+        result = acim_minimize(figure2_a(), repo)
+        assert result.pattern.isomorphic(figure2_e())
+
+    def test_seed_does_not_change_result(self):
+        for seed in range(5):
+            result = acim_minimize(figure2_a(), [ARTICLE_TITLE, SECTION_PARAGRAPH], seed=seed)
+            assert result.pattern.isomorphic(figure2_e())
+
+
+class TestCoOccurrenceSubtleties:
+    def test_directionality_respected(self):
+        # Employee ~ Person does NOT let a PermEmp branch absorb an
+        # Employee branch without the PermEmp ~ Employee fact.
+        pattern = figure2_f()
+        only_projects = [co_occurrence("DBproject", "Project")]
+        result = acim_minimize(pattern, only_projects)
+        assert result.pattern.size == pattern.size
+
+    def test_multi_hop_co_occurrence(self):
+        ics = parse_constraints("Manager ~ Employee; Employee ~ Person")
+        pattern = q(("Org*", [("//", "Person"), ("//", "Manager")]))
+        result = acim_minimize(pattern, ics)
+        # The Person branch folds onto the Manager (who is a Person).
+        assert result.pattern.size == 2
+        assert "Manager" in result.pattern.node_types()

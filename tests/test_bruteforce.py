@@ -1,0 +1,90 @@
+"""Cross-validation of CIM/ACIM against the exhaustive reference minimizer.
+
+The strongest correctness evidence in the suite: the polynomial
+algorithms must find exactly the size the exponential search finds.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import TreePattern, acim_minimize, cim_minimize
+from repro.core.bruteforce import exhaustive_minimize
+from repro.core.edges import EdgeKind
+from repro.core.ic_containment import finitely_satisfiable
+from repro.constraints import co_occurrence, required_child, required_descendant
+from repro.workloads.paper_queries import (
+    SECTION_PARAGRAPH,
+    figure2_d,
+    figure2_e,
+    figure2_h,
+    figure2_i,
+)
+
+TYPES = ["a", "b", "c"]
+
+
+@st.composite
+def patterns(draw, max_size: int = 7) -> TreePattern:
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    pattern = TreePattern(draw(st.sampled_from(TYPES)))
+    nodes = [pattern.root]
+    for _ in range(size - 1):
+        parent = nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))]
+        edge = EdgeKind.DESCENDANT if draw(st.booleans()) else EdgeKind.CHILD
+        nodes.append(pattern.add_child(parent, draw(st.sampled_from(TYPES)), edge))
+    nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))].is_output = True
+    return pattern
+
+
+@st.composite
+def constraint_sets(draw):
+    out = []
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        kind = draw(st.sampled_from(["child", "desc", "cooc"]))
+        if kind == "cooc":
+            i = draw(st.integers(min_value=0, max_value=len(TYPES) - 1))
+            j = draw(st.integers(min_value=0, max_value=len(TYPES) - 1))
+            if i != j:
+                out.append(co_occurrence(TYPES[i], TYPES[j]))
+        else:
+            i = draw(st.integers(min_value=0, max_value=len(TYPES) - 2))
+            j = draw(st.integers(min_value=i + 1, max_value=len(TYPES) - 1))
+            make = required_child if kind == "child" else required_descendant
+            out.append(make(TYPES[i], TYPES[j]))
+    return out
+
+
+class TestReference:
+    def test_figure2_h(self):
+        assert exhaustive_minimize(figure2_h()).size == figure2_i().size
+
+    def test_figure2_d_under_ic(self):
+        best = exhaustive_minimize(figure2_d(), [SECTION_PARAGRAPH])
+        assert best.size == figure2_e().size
+
+    def test_size_guard(self):
+        from repro.workloads.querygen import chain_query
+
+        with pytest.raises(ValueError):
+            exhaustive_minimize(chain_query(30))
+
+
+@settings(max_examples=60, deadline=None)
+@given(patterns())
+def test_cim_finds_the_exhaustive_minimum(pattern: TreePattern):
+    """CIM's polynomial MEO reaches the true minimum (Theorem 4.1)."""
+    assert cim_minimize(pattern).pattern.size == exhaustive_minimize(pattern).size
+
+
+@settings(max_examples=40, deadline=None)
+@given(patterns(max_size=6), constraint_sets())
+def test_acim_finds_the_exhaustive_minimum(pattern: TreePattern, ics):
+    """ACIM reaches the true minimum under constraints (Theorem 5.1)."""
+    if not finitely_satisfiable(ics):
+        return
+    assert (
+        acim_minimize(pattern, ics).pattern.size
+        == exhaustive_minimize(pattern, ics).size
+    )

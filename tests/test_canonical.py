@@ -1,0 +1,98 @@
+"""Tests for canonical databases of patterns."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import TreePattern, is_contained_in
+from repro.core.canonical import (
+    DUMMY_TYPE,
+    canonical_answer,
+    canonical_instance,
+    canonical_instances,
+)
+from repro.core.edges import EdgeKind
+from repro.matching import EmbeddingEngine, evaluate
+
+
+def q(spec) -> TreePattern:
+    return TreePattern.build(spec)
+
+
+class TestConstruction:
+    def test_zero_expansion_mirrors_pattern(self):
+        pattern = q(("a", [("/", "b*"), ("//", "c")]))
+        instance = canonical_instance(pattern, 0)
+        assert instance.size == pattern.size
+        assert DUMMY_TYPE not in instance.types_present()
+
+    def test_expansion_inserts_dummies_per_d_edge(self):
+        pattern = q(("a", [("/", "b*"), ("//", "c"), ("//", "d")]))
+        instance = canonical_instance(pattern, 2)
+        assert instance.size == pattern.size + 2 * 2
+        assert len(instance.find(DUMMY_TYPE)) == 4
+
+    def test_source_attributes(self):
+        pattern = q(("a", [("//", "b*")]))
+        instance = canonical_instance(pattern, 1)
+        sources = {n.attributes.get("source") for n in instance.nodes()}
+        assert {str(pattern.root.id), str(pattern.output_node.id), None} == sources
+
+    def test_negative_expansion_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_instance(q("a"), -1)
+
+    def test_instances_batch(self):
+        pattern = q(("a", [("//", "b*")]))
+        assert [t.size for t in canonical_instances(pattern, (0, 1, 2))] == [2, 3, 4]
+
+    def test_multi_types_carried(self):
+        pattern = q(("a", [("/", "b*")]))
+        pattern.add_extra_type(pattern.find("b")[0], "x")
+        instance = canonical_instance(pattern)
+        assert instance.root.children[0].types == {"b", "x"}
+
+
+class TestSelfEmbedding:
+    def test_pattern_matches_own_instances(self):
+        pattern = q(("a", [("/", ("b*", [("//", "c")])), ("//", "d")]))
+        for instance in canonical_instances(pattern, (0, 1, 3)):
+            answers = EmbeddingEngine(pattern, instance).answer_set()
+            assert canonical_answer(pattern, instance) <= answers
+
+
+TYPES = ["a", "b", "c"]
+
+
+@st.composite
+def patterns(draw, max_size: int = 6) -> TreePattern:
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    pattern = TreePattern(draw(st.sampled_from(TYPES)))
+    nodes = [pattern.root]
+    for _ in range(size - 1):
+        parent = nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))]
+        edge = EdgeKind.DESCENDANT if draw(st.booleans()) else EdgeKind.CHILD
+        nodes.append(pattern.add_child(parent, draw(st.sampled_from(TYPES)), edge))
+    nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))].is_output = True
+    return pattern
+
+
+@settings(max_examples=80, deadline=None)
+@given(patterns())
+def test_identity_embedding_always_exists(pattern):
+    for instance in canonical_instances(pattern, (0, 2)):
+        assert canonical_answer(pattern, instance) <= EmbeddingEngine(
+            pattern, instance
+        ).answer_set()
+
+
+@settings(max_examples=60, deadline=None)
+@given(patterns(), patterns())
+def test_containment_holds_on_canonical_instances(q1, q2):
+    """Q1 ⊆ Q2 must hold in particular on Q1's own canonical models —
+    the semantic half of the homomorphism theorem's proof."""
+    if not is_contained_in(q1, q2):
+        return
+    for instance in canonical_instances(q1, (0, 1, 2)):
+        assert evaluate(q1, instance) <= evaluate(q2, instance)

@@ -1,0 +1,87 @@
+"""Figure 5 walk-through: information-content labels, step by step.
+
+Running CDM with an empty constraint set performs pure propagation (no
+rule can fire), so the final contents are exactly the boxed labels of
+Figure 5, STEP 1. With the full constraint set the cascade of STEP 2/3
+runs and only the marked root survives.
+"""
+
+from __future__ import annotations
+
+from repro import cdm_minimize
+from repro.workloads.paper_queries import FIGURE5_CONSTRAINTS, figure5_query
+
+
+def content_by_type(result):
+    pattern = result.pattern
+    return {
+        pattern.node(node_id).type: content
+        for node_id, content in result.contents.items()
+        if pattern.has_node(node_id)
+    }
+
+
+class TestStep1Propagation:
+    """No constraints: pure Figure 4 propagation."""
+
+    def setup_method(self):
+        self.result = cdm_minimize(figure5_query(), [], keep_contents=True)
+        assert self.result.removed_count == 0
+        self.contents = content_by_type(self.result)
+
+    def test_unconstrained_leaves(self):
+        assert self.contents["t6"].notation() == "t6"
+        assert self.contents["t7"].notation() == "t7"
+        assert self.contents["t8"].notation() == "t8"
+
+    def test_c_parent_of_leaf(self):
+        # Figure 5: the c-parent of t6 gets ~t5, p t6 (rule 4).
+        assert self.contents["t5"].notation() == "~t5, p t6"
+        assert self.contents["t3"].notation() == "~t3, p t7"
+
+    def test_d_parent_of_leaf(self):
+        # The d-parent of t8 gets ~t4, a t8 (rule 1).
+        assert self.contents["t4"].notation() == "~t4, a t8"
+
+    def test_d_parent_of_constrained_subtree(self):
+        # t2's d-child t5 is constrained: ~t2, a ~t5, a ~t6 (rules 1, 3).
+        assert self.contents["t2"].notation() == "~t2, a ~t5, a ~t6"
+
+    def test_root_merges_all_branches(self):
+        # Obligations inherited through a child are constrained forms
+        # (the obliged node is at least two steps away) — including t8's,
+        # which was unconstrained at t4 itself.
+        assert self.contents["t1"].notation() == (
+            "~t1, a ~t3, a ~t5, a ~t6, a ~t7, a ~t8, p ~t2, p ~t4"
+        )
+
+
+class TestStep2And3Minimization:
+    """Full constraint set: the cascade of Figure 5 STEP 2/3."""
+
+    def setup_method(self):
+        self.result = cdm_minimize(
+            figure5_query(), FIGURE5_CONSTRAINTS, keep_contents=True
+        )
+
+    def test_only_root_survives(self):
+        assert self.result.pattern.size == 1
+        assert self.result.pattern.root.type == "t1"
+
+    def test_root_relaxed_to_unconstrained(self):
+        # "whenever all children of a node are marked redundant, ~t at the
+        # node is changed to t".
+        root_content = self.result.contents[self.result.pattern.root.id]
+        assert root_content.self_arg().notation() == "t1"
+
+    def test_deepest_leaves_removed_first(self):
+        order = [t for _, t, _ in self.result.eliminated]
+        assert order.index("t6") < order.index("t5")
+        assert order.index("t7") < order.index("t3")
+        assert order.index("t8") < order.index("t4")
+
+    def test_each_removal_names_its_rule(self):
+        rules = {t: rule for _, t, rule in self.result.eliminated}
+        assert rules["t6"] == "self-child"        # t5 -> t6
+        assert rules["t8"] == "self-descendant"   # t4 ->> t8
+        assert rules["t5"] == "self-descendant"   # t2 ->> t5 after relaxation

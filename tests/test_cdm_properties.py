@@ -1,0 +1,121 @@
+"""Property-based tests for CDM (Theorem 5.2: local minimality)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro import TreePattern, cdm_minimize
+from repro.constraints import closure, co_occurrence, required_child, required_descendant
+from repro.core.edges import EdgeKind
+from repro.core.ic_containment import equivalent_under, finitely_satisfiable
+
+from conftest import assert_semantically_equal_under
+
+TYPES = ["a", "b", "c", "d"]
+
+
+@st.composite
+def patterns(draw, max_size: int = 8) -> TreePattern:
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    pattern = TreePattern(draw(st.sampled_from(TYPES)))
+    nodes = [pattern.root]
+    for _ in range(size - 1):
+        parent = nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))]
+        edge = EdgeKind.DESCENDANT if draw(st.booleans()) else EdgeKind.CHILD
+        nodes.append(pattern.add_child(parent, draw(st.sampled_from(TYPES)), edge))
+    nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))].is_output = True
+    return pattern
+
+
+@st.composite
+def constraint_sets(draw):
+    out = []
+    for _ in range(draw(st.integers(min_value=0, max_value=5))):
+        kind = draw(st.sampled_from(["child", "desc", "cooc"]))
+        if kind == "cooc":
+            i = draw(st.integers(min_value=0, max_value=len(TYPES) - 1))
+            j = draw(st.integers(min_value=0, max_value=len(TYPES) - 1))
+            if i != j:
+                out.append(co_occurrence(TYPES[i], TYPES[j]))
+        else:
+            i = draw(st.integers(min_value=0, max_value=len(TYPES) - 2))
+            j = draw(st.integers(min_value=i + 1, max_value=len(TYPES) - 1))
+            make = required_child if kind == "child" else required_descendant
+            out.append(make(TYPES[i], TYPES[j]))
+    return out
+
+
+def locally_redundant_leaves(pattern: TreePattern, repo) -> list:
+    """Direct re-implementation of the four conditions of Section 5.4,
+    independent of the information-content machinery — the spec CDM's
+    result is checked against."""
+    out = []
+    for leaf in pattern.leaves():
+        if leaf.is_root or leaf.is_output:
+            continue
+        parent = leaf.parent
+        if leaf.edge is EdgeKind.CHILD:
+            if repo.has_required_child(parent.type, leaf.type):  # (i)
+                out.append(leaf)
+                continue
+            siblings = [
+                s for s in parent.c_children() if s is not leaf
+            ]
+            if any(repo.has_co_occurrence(s.type, leaf.type) for s in siblings):  # (iii)
+                out.append(leaf)
+        else:
+            if repo.has_required_descendant(parent.type, leaf.type):  # (ii)
+                out.append(leaf)
+                continue
+            witnesses = [d for d in parent.descendants() if d is not leaf]
+            if any(  # (iv)
+                repo.has_required_descendant(w.type, leaf.type)
+                or repo.has_co_occurrence(w.type, leaf.type)
+                for w in witnesses
+            ):
+                out.append(leaf)
+    return out
+
+
+@settings(max_examples=100, deadline=None)
+@given(patterns(), constraint_sets())
+def test_cdm_result_is_locally_minimal(pattern, ics):
+    """Theorem 5.2: no leaf of the CDM result is locally redundant."""
+    repo = closure(ics)
+    result = cdm_minimize(pattern, repo)
+    assert locally_redundant_leaves(result.pattern, repo) == []
+
+
+@settings(max_examples=70, deadline=None)
+@given(patterns(), constraint_sets())
+def test_cdm_equivalent_under_constraints(pattern, ics):
+    if not finitely_satisfiable(ics):
+        return
+    result = cdm_minimize(pattern, ics)
+    assert equivalent_under(result.pattern, pattern, ics)
+
+
+@settings(max_examples=20, deadline=None)
+@given(patterns(max_size=6), constraint_sets())
+def test_cdm_semantically_equivalent(pattern, ics):
+    if not finitely_satisfiable(ics):
+        return
+    result = cdm_minimize(pattern, ics)
+    assert_semantically_equal_under(pattern, result.pattern, ics, seeds=range(2), size=25)
+
+
+@settings(max_examples=60, deadline=None)
+@given(patterns(), constraint_sets())
+def test_cdm_idempotent(pattern, ics):
+    repo = closure(ics)
+    once = cdm_minimize(pattern, repo).pattern
+    twice = cdm_minimize(once, repo).pattern
+    assert once.isomorphic(twice)
+
+
+@settings(max_examples=60, deadline=None)
+@given(patterns(), constraint_sets())
+def test_cdm_removal_record_consistent(pattern, ics):
+    result = cdm_minimize(pattern, ics)
+    assert result.removed_count == pattern.size - result.pattern.size
+    assert sum(result.rule_counts.values()) == result.removed_count

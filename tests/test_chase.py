@@ -1,0 +1,130 @@
+"""Tests for the chase and the paper's bounded augmentation (Section 5.2)."""
+
+from __future__ import annotations
+
+from repro import TreePattern, augment
+from repro.constraints import closure, co_occurrence, required_child, required_descendant
+from repro.core.chase import augmentation_targets, chase
+from repro.core.edges import EdgeKind
+from repro.core.ic_containment import equivalent_under
+
+
+def q(spec) -> TreePattern:
+    return TreePattern.build(spec)
+
+
+class TestAugmentationTargets:
+    def test_child_ic_adds_c_virtual(self):
+        pattern = q(("a*", [("/", "b")]))
+        virtual, extra = augmentation_targets(pattern, [required_child("a", "b")])
+        assert len(virtual) == 1
+        (vt,) = virtual
+        assert vt.node_type == "b" and vt.edge is EdgeKind.CHILD
+        assert vt.parent_id == pattern.root.id
+        assert not extra
+
+    def test_descendant_ic_adds_d_virtual(self):
+        pattern = q(("a*", [("//", "b")]))
+        virtual, _ = augmentation_targets(pattern, [required_descendant("a", "b")])
+        assert [vt.edge for vt in virtual] == [EdgeKind.DESCENDANT]
+
+    def test_absent_type_not_introduced(self):
+        # Section 5.2: ICs whose required type does not occur in the
+        # original query are not applied.
+        pattern = q(("a*", [("/", "b")]))
+        virtual, _ = augmentation_targets(pattern, [required_child("a", "zzz")])
+        assert virtual == []
+
+    def test_child_virtual_subsumes_descendant_virtual(self):
+        # Closure adds a ->> b from a -> b; only the (stronger) c-virtual
+        # should materialize per anchor/type.
+        pattern = q(("a*", [("/", "b")]))
+        virtual, _ = augmentation_targets(pattern, closure([required_child("a", "b")]))
+        per_anchor = [(vt.parent_id, vt.node_type) for vt in virtual]
+        assert len(per_anchor) == len(set(per_anchor))
+
+    def test_co_occurrence_becomes_extra_type(self):
+        pattern = q(("a*", [("/", "b"), ("/", "c")]))
+        b = pattern.find("b")[0]
+        virtual, extra = augmentation_targets(pattern, [co_occurrence("b", "c")])
+        assert virtual == []
+        assert extra == {b.id: frozenset({"c"})}
+
+    def test_co_occurrence_absent_type_skipped(self):
+        pattern = q(("a*", [("/", "b")]))
+        _, extra = augmentation_targets(pattern, [co_occurrence("b", "zzz")])
+        assert extra == {}
+
+    def test_ids_unique_and_negative(self):
+        pattern = q(("a*", [("/", "b"), ("/", "b")]))
+        virtual, _ = augmentation_targets(pattern, [required_child("a", "b"), required_child("b", "b")])
+        ids = [vt.id for vt in virtual]
+        assert len(set(ids)) == len(ids)
+        assert all(i < 0 for i in ids)
+
+
+class TestMaterializedAugment:
+    def test_adds_temporary_nodes(self):
+        pattern = q(("a*", [("/", "b")]))
+        augmented = augment(pattern, [required_child("a", "b")])
+        assert augmented.size == 3
+        temps = [n for n in augmented.nodes() if n.temporary]
+        assert len(temps) == 1 and temps[0].type == "b"
+
+    def test_equivalent_under_the_ics(self):
+        pattern = q(("Articles", [("/", ("Article*", [("//", "Section")]))]))
+        ics = [required_descendant("Section", "Paragraph")]
+        # Paragraph not in the query: nothing happens.
+        assert augment(pattern, ics).size == pattern.size
+        with_par = q(("Articles", [
+            ("/", ("Article", [("//", "Paragraph")])),
+            ("/", ("Article*", [("//", "Section")])),
+        ]))
+        augmented = augment(with_par, ics)
+        assert augmented.size == with_par.size + 1
+        assert equivalent_under(augmented, with_par, ics)
+
+    def test_depth_grows_by_at_most_one(self):
+        pattern = q(("a*", [("/", ("b", [("/", "c")]))]))
+        ics = closure([required_child("a", "b"), required_child("b", "c"), required_child("c", "a")])
+        augmented = augment(pattern, ics)
+        assert augmented.depth <= pattern.depth + 1
+
+    def test_input_not_mutated(self):
+        pattern = q(("a*", [("/", "b")]))
+        augment(pattern, [required_child("a", "b")])
+        assert pattern.size == 2
+        assert all(not n.extra_types for n in pattern.nodes())
+
+
+class TestClassicalChase:
+    def test_single_round_fires_each_pair_once(self):
+        pattern = q(("a*", [("/", "b")]))
+        chased = chase(pattern, [required_child("a", "b")], rounds=1)
+        assert chased.size == 3
+
+    def test_rounds_grow_unboundedly_on_cycles(self):
+        # a -> b, b -> a: every round deepens the query — the blowup that
+        # motivates augmentation.
+        pattern = q("a")
+        ics = [required_child("a", "b"), required_child("b", "a")]
+        sizes = [chase(pattern, ics, rounds=r).size for r in (1, 2, 3)]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_applies_to_added_nodes_unlike_augmentation(self):
+        pattern = q("a")
+        ics = [required_child("a", "b"), required_child("b", "c")]
+        chased = chase(pattern, ics, rounds=2)
+        assert "c" in chased.node_types()  # child of the *added* b
+        virtual, _ = augmentation_targets(pattern, ics)
+        assert virtual == []  # b, c absent from the original query
+
+    def test_co_occurrence_annotates(self):
+        pattern = q(("a*", [("/", "b")]))
+        chased = chase(pattern, [co_occurrence("b", "x")], rounds=1)
+        assert chased.find("b")[0].all_types == {"b", "x"}
+
+    def test_terminates_without_change(self):
+        pattern = q("a")
+        chased = chase(pattern, [], rounds=10)
+        assert chased.size == 1

@@ -1,0 +1,183 @@
+"""Tests for Algorithm CIM (constraint-independent minimization)."""
+
+from __future__ import annotations
+
+import pytest
+from conftest import assert_equivalent
+
+from repro import TreePattern, cim_minimize, equivalent, is_minimal
+from repro.core.images import VirtualTarget
+from repro.core.edges import EdgeKind
+from repro.workloads.paper_queries import figure2_b, figure2_c, figure2_h, figure2_i
+
+
+def q(spec) -> TreePattern:
+    return TreePattern.build(spec)
+
+
+class TestBasics:
+    def test_already_minimal_untouched(self):
+        pattern = q(("a", [("/", ("b*", [("//", "c")]))]))
+        result = cim_minimize(pattern)
+        assert result.removed_count == 0
+        assert result.pattern.isomorphic(pattern)
+
+    def test_input_not_mutated(self):
+        pattern = q(("a*", [("/", "b"), ("/", "b")]))
+        cim_minimize(pattern)
+        assert pattern.size == 3
+
+    def test_in_place_mutates(self):
+        pattern = q(("a*", [("/", "b"), ("/", "b")]))
+        result = cim_minimize(pattern, in_place=True)
+        assert result.pattern is pattern
+        assert pattern.size == 2
+
+    def test_duplicate_leaf_collapsed(self):
+        pattern = q(("a*", [("/", "b"), ("/", "b")]))
+        result = cim_minimize(pattern)
+        assert result.removed_count == 1
+        assert result.pattern.size == 2
+
+    def test_duplicate_subtrees_collapsed(self):
+        pattern = q(("a*", [
+            ("/", ("s", [("//", "t")])),
+            ("/", ("s", [("//", "t")])),
+        ]))
+        result = cim_minimize(pattern)
+        assert result.pattern.size == 3
+        assert_equivalent(result.pattern, pattern)
+
+    def test_triplicate_collapses_to_one(self):
+        pattern = q(("a*", [("//", "b")] * 3))
+        result = cim_minimize(pattern)
+        assert result.pattern.size == 2
+
+    def test_elimination_order_recorded(self):
+        pattern = q(("a*", [("/", "b"), ("/", "b"), ("//", "c"), ("//", "c")]))
+        result = cim_minimize(pattern)
+        assert result.removed_count == 2
+        types = sorted(t for _, t in result.eliminated)
+        assert types == ["b", "c"]
+
+
+class TestPaperExamples:
+    def test_figure2_h_to_i(self):
+        result = cim_minimize(figure2_h())
+        assert result.pattern.isomorphic(figure2_i())
+        assert_equivalent(result.pattern, figure2_h())
+
+    def test_figure2_b_to_c(self):
+        result = cim_minimize(figure2_b())
+        assert result.pattern.isomorphic(figure2_c())
+
+    def test_moved_star_blocks_h_fold(self):
+        moved = q(("OrgUnit", [
+            ("/", ("Dept", [("/", ("Researcher", [("//", "DBProject")]))])),
+            ("//", ("Dept*", [("//", "DBProject")])),
+        ]))
+        assert cim_minimize(moved).removed_count == 0
+
+
+class TestWitnesses:
+    def test_every_deletion_certified(self):
+        pattern = figure2_h()
+        result = cim_minimize(pattern, collect_witnesses=True)
+        assert set(result.witnesses) == {node_id for node_id, _ in result.eliminated}
+        for witness in result.witnesses.values():
+            assert witness  # non-empty mapping
+
+    def test_witness_not_identity_on_deleted(self):
+        pattern = q(("a*", [("/", "b"), ("/", "b")]))
+        result = cim_minimize(pattern, collect_witnesses=True)
+        ((node_id, _),) = result.eliminated
+        assert result.witnesses[node_id][node_id] != node_id
+
+
+class TestOrderIndependence:
+    def test_seeded_orders_agree_up_to_isomorphism(self):
+        pattern = q(("a*", [
+            ("/", ("s", [("//", "t"), ("//", "t")])),
+            ("/", ("s", [("//", "t")])),
+            ("//", "s"),
+        ]))
+        reference = cim_minimize(pattern)
+        for seed in range(8):
+            shuffled = cim_minimize(pattern, seed=seed)
+            assert shuffled.pattern.isomorphic(reference.pattern), f"seed {seed}"
+
+    def test_result_size_unique(self):
+        # Theorem 4.1: the minimal size is an invariant.
+        pattern = q(("x*", [("//", ("a", [("/", "b")])), ("//", ("a", [("/", "b")])), ("//", "a")]))
+        sizes = {cim_minimize(pattern, seed=s).pattern.size for s in range(10)}
+        assert len(sizes) == 1
+
+
+class TestProtectAndTemporaries:
+    def test_protected_leaf_survives(self):
+        pattern = q(("a*", [("/", "b"), ("/", "b")]))
+        leaf = pattern.find("b")[0]
+        result = cim_minimize(pattern, protect=frozenset({leaf.id}))
+        # The other b is still removable.
+        assert result.pattern.size == 2
+        assert result.pattern.has_node(leaf.id)
+
+    def test_temporaries_skipped_by_default(self):
+        pattern = q(("a*", [("/", "b")]))
+        pattern.add_child(pattern.root, "b", EdgeKind.CHILD, temporary=True)
+        result = cim_minimize(pattern)
+        # The real b folds onto the temp (or stays); the temp is never deleted.
+        assert any(n.temporary for n in result.pattern.nodes())
+
+    def test_include_temporaries_deletes_them(self):
+        pattern = q(("a*", [("/", "b")]))
+        pattern.add_child(pattern.root, "b", EdgeKind.CHILD, temporary=True)
+        result = cim_minimize(pattern, include_temporaries=True)
+        assert result.pattern.size == 2
+
+
+class TestVirtualIntegration:
+    def test_leaf_removed_via_virtual(self):
+        pattern = q(("a*", [("/", "b")]))
+        vt = VirtualTarget(-1, "b", pattern.root.id, EdgeKind.CHILD)
+        result = cim_minimize(pattern, virtual=[vt])
+        assert result.pattern.size == 1
+
+    def test_virtual_dies_with_anchor(self):
+        # Chain a*/b/c with virtuals: c-child c under b, c-child b under a.
+        pattern = q(("a*", [("/", ("b", [("/", "c")]))]))
+        b = pattern.find("b")[0]
+        virtual = [
+            VirtualTarget(-1, "c", b.id, EdgeKind.CHILD),
+            VirtualTarget(-2, "b", pattern.root.id, EdgeKind.CHILD),
+        ]
+        result = cim_minimize(pattern, virtual=virtual)
+        # c folds onto -1, then b becomes a leaf and folds onto -2; -1 died
+        # with b, which must not break anything.
+        assert result.pattern.size == 1
+
+
+class TestIsMinimal:
+    def test_true_on_minimal(self):
+        assert is_minimal(figure2_i())
+
+    def test_false_on_redundant(self):
+        assert not is_minimal(figure2_h())
+
+    def test_consistent_with_cim(self, random_queries):
+        for pattern in random_queries:
+            minimized = cim_minimize(pattern).pattern
+            assert is_minimal(minimized), minimized.to_ascii()
+
+
+class TestRandomizedAgainstOracle:
+    def test_equivalence_preserved(self, random_queries):
+        for pattern in random_queries:
+            result = cim_minimize(pattern)
+            assert equivalent(result.pattern, pattern), pattern.to_ascii()
+
+    def test_idempotent(self, random_queries):
+        for pattern in random_queries:
+            once = cim_minimize(pattern).pattern
+            twice = cim_minimize(once).pattern
+            assert once.isomorphic(twice)

@@ -1,0 +1,51 @@
+"""Differential tests: naive CIM vs the enhanced Figure 3 driver."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro import TreePattern
+from repro.core.cim import cim_minimize
+from repro.core.cim_naive import cim_minimize_naive
+from repro.core.edges import EdgeKind
+from repro.workloads.paper_queries import figure2_b, figure2_c, figure2_h, figure2_i
+
+TYPES = ["a", "b", "c"]
+
+
+@st.composite
+def patterns(draw, max_size: int = 9) -> TreePattern:
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    pattern = TreePattern(draw(st.sampled_from(TYPES)))
+    nodes = [pattern.root]
+    for _ in range(size - 1):
+        parent = nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))]
+        edge = EdgeKind.DESCENDANT if draw(st.booleans()) else EdgeKind.CHILD
+        nodes.append(pattern.add_child(parent, draw(st.sampled_from(TYPES)), edge))
+    nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))].is_output = True
+    return pattern
+
+
+class TestNaive:
+    def test_paper_examples(self):
+        assert cim_minimize_naive(figure2_h()).pattern.isomorphic(figure2_i())
+        assert cim_minimize_naive(figure2_b()).pattern.isomorphic(figure2_c())
+
+    def test_in_place(self):
+        pattern = TreePattern.build(("a*", [("/", "b"), ("/", "b")]))
+        result = cim_minimize_naive(pattern, in_place=True)
+        assert result.pattern is pattern and pattern.size == 2
+
+    def test_more_checks_than_enhanced(self):
+        pattern = figure2_h()
+        naive = cim_minimize_naive(pattern)
+        enhanced = cim_minimize(pattern)
+        assert naive.stats.redundancy_checks >= enhanced.stats.redundancy_checks
+
+
+@settings(max_examples=100, deadline=None)
+@given(patterns())
+def test_naive_and_enhanced_agree(pattern: TreePattern):
+    naive = cim_minimize_naive(pattern).pattern
+    enhanced = cim_minimize(pattern).pattern
+    assert naive.isomorphic(enhanced)

@@ -1,0 +1,120 @@
+"""Property-based tests (hypothesis) for CIM and the containment oracle.
+
+These check the paper's Section 4 theorems on arbitrary patterns:
+equivalence preservation, idempotence, uniqueness of the minimal query up
+to isomorphism (order-independence of MEOs), and agreement between the
+images-based redundancy test and the direct homomorphism oracle.
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro import TreePattern, cim_minimize, equivalent, is_contained_in, is_minimal
+from repro.core.containment import find_containment_mapping
+from repro.core.edges import EdgeKind
+from repro.workloads.querygen import duplicate_random_branch
+
+from conftest import assert_valid_mapping
+
+# ---------------------------------------------------------------------------
+# Pattern strategy: a list of (parent_slot, edge, type) draws builds a tree.
+# Small type pools force repeated types — the interesting regime.
+# ---------------------------------------------------------------------------
+
+TYPES = ["a", "b", "c"]
+
+
+@st.composite
+def patterns(draw, max_size: int = 9) -> TreePattern:
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    root_type = draw(st.sampled_from(TYPES))
+    pattern = TreePattern(root_type)
+    nodes = [pattern.root]
+    for _ in range(size - 1):
+        parent = nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))]
+        edge = EdgeKind.DESCENDANT if draw(st.booleans()) else EdgeKind.CHILD
+        node_type = draw(st.sampled_from(TYPES))
+        nodes.append(pattern.add_child(parent, node_type, edge))
+    starred = nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))]
+    starred.is_output = True
+    pattern.validate()
+    return pattern
+
+
+@settings(max_examples=120, deadline=None)
+@given(patterns())
+def test_cim_preserves_equivalence(pattern: TreePattern):
+    result = cim_minimize(pattern)
+    assert equivalent(result.pattern, pattern)
+
+
+@settings(max_examples=120, deadline=None)
+@given(patterns())
+def test_cim_result_is_minimal(pattern: TreePattern):
+    result = cim_minimize(pattern)
+    assert is_minimal(result.pattern)
+
+
+@settings(max_examples=80, deadline=None)
+@given(patterns())
+def test_cim_idempotent(pattern: TreePattern):
+    once = cim_minimize(pattern).pattern
+    twice = cim_minimize(once).pattern
+    assert once.isomorphic(twice)
+
+
+@settings(max_examples=60, deadline=None)
+@given(patterns(), st.integers(min_value=0, max_value=1000))
+def test_unique_minimum_across_elimination_orders(pattern: TreePattern, seed: int):
+    """Theorem 4.1: every MEO reaches the same query up to isomorphism."""
+    reference = cim_minimize(pattern).pattern
+    shuffled = cim_minimize(pattern, seed=seed).pattern
+    assert reference.isomorphic(shuffled)
+
+
+@settings(max_examples=60, deadline=None)
+@given(patterns(max_size=6), st.integers(min_value=0, max_value=1000))
+def test_duplicated_branch_always_removable(pattern: TreePattern, seed: int):
+    """Duplicating any subtree must leave the minimal size unchanged."""
+    assume(pattern.size >= 2)
+    reference = cim_minimize(pattern).pattern
+    bloated = duplicate_random_branch(pattern, seed=seed)
+    minimized = cim_minimize(bloated).pattern
+    assert minimized.size == reference.size
+    assert equivalent(minimized, pattern)
+
+
+@settings(max_examples=80, deadline=None)
+@given(patterns(max_size=7))
+def test_deletion_certificates_are_homomorphisms(pattern: TreePattern):
+    """Each deletion implies an oracle-verifiable hom Q -> Q', so every
+    intermediate query stays equivalent (the soundness core of CIM)."""
+    result = cim_minimize(pattern)
+    mapping = find_containment_mapping(pattern, result.pattern)
+    assert mapping is not None
+    assert_valid_mapping(pattern, result.pattern, mapping)
+
+
+@settings(max_examples=80, deadline=None)
+@given(patterns(max_size=7), patterns(max_size=7))
+def test_containment_is_a_preorder(q1: TreePattern, q2: TreePattern):
+    assert is_contained_in(q1, q1)
+    if is_contained_in(q1, q2) and is_contained_in(q2, q1):
+        # Mutual containment means equal minimal forms.
+        m1 = cim_minimize(q1).pattern
+        m2 = cim_minimize(q2).pattern
+        assert m1.isomorphic(m2)
+
+
+@settings(max_examples=60, deadline=None)
+@given(patterns(max_size=6), patterns(max_size=6), patterns(max_size=6))
+def test_containment_transitive(q1, q2, q3):
+    if is_contained_in(q1, q2) and is_contained_in(q2, q3):
+        assert is_contained_in(q1, q3)
+
+
+@settings(max_examples=100, deadline=None)
+@given(patterns(max_size=8))
+def test_minimized_never_larger(pattern: TreePattern):
+    assert cim_minimize(pattern).pattern.size <= pattern.size

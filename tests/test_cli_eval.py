@@ -1,0 +1,89 @@
+"""Tests for the ``tpq-eval`` command-line tool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tools.eval_cli import main
+
+XML = """<Catalog>
+  <Product><Name>Widget</Name><Vendor><Name>Acme</Name></Vendor></Product>
+  <Product><Name>Orphan</Name></Product>
+</Catalog>
+"""
+
+LDIF = """dn: o=Corp
+objectClass: Organization
+
+dn: cn=Ada,o=Corp
+objectClass: Employee
+objectClass: Person
+"""
+
+
+@pytest.fixture
+def xml_file(tmp_path):
+    path = tmp_path / "cat.xml"
+    path.write_text(XML)
+    return path
+
+
+@pytest.fixture
+def ldif_file(tmp_path):
+    path = tmp_path / "dir.ldif"
+    path.write_text(LDIF)
+    return path
+
+
+class TestEvalCli:
+    def test_basic_match(self, xml_file, capsys):
+        assert main(["Catalog/Product*[Vendor]", str(xml_file)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 1 and lines[0].startswith("Product")
+
+    def test_count(self, xml_file, capsys):
+        assert main(["Catalog//Name*", str(xml_file), "--count"]) == 0
+        assert capsys.readouterr().out.strip() == "3"
+
+    def test_engines_agree(self, xml_file, capsys):
+        for engine in ("dp", "twig", "pathstack"):
+            assert main(
+                ["Catalog//Name*", str(xml_file), "--engine", engine, "--count"]
+            ) == 0
+        counts = {line for line in capsys.readouterr().out.split()}
+        assert counts == {"3"}
+
+    def test_pathstack_rejects_twigs(self, xml_file, capsys):
+        code = main(
+            ["Catalog/Product*[Name][Vendor]", str(xml_file), "--engine", "pathstack"]
+        )
+        assert code == 2
+        assert "linear" in capsys.readouterr().err
+
+    def test_minimize_flag(self, xml_file, capsys):
+        code = main(
+            [
+                "Catalog/Product*[Name][Vendor]",
+                str(xml_file),
+                "--minimize",
+                "-c",
+                "Product -> Name",
+                "--count",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "minimized to: Catalog/Product[Vendor]" in captured.err
+        assert captured.out.strip() == "1"
+
+    def test_ldif_by_extension(self, ldif_file, capsys):
+        assert main(["Organization//Person*", str(ldif_file)]) == 0
+        out = capsys.readouterr().out
+        assert "cn=Ada,o=Corp" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["a", "/nonexistent/file.xml"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_query(self, xml_file, capsys):
+        assert main(["a[[", str(xml_file)]) == 1

@@ -1,0 +1,66 @@
+"""Tests for the ``tpq-minimize`` command-line tool."""
+
+from __future__ import annotations
+
+from repro.tools.minimize_cli import main
+
+
+class TestMinimizeCli:
+    def test_plain_cim(self, capsys):
+        assert main(["a/b[c][c]", "--algorithm", "cim"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out == "a/b[c]"
+
+    def test_pipeline_with_inline_constraints(self, capsys):
+        code = main(["Book*[Title][Publisher]", "-c", "Book -> Title; Book -> Publisher"])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "Book"
+
+    def test_cdm_explain(self, capsys):
+        code = main(
+            ["Book*[Title]", "-c", "Book -> Title", "--algorithm", "cdm", "--explain"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "Book"
+        assert "CDM rule" in captured.err
+
+    def test_explain_already_minimal(self, capsys):
+        assert main(["a/b", "--explain"]) == 0
+        assert "already minimal" in capsys.readouterr().err
+
+    def test_sexpr_in_and_out(self, capsys):
+        code = main(["(a (/ b) (/ b))", "--sexpr", "--format", "sexpr"])
+        assert code == 0
+        assert capsys.readouterr().out.strip().startswith("(a")
+
+    def test_ascii_output(self, capsys):
+        assert main(["a/b", "--format", "ascii"]) == 0
+        out = capsys.readouterr().out
+        assert "a" in out and "/b" in out
+
+    def test_constraints_file(self, tmp_path, capsys):
+        ics = tmp_path / "ics.txt"
+        ics.write_text("# schema\nBook -> Title\n")
+        assert main(["Book*[Title]", "-C", str(ics)]) == 0
+        assert capsys.readouterr().out.strip() == "Book"
+
+    def test_acim_algorithm(self, capsys):
+        code = main(
+            [
+                "Articles/Article[.//Paragraph]",  # like Figure 2(d) wrong-side
+                "--algorithm",
+                "acim",
+                "-c",
+                "Article ->> Paragraph",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "Articles/Article"
+
+    def test_parse_error_exit_code(self, capsys):
+        assert main(["a[["]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_constraint_exit_code(self, capsys):
+        assert main(["a/b", "-c", "a >>> b"]) == 1

@@ -1,0 +1,111 @@
+"""Tests for the logical closure of constraint sets (Section 5.2)."""
+
+from __future__ import annotations
+
+from repro.constraints import (
+    closure,
+    co_occurrence,
+    required_child,
+    required_descendant,
+)
+from repro.constraints.closure import implied_by
+from repro.constraints.repository import ConstraintRepository
+
+
+class TestRules:
+    def test_child_implies_descendant(self):
+        repo = closure([required_child("a", "b")])
+        assert repo.has_required_descendant("a", "b")
+
+    def test_descendant_transitive(self):
+        repo = closure([required_descendant("a", "b"), required_descendant("b", "c")])
+        assert repo.has_required_descendant("a", "c")
+
+    def test_child_chains_compose_to_descendant_not_child(self):
+        repo = closure([required_child("a", "b"), required_child("b", "c")])
+        assert repo.has_required_descendant("a", "c")
+        assert not repo.has_required_child("a", "c")  # grandchild, not child
+
+    def test_descendant_then_child(self):
+        repo = closure([required_descendant("a", "b"), required_child("b", "c")])
+        assert repo.has_required_descendant("a", "c")
+
+    def test_co_occurrence_transitive(self):
+        repo = closure([co_occurrence("a", "b"), co_occurrence("b", "c")])
+        assert repo.has_co_occurrence("a", "c")
+
+    def test_co_occurrence_transfers_obligations(self):
+        # a ~ b and b -> c: an a node IS a b node, so it has a c child.
+        repo = closure([co_occurrence("a", "b"), required_child("b", "c")])
+        assert repo.has_required_child("a", "c")
+        assert repo.has_required_descendant("a", "c")
+
+    def test_target_co_occurrence_widens_requirement(self):
+        # a -> b and b ~ c: the required b child IS a c node.
+        repo = closure([required_child("a", "b"), co_occurrence("b", "c")])
+        assert repo.has_required_child("a", "c")
+
+    def test_descendant_target_co_occurrence(self):
+        repo = closure([required_descendant("a", "b"), co_occurrence("b", "c")])
+        assert repo.has_required_descendant("a", "c")
+
+    def test_no_trivial_self_co_occurrence(self):
+        repo = closure([co_occurrence("a", "b"), co_occurrence("b", "a")])
+        for c in repo:
+            assert not (c.is_co_occurrence and c.source == c.target)
+
+    def test_cooccurrence_cycle_terminates(self):
+        repo = closure([co_occurrence("a", "b"), co_occurrence("b", "c"), co_occurrence("c", "a")])
+        assert repo.has_co_occurrence("a", "c")
+        assert repo.has_co_occurrence("c", "b")
+
+
+class TestClosureProperties:
+    def test_closure_is_idempotent(self):
+        base = [
+            required_child("a", "b"),
+            required_descendant("b", "c"),
+            co_occurrence("c", "d"),
+        ]
+        once = closure(base)
+        twice = closure(once)
+        assert set(once) == set(twice)
+
+    def test_closure_marks_closed(self):
+        repo = closure([required_child("a", "b")])
+        assert repo.is_closed
+
+    def test_closure_does_not_mutate_input(self):
+        base = ConstraintRepository([required_child("a", "b")])
+        closure(base)
+        assert len(base) == 1
+        assert not base.is_closed
+
+    def test_closure_contains_input(self):
+        base = [required_child("a", "b"), co_occurrence("x", "y")]
+        repo = closure(base)
+        for c in base:
+            assert c in repo
+
+    def test_size_stays_polynomial(self):
+        # A long chain: closure is O(T^2), not exponential.
+        chain = [required_child(f"t{i}", f"t{i+1}") for i in range(20)]
+        repo = closure(chain)
+        assert len(repo) <= 4 * 21 * 21
+
+    def test_empty_closure(self):
+        repo = closure([])
+        assert len(repo) == 0 and repo.is_closed
+
+
+class TestImpliedBy:
+    def test_single_step_child(self):
+        repo = ConstraintRepository([co_occurrence("b", "c")])
+        implied = implied_by(required_child("a", "b"), repo)
+        assert required_descendant("a", "b") in implied
+        assert required_child("a", "c") in implied
+
+    def test_single_step_co_occurrence_skips_self(self):
+        repo = ConstraintRepository([co_occurrence("b", "a")])
+        implied = implied_by(co_occurrence("a", "b"), repo)
+        assert all(not (c.is_co_occurrence and c.source == c.target) for c in implied)

@@ -1,0 +1,99 @@
+"""Tests for the data-tree substrate (trees, forests, builder)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import DataTree, Forest, build_forest, build_tree
+from repro.errors import DataModelError
+
+
+def library() -> DataTree:
+    return build_tree(
+        ("Library", [
+            ("Book", [("Title", [], "TPQ"), ("Author", [("LastName", [], "Cho")])]),
+            ("Book", [("Title", [], "Chase")]),
+        ])
+    )
+
+
+class TestDataTree:
+    def test_build_counts(self):
+        tree = library()
+        assert tree.size == 7
+        assert len(tree) == 7
+
+    def test_values(self):
+        tree = library()
+        titles = [n.value for n in tree.find("Title")]
+        assert titles == ["TPQ", "Chase"]
+
+    def test_multi_types(self):
+        tree = build_tree(("Org", [("Employee+Person", [])]))
+        node = tree.root.children[0]
+        assert node.types == {"Employee", "Person"}
+        assert node.has_type("Person")
+        assert node.primary_type == "Employee"
+
+    def test_types_iterable_spec(self):
+        tree = build_tree((("A", "B"), []))
+        assert tree.root.types == {"A", "B"}
+
+    def test_empty_types_rejected(self):
+        with pytest.raises(DataModelError):
+            DataTree([])
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(DataModelError):
+            build_tree(("A", [], "v", "extra"))
+
+    def test_traversals(self):
+        tree = library()
+        assert [n.primary_type for n in tree.nodes()][0] == "Library"
+        last_names = list(tree.root.descendants())
+        assert len(last_names) == 6
+        ln = tree.find("LastName")[0]
+        assert [n.primary_type for n in ln.ancestors()] == ["Author", "Book", "Library"]
+        assert [n.primary_type for n in ln.path()] == ["Library", "Book", "Author", "LastName"]
+
+    def test_depth(self):
+        tree = library()
+        assert tree.depth == 3
+        assert tree.find("LastName")[0].depth == 3
+
+    def test_is_ancestor(self):
+        tree = library()
+        book = tree.find("Book")[0]
+        ln = tree.find("LastName")[0]
+        assert tree.is_ancestor(book, ln)
+        assert not tree.is_ancestor(ln, book)
+
+    def test_node_registry(self):
+        tree = library()
+        for node in tree.nodes():
+            assert tree.node(node.id) is node
+
+    def test_types_present(self):
+        assert "LastName" in library().types_present()
+
+    def test_cross_tree_attach_rejected(self):
+        t1, t2 = DataTree("a"), DataTree("b")
+        with pytest.raises(DataModelError):
+            t1.add_child(t2.root, "x")
+
+    def test_to_ascii(self):
+        art = library().to_ascii()
+        assert "Library" in art and "'TPQ'" in art
+
+
+class TestForest:
+    def test_union_size(self):
+        forest = build_forest([("a", []), ("b", [("c", [])])])
+        assert forest.size == 3
+        assert len(forest) == 2
+
+    def test_add_and_iterate(self):
+        forest = Forest()
+        tree = forest.add(DataTree("x"))
+        assert list(forest) == [tree]
+        assert [n.primary_type for n in forest.nodes()] == ["x"]

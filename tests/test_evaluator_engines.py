@@ -1,0 +1,45 @@
+"""Tests for evaluator engine selection and forest handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TreePattern
+from repro.data import Forest, build_tree
+from repro.errors import EvaluationError
+from repro.matching.evaluator import ENGINES, evaluate
+
+
+def forest() -> Forest:
+    return Forest(
+        [
+            build_tree(("a", [("b", [])])),
+            build_tree(("a", [("b", [("b", [])]), ("c", [])])),
+        ]
+    )
+
+
+class TestEngineSelection:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_path_query_all_engines(self, engine):
+        q = TreePattern.build(("a", [("//", "b*")]))
+        assert evaluate(q, forest(), engine=engine) == {(0, 1), (1, 1), (1, 2)}
+
+    @pytest.mark.parametrize("engine", ["dp", "twig", "twigmerge"])
+    def test_twig_query_branching_engines(self, engine):
+        q = TreePattern.build(("a*", [("/", "b"), ("/", "c")]))
+        assert evaluate(q, forest(), engine=engine) == {(1, 0)}
+
+    def test_pathstack_rejects_twigs(self):
+        q = TreePattern.build(("a*", [("/", "b"), ("/", "c")]))
+        with pytest.raises(EvaluationError):
+            evaluate(q, forest(), engine="pathstack")
+
+    def test_unknown_engine(self):
+        q = TreePattern.build("a")
+        with pytest.raises(EvaluationError):
+            evaluate(q, forest(), engine="nope")
+
+    def test_default_is_dp(self):
+        q = TreePattern.build(("a", [("//", "b*")]))
+        assert evaluate(q, forest()) == evaluate(q, forest(), engine="dp")

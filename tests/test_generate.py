@@ -1,0 +1,105 @@
+"""Tests for random data generation and constraint repair."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import closure, co_occurrence, parse_constraints, required_child
+from repro.data import build_tree, random_satisfying_tree, random_tree, repair, witness_tree
+from repro.errors import ConstraintError
+from repro.matching import satisfies, violations
+
+
+TYPES = ["Library", "Book", "Title", "Author", "LastName"]
+ICS = parse_constraints("Book -> Title; Author ->> LastName; Book ~ Item")
+
+
+class TestRandomTree:
+    def test_exact_size(self):
+        for size in (1, 2, 17, 50):
+            assert random_tree(TYPES, size=size, seed=1).size == size
+
+    def test_fanout_respected(self):
+        tree = random_tree(TYPES, size=60, max_fanout=2, seed=3)
+        assert all(len(n.children) <= 2 for n in tree.nodes())
+
+    def test_deterministic_per_seed(self):
+        t1 = random_tree(TYPES, size=25, seed=9)
+        t2 = random_tree(TYPES, size=25, seed=9)
+        assert t1.to_ascii() == t2.to_ascii()
+
+    def test_seed_varies_output(self):
+        t1 = random_tree(TYPES, size=25, seed=1)
+        t2 = random_tree(TYPES, size=25, seed=2)
+        assert t1.to_ascii() != t2.to_ascii()
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            random_tree([], size=5)
+        with pytest.raises(ValueError):
+            random_tree(TYPES, size=0)
+
+
+class TestWitness:
+    def test_witness_satisfies(self):
+        repo = closure(ICS)
+        spec = witness_tree("Book", repo)
+        tree = build_tree(spec)
+        assert satisfies(tree, repo)
+        assert "Title" in tree.types_present()
+        assert "Item" in tree.root.types  # co-occurrence applied
+
+    def test_unsatisfiable_type_detected(self):
+        repo = closure([required_child("a", "a")])
+        with pytest.raises(ConstraintError):
+            witness_tree("a", repo)
+
+    def test_transitive_cycle_detected(self):
+        repo = closure([required_child("a", "b"), required_child("b", "a")])
+        with pytest.raises(ConstraintError):
+            witness_tree("a", repo)
+
+
+class TestRepair:
+    def test_repair_satisfies(self):
+        base = random_tree(TYPES, size=40, seed=5)
+        fixed = repair(base, ICS)
+        assert satisfies(fixed, ICS), violations(fixed, ICS)[:3]
+
+    def test_repair_preserves_original_shape(self):
+        base = build_tree(("Library", [("Book", [("Title", [], "x")])]))
+        fixed = repair(base, ICS)
+        # Only additions: every original type still present, size >= base.
+        assert fixed.size >= base.size
+        assert base.types_present() <= fixed.types_present()
+
+    def test_repair_adds_co_occurrence_types(self):
+        base = build_tree(("Book", [("Title", [], "x")]))
+        fixed = repair(base, ICS)
+        assert "Item" in fixed.root.types
+
+    def test_repair_preserves_values(self):
+        base = build_tree(("Library", [("Book", [("Title", [], "kept")])]))
+        fixed = repair(base, ICS)
+        assert [n.value for n in fixed.find("Title")] == ["kept"]
+
+    def test_multi_ic_interaction(self):
+        ics = parse_constraints(
+            "Dept ->> Manager; Manager ~ Employee; Employee ~ Person"
+        )
+        base = build_tree(("Org", [("Dept", [])]))
+        fixed = repair(base, ics)
+        assert satisfies(fixed, ics)
+        manager = fixed.find("Manager")[0]
+        assert {"Employee", "Person"} <= manager.types
+
+
+class TestRandomSatisfying:
+    def test_satisfies_for_many_seeds(self):
+        for seed in range(6):
+            tree = random_satisfying_tree(TYPES, ICS, size=30, seed=seed)
+            assert satisfies(tree, ICS)
+
+    def test_empty_constraints(self):
+        tree = random_satisfying_tree(TYPES, [], size=20, seed=0)
+        assert tree.size == 20

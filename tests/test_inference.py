@@ -1,0 +1,58 @@
+"""Tests for schema-to-constraint inference (Section 2.2, Figure 1)."""
+
+from __future__ import annotations
+
+from repro.constraints.inference import infer_constraints
+from repro.schema import parse_schema
+
+FIGURE1 = """
+# Figure 1(a): every Book has a Title child, Authors 1..5, chapters.
+element Book { Title Author+ Chapter* }
+element Author { LastName }
+element Chapter { Section* }
+"""
+
+
+class TestInference:
+    def test_required_particles_become_child_ics(self):
+        repo = infer_constraints(parse_schema(FIGURE1), close=False)
+        assert repo.has_required_child("Book", "Title")
+        assert repo.has_required_child("Book", "Author")
+        assert repo.has_required_child("Author", "LastName")
+
+    def test_optional_particles_do_not(self):
+        repo = infer_constraints(parse_schema(FIGURE1), close=False)
+        assert not repo.has_required_child("Book", "Chapter")
+        assert not repo.has_required_child("Chapter", "Section")
+
+    def test_paper_composition_example(self):
+        # "every Book element must have a LastName descendant, since every
+        # Author must have a LastName child"
+        repo = infer_constraints(parse_schema(FIGURE1))
+        assert repo.has_required_descendant("Book", "LastName")
+
+    def test_close_flag(self):
+        open_repo = infer_constraints(parse_schema(FIGURE1), close=False)
+        assert not open_repo.is_closed
+        assert not open_repo.has_required_descendant("Book", "LastName")
+        closed = infer_constraints(parse_schema(FIGURE1))
+        assert closed.is_closed
+
+    def test_type_declarations_become_co_occurrences(self):
+        schema = parse_schema("type Employee : Person")
+        repo = infer_constraints(schema)
+        assert repo.has_co_occurrence("Employee", "Person")
+
+    def test_co_occurrence_transfers_through_closure(self):
+        schema = parse_schema(
+            """
+            element Person { Name }
+            type Employee : Person
+            """
+        )
+        repo = infer_constraints(schema)
+        assert repo.has_required_child("Employee", "Name")
+
+    def test_empty_schema(self):
+        repo = infer_constraints(parse_schema(""))
+        assert len(repo) == 0

@@ -1,0 +1,56 @@
+"""Tests for the LDAP directory façade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TreePattern
+from repro.data.ldap import Directory, dn_of
+from repro.errors import DataModelError
+from repro.matching import evaluate_nodes
+
+
+def build() -> Directory:
+    d = Directory("Organization", rdn="o=Corp")
+    dept = d.add(d.root_entry, "Dept", rdn="ou=Research")
+    d.add(dept, ["Employee", "Person"], rdn="cn=Ada", attributes={"mail": "ada@corp"})
+    return d
+
+
+class TestDirectory:
+    def test_dn_leaf_first(self):
+        d = build()
+        ada = d.entries_of_class("Employee")[0]
+        assert dn_of(ada) == "cn=Ada,ou=Research,o=Corp"
+
+    def test_dn_fallback_without_rdn(self):
+        d = Directory("Organization")
+        entry = d.add(d.root_entry, "Dept")
+        assert dn_of(entry).startswith("Dept=#")
+
+    def test_lookup_round_trip(self):
+        d = build()
+        ada = d.entries_of_class("Person")[0]
+        assert d.lookup(dn_of(ada)) is ada
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(DataModelError):
+            build().lookup("cn=Nobody,o=Corp")
+
+    def test_entries_of_class_uses_all_classes(self):
+        d = build()
+        assert d.entries_of_class("Person") == d.entries_of_class("Employee")
+
+    def test_attributes_stored(self):
+        d = build()
+        ada = d.entries_of_class("Employee")[0]
+        assert ada.attributes["mail"] == "ada@corp"
+
+    def test_len(self):
+        assert len(build()) == 3
+
+    def test_patterns_match_object_classes(self):
+        d = build()
+        q = TreePattern.build(("Organization", [("//", "Person*")]))
+        answers = evaluate_nodes(q, d.tree)
+        assert len(answers) == 1 and "Employee" in answers[0].types

@@ -1,0 +1,76 @@
+"""Tests for LDIF import/export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Directory, parse_ldif, to_ldif
+from repro.errors import ParseError
+
+SAMPLE = """# corporate white pages
+dn: o=Corp
+objectClass: Organization
+
+dn: ou=Research,o=Corp
+objectClass: Dept
+
+dn: cn=Ada,ou=Research,o=Corp
+objectClass: Employee
+objectClass: Person
+mail: ada@corp
+"""
+
+
+class TestParse:
+    def test_structure(self):
+        d = parse_ldif(SAMPLE)
+        assert len(d) == 3
+        ada = d.lookup("cn=Ada,ou=Research,o=Corp")
+        assert ada.types == {"Employee", "Person"}
+        assert ada.attributes["mail"] == "ada@corp"
+
+    def test_comments_ignored(self):
+        d = parse_ldif("# only\n# comments\ndn: o=X\nobjectClass: Org\n")
+        assert len(d) == 1
+
+    def test_continuation_lines(self):
+        d = parse_ldif(
+            "dn: o=X\nobjectClass: Org\ndescription: a very\n  long value\n"
+        )
+        assert d.root_entry.attributes["description"] == "a very long value"
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "objectClass: X\n",  # no dn first
+            "dn: o=X\n",  # no objectClass
+            "dn: cn=A,o=Missing\nobjectClass: X\n",  # orphan
+            "dn: o=A\nobjectClass: X\n\ndn: o=B\nobjectClass: X\n",  # two roots
+            "dn: o=A\nobjectClass X\n",  # missing colon
+        ],
+    )
+    def test_malformed(self, text):
+        with pytest.raises(ParseError):
+            parse_ldif(text)
+
+    def test_child_before_root(self):
+        with pytest.raises(ParseError):
+            parse_ldif("dn: cn=A,o=X\nobjectClass: P\n\ndn: o=X\nobjectClass: O\n")
+
+
+class TestRoundTrip:
+    def test_parse_serialize_fixpoint(self):
+        d = parse_ldif(SAMPLE)
+        once = to_ldif(d)
+        assert to_ldif(parse_ldif(once)) == once
+
+    def test_serialize_programmatic_directory(self):
+        d = Directory("Organization", rdn="o=Corp")
+        dept = d.add(d.root_entry, "Dept", rdn="ou=Sales")
+        d.add(dept, ["Employee", "Person"], rdn="cn=Bob", attributes={"mail": "b@c"})
+        text = to_ldif(d)
+        assert "dn: cn=Bob,ou=Sales,o=Corp" in text
+        assert "objectClass: Person" in text
+        back = parse_ldif(text)
+        assert len(back) == 3

@@ -1,0 +1,148 @@
+"""Tests for the embedding engine and answer-set evaluation."""
+
+from __future__ import annotations
+
+from repro import TreePattern
+from repro.data import Forest, build_tree
+from repro.matching import (
+    DataIndex,
+    EmbeddingEngine,
+    agree_on,
+    count_embeddings,
+    evaluate,
+    evaluate_nodes,
+    matches,
+)
+
+
+def q(spec) -> TreePattern:
+    return TreePattern.build(spec)
+
+
+def sample_tree():
+    return build_tree(
+        ("Library", [
+            ("Book", [("Title", [], "T1"), ("Author", [("LastName", [], "L1")])]),
+            ("Book", [("Title", [], "T2")]),
+            ("Shelf", [("Book", [("Title", [], "T3")])]),
+        ])
+    )
+
+
+class TestDataIndex:
+    def test_descendant_intervals(self):
+        tree = sample_tree()
+        index = DataIndex(tree)
+        shelf = tree.find("Shelf")[0]
+        deep_book = shelf.children[0]
+        assert index.is_descendant(deep_book, shelf)
+        assert index.is_descendant(deep_book, tree.root)
+        assert not index.is_descendant(shelf, deep_book)
+        assert not index.is_descendant(shelf, shelf)  # proper
+
+    def test_type_index(self):
+        index = DataIndex(sample_tree())
+        assert len(index.nodes_of_type("Book")) == 3
+        assert index.nodes_of_type("Nope") == []
+
+    def test_descendants_of_type(self):
+        tree = sample_tree()
+        index = DataIndex(tree)
+        assert len(list(index.descendants_of_type(tree.root, "Title"))) == 3
+        assert index.has_descendant_of_type(tree.root, "LastName")
+        assert not index.has_descendant_of_type(tree.find("Shelf")[0], "LastName")
+
+
+class TestEmbeddings:
+    def test_c_edge_matches_children_only(self):
+        tree = sample_tree()
+        direct = q(("Library", [("/", "Book*")]))
+        assert len(evaluate_nodes(direct, tree)) == 2  # not the shelf book
+
+    def test_d_edge_matches_all_depths(self):
+        tree = sample_tree()
+        assert len(evaluate_nodes(q(("Library", [("//", "Book*")])), tree)) == 3
+
+    def test_unanchored_root(self):
+        tree = sample_tree()
+        # Root type Book: pattern matches anywhere in the tree.
+        floating = q(("Book", [("/", "Title*")]))
+        assert len(evaluate_nodes(floating, tree)) == 3
+
+    def test_branches_must_coexist(self):
+        tree = sample_tree()
+        both = q(("Book*", [("/", "Title"), ("//", "LastName")]))
+        assert len(evaluate_nodes(both, tree)) == 1
+
+    def test_count_embeddings(self):
+        tree = sample_tree()
+        assert count_embeddings(q(("Library", [("//", "Title*")])), tree) == 3
+        # Two independent d-children multiply.
+        two = q(("Library", [("//", "Title"), ("//", "Book*")]))
+        assert count_embeddings(two, tree) == 9
+
+    def test_count_zero_when_no_match(self):
+        assert count_embeddings(q(("Library", [("/", "Nope*")])), sample_tree()) == 0
+
+    def test_enumerated_embeddings_are_valid(self):
+        tree = sample_tree()
+        pattern = q(("Book*", [("/", "Title")]))
+        engine = EmbeddingEngine(pattern, tree)
+        embeddings = list(engine.embeddings())
+        assert len(embeddings) == engine.count_embeddings() == 3
+        index = DataIndex(tree)
+        for emb in embeddings:
+            for v in pattern.nodes():
+                data_node = emb[v.id]
+                assert v.type in data_node.types
+                if v.parent is not None:
+                    parent_node = emb[v.parent.id]
+                    if v.edge.is_child:
+                        assert data_node.parent is parent_node
+                    else:
+                        assert index.is_descendant(data_node, parent_node)
+
+    def test_embeddings_limit(self):
+        tree = sample_tree()
+        engine = EmbeddingEngine(q(("Library", [("//", "Title*")])), tree)
+        assert len(list(engine.embeddings(limit=2))) == 2
+
+    def test_feasible_subset_of_candidates(self):
+        tree = sample_tree()
+        engine = EmbeddingEngine(q(("Book*", [("/", "Title"), ("//", "LastName")])), tree)
+        feasible = engine.feasible()
+        candidates = engine.candidates()
+        for node_id, ids in feasible.items():
+            assert ids <= candidates[node_id]
+
+    def test_exists(self):
+        tree = sample_tree()
+        assert EmbeddingEngine(q(("Library", [("//", "LastName*")])), tree).exists()
+        assert not EmbeddingEngine(q(("Library", [("/", "LastName*")])), tree).exists()
+
+
+class TestEvaluator:
+    def test_forest_tags_tree_index(self):
+        forest = Forest([sample_tree(), sample_tree()])
+        answers = evaluate(q(("Library", [("/", "Book*")])), forest)
+        assert {i for i, _ in answers} == {0, 1}
+        assert len(answers) == 4
+
+    def test_matches(self):
+        assert matches(q(("Book", [("/", "Title*")])), sample_tree())
+        assert not matches(q(("Book", [("/", "Publisher*")])), sample_tree())
+
+    def test_agree_on(self):
+        tree = sample_tree()
+        q1 = q(("Library", [("//", "Book*")]))
+        q2 = q(("Library", [("//", ("Book*", [("/", "Title")]))]))
+        # All books here have titles, so the queries agree on THIS tree...
+        assert agree_on(q1, q2, tree)
+        # ...but not on one with an untitled book.
+        other = build_tree(("Library", [("Book", [])]))
+        assert not agree_on(q1, q2, other)
+
+    def test_answer_is_output_node_not_root(self):
+        tree = sample_tree()
+        answers = evaluate_nodes(q(("Library", [("//", ("Author", [("/", "LastName*")]))])), tree)
+        assert len(answers) == 1 and "LastName" in answers[0].types

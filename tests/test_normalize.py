@@ -1,0 +1,125 @@
+"""Tests for syntactic sibling deduplication."""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro import TreePattern, cim_minimize, equivalent
+from repro.core.edges import EdgeKind
+from repro.core.normalize import dedup_siblings
+from repro.workloads.querygen import duplicate_random_branch, random_query
+
+
+def q(spec) -> TreePattern:
+    return TreePattern.build(spec)
+
+
+class TestDedup:
+    def test_identical_leaves_collapse(self):
+        result = dedup_siblings(q(("a*", [("/", "b"), ("/", "b"), ("/", "b")])))
+        assert result.pattern.size == 2
+        assert result.removed == 2
+        assert result.groups == 1
+
+    def test_identical_subtrees_collapse(self):
+        pattern = q(("a*", [
+            ("/", ("s", [("//", "t"), ("/", "u")])),
+            ("/", ("s", [("/", "u"), ("//", "t")])),  # same subtree, reordered
+        ]))
+        result = dedup_siblings(pattern)
+        assert result.pattern.size == 4
+        assert result.removed == 3
+
+    def test_edge_kind_distinguishes(self):
+        result = dedup_siblings(q(("a*", [("/", "b"), ("//", "b")])))
+        assert result.removed == 0
+
+    def test_different_subtrees_kept(self):
+        pattern = q(("a*", [("/", ("s", [("/", "t")])), ("/", ("s", [("/", "u")]))]))
+        assert dedup_siblings(pattern).removed == 0
+
+    def test_output_branch_never_merged(self):
+        # The starred branch differs canonically from its unstarred twin;
+        # dedup must leave both (CIM may still fold the unstarred one).
+        pattern = q(("a", [("/", "b*"), ("/", "b")]))
+        result = dedup_siblings(pattern)
+        assert result.removed == 0
+        assert cim_minimize(pattern).pattern.size == 2
+
+    def test_cascade_to_parent_level(self):
+        # After collapsing the inner duplicates, the two s-branches become
+        # identical and collapse too — in the same sweep.
+        pattern = q(("a*", [
+            ("/", ("s", [("/", "t"), ("/", "t")])),
+            ("/", ("s", [("/", "t")])),
+        ]))
+        result = dedup_siblings(pattern)
+        assert result.pattern.size == 3
+        assert result.removed == 3
+
+    def test_not_in_place_by_default(self):
+        pattern = q(("a*", [("/", "b"), ("/", "b")]))
+        dedup_siblings(pattern)
+        assert pattern.size == 3
+
+    def test_in_place(self):
+        pattern = q(("a*", [("/", "b"), ("/", "b")]))
+        result = dedup_siblings(pattern, in_place=True)
+        assert result.pattern is pattern and pattern.size == 2
+
+
+TYPES = ["a", "b", "c"]
+
+
+@st.composite
+def patterns(draw, max_size: int = 8) -> TreePattern:
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    pattern = TreePattern(draw(st.sampled_from(TYPES)))
+    nodes = [pattern.root]
+    for _ in range(size - 1):
+        parent = nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))]
+        edge = EdgeKind.DESCENDANT if draw(st.booleans()) else EdgeKind.CHILD
+        nodes.append(pattern.add_child(parent, draw(st.sampled_from(TYPES)), edge))
+    nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))].is_output = True
+    return pattern
+
+
+@settings(max_examples=100, deadline=None)
+@given(patterns())
+def test_dedup_preserves_equivalence(pattern):
+    result = dedup_siblings(pattern)
+    assert equivalent(result.pattern, pattern)
+
+
+@settings(max_examples=80, deadline=None)
+@given(patterns(), st.integers(min_value=0, max_value=100))
+def test_dedup_prefilter_does_not_change_cim_result(pattern, seed):
+    assume(pattern.size >= 2)
+    bloated = duplicate_random_branch(pattern, seed=seed)
+    direct = cim_minimize(bloated).pattern
+    deduped = dedup_siblings(bloated).pattern
+    piped = cim_minimize(deduped).pattern
+    assert piped.isomorphic(direct)
+
+
+@settings(max_examples=60, deadline=None)
+@given(patterns(max_size=6), st.integers(min_value=0, max_value=100))
+def test_dedup_catches_exact_duplicates(pattern, seed):
+    # Root-starred patterns only: a duplicate of the output-bearing
+    # branch is not syntactically identical (the twin lacks the star),
+    # which dedup intentionally leaves to CIM.
+    assume(pattern.size >= 2)
+    pattern = pattern.copy()
+    pattern.output_node.is_output = False
+    pattern.root.is_output = True
+    bloated = duplicate_random_branch(pattern, seed=seed)
+    result = dedup_siblings(bloated)
+    assert result.removed >= 1  # the duplicated branch is syntactic
+
+
+@settings(max_examples=60, deadline=None)
+@given(patterns())
+def test_dedup_idempotent(pattern):
+    once = dedup_siblings(pattern).pattern
+    twice = dedup_siblings(once).pattern
+    assert once.isomorphic(twice)

@@ -1,0 +1,78 @@
+"""Section 3.3's subtle points, as tests.
+
+The paper's examples show that the *order* of constraint-dependent and
+constraint-independent steps matters for naive strategies — and that the
+right pipeline is immune. Each claim below is one of the narrative's
+bullet points, made executable.
+"""
+
+from __future__ import annotations
+
+from repro import acim_minimize, apply_strategy, cim_minimize, minimize
+from repro.core.reduction import reduce_pattern
+from repro.workloads.paper_queries import (
+    ARTICLE_TITLE,
+    SECTION_PARAGRAPH,
+    figure2_b,
+    figure2_c,
+    figure2_d,
+    figure2_e,
+)
+
+ICS = [SECTION_PARAGRAPH]
+
+
+class TestOrderMatters:
+    def test_reduce_then_minimize_gets_stuck(self):
+        """From (b): reduction first gives (d), which no further r/m step
+        can shrink — strictly worse than the optimum (e)."""
+        reduced = reduce_pattern(figure2_b(), ICS)
+        assert reduced.isomorphic(figure2_d())
+        assert cim_minimize(reduced).removed_count == 0
+        assert reduce_pattern(reduced, ICS).size == reduced.size
+        # r·m ends at 5 nodes; the optimum has 3.
+        assert reduced.size == 5 and figure2_e().size == 3
+
+    def test_minimize_then_reduce_succeeds_here(self):
+        """From (b): CIM first gives (c); reduction then reaches (e).
+        (Ordering helps in this instance — but not in general, which is
+        why augmentation exists.)"""
+        minimized = cim_minimize(figure2_b()).pattern
+        assert minimized.isomorphic(figure2_c())
+        assert reduce_pattern(minimized, ICS).isomorphic(figure2_e())
+
+    def test_strategy_strings_reproduce_both_orders(self):
+        rm = apply_strategy(figure2_b(), ICS, "rm")
+        mr = apply_strategy(figure2_b(), ICS, "mr")
+        assert rm.size == 5 and mr.size == 3
+
+    def test_augmentation_repairs_the_stuck_order(self):
+        """From (d): neither r nor m applies, yet a·m·r reaches (e) — the
+        temporary Paragraph makes the fold visible."""
+        stuck = figure2_d()
+        assert apply_strategy(stuck, ICS, "rm").size == stuck.size
+        assert apply_strategy(stuck, ICS, "mr").size == stuck.size
+        assert apply_strategy(stuck, ICS, "amr").isomorphic(figure2_e())
+
+    def test_pipeline_immune_to_input_shape(self):
+        """Whatever station of the chain we start from, the pipeline ends
+        at the unique minimum (e)."""
+        for station in (figure2_b(), figure2_c(), figure2_d()):
+            assert minimize(station, ICS).pattern.isomorphic(figure2_e())
+
+    def test_longer_strategies_do_not_beat_amr(self):
+        for strategy in ("ramram", "mmrr", "arm", "amrm", "aamrr"):
+            result = apply_strategy(figure2_b(), ICS, strategy)
+            original_survivors = [n for n in result.nodes() if not n.temporary]
+            assert len(original_survivors) >= figure2_e().size
+
+    def test_title_first_or_last_is_irrelevant_to_pipeline(self):
+        """(a)'s two ICs can fire in either conceptual order; the unique
+        minimum does not care."""
+        from repro.workloads.paper_queries import figure2_a
+
+        both = [ARTICLE_TITLE, SECTION_PARAGRAPH]
+        assert acim_minimize(figure2_a(), both).pattern.isomorphic(figure2_e())
+        assert acim_minimize(figure2_a(), list(reversed(both))).pattern.isomorphic(
+            figure2_e()
+        )

@@ -1,0 +1,154 @@
+"""The paper's running examples, end to end (Sections 1, 3.3, 5.2).
+
+Every minimization claim the narrative makes about Figure 2 is asserted
+here, in the paper's own order.
+"""
+
+from __future__ import annotations
+
+from conftest import assert_semantically_equal_under
+
+from repro import (
+    acim_minimize,
+    amr,
+    cim_minimize,
+    equivalent,
+    equivalent_under,
+    is_minimal,
+    minimize,
+)
+from repro.core.reduction import reduce_pattern
+from repro.workloads.paper_queries import (
+    ARTICLE_TITLE,
+    FIGURE2_FG_CONSTRAINTS,
+    FIGURE5_CONSTRAINTS,
+    SECTION_PARAGRAPH,
+    figure2_a,
+    figure2_b,
+    figure2_c,
+    figure2_d,
+    figure2_e,
+    figure2_f,
+    figure2_g,
+    figure2_h,
+    figure2_i,
+    figure2_j,
+    figure5_query,
+)
+
+
+class TestIntroductionExamples:
+    def test_book_title_publisher(self):
+        """'find the title and author of books that have a publisher' +
+        'every book has a publisher' = drop the publisher branch."""
+        from repro.parsing import parse_xpath
+        from repro.constraints import required_child
+
+        query = parse_xpath("Book*[Title][Author][Publisher]")
+        result = minimize(query, [required_child("Book", "Publisher")])
+        assert sorted(result.pattern.node_types()) == ["Author", "Book", "Title"]
+
+
+class TestFigure2Chain:
+    def test_a_minimal_without_ics(self):
+        assert is_minimal(figure2_a())
+
+    def test_a_to_b_via_article_title(self):
+        reduced = reduce_pattern(figure2_a(), [ARTICLE_TITLE])
+        assert reduced.isomorphic(figure2_b())
+
+    def test_b_not_minimal_pure_cim_gives_c(self):
+        assert not is_minimal(figure2_b())
+        assert cim_minimize(figure2_b()).pattern.isomorphic(figure2_c())
+
+    def test_c_minimal_without_ics(self):
+        assert is_minimal(figure2_c())
+
+    def test_b_to_d_via_section_paragraph_locally(self):
+        reduced = reduce_pattern(figure2_b(), [SECTION_PARAGRAPH])
+        assert reduced.isomorphic(figure2_d())
+
+    def test_d_resists_reduction_and_cim(self):
+        # "(d) cannot be simplified further, either by applying this IC,
+        # or by using constraint independent means."
+        assert reduce_pattern(figure2_d(), [SECTION_PARAGRAPH]).size == figure2_d().size
+        assert is_minimal(figure2_d())
+
+    def test_d_equivalent_to_e_under_ic(self):
+        assert equivalent_under(figure2_d(), figure2_e(), [SECTION_PARAGRAPH])
+        assert not equivalent(figure2_d(), figure2_e())
+
+    def test_d_to_e_needs_augmentation(self):
+        result = acim_minimize(figure2_d(), [SECTION_PARAGRAPH])
+        assert result.pattern.isomorphic(figure2_e())
+
+    def test_c_to_e_via_ic(self):
+        result = acim_minimize(figure2_c(), [SECTION_PARAGRAPH])
+        assert result.pattern.isomorphic(figure2_e())
+
+    def test_full_chain_from_a(self):
+        result = minimize(figure2_a(), [ARTICLE_TITLE, SECTION_PARAGRAPH])
+        assert result.pattern.isomorphic(figure2_e())
+
+    def test_order_of_applying_steps_does_not_matter_for_pipeline(self):
+        # Section 3.3 warns the r/m application ORDER matters for naive
+        # strategies; the pipeline must be immune.
+        via_amr = amr(figure2_b(), [SECTION_PARAGRAPH])
+        via_acim = acim_minimize(figure2_b(), [SECTION_PARAGRAPH]).pattern
+        assert via_amr.isomorphic(figure2_e())
+        assert via_acim.isomorphic(figure2_e())
+
+    def test_semantic_spot_check(self):
+        assert_semantically_equal_under(
+            figure2_a(), figure2_e(), [ARTICLE_TITLE, SECTION_PARAGRAPH], seeds=range(3)
+        )
+
+
+class TestFigure2FG:
+    def test_f_to_g(self):
+        result = minimize(figure2_f(), FIGURE2_FG_CONSTRAINTS)
+        assert result.pattern.isomorphic(figure2_g())
+
+    def test_g_minimal_under_ics(self):
+        result = minimize(figure2_g(), FIGURE2_FG_CONSTRAINTS)
+        assert result.pattern.isomorphic(figure2_g())
+
+    def test_f_not_reducible_without_ics(self):
+        assert is_minimal(figure2_f())
+
+
+class TestFigure2HI:
+    def test_h_to_i_no_ics(self):
+        assert cim_minimize(figure2_h()).pattern.isomorphic(figure2_i())
+
+    def test_i_minimal(self):
+        assert is_minimal(figure2_i())
+
+    def test_h_equivalent_to_i(self):
+        assert equivalent(figure2_h(), figure2_i())
+
+
+class TestFigure2J:
+    def test_j_is_augmented_b(self):
+        j = figure2_j()
+        assert j.size == figure2_b().size + 1
+        temps = [n for n in j.nodes() if n.temporary]
+        assert len(temps) == 1
+        assert temps[0].type == "Paragraph"
+        assert temps[0].parent.type == "Section"
+
+    def test_j_equivalent_to_b_under_ic(self):
+        assert equivalent_under(figure2_j(), figure2_b(), [SECTION_PARAGRAPH])
+
+
+class TestFigure5:
+    def test_reduces_to_root_only(self):
+        result = minimize(figure5_query(), FIGURE5_CONSTRAINTS)
+        assert result.pattern.size == 1
+        assert result.pattern.root.type == "t1"
+
+    def test_cdm_alone_suffices_here(self):
+        from repro import cdm_minimize
+
+        result = cdm_minimize(figure5_query(), FIGURE5_CONSTRAINTS)
+        assert result.pattern.size == 1

@@ -1,0 +1,108 @@
+"""Tests for the PathStack engine (linear patterns)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import TreePattern
+from repro.core.edges import EdgeKind
+from repro.data import build_tree
+from repro.data.generate import random_tree
+from repro.errors import EvaluationError
+from repro.matching import EmbeddingEngine
+from repro.matching.pathstack import PathStackEngine, is_path_pattern
+
+
+def q(spec) -> TreePattern:
+    return TreePattern.build(spec)
+
+
+def nested_tree():
+    return build_tree(
+        ("a", [
+            ("b", [("a", [("b", [("c", [])])]), ("c", [])]),
+            ("a", [("c", [])]),
+        ])
+    )
+
+
+class TestIsPathPattern:
+    def test_paths_qualify(self):
+        assert is_path_pattern(q(("a", [("/", ("b", [("//", "c*")]))])))
+        assert is_path_pattern(q("a"))
+
+    def test_twigs_do_not(self):
+        assert not is_path_pattern(q(("a*", [("/", "b"), ("/", "c")])))
+
+    def test_engine_rejects_twigs(self):
+        with pytest.raises(EvaluationError):
+            PathStackEngine(q(("a*", [("/", "b"), ("/", "c")])), nested_tree())
+
+
+class TestSolutions:
+    def test_simple_child_path(self):
+        tree = nested_tree()
+        engine = PathStackEngine(q(("a", [("/", "b*")])), tree)
+        assert engine.count_solutions() == 2  # a/b at root and nested a/b
+
+    def test_descendant_path_counts_all_nestings(self):
+        tree = nested_tree()
+        engine = PathStackEngine(q(("a", [("//", "c*")])), tree)
+        # Every (a, c-descendant) pair.
+        reference = EmbeddingEngine(q(("a", [("//", "c*")])), tree)
+        assert engine.count_solutions() == reference.count_embeddings()
+
+    def test_self_type_recursion(self):
+        tree = nested_tree()
+        pattern = q(("a", [("//", "a*")]))
+        engine = PathStackEngine(pattern, tree)
+        reference = EmbeddingEngine(pattern, tree)
+        assert engine.answer_set() == reference.answer_set()
+        assert engine.count_solutions() == reference.count_embeddings()
+
+    def test_solutions_are_valid_embeddings(self):
+        tree = nested_tree()
+        pattern = q(("a", [("//", ("b", [("/", "c*")]))]))
+        engine = PathStackEngine(pattern, tree)
+        for solution in engine.solutions():
+            for v in pattern.nodes():
+                data_node = solution[v.id]
+                assert v.type in data_node.types
+                if v.parent is not None:
+                    parent_node = solution[v.parent.id]
+                    if v.edge.is_child:
+                        assert data_node.parent is parent_node
+                    else:
+                        assert tree.is_ancestor(parent_node, data_node)
+
+    def test_single_node_pattern(self):
+        tree = nested_tree()
+        engine = PathStackEngine(q("c"), tree)
+        assert len(engine.answer_set()) == 3
+
+
+TYPES = ["a", "b", "c"]
+
+
+@st.composite
+def path_patterns(draw, max_len: int = 4) -> TreePattern:
+    length = draw(st.integers(min_value=1, max_value=max_len))
+    pattern = TreePattern(draw(st.sampled_from(TYPES)))
+    node = pattern.root
+    for _ in range(length - 1):
+        edge = EdgeKind.DESCENDANT if draw(st.booleans()) else EdgeKind.CHILD
+        node = pattern.add_child(node, draw(st.sampled_from(TYPES)), edge)
+    chain = list(pattern.nodes())
+    chain[draw(st.integers(min_value=0, max_value=len(chain) - 1))].is_output = True
+    return pattern
+
+
+@settings(max_examples=120, deadline=None)
+@given(path_patterns(), st.integers(min_value=0, max_value=60))
+def test_pathstack_agrees_with_dp_engine(pattern, seed):
+    db = random_tree(TYPES, size=25, seed=seed)
+    pathstack = PathStackEngine(pattern, db)
+    reference = EmbeddingEngine(pattern, db)
+    assert pathstack.answer_set() == reference.answer_set()
+    assert pathstack.count_solutions() == reference.count_embeddings()

@@ -1,0 +1,73 @@
+"""Tests for the public minimize() pipeline."""
+
+from __future__ import annotations
+
+from repro import TreePattern, acim_minimize, minimize
+from repro.constraints import closure, parse_constraints
+from repro.workloads.paper_queries import (
+    ARTICLE_TITLE,
+    SECTION_PARAGRAPH,
+    figure2_a,
+    figure2_e,
+)
+
+
+def q(spec) -> TreePattern:
+    return TreePattern.build(spec)
+
+
+class TestPipeline:
+    def test_no_constraints_runs_plain_cim(self):
+        pattern = q(("a*", [("/", "b"), ("/", "b")]))
+        result = minimize(pattern)
+        assert result.cdm is None
+        assert result.pattern.size == 2
+        assert result.removed_count == 1
+
+    def test_with_constraints_runs_both_stages(self):
+        result = minimize(figure2_a(), [ARTICLE_TITLE, SECTION_PARAGRAPH])
+        assert result.cdm is not None and result.acim is not None
+        assert result.pattern.isomorphic(figure2_e())
+
+    def test_prefilter_toggle_same_result(self):
+        ics = [ARTICLE_TITLE, SECTION_PARAGRAPH]
+        with_filter = minimize(figure2_a(), ics, use_cdm_prefilter=True)
+        without = minimize(figure2_a(), ics, use_cdm_prefilter=False)
+        assert with_filter.pattern.isomorphic(without.pattern)
+        assert without.cdm is None
+
+    def test_matches_direct_acim(self):
+        ics = [ARTICLE_TITLE, SECTION_PARAGRAPH]
+        assert minimize(figure2_a(), ics).pattern.isomorphic(
+            acim_minimize(figure2_a(), ics).pattern
+        )
+
+    def test_counts_add_up(self):
+        result = minimize(figure2_a(), [ARTICLE_TITLE, SECTION_PARAGRAPH])
+        assert result.removed_count == figure2_a().size - result.pattern.size
+        assert result.input_size == figure2_a().size
+
+    def test_total_seconds_positive(self):
+        result = minimize(figure2_a(), [ARTICLE_TITLE, SECTION_PARAGRAPH])
+        assert result.total_seconds > 0
+
+    def test_summary_mentions_sizes(self):
+        result = minimize(figure2_a(), [ARTICLE_TITLE, SECTION_PARAGRAPH])
+        text = result.summary()
+        assert "7 -> 3" in text
+
+    def test_closed_repo_shortcut(self):
+        repo = closure([ARTICLE_TITLE, SECTION_PARAGRAPH])
+        result = minimize(figure2_a(), repo)
+        assert result.closure_seconds == 0.0 or result.pattern.size == 3
+
+    def test_input_untouched(self):
+        pattern = figure2_a()
+        minimize(pattern, [ARTICLE_TITLE])
+        assert pattern.size == 7
+
+    def test_constraint_strings_via_parse(self):
+        result = minimize(
+            q(("Book*", [("/", "Title")])), parse_constraints("Book -> Title")
+        )
+        assert result.pattern.size == 1

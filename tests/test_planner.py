@@ -1,0 +1,79 @@
+"""Tests for the evaluation planner."""
+
+from __future__ import annotations
+
+from repro import TreePattern
+from repro.constraints import parse_constraints
+from repro.data import build_tree
+from repro.data.generate import random_tree
+from repro.matching import DocumentStatistics, EmbeddingEngine, execute, plan
+
+
+def q(spec) -> TreePattern:
+    return TreePattern.build(spec)
+
+
+def small_tree():
+    return build_tree(("Library", [("Book", [("Title", [], "t")])]))
+
+
+class TestPlan:
+    def test_minimization_always_applied(self):
+        p = plan(q(("a*", [("/", "b"), ("/", "b")])))
+        assert p.removed_nodes == 1
+        assert p.pattern.size == 2
+        assert "minimization removed 1" in p.explain()
+
+    def test_constraints_forwarded(self):
+        p = plan(q(("Book*", [("/", "Title")])), constraints=parse_constraints("Book -> Title"))
+        assert p.pattern.size == 1
+
+    def test_linear_pattern_uses_pathstack(self):
+        p = plan(q(("a", [("/", ("b", [("//", "c*")]))])))
+        assert p.engine == "pathstack"
+
+    def test_single_node_pattern_avoids_pathstack(self):
+        p = plan(q("a"))
+        assert p.engine == "dp"
+
+    def test_twig_small_document_uses_dp(self):
+        stats = DocumentStatistics.collect(small_tree())
+        p = plan(q(("a*", [("/", "b"), ("/", "c")])), statistics=stats)
+        assert p.engine == "dp"
+
+    def test_twig_large_document_uses_joins(self):
+        stats = DocumentStatistics.collect(random_tree(["a", "b", "c"], size=500, seed=0))
+        p = plan(q(("a*", [("/", "b"), ("/", "c")])), statistics=stats)
+        assert p.engine == "twigjoin"
+        assert p.estimated_cost is not None
+
+    def test_no_stats_no_estimate(self):
+        p = plan(q("a"))
+        assert p.estimated_cost is None
+
+    def test_explain_readable(self):
+        p = plan(q(("a", [("//", "b*")])))
+        text = p.explain()
+        assert "engine=pathstack" in text and "already minimal" in text
+
+
+class TestExecute:
+    def test_all_engines_give_reference_answers(self):
+        db = random_tree(["a", "b", "c"], size=200, seed=3)
+        stats = DocumentStatistics.collect(db)
+        for spec in (
+            ("a", [("//", "b*")]),  # path -> pathstack
+            ("a*", [("/", "b"), ("//", "c")]),  # twig + large doc -> joins
+        ):
+            pattern = q(spec)
+            evaluation_plan = plan(pattern, statistics=stats)
+            got = execute(evaluation_plan, db)
+            want = EmbeddingEngine(pattern, db).answer_set()
+            assert got == want, evaluation_plan.explain()
+
+    def test_dp_fallback(self):
+        db = small_tree()
+        pattern = q(("Library*", [("/", "Book"), ("//", "Title")]))
+        evaluation_plan = plan(pattern, statistics=DocumentStatistics.collect(db))
+        assert evaluation_plan.engine == "dp"
+        assert execute(evaluation_plan, db) == EmbeddingEngine(pattern, db).answer_set()

@@ -1,0 +1,158 @@
+"""Tests for the value-predicate extension (paper Section 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TreePattern
+from repro.data import build_tree
+from repro.errors import ParseError
+from repro.extensions.predicates import (
+    Condition,
+    ConditionedPattern,
+    Op,
+    entails,
+    parse_condition,
+)
+
+
+def c(text: str) -> Condition:
+    return parse_condition(text)
+
+
+class TestParseCondition:
+    def test_numeric_ops(self):
+        cond = c("price < 100")
+        assert cond == Condition("price", Op.LT, 100)
+
+    def test_all_operators(self):
+        for op_text, op in [("<=", Op.LE), (">=", Op.GE), ("!=", Op.NE),
+                            ("<", Op.LT), (">", Op.GT), ("=", Op.EQ)]:
+            assert c(f"x {op_text} 1").op is op
+
+    def test_quoted_strings(self):
+        assert c("binding = 'hard'").value == "hard"
+        assert c('binding = "soft"').value == "soft"
+
+    def test_float_values(self):
+        assert c("rate < 1.5").value == 1.5
+
+    def test_unquoted_word_is_string(self):
+        assert c("binding = hard").value == "hard"
+
+    def test_malformed(self):
+        with pytest.raises(ParseError):
+            c("price about 100")
+        with pytest.raises(ParseError):
+            c("< 100")
+
+
+class TestEvaluate:
+    def test_numeric_comparison(self):
+        assert c("price < 100").evaluate("50")
+        assert not c("price < 100").evaluate("150")
+        assert c("price >= 100").evaluate(100)
+
+    def test_missing_value_fails(self):
+        assert not c("price < 100").evaluate(None)
+
+    def test_type_mismatch_fails_closed(self):
+        assert not c("price < 100").evaluate("not-a-number")
+
+    def test_string_equality(self):
+        assert c("binding = 'hard'").evaluate("hard")
+        assert not c("binding != 'hard'").evaluate("hard")
+
+
+class TestEntailment:
+    def test_interval_strengthening(self):
+        assert entails([c("p < 50")], [c("p < 100")])
+        assert not entails([c("p < 100")], [c("p < 50")])
+
+    def test_equality_entails_bounds(self):
+        assert entails([c("p = 10")], [c("p <= 10")])
+        assert entails([c("p = 10")], [c("p >= 10")])
+        assert entails([c("p = 10")], [c("p != 11")])
+        assert not entails([c("p = 12")], [c("p <= 10")])
+
+    def test_open_vs_closed_bounds(self):
+        assert entails([c("p < 10")], [c("p <= 10")])
+        assert not entails([c("p <= 10")], [c("p < 10")])
+
+    def test_conjunction_both_sides(self):
+        strong = [c("p > 0"), c("p < 10")]
+        weak = [c("p > -5"), c("p < 100")]
+        assert entails(strong, weak)
+        assert not entails(weak, strong)
+
+    def test_not_equals_handling(self):
+        assert entails([c("p < 5")], [c("p != 7")])
+        assert not entails([c("p != 7")], [c("p < 100")])
+        assert entails([c("p != 7")], [c("p != 7")])
+
+    def test_different_attributes_independent(self):
+        assert not entails([c("p < 5")], [c("q < 5")])
+        assert entails([c("p < 5"), c("q < 5")], [c("q < 100")])
+
+    def test_empty_weak_side(self):
+        assert entails([c("p < 5")], [])
+
+    def test_string_conditions_conservative(self):
+        assert entails([c("b = 'hard'")], [c("b = 'hard'")])
+        assert not entails([c("b = 'hard'")], [c("b = 'soft'")])
+        assert entails([c("b = 'hard'")], [c("b != 'soft'")])
+
+
+class TestConditionedPattern:
+    def two_books(self):
+        pattern = TreePattern.build(("Shop*", [("/", "Book"), ("/", "Book")]))
+        first, second = [n.id for n in pattern.nodes() if n.type == "Book"]
+        return pattern, first, second
+
+    def test_weaker_folds_onto_stronger(self):
+        pattern, first, second = self.two_books()
+        cp = ConditionedPattern(pattern, {first: [c("price < 100")], second: [c("price < 50")]})
+        mini, result = cp.cim_minimize()
+        assert result.removed_count == 1
+        assert not mini.pattern.has_node(first)
+        assert mini.conditions_at(second)
+
+    def test_incomparable_conditions_block(self):
+        pattern, first, second = self.two_books()
+        cp = ConditionedPattern(pattern, {first: [c("price < 100")], second: [c("year > 2000")]})
+        _, result = cp.cim_minimize()
+        assert result.removed_count == 0
+
+    def test_unconditioned_twin_still_folds(self):
+        pattern, first, second = self.two_books()
+        cp = ConditionedPattern(pattern, {second: [c("price < 50")]})
+        mini, result = cp.cim_minimize()
+        # The unconditioned branch is weaker: it folds onto the strong one.
+        assert result.removed_count == 1
+        assert mini.pattern.has_node(second)
+
+    def test_conditioned_node_never_folds_onto_unconditioned(self):
+        pattern, first, second = self.two_books()
+        cp = ConditionedPattern(pattern, {first: [c("price < 100")]})
+        mini, _ = cp.cim_minimize()
+        assert mini.pattern.has_node(first)
+
+    def test_unknown_node_id_rejected(self):
+        pattern, *_ = self.two_books()
+        with pytest.raises(KeyError):
+            ConditionedPattern(pattern, {999: [c("p < 1")]})
+
+    def test_evaluation_respects_conditions(self):
+        shop = build_tree(("Shop", ["Book", "Book", "Book"]))
+        for price, node in zip(("30", "70", "120"), shop.root.children):
+            node.attributes["price"] = price
+        query = TreePattern.build(("Shop", [("/", "Book*")]))
+        cp = ConditionedPattern(query, {query.output_node.id: [c("price < 100")]})
+        assert len(cp.answer_set(shop)) == 2
+
+    def test_evaluation_falls_back_to_value(self):
+        shop = build_tree(("Shop", [("Book", [], "42")]))
+        query = TreePattern.build(("Shop", [("/", "Book*")]))
+        cp = ConditionedPattern(query, {query.output_node.id: [Condition("price", Op.LT, 100)]})
+        # No 'price' attribute: the node value is consulted.
+        assert len(cp.answer_set(shop)) == 1

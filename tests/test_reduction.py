@@ -1,0 +1,71 @@
+"""Tests for the reduction step R (direct IC-implied leaf elimination)."""
+
+from __future__ import annotations
+
+from repro import TreePattern
+from repro.constraints import closure, co_occurrence, required_child, required_descendant
+from repro.core.reduction import is_directly_implied, reduce_pattern
+
+
+def q(spec) -> TreePattern:
+    return TreePattern.build(spec)
+
+
+class TestIsDirectlyImplied:
+    def test_c_edge_needs_child_ic(self):
+        pattern = q(("Book*", [("/", "Title")]))
+        leaf = pattern.find("Title")[0]
+        assert is_directly_implied(leaf, closure([required_child("Book", "Title")]))
+        assert not is_directly_implied(leaf, closure([required_descendant("Book", "Title")]))
+
+    def test_d_edge_satisfied_by_descendant_ic(self):
+        pattern = q(("Book*", [("//", "Title")]))
+        leaf = pattern.find("Title")[0]
+        assert is_directly_implied(leaf, closure([required_descendant("Book", "Title")]))
+
+    def test_d_edge_satisfied_by_child_ic_via_closure(self):
+        pattern = q(("Book*", [("//", "Title")]))
+        leaf = pattern.find("Title")[0]
+        assert is_directly_implied(leaf, closure([required_child("Book", "Title")]))
+
+    def test_output_leaf_never_implied(self):
+        pattern = q(("Book", [("/", "Title*")]))
+        leaf = pattern.output_node
+        assert not is_directly_implied(leaf, closure([required_child("Book", "Title")]))
+
+    def test_internal_node_never_implied(self):
+        pattern = q(("Book*", [("/", ("Author", [("/", "LastName")]))]))
+        author = pattern.find("Author")[0]
+        assert not is_directly_implied(author, closure([required_child("Book", "Author")]))
+
+    def test_augmented_parent_types_consulted(self):
+        # Parent carries an extra (co-occurrence) type whose IC applies.
+        pattern = q(("PermEmp*", [("/", "Badge")]))
+        pattern.add_extra_type(pattern.root, "Employee")
+        repo = closure([required_child("Employee", "Badge")])
+        assert is_directly_implied(pattern.find("Badge")[0], repo)
+
+
+class TestReducePattern:
+    def test_cascades_up_chains(self):
+        pattern = q(("t0*", [("/", ("t1", [("/", "t2")]))]))
+        repo = [required_child("t0", "t1"), required_child("t1", "t2")]
+        assert reduce_pattern(pattern, repo).size == 1
+
+    def test_respects_missing_ics(self):
+        pattern = q(("t0*", [("/", ("t1", [("/", "t2")]))]))
+        repo = [required_child("t0", "t1")]  # t2 not implied -> blocks t1 too
+        assert reduce_pattern(pattern, repo).size == 3
+
+    def test_in_place_flag(self):
+        pattern = q(("Book*", [("/", "Title")]))
+        repo = [required_child("Book", "Title")]
+        out = reduce_pattern(pattern, repo)
+        assert pattern.size == 2 and out.size == 1
+        out2 = reduce_pattern(pattern, repo, in_place=True)
+        assert out2 is pattern and pattern.size == 1
+
+    def test_co_occurrence_alone_never_reduces(self):
+        pattern = q(("Org*", [("/", "Manager"), ("/", "Employee")]))
+        out = reduce_pattern(pattern, [co_occurrence("Manager", "Employee")])
+        assert out.size == 3  # reduction is strictly weaker than CDM

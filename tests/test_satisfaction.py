@@ -1,0 +1,60 @@
+"""Tests for checking integrity constraints against databases."""
+
+from __future__ import annotations
+
+from repro.constraints import parse_constraints
+from repro.data import Forest, build_tree
+from repro.matching import satisfies, violations
+
+
+ICS = parse_constraints("Book -> Title; Book ->> LastName; Employee ~ Person")
+
+
+class TestViolations:
+    def test_clean_tree(self):
+        tree = build_tree(
+            ("Library", [("Book", [("Title", [], "t"), ("Author", [("LastName", [], "l")])])])
+        )
+        assert satisfies(tree, ICS)
+        assert violations(tree, ICS) == []
+
+    def test_missing_required_child(self):
+        tree = build_tree(("Book", [("Author", [("LastName", [], "l")])]))
+        found = violations(tree, ICS)
+        assert len(found) == 1
+        assert found[0].constraint.notation() == "Book -> Title"
+        assert "Book -> Title" in found[0].describe()
+
+    def test_missing_required_descendant(self):
+        tree = build_tree(("Book", [("Title", [], "t")]))
+        found = violations(tree, ICS)
+        assert [v.constraint.target for v in found] == ["LastName"]
+
+    def test_descendant_satisfied_at_any_depth(self):
+        tree = build_tree(
+            ("Book", [("Title", [], "t"), ("Part", [("Sub", [("LastName", [], "x")])])])
+        )
+        assert satisfies(tree, ICS)
+
+    def test_co_occurrence_checked_on_type_sets(self):
+        good = build_tree(("Org", [("Employee+Person", [])]))
+        bad = build_tree(("Org", [("Employee", [])]))
+        assert satisfies(good, ICS)
+        assert not satisfies(bad, ICS)
+
+    def test_every_carried_type_checked(self):
+        # A node that is both Thing and Book must satisfy Book's ICs.
+        tree = build_tree(("Thing+Book", []))
+        assert not satisfies(tree, ICS)
+
+    def test_limit_stops_early(self):
+        tree = build_tree(("Library", [("Book", []), ("Book", []), ("Book", [])]))
+        assert len(violations(tree, ICS, limit=2)) == 2
+
+    def test_forest_indexes_trees(self):
+        forest = Forest([build_tree("Library"), build_tree(("Book", []))])
+        found = violations(forest, ICS)
+        assert {v.tree_index for v in found} == {1}
+
+    def test_empty_constraints_always_satisfied(self):
+        assert satisfies(build_tree("Anything"), [])

@@ -1,0 +1,135 @@
+"""Tests for the schema language, model, and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import build_tree
+from repro.errors import SchemaError
+from repro.schema import Occurs, Particle, Schema, conforms, parse_schema, schema_violations
+
+TEXT = """
+# publishing schema
+element Book {
+    Title
+    Author+
+    Chapter*
+    Publisher?
+}
+element Author { LastName FirstName? }
+type Employee : Person, Principal
+"""
+
+
+class TestOccurs:
+    def test_suffix_round_trip(self):
+        for suffix in ("", "?", "*", "+"):
+            assert Occurs.from_suffix(suffix).suffix == suffix
+
+    def test_required(self):
+        assert Occurs.from_suffix("").required
+        assert Occurs.from_suffix("+").required
+        assert not Occurs.from_suffix("?").required
+        assert not Occurs.from_suffix("*").required
+
+    def test_custom_bounds_notation(self):
+        assert Occurs(1, 5).suffix == "{1,5}"
+
+    def test_invalid_bounds(self):
+        with pytest.raises(SchemaError):
+            Occurs(-1, None)
+        with pytest.raises(SchemaError):
+            Occurs(3, 2)
+
+    def test_unknown_suffix(self):
+        with pytest.raises(SchemaError):
+            Occurs.from_suffix("!")
+
+
+class TestParsing:
+    def test_elements_and_particles(self):
+        schema = parse_schema(TEXT)
+        book = schema.element("Book")
+        assert book is not None
+        assert [p.notation() for p in book.particles] == [
+            "Title", "Author+", "Chapter*", "Publisher?",
+        ]
+        assert book.required_children() == ["Title", "Author"]
+        assert book.particle_for("Chapter").occurs.max_occurs is None
+        assert book.particle_for("Nope") is None
+
+    def test_co_occurrence_list(self):
+        schema = parse_schema(TEXT)
+        assert ("Employee", "Person") in schema.co_occurrences
+        assert ("Employee", "Principal") in schema.co_occurrences
+
+    def test_types_collects_everything(self):
+        schema = parse_schema(TEXT)
+        assert {"Book", "Title", "LastName", "Person"} <= schema.types()
+
+    def test_notation_reparses(self):
+        schema = parse_schema(TEXT)
+        again = parse_schema(schema.notation())
+        assert again.notation() == schema.notation()
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "element Book Title }",
+            "element Book {",
+            "nonsense Book {}",
+            "type A :",
+            "element A { B B }",
+            "element A {} element A {}",
+            "type A : A",
+        ],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(SchemaError):
+            parse_schema(text)
+
+
+class TestValidation:
+    SCHEMA = parse_schema(TEXT)
+
+    def test_conforming_tree(self):
+        tree = build_tree(
+            ("Book", [("Title", [], "t"), ("Author", [("LastName", [], "l")])])
+        )
+        assert conforms(tree, self.SCHEMA)
+
+    def test_missing_required_child(self):
+        tree = build_tree(("Book", [("Author", [("LastName", [], "l")])]))
+        found = schema_violations(tree, self.SCHEMA)
+        assert any("Title" in v.message for v in found)
+
+    def test_over_max(self):
+        tree = build_tree(
+            ("Book", [("Title", [], "a"), ("Title", [], "b"), ("Author", [("LastName", [], "l")])])
+        )
+        found = schema_violations(tree, self.SCHEMA)
+        assert any("at most" in v.message for v in found)
+
+    def test_undeclared_child_rejected(self):
+        tree = build_tree(
+            ("Book", [("Title", [], "t"), ("Author", [("LastName", [], "l")]), ("Blurb", [])])
+        )
+        found = schema_violations(tree, self.SCHEMA)
+        assert any("not allowed" in v.message for v in found)
+
+    def test_undeclared_element_is_open(self):
+        tree = build_tree(("Junk", [("Whatever", [])]))
+        assert conforms(tree, self.SCHEMA)
+
+    def test_co_occurrence_validated(self):
+        bad = build_tree(("Org", [("Employee", [])]))
+        found = schema_violations(bad, self.SCHEMA)
+        assert len(found) == 2  # missing Person and Principal
+
+    def test_declare_api(self):
+        schema = Schema()
+        schema.declare_element("X", [Particle("Y")])
+        schema.declare_co_occurrence("A", "B")
+        schema.declare_co_occurrence("A", "B")  # idempotent
+        assert len(schema) == 1
+        assert schema.co_occurrences == (("A", "B"),)

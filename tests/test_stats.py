@@ -1,0 +1,83 @@
+"""Tests for document statistics and matching-cost estimation."""
+
+from __future__ import annotations
+
+from repro import TreePattern, cim_minimize, minimize
+from repro.constraints import parse_constraints
+from repro.data import Forest, build_tree
+from repro.data.generate import random_satisfying_tree
+from repro.matching.stats import DocumentStatistics, estimate_cost, measured_cost
+
+
+def q(spec) -> TreePattern:
+    return TreePattern.build(spec)
+
+
+def library():
+    return build_tree(
+        ("Library", [
+            ("Book", [("Title", [], "a"), ("Author", [("LastName", [], "x")])]),
+            ("Book", [("Title", [], "b")]),
+        ])
+    )
+
+
+class TestStatistics:
+    def test_counts(self):
+        stats = DocumentStatistics.collect(library())
+        assert stats.total_nodes == 7
+        assert stats.cardinality("Book") == 2
+        assert stats.cardinality("Title") == 2
+        assert stats.cardinality("Nope") == 0
+
+    def test_child_pairs(self):
+        stats = DocumentStatistics.collect(library())
+        assert stats.child_pairs[("Library", "Book")] == 2
+        assert stats.child_pairs[("Book", "Title")] == 2
+        assert stats.child_pairs[("Author", "LastName")] == 1
+
+    def test_child_selectivity(self):
+        stats = DocumentStatistics.collect(library())
+        assert stats.child_selectivity("Library", "Book") == 1.0
+        assert stats.child_selectivity("Book", "LastName") == 0.0
+        assert stats.child_selectivity("X", "Missing") == 0.0
+
+    def test_multi_type_nodes_counted_per_type(self):
+        tree = build_tree(("Org", [("Employee+Person", [])]))
+        stats = DocumentStatistics.collect(tree)
+        assert stats.cardinality("Employee") == 1
+        assert stats.cardinality("Person") == 1
+        assert stats.child_pairs[("Org", "Person")] == 1
+
+    def test_forest_accumulates(self):
+        stats = DocumentStatistics.collect(Forest([library(), library()]))
+        assert stats.total_nodes == 14
+        assert stats.cardinality("Book") == 4
+
+
+class TestCost:
+    def test_smaller_pattern_never_costs_more(self):
+        stats = DocumentStatistics.collect(library())
+        redundant = q(("Library", [("/", ("Book*", [("//", "Title")])), ("//", "Title")]))
+        minimized = cim_minimize(redundant).pattern
+        assert minimized.size < redundant.size
+        assert estimate_cost(minimized, stats) <= estimate_cost(redundant, stats)
+
+    def test_estimate_zero_for_absent_types(self):
+        stats = DocumentStatistics.collect(library())
+        assert estimate_cost(q("Missing"), stats) == 0.0
+
+    def test_measured_cost_drops_with_minimization(self):
+        ics = parse_constraints("Book -> Title; Author ->> LastName")
+        docs = [
+            random_satisfying_tree(
+                ["Library", "Book", "Title", "Author", "LastName"], ics, size=120, seed=s
+            )
+            for s in range(2)
+        ]
+        redundant = q(("Library", [
+            ("/", ("Book*", [("/", "Title"), ("//", ("Author", [("//", "LastName")]))])),
+        ]))
+        smaller = minimize(redundant, ics).pattern
+        assert smaller.size < redundant.size
+        assert measured_cost(smaller, docs) <= measured_cost(redundant, docs)

@@ -1,0 +1,136 @@
+"""Executable checks of the Section 5.3 strategy algebra (Lemmas 5.2-5.4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import TreePattern, acim_minimize, amr, apply_strategy
+from repro.constraints import co_occurrence, required_child, required_descendant
+from repro.core.edges import EdgeKind
+from repro.core.ic_containment import finitely_satisfiable
+from repro.core.strategy import OPTIMAL_STRATEGY
+from repro.errors import StrategyError
+from repro.workloads.paper_queries import (
+    ARTICLE_TITLE,
+    SECTION_PARAGRAPH,
+    figure2_a,
+    figure2_d,
+    figure2_e,
+)
+
+TYPES = ["a", "b", "c"]
+
+
+@st.composite
+def patterns(draw, max_size: int = 7) -> TreePattern:
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    pattern = TreePattern(draw(st.sampled_from(TYPES)))
+    nodes = [pattern.root]
+    for _ in range(size - 1):
+        parent = nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))]
+        edge = EdgeKind.DESCENDANT if draw(st.booleans()) else EdgeKind.CHILD
+        nodes.append(pattern.add_child(parent, draw(st.sampled_from(TYPES)), edge))
+    nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))].is_output = True
+    return pattern
+
+
+@st.composite
+def constraint_sets(draw):
+    out = []
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        kind = draw(st.sampled_from(["child", "desc", "cooc"]))
+        if kind == "cooc":
+            i = draw(st.integers(min_value=0, max_value=len(TYPES) - 1))
+            j = draw(st.integers(min_value=0, max_value=len(TYPES) - 1))
+            if i != j:
+                out.append(co_occurrence(TYPES[i], TYPES[j]))
+        else:
+            i = draw(st.integers(min_value=0, max_value=len(TYPES) - 2))
+            j = draw(st.integers(min_value=i + 1, max_value=len(TYPES) - 1))
+            make = required_child if kind == "child" else required_descendant
+            out.append(make(TYPES[i], TYPES[j]))
+    return out
+
+
+STRATEGIES = st.text(alphabet="arm", min_size=0, max_size=5)
+
+
+def original_ids(pattern: TreePattern, result: TreePattern) -> set[int]:
+    """Ids of the input's nodes surviving in a strategy result (strategy
+    steps preserve node identity; augmentation ids are fresh)."""
+    input_ids = {n.id for n in pattern.nodes()}
+    return {n.id for n in result.nodes() if n.id in input_ids}
+
+
+class TestSteps:
+    def test_unknown_step_rejected(self):
+        with pytest.raises(StrategyError):
+            apply_strategy(figure2_a(), [], "axm")
+
+    def test_empty_strategy_is_identity(self):
+        pattern = figure2_a()
+        result = apply_strategy(pattern, [ARTICLE_TITLE], "")
+        assert result.isomorphic(pattern)
+
+    def test_m_alone_is_cim(self):
+        result = apply_strategy(figure2_a(), [], "m")
+        # (a) is CIM-minimal.
+        assert result.size == figure2_a().size
+
+    def test_r_removes_directly_implied(self):
+        result = apply_strategy(figure2_a(), [ARTICLE_TITLE], "r")
+        assert result.size == figure2_a().size - 1  # just the Title
+
+    def test_a_adds_temporaries(self):
+        result = apply_strategy(figure2_d(), [SECTION_PARAGRAPH], "a")
+        assert result.size == figure2_d().size + 1
+        assert any(n.temporary for n in result.nodes())
+
+
+class TestOptimalStrategy:
+    def test_amr_on_the_paper_showcase(self):
+        assert amr(figure2_d(), [SECTION_PARAGRAPH]).isomorphic(figure2_e())
+        assert amr(figure2_a(), [ARTICLE_TITLE, SECTION_PARAGRAPH]).isomorphic(figure2_e())
+
+    def test_optimal_strategy_constant(self):
+        assert OPTIMAL_STRATEGY == "amr"
+
+    @settings(max_examples=40, deadline=None)
+    @given(patterns(), constraint_sets())
+    def test_amr_idempotent(self, pattern, ics):
+        """Lemma 5.3: a·m·r is idempotent."""
+        once = amr(pattern, ics)
+        twice = amr(once, ics)
+        assert once.isomorphic(twice)
+
+    @settings(max_examples=40, deadline=None)
+    @given(patterns(), constraint_sets(), STRATEGIES)
+    def test_amr_dominates_every_strategy(self, pattern, ics, strategy):
+        """Lemma 5.4: every strategy string's result contains (node-wise)
+        the a·m·r result."""
+        if not finitely_satisfiable(ics):
+            return
+        best = apply_strategy(pattern, ics, "amr")
+        other = apply_strategy(pattern, ics, strategy)
+        assert original_ids(pattern, best) <= original_ids(pattern, other), (
+            f"strategy {strategy!r} removed nodes amr kept"
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(patterns(), constraint_sets(), STRATEGIES)
+    def test_no_strategy_beats_amr_in_size(self, pattern, ics, strategy):
+        if not finitely_satisfiable(ics):
+            return
+        best = apply_strategy(pattern, ics, "amr")
+        other = apply_strategy(pattern, ics, strategy)
+        # Compare surviving original nodes (temporaries may linger in
+        # strategies not ending with r).
+        assert len(original_ids(pattern, best)) <= len(original_ids(pattern, other))
+
+    @settings(max_examples=30, deadline=None)
+    @given(patterns(max_size=6), constraint_sets())
+    def test_acim_equals_amr(self, pattern, ics):
+        if not finitely_satisfiable(ics):
+            return
+        assert acim_minimize(pattern, ics).pattern.isomorphic(amr(pattern, ics))

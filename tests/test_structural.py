@@ -1,0 +1,134 @@
+"""Tests for the structural-join (twig) evaluation engine."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro import TreePattern
+from repro.core.edges import EdgeKind
+from repro.data import build_tree
+from repro.data.generate import random_tree
+from repro.matching import DataIndex, EmbeddingEngine, TwigJoinEngine
+from repro.matching.structural import (
+    ancestors_with_descendant_in,
+    descendants_with_ancestor_in,
+)
+
+
+def q(spec) -> TreePattern:
+    return TreePattern.build(spec)
+
+
+def sample_tree():
+    return build_tree(
+        ("Library", [
+            ("Book", [("Title", [], "T1"), ("Author", [("LastName", [], "L1")])]),
+            ("Book", [("Title", [], "T2")]),
+            ("Shelf", [("Book", [("Title", [], "T3")])]),
+        ])
+    )
+
+
+class TestStackJoins:
+    def test_ancestor_side(self):
+        tree = sample_tree()
+        index = DataIndex(tree)
+        books = index.nodes_of_type("Book")
+        titles = index.nodes_of_type("Title")
+        hits = ancestors_with_descendant_in(books, titles, index)
+        assert hits == {b.id for b in books}
+        # LastName appears only under the first book.
+        hits = ancestors_with_descendant_in(books, index.nodes_of_type("LastName"), index)
+        assert hits == {books[0].id}
+
+    def test_ancestor_side_is_proper(self):
+        tree = build_tree(("a", [("a", [("a", [])])]))
+        index = DataIndex(tree)
+        nodes = index.nodes_of_type("a")
+        hits = ancestors_with_descendant_in(nodes, nodes, index)
+        # The deepest 'a' has no proper 'a' descendant.
+        deepest = max(nodes, key=lambda n: n.depth)
+        assert deepest.id not in hits
+        assert len(hits) == 2
+
+    def test_descendant_side(self):
+        tree = sample_tree()
+        index = DataIndex(tree)
+        books = index.nodes_of_type("Book")
+        shelf = index.nodes_of_type("Shelf")
+        hits = descendants_with_ancestor_in(books, shelf, index)
+        shelf_book = shelf[0].children[0]
+        assert hits == {shelf_book.id}
+
+    def test_descendant_side_is_proper(self):
+        tree = build_tree(("a", [("a", [])]))
+        index = DataIndex(tree)
+        nodes = index.nodes_of_type("a")
+        hits = descendants_with_ancestor_in(nodes, nodes, index)
+        assert hits == {tree.root.children[0].id}
+
+    def test_empty_inputs(self):
+        tree = sample_tree()
+        index = DataIndex(tree)
+        assert ancestors_with_descendant_in([], [], index) == set()
+        assert descendants_with_ancestor_in([], index.nodes_of_type("Book"), index) == set()
+
+
+class TestTwigJoinEngine:
+    def test_matches_dp_engine_on_known_query(self):
+        tree = sample_tree()
+        pattern = q(("Book*", [("/", "Title"), ("//", "LastName")]))
+        assert (
+            TwigJoinEngine(pattern, tree).answer_set()
+            == EmbeddingEngine(pattern, tree).answer_set()
+        )
+
+    def test_exists(self):
+        tree = sample_tree()
+        assert TwigJoinEngine(q(("Shelf", [("//", "Title*")])), tree).exists()
+        assert not TwigJoinEngine(q(("Shelf", [("/", "Title*")])), tree).exists()
+
+    def test_c_edge_requires_direct_child(self):
+        tree = sample_tree()
+        direct = TwigJoinEngine(q(("Library", [("/", "Book*")])), tree).answer_set()
+        assert len(direct) == 2
+
+    def test_single_node_pattern(self):
+        tree = sample_tree()
+        engine = TwigJoinEngine(q("Book"), tree)
+        assert len(engine.answer_set()) == 3
+
+
+TYPES = ["a", "b", "c"]
+
+
+@st.composite
+def patterns(draw, max_size: int = 6) -> TreePattern:
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    pattern = TreePattern(draw(st.sampled_from(TYPES)))
+    nodes = [pattern.root]
+    for _ in range(size - 1):
+        parent = nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))]
+        edge = EdgeKind.DESCENDANT if draw(st.booleans()) else EdgeKind.CHILD
+        nodes.append(pattern.add_child(parent, draw(st.sampled_from(TYPES)), edge))
+    nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))].is_output = True
+    return pattern
+
+
+@settings(max_examples=120, deadline=None)
+@given(patterns(), st.integers(min_value=0, max_value=80))
+def test_twig_join_agrees_with_dp_engine(pattern, seed):
+    """The two engines implement the same semantics with different
+    algorithmics; they must agree on every (pattern, database) pair."""
+    db = random_tree(TYPES, size=30, seed=seed)
+    assert (
+        TwigJoinEngine(pattern, db).answer_set()
+        == EmbeddingEngine(pattern, db).answer_set()
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(patterns(), st.integers(min_value=0, max_value=80))
+def test_twig_join_feasible_agrees(pattern, seed):
+    db = random_tree(TYPES, size=25, seed=seed)
+    assert TwigJoinEngine(pattern, db).feasible() == EmbeddingEngine(pattern, db).feasible()

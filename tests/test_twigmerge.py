@@ -1,0 +1,97 @@
+"""Tests for the path-decomposition twig merge engine."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro import TreePattern
+from repro.core.edges import EdgeKind
+from repro.data import build_tree
+from repro.data.generate import random_tree
+from repro.matching import EmbeddingEngine
+from repro.matching.twigmerge import TwigMergeEngine, root_to_leaf_paths
+
+
+def q(spec) -> TreePattern:
+    return TreePattern.build(spec)
+
+
+def sample_tree():
+    return build_tree(
+        ("Library", [
+            ("Book", [("Title", [], "T1"), ("Author", [("LastName", [], "L1")])]),
+            ("Book", [("Title", [], "T2")]),
+        ])
+    )
+
+
+class TestPathDecomposition:
+    def test_single_node(self):
+        paths = root_to_leaf_paths(q("a"))
+        assert len(paths) == 1 and len(paths[0]) == 1
+
+    def test_twig_paths(self):
+        pattern = q(("a", [("/", ("b*", [("//", "c"), ("/", "d")])), ("//", "e")]))
+        paths = root_to_leaf_paths(pattern)
+        assert [[n.type for n in p] for p in paths] == [
+            ["a", "b", "c"],
+            ["a", "b", "d"],
+            ["a", "e"],
+        ]
+
+
+class TestTwigMerge:
+    def test_branching_query(self):
+        tree = sample_tree()
+        pattern = q(("Book*", [("/", "Title"), ("//", "LastName")]))
+        engine = TwigMergeEngine(pattern, tree)
+        reference = EmbeddingEngine(pattern, tree)
+        assert engine.answer_set() == reference.answer_set()
+        assert engine.count_embeddings() == reference.count_embeddings()
+
+    def test_no_match(self):
+        tree = sample_tree()
+        engine = TwigMergeEngine(q(("Book*", [("/", "Publisher")])), tree)
+        assert not engine.exists()
+        assert engine.answer_set() == set()
+
+    def test_embeddings_are_complete_mappings(self):
+        tree = sample_tree()
+        pattern = q(("Library", [("/", ("Book*", [("/", "Title")])), ("//", "LastName")]))
+        for embedding in TwigMergeEngine(pattern, tree).embeddings():
+            assert set(embedding) == {n.id for n in pattern.nodes()}
+
+    def test_shared_branch_nodes_consistent(self):
+        tree = sample_tree()
+        pattern = q(("Book*", [("/", "Title"), ("/", "Author")]))
+        for embedding in TwigMergeEngine(pattern, tree).embeddings():
+            book = embedding[pattern.output_node.id]
+            for v in pattern.nodes():
+                if v.parent is not None and v.parent.is_output:
+                    assert embedding[v.id].parent is book
+
+
+TYPES = ["a", "b", "c"]
+
+
+@st.composite
+def patterns(draw, max_size: int = 6) -> TreePattern:
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    pattern = TreePattern(draw(st.sampled_from(TYPES)))
+    nodes = [pattern.root]
+    for _ in range(size - 1):
+        parent = nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))]
+        edge = EdgeKind.DESCENDANT if draw(st.booleans()) else EdgeKind.CHILD
+        nodes.append(pattern.add_child(parent, draw(st.sampled_from(TYPES)), edge))
+    nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))].is_output = True
+    return pattern
+
+
+@settings(max_examples=100, deadline=None)
+@given(patterns(), st.integers(min_value=0, max_value=60))
+def test_twig_merge_agrees_with_dp_engine(pattern, seed):
+    db = random_tree(TYPES, size=20, seed=seed)
+    merge = TwigMergeEngine(pattern, db)
+    reference = EmbeddingEngine(pattern, db)
+    assert merge.answer_set() == reference.answer_set()
+    assert merge.count_embeddings() == reference.count_embeddings()

@@ -1,0 +1,163 @@
+"""Tests for the workload generators behind the paper's experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import acim_minimize, cdm_minimize, cim_minimize
+from repro.constraints import closure
+from repro.workloads import (
+    bushy_cdm_query,
+    chain_constraints,
+    chain_query,
+    cyclic_chain_constraints,
+    equal_removal_query,
+    fanout_cdm_query,
+    fanout_constraints,
+    half_removal_query,
+    random_query,
+    redundancy_query,
+    relevant_constraints,
+    right_deep_cdm_query,
+)
+
+
+class TestRandomQuery:
+    def test_exact_size(self):
+        for size in (1, 5, 40):
+            assert random_query(size, seed=0).size == size
+
+    def test_deterministic(self):
+        assert random_query(20, seed=7).isomorphic(random_query(20, seed=7))
+
+    def test_fanout_bound(self):
+        q = random_query(40, max_fanout=2, seed=1)
+        assert q.max_fanout <= 2
+
+    def test_has_one_output(self):
+        q = random_query(15, seed=3)
+        q.validate()
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            random_query(0)
+
+
+class TestChainWorkload:
+    def test_structure(self):
+        q = chain_query(101)
+        assert q.size == 101 and q.depth == 100
+        assert q.root.is_output
+
+    def test_all_but_root_removable(self):
+        ics = closure(chain_constraints(101))
+        assert cdm_minimize(chain_query(101), ics).pattern.size == 1
+        assert acim_minimize(chain_query(101), ics).pattern.size == 1
+
+    def test_constraint_count(self):
+        assert len(chain_constraints(101)) == 100
+
+
+class TestRedundancyQuery:
+    def test_size_and_removal_counts(self):
+        for red_nodes, red_degree in [(1, 10), (9, 10), (5, 4)]:
+            q, ics = redundancy_query(101, red_nodes, red_degree, seed=0)
+            assert q.size == 101
+            result = acim_minimize(q, ics)
+            assert result.removed_count == red_nodes * red_degree
+
+    def test_without_ics_keeps_one_per_group(self):
+        q, _ = redundancy_query(101, 5, 4, seed=0)
+        # Pure CIM folds duplicates within a group onto one survivor.
+        assert cim_minimize(q).removed_count == 5 * (4 - 1)
+
+    def test_too_many_redundant_rejected(self):
+        with pytest.raises(ValueError):
+            redundancy_query(20, 10, 2)
+
+
+class TestCdmShapeWorkloads:
+    def test_right_deep_fully_reduces(self):
+        repo = closure(cyclic_chain_constraints())
+        for size in (10, 64, 140):
+            assert cdm_minimize(right_deep_cdm_query(size), repo).pattern.size == 1
+
+    def test_bushy_fully_reduces(self):
+        repo = closure(cyclic_chain_constraints())
+        for size in (10, 64, 127):
+            q = bushy_cdm_query(size)
+            assert q.size == size
+            assert cdm_minimize(q, repo).pattern.size == 1
+
+    def test_bushy_is_bushy(self):
+        q = bushy_cdm_query(127, fanout=2)
+        assert q.max_fanout == 2 and q.depth <= 7
+
+    def test_cyclic_constraint_count(self):
+        assert len(cyclic_chain_constraints()) == 110
+
+    def test_fanout_workload(self):
+        for fanout in (2, 10, 25):
+            q = fanout_cdm_query(fanout)
+            assert q.size == fanout + 1
+            repo = closure(fanout_constraints(fanout))
+            assert cdm_minimize(q, repo).pattern.size == 1
+
+    def test_fanout_multi_level(self):
+        q = fanout_cdm_query(3, levels=2)
+        assert q.size == 7
+        repo = closure(fanout_constraints(3, levels=2))
+        assert cdm_minimize(q, repo).pattern.size == 1
+
+
+class TestFigure9Workloads:
+    def test_equal_removal_property(self):
+        for size in (10, 40, 100):
+            q, ics = equal_removal_query(size)
+            assert q.size == size
+            repo = closure(ics)
+            cdm_removed = {i for i, _, _ in cdm_minimize(q, repo).eliminated}
+            acim_removed = {i for i, _ in acim_minimize(q, repo).eliminated}
+            assert cdm_removed == acim_removed
+            assert len(cdm_removed) == size // 2
+
+    def test_half_removal_property(self):
+        for size in (20, 60, 100):
+            q, ics = half_removal_query(size)
+            repo = closure(ics)
+            cdm_n = cdm_minimize(q, repo).removed_count
+            acim_n = acim_minimize(q, repo).removed_count
+            assert cdm_n * 2 == acim_n
+
+    def test_minimum_sizes_enforced(self):
+        with pytest.raises(ValueError):
+            equal_removal_query(1)
+        with pytest.raises(ValueError):
+            half_removal_query(4)
+
+
+class TestRelevantConstraints:
+    def test_count_and_relevance(self):
+        q = random_query(20, seed=0)
+        ics = relevant_constraints(q, 50, seed=1)
+        assert len(ics) == 50
+        types = q.node_types()
+        assert all(c.source in types for c in ics)
+
+    def test_inert_by_default(self):
+        q = chain_query(30)
+        ics = relevant_constraints(q, 40, seed=2)
+        result = acim_minimize(q, ics)
+        assert result.removed_count == 0  # fresh targets trigger nothing
+
+    def test_distinct(self):
+        q = random_query(10, seed=5)
+        ics = relevant_constraints(q, 80, seed=3)
+        assert len(set(ics)) == 80
+
+    def test_zero(self):
+        assert relevant_constraints(chain_query(5), 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            relevant_constraints(chain_query(5), -1)

@@ -1,0 +1,68 @@
+"""Property-based round-trip fuzzing of the XML reader/writer."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.data import DataTree, parse_xml, to_xml
+
+# Tag names: XML-safe identifiers.
+TAGS = st.from_regex(r"[A-Za-z][A-Za-z0-9_.-]{0,8}", fullmatch=True)
+# Text values: printable, no control chars; the writer must escape the
+# markup-significant ones.
+TEXTS = st.text(
+    alphabet=st.characters(
+        min_codepoint=0x20, max_codepoint=0xD7FF, exclude_characters="\r"
+    ),
+    min_size=1,
+    max_size=24,
+).map(str.strip).filter(bool)
+ATTR_NAMES = st.from_regex(r"[A-Za-z][A-Za-z0-9_-]{0,6}", fullmatch=True)
+
+
+@st.composite
+def data_trees(draw, max_nodes: int = 12) -> DataTree:
+    size = draw(st.integers(min_value=1, max_value=max_nodes))
+    tree = DataTree(draw(TAGS))
+    nodes = [tree.root]
+    for _ in range(size - 1):
+        parent = nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))]
+        node = tree.add_child(parent, draw(TAGS))
+        if draw(st.booleans()):
+            node.value = draw(TEXTS)
+        for _ in range(draw(st.integers(min_value=0, max_value=2))):
+            node.attributes[draw(ATTR_NAMES)] = draw(TEXTS)
+        nodes.append(node)
+    # Occasionally make a node multi-typed.
+    if size > 1 and draw(st.booleans()):
+        victim = nodes[draw(st.integers(min_value=1, max_value=len(nodes) - 1))]
+        extra = draw(TAGS)
+        victim.types = victim.types | {extra}
+    return tree
+
+
+def _shape(tree: DataTree) -> list[tuple]:
+    return [
+        (
+            tuple(sorted(n.types)),
+            n.depth,
+            n.value,
+            tuple(sorted(n.attributes.items())),
+        )
+        for n in tree.nodes()
+    ]
+
+
+@settings(max_examples=200, deadline=None)
+@given(data_trees())
+def test_xml_round_trip_preserves_shape(tree: DataTree):
+    text = to_xml(tree)
+    back = parse_xml(text)
+    assert _shape(back) == _shape(tree)
+
+
+@settings(max_examples=100, deadline=None)
+@given(data_trees())
+def test_serialization_is_a_fixpoint(tree: DataTree):
+    once = to_xml(tree)
+    assert to_xml(parse_xml(once)) == once

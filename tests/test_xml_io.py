@@ -1,0 +1,100 @@
+"""Tests for the minimal XML reader/writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import build_tree, parse_xml, to_xml
+from repro.errors import ParseError
+
+
+class TestParsing:
+    def test_simple_document(self):
+        tree = parse_xml("<a><b>hi</b><c/></a>")
+        assert tree.size == 3
+        assert tree.find("b")[0].value == "hi"
+        assert tree.find("c")[0].is_leaf
+
+    def test_prolog_and_comments(self):
+        tree = parse_xml(
+            """<?xml version="1.0"?>
+            <!-- header -->
+            <root><!-- inner --><leaf/></root>
+            """
+        )
+        assert tree.size == 2
+
+    def test_attributes_both_quote_styles(self):
+        tree = parse_xml("""<a x="1" y='two'/>""")
+        assert tree.root.attributes == {"x": "1", "y": "two"}
+
+    def test_entities_decoded(self):
+        tree = parse_xml("<a>&lt;tag&gt; &amp; &#65;&#x42;</a>")
+        assert tree.root.value == "<tag> & AB"
+
+    def test_multi_type_attribute(self):
+        tree = parse_xml('<Employee repro:types="Person Principal"/>')
+        assert tree.root.types == {"Employee", "Person", "Principal"}
+
+    def test_whitespace_only_text_ignored(self):
+        tree = parse_xml("<a>\n   <b/>\n</a>")
+        assert tree.root.value is None
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "just text",
+            "<a>",
+            "<a></b>",
+            "<a x=1/>",
+            "<a>&unknown;</a>",
+            "<a/><b/>",
+            "<a><!-- unterminated </a>",
+        ],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(ParseError):
+            parse_xml(text)
+
+    def test_error_carries_position(self):
+        try:
+            parse_xml("<a></b>")
+        except ParseError as exc:
+            assert exc.position is not None
+            assert "mismatched" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        tree = build_tree(
+            ("Library", [
+                ("Book", [("Title", [], "A & B <ok>")]),
+                ("Employee+Person", []),
+            ])
+        )
+        text = to_xml(tree)
+        back = parse_xml(text)
+        assert to_xml(back) == text
+        assert back.find("Title")[0].value == "A & B <ok>"
+        assert back.find("Employee")[0].types == {"Employee", "Person"}
+
+    def test_attributes_round_trip(self):
+        tree = build_tree("Entry")
+        tree.root.attributes["cn"] = 'say "hi"'
+        back = parse_xml(to_xml(tree))
+        assert back.root.attributes["cn"] == 'say "hi"'
+
+    def test_self_closing_leaves(self):
+        tree = build_tree(("a", ["b"]))
+        assert "<b/>" in to_xml(tree)
+
+    def test_indentation(self):
+        tree = build_tree(("a", [("b", ["c"])]))
+        lines = to_xml(tree, indent=4).splitlines()
+        assert lines[1].startswith("    <b>")
+        assert lines[2].startswith("        <c")

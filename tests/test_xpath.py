@@ -1,0 +1,114 @@
+"""Tests for the XPath-subset parser and serializer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import TreePattern
+from repro.core.edges import EdgeKind
+from repro.errors import OutputNodeError, ParseError
+from repro.parsing import parse_xpath, to_xpath
+
+
+class TestParser:
+    def test_simple_path(self):
+        q = parse_xpath("a/b//c")
+        assert [n.type for n in q.nodes()] == ["a", "b", "c"]
+        edges = [n.edge for n in q.nodes() if n.edge]
+        assert edges == [EdgeKind.CHILD, EdgeKind.DESCENDANT]
+
+    def test_leading_slash_optional(self):
+        assert parse_xpath("/a/b").isomorphic(parse_xpath("a/b"))
+
+    def test_default_output_is_last_step(self):
+        assert parse_xpath("a/b//c").output_node.type == "c"
+
+    def test_explicit_star(self):
+        q = parse_xpath("a/b*/c")
+        assert q.output_node.type == "b"
+
+    def test_predicates_child_by_default(self):
+        q = parse_xpath("a[b]")
+        b = q.find("b")[0]
+        assert b.edge is EdgeKind.CHILD
+
+    def test_predicate_axes(self):
+        q = parse_xpath("a[//b][.//c][/d][./e]")
+        edges = {n.type: n.edge for n in q.nodes() if n.edge}
+        assert edges["b"] is EdgeKind.DESCENDANT
+        assert edges["c"] is EdgeKind.DESCENDANT
+        assert edges["d"] is EdgeKind.CHILD
+        assert edges["e"] is EdgeKind.CHILD
+
+    def test_nested_predicates(self):
+        q = parse_xpath("a[b[c//d]/e]")
+        assert q.size == 5
+        d = q.find("d")[0]
+        assert [n.type for n in d.path_from_root()] == ["a", "b", "c", "d"]
+
+    def test_predicate_path_with_steps(self):
+        q = parse_xpath("a[b/c]")
+        c = q.find("c")[0]
+        assert c.parent.type == "b"
+
+    def test_star_inside_predicate(self):
+        q = parse_xpath("a[b*]/c")
+        assert q.output_node.type == "b"
+
+    def test_type_name_characters(self):
+        q = parse_xpath("ns.type-1/_x")
+        assert q.root.type == "ns.type-1"
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "/", "a[", "a[]", "a[b", "a/", "a//", "a]b", "a b", "1a", "a[*]"],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(ParseError):
+            parse_xpath(text)
+
+    def test_double_star_rejected(self):
+        with pytest.raises(OutputNodeError):
+            parse_xpath("a*/b*")
+
+
+class TestSerializer:
+    def test_spine_is_root_to_output(self):
+        q = parse_xpath("a/b*[c]//d")
+        text = to_xpath(q)
+        assert text.startswith("a/b")
+        assert parse_xpath(text).isomorphic(q)
+
+    def test_star_omitted_when_last(self):
+        q = parse_xpath("a/b")
+        assert to_xpath(q) == "a/b"
+
+    def test_branches_become_predicates(self):
+        q = TreePattern.build(("a*", [("/", "b"), ("//", ("c", [("/", "d")]))]))
+        text = to_xpath(q)
+        assert parse_xpath(text).isomorphic(q)
+        assert text.startswith("a")
+
+    def test_deep_output(self):
+        q = TreePattern.build(("a", [("/", ("b", [("//", ("c*", [("/", "d")]))])), ("/", "e")]))
+        assert parse_xpath(to_xpath(q)).isomorphic(q)
+
+
+@st.composite
+def patterns(draw, max_size: int = 8) -> TreePattern:
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    pattern = TreePattern(draw(st.sampled_from(["a", "b", "c"])))
+    nodes = [pattern.root]
+    for _ in range(size - 1):
+        parent = nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))]
+        edge = EdgeKind.DESCENDANT if draw(st.booleans()) else EdgeKind.CHILD
+        nodes.append(pattern.add_child(parent, draw(st.sampled_from(["a", "b", "c"])), edge))
+    nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))].is_output = True
+    return pattern
+
+
+@settings(max_examples=150, deadline=None)
+@given(patterns())
+def test_round_trip_is_isomorphic(pattern: TreePattern):
+    assert parse_xpath(to_xpath(pattern)).isomorphic(pattern)
