@@ -1,0 +1,81 @@
+"""Single entry point regenerating every machine-readable benchmark
+artifact.
+
+Writes, at the repo root (all workloads use fixed seeds, so everything
+but the timings is deterministic):
+
+- ``BENCH_incremental.json`` — rebuild-vs-incremental engine comparison
+  (:mod:`benchmarks.bench_incremental`);
+- ``BENCH_<figure>.json`` — one file per paper-figure experiment in
+  :data:`repro.bench.experiments.ALL_EXPERIMENTS`, in the same schema as
+  ``repro-bench <figure> --json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py
+    PYTHONPATH=src python benchmarks/run_all.py --fast --out-dir /tmp/bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # script mode without install
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import bench_incremental  # noqa: E402  (sibling module, script mode)
+
+from repro.bench.experiments import ALL_EXPERIMENTS, run_experiment  # noqa: E402
+from repro.bench.report import format_json  # noqa: E402
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeat", type=int, default=3, help="best-of repetitions")
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="small grids, repeat=1 (smoke tests / CI)",
+    )
+    parser.add_argument(
+        "--out-dir", type=Path, default=REPO_ROOT, help="directory for BENCH_*.json"
+    )
+    parser.add_argument(
+        "--skip-figures",
+        action="store_true",
+        help="only run the incremental comparison",
+    )
+    args = parser.parse_args(argv)
+    if args.repeat < 1:
+        parser.error("--repeat must be >= 1")
+    repeat = 1 if args.fast else args.repeat
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+
+    status = bench_incremental.main(
+        [
+            "--repeat",
+            str(repeat),
+            "--out",
+            str(args.out_dir / "BENCH_incremental.json"),
+        ]
+        + (["--fast"] if args.fast else [])
+    )
+
+    if not args.skip_figures:
+        for name in ALL_EXPERIMENTS:
+            result = run_experiment(name, repeat=repeat)
+            path = args.out_dir / f"BENCH_{name}.json"
+            path.write_text(format_json(result))
+            print(f"wrote {path}")
+
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

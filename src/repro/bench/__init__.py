@@ -9,9 +9,17 @@ from .experiments import (
     fig8b,
     fig9a,
     fig9b,
+    incremental,
+    incremental_workload,
     run_experiment,
 )
-from .report import format_ascii_plot, format_csv, format_report, format_table
+from .report import (
+    format_ascii_plot,
+    format_csv,
+    format_json,
+    format_report,
+    format_table,
+)
 
 __all__ = [
     "ExperimentResult",
@@ -24,9 +32,12 @@ __all__ = [
     "fig8b",
     "fig9a",
     "fig9b",
+    "incremental",
+    "incremental_workload",
     "run_experiment",
     "format_ascii_plot",
     "format_csv",
+    "format_json",
     "format_report",
     "format_table",
 ]

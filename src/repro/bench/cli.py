@@ -1,10 +1,11 @@
 """Command-line entry point for the experiment harness.
 
-Installed as ``tpq-bench``::
+Installed as ``tpq-bench`` (alias: ``repro-bench``)::
 
-    tpq-bench fig8a                 # one experiment
-    tpq-bench all --repeat 5        # everything
-    tpq-bench fig9b --csv out.csv   # machine-readable dump
+    tpq-bench fig8a                      # one experiment
+    tpq-bench all --repeat 5             # everything
+    tpq-bench fig9b --csv out.csv        # machine-readable dump
+    tpq-bench incremental --json out.json  # BENCH_*.json-style payload
     tpq-bench --list
 """
 
@@ -15,7 +16,7 @@ import sys
 from pathlib import Path
 
 from .experiments import ALL_EXPERIMENTS, run_experiment
-from .report import format_csv, format_markdown, format_report
+from .report import format_csv, format_json, format_markdown, format_report
 
 __all__ = ["main", "build_parser"]
 
@@ -54,6 +55,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="also write all results as one markdown report",
     )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="DIR_OR_FILE",
+        help=(
+            "also write machine-readable JSON (a file for one experiment, "
+            "a directory for several) — the BENCH_*.json schema"
+        ),
+    )
     return parser
 
 
@@ -91,6 +102,17 @@ def main(argv: list[str] | None = None) -> int:
         for result in results:
             path = targets[result.name]
             path.write_text(format_csv(result))
+            print(f"wrote {path}")
+
+    if args.json is not None:
+        if len(results) == 1 and (args.json.suffix or not args.json.exists()):
+            targets = {results[0].name: args.json}
+        else:
+            args.json.mkdir(parents=True, exist_ok=True)
+            targets = {r.name: args.json / f"{r.name}.json" for r in results}
+        for result in results:
+            path = targets[result.name]
+            path.write_text(format_json(result))
             print(f"wrote {path}")
 
     if args.markdown is not None:

@@ -44,6 +44,8 @@ __all__ = [
     "fig8b",
     "fig9a",
     "fig9b",
+    "incremental",
+    "incremental_workload",
     "ALL_EXPERIMENTS",
     "run_experiment",
 ]
@@ -320,6 +322,84 @@ def fig9b(*, repeat: int = 3) -> ExperimentResult:
     return result
 
 
+#: Sizes for the incremental-maintenance experiment (kept modest so the
+#: tier-1 smoke test stays fast; ``benchmarks/bench_incremental.py`` runs
+#: the full grid up to 140 nodes).
+_INCREMENTAL_SIZES: tuple[int, ...] = (20, 40, 60, 80, 100)
+
+#: Type-cycle length for the incremental workload — larger than any query
+#: size used, so depth types stay distinct and the depth-chain constraint
+#: set is acyclic.
+_INCREMENTAL_CYCLE = 150
+
+
+def incremental_workload(
+    size: int, *, shape: str = "right-deep"
+) -> tuple[TreePattern, ConstraintRepository]:
+    """The rebuild-vs-incremental workload: a Figure 8(b)-shaped query
+    (``right-deep`` or ``bushy``) typed by depth, under the depth-chain
+    constraint set ``T(d) -> T(d+1)`` (closed).
+
+    Under ACIM every node below the marked root is redundant, so the
+    elimination loop performs ``size - 1`` deletions — the regime where
+    per-deletion engine rebuilds dominate and incremental maintenance
+    pays off. The closed chain closure also hands every node O(size)
+    virtual targets on the right-deep shape, which is exactly the
+    table-heavy configuration Figure 7(b) studies.
+    """
+    if shape == "right-deep":
+        query = right_deep_cdm_query(size, cycle=_INCREMENTAL_CYCLE)
+        n_constraints = size
+    elif shape == "bushy":
+        query = bushy_cdm_query(size, cycle=_INCREMENTAL_CYCLE)
+        n_constraints = query.depth + 2
+    else:
+        raise ValueError(f"unknown incremental workload shape: {shape!r}")
+    return query, closure(chain_constraints(n_constraints))
+
+
+def incremental(
+    *, repeat: int = 3, sizes: Sequence[int] = _INCREMENTAL_SIZES
+) -> ExperimentResult:
+    """Incremental vs from-scratch images-engine maintenance in ACIM.
+
+    Times ``acim_minimize`` with the maintained-engine elimination loop
+    (default) against the historical rebuild-per-deletion baseline
+    (``incremental=False``) on the Figure 8(b) right-deep workload. The
+    result's ``counters`` carry the engine-rebuild and base-cache
+    statistics of the largest incremental run.
+    """
+    result = ExperimentResult(
+        name="incremental",
+        title="ACIM engine maintenance: incremental vs per-deletion rebuild",
+        x_label="query size (nodes)",
+        y_label="ACIM time (s)",
+    )
+    rebuild = Series("Rebuild")
+    incr = Series("Incremental")
+    for size in sizes:
+        query, repo = incremental_workload(size)
+        rebuild.add(
+            size,
+            best_of(
+                lambda: acim_minimize(query, repo, incremental=False), repeat=repeat
+            ),
+        )
+        incr.add(size, best_of(lambda: acim_minimize(query, repo), repeat=repeat))
+    result.series = [rebuild, incr]
+    largest = max(sizes)
+    run = acim_minimize(*incremental_workload(largest))
+    result.counters.update(run.images_stats.counters())
+    result.counters["virtual_targets"] = run.virtual_count
+    speedup = rebuild.ys[-1] / max(incr.ys[-1], 1e-12)
+    result.notes.append(
+        f"incremental maintenance is {speedup:.1f}x faster than per-deletion "
+        f"rebuilds at size {largest} ({run.removed_count} deletions, "
+        f"{run.images_stats.engine_builds} engine build)"
+    )
+    return result
+
+
 #: Registry of all experiment drivers, keyed by figure id.
 ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig7a": fig7a,
@@ -328,6 +408,7 @@ ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig8b": fig8b,
     "fig9a": fig9a,
     "fig9b": fig9b,
+    "incremental": incremental,
 }
 
 

@@ -1,10 +1,25 @@
-"""Rendering experiment results as text tables, CSV, and ASCII plots."""
+"""Rendering experiment results as text tables, CSV, JSON, and ASCII plots."""
 
 from __future__ import annotations
 
+import json
+
 from .timing import ExperimentResult
 
-__all__ = ["format_table", "format_csv", "format_markdown", "format_ascii_plot", "format_report"]
+__all__ = [
+    "format_table",
+    "format_csv",
+    "format_json",
+    "format_markdown",
+    "format_ascii_plot",
+    "format_report",
+]
+
+
+def format_json(result: ExperimentResult) -> str:
+    """The result as pretty-printed JSON (see
+    :meth:`~repro.bench.timing.ExperimentResult.to_dict` for the schema)."""
+    return json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n"
 
 
 def format_table(result: ExperimentResult, *, unit: str = "ms") -> str:

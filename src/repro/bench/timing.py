@@ -22,6 +22,8 @@ def best_of(fn: Callable[[], object], *, repeat: int = 5) -> float:
     them), so allocation-threshold collections don't land inside a
     measurement — they otherwise dominate sub-10ms points.
     """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
     best = float("inf")
     was_enabled = gc.isenabled()
     try:
@@ -73,6 +75,10 @@ class ExperimentResult:
     notes:
         Free-form observations recorded by the driver (removal counts,
         measured ratios, ...).
+    counters:
+        Instrumentation counters recorded by the driver — engine rebuild
+        counts, cache hit/miss rates, and similar machine-readable facts
+        that a timing series cannot carry. Serialized by :meth:`to_dict`.
     """
 
     name: str
@@ -81,6 +87,7 @@ class ExperimentResult:
     y_label: str
     series: list[Series] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    counters: dict[str, float] = field(default_factory=dict)
 
     def series_by_label(self, label: str) -> Series:
         """Find a series by its label (``KeyError`` if missing)."""
@@ -96,3 +103,19 @@ class ExperimentResult:
             if s.xs != xs:
                 raise ValueError("series have mismatched x vectors")
         return xs
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable dict of the whole result (the payload of
+        ``tpq-bench --json`` and the ``BENCH_*.json`` artifacts)."""
+        return {
+            "name": self.name,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "series": [
+                {"label": s.label, "xs": list(s.xs), "ys": list(s.ys)}
+                for s in self.series
+            ],
+            "notes": list(self.notes),
+            "counters": dict(self.counters),
+        }

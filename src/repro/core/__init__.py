@@ -16,6 +16,7 @@ from .edges import CHILD, DESCENDANT, EdgeKind
 from .node import PatternNode
 from .pattern import TreePattern
 from .containment import (
+    ContainmentStats,
     equivalent,
     find_containment_mapping,
     has_containment_mapping,
@@ -41,6 +42,7 @@ __all__ = [
     "EdgeKind",
     "PatternNode",
     "TreePattern",
+    "ContainmentStats",
     "equivalent",
     "find_containment_mapping",
     "has_containment_mapping",

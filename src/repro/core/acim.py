@@ -95,6 +95,7 @@ def acim_minimize(
     *,
     collect_witnesses: bool = False,
     seed: Optional[int] = None,
+    incremental: bool = True,
 ) -> AcimResult:
     """Minimize ``pattern`` under ``constraints`` (Algorithm ACIM).
 
@@ -103,7 +104,9 @@ def acim_minimize(
     already marked closed.
 
     Parameters mirror :func:`repro.core.cim.cim_minimize`; see there for
-    ``collect_witnesses`` and ``seed``.
+    ``collect_witnesses``, ``seed``, and ``incremental`` (one maintained
+    images engine for the whole elimination loop vs the from-scratch
+    rebuild-per-deletion baseline).
     """
     repo = coerce_repository(constraints)
     result = AcimResult(pattern=pattern)  # placeholder, replaced below
@@ -128,6 +131,7 @@ def acim_minimize(
         collect_witnesses=collect_witnesses,
         stats=result.images_stats,
         seed=seed,
+        incremental=incremental,
     )
     cim.pattern.clear_extra_types()
 

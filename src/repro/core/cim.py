@@ -15,6 +15,14 @@ The same driver implements the minimization phase of ACIM: augmentation
 hands it :class:`~repro.core.images.VirtualTarget` rows (never-materialized
 temporary nodes, per Section 6.1) which act as extra mapping targets and
 are dropped automatically when their anchor node is eliminated.
+
+The driver maintains **one** :class:`~repro.core.images.ImagesEngine` for
+the whole elimination loop, applying
+:meth:`~repro.core.images.ImagesEngine.delete_leaf` after each deletion —
+the O(n⁴) bound of Section 4 assumes exactly this maintenance; rebuilding
+the tables per deletion (the pre-incremental behaviour, kept as
+``incremental=False`` for differential testing and benchmarking) adds an
+O(n²) rebuild to every one of up to n deletions.
 """
 
 from __future__ import annotations
@@ -83,6 +91,7 @@ def cim_minimize(
     seed: Optional[int] = None,
     include_temporaries: bool = False,
     pair_filter=None,
+    incremental: bool = True,
 ) -> CimResult:
     """Minimize ``pattern`` by maximal elimination of redundant leaves.
 
@@ -114,6 +123,12 @@ def cim_minimize(
         Extra ``(source_node_id, target_id) -> bool`` admissibility hook
         forwarded to the images engine (see the value-predicate
         extension).
+    incremental:
+        Maintain one images engine across the whole elimination loop
+        (default). ``False`` restores the historical from-scratch
+        behaviour — a fresh engine per deletion — kept as the
+        differential-testing and benchmarking baseline; results are
+        identical, only slower.
 
     Returns
     -------
@@ -160,15 +175,26 @@ def cim_minimize(
         if witness is not None:
             result.witnesses[leaf_id] = witness
         query.delete_leaf(leaf)
-        # Virtual targets anchored at the deleted node die with it.
-        live_virtual = [vt for vt in live_virtual if vt.parent_id != leaf_id]
+        if incremental:
+            # One engine for the whole loop: the deletion (and the virtual
+            # targets anchored at the deleted node, which die with it) is
+            # applied to the live tables instead of rebuilding them.
+            engine.delete_leaf(leaf)
+        else:
+            # From-scratch baseline: virtual targets anchored at the
+            # deleted node die with it; skip the list rebuild when the
+            # leaf anchored none.
+            if any(vt.parent_id == leaf_id for vt in live_virtual):
+                live_virtual = [vt for vt in live_virtual if vt.parent_id != leaf_id]
+            engine = ImagesEngine(
+                query, live_virtual, result.stats, pair_filter=pair_filter
+            )
         if (
             parent is not None
             and _eligible(parent, protect, include_temporaries)
             and parent.id not in non_redundant
         ):
             candidates.append(parent.id)
-        engine = ImagesEngine(query, live_virtual, result.stats, pair_filter=pair_filter)
 
     return result
 

@@ -24,12 +24,14 @@ are validated against it in the test suite.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 from .node import PatternNode
 from .pattern import TreePattern
 
 __all__ = [
+    "ContainmentStats",
     "compatible_nodes",
     "mapping_targets",
     "find_containment_mapping",
@@ -37,6 +39,35 @@ __all__ = [
     "is_contained_in",
     "equivalent",
 ]
+
+
+@dataclass
+class ContainmentStats:
+    """Cache instrumentation for the containment oracle.
+
+    One ``mapping_targets`` run memoizes two sub-results:
+
+    * the *base* compatibility set per ``(type, is_output)`` source class
+      — every source node of the same class admits the same label-level
+      targets (``base_cache_*``);
+    * the reachability pass ``_nodes_with_target_below`` per admissible
+      set — distinct d-children with equal target sets share one pass
+      (``reach_cache_*``).
+    """
+
+    base_cache_hits: int = 0
+    base_cache_misses: int = 0
+    reach_cache_hits: int = 0
+    reach_cache_misses: int = 0
+
+    def counters(self) -> dict[str, int]:
+        """The counters as a flat dict (for JSON reports)."""
+        return {
+            "base_cache_hits": self.base_cache_hits,
+            "base_cache_misses": self.base_cache_misses,
+            "reach_cache_hits": self.reach_cache_hits,
+            "reach_cache_misses": self.reach_cache_misses,
+        }
 
 
 def compatible_nodes(v: PatternNode, u: PatternNode) -> bool:
@@ -52,7 +83,12 @@ def compatible_nodes(v: PatternNode, u: PatternNode) -> bool:
     return u.has_type(v.type) and (u.is_output or not v.is_output)
 
 
-def mapping_targets(source: TreePattern, target: TreePattern) -> dict[int, set[int]]:
+def mapping_targets(
+    source: TreePattern,
+    target: TreePattern,
+    *,
+    stats: Optional[ContainmentStats] = None,
+) -> dict[int, set[int]]:
     """For every node ``v`` of ``source``, the ids of ``target`` nodes that
     ``v`` can map to under some containment mapping of ``v``'s subtree.
 
@@ -60,22 +96,60 @@ def mapping_targets(source: TreePattern, target: TreePattern) -> dict[int, set[i
     target ``u`` is admissible for ``v`` iff the labels are compatible and
     every c-child (d-child) of ``v`` has an admissible target among ``u``'s
     children (proper descendants).
+
+    Two sub-results are memoized across the run (pass ``stats`` to observe
+    hit rates): label-compatibility base sets are shared by every source
+    node of the same ``(type, is_output)`` class, and the per-d-child
+    reachability pass is shared by d-children with equal admissible sets.
     """
+    if stats is None:
+        stats = ContainmentStats()
     target_nodes = list(target.nodes())
+    target_postorder = list(target.postorder())
     targets: dict[int, set[int]] = {}
+    # Base compatibility sets keyed by source class. The cached sets are
+    # shared (leaves of one class alias one set) and treated as read-only
+    # by the DP below.
+    base_cache: dict[tuple[str, bool], set[int]] = {}
+    # Reachability results keyed by the admissible id set they were
+    # computed from.
+    reach_cache: dict[frozenset[int], set[int]] = {}
+
+    def base_for(v: PatternNode) -> set[int]:
+        key = (v.type, v.is_output)
+        cached = base_cache.get(key)
+        if cached is not None:
+            stats.base_cache_hits += 1
+            return cached
+        stats.base_cache_misses += 1
+        base = {u.id for u in target_nodes if compatible_nodes(v, u)}
+        base_cache[key] = base
+        return base
+
+    def reach_for(admissible: set[int]) -> set[int]:
+        key = frozenset(admissible)
+        cached = reach_cache.get(key)
+        if cached is not None:
+            stats.reach_cache_hits += 1
+            return cached
+        stats.reach_cache_misses += 1
+        reach = _nodes_with_target_below(target_postorder, admissible)
+        reach_cache[key] = reach
+        return reach
 
     for v in source.postorder():
-        base = {u.id for u in target_nodes if compatible_nodes(v, u)}
+        base = base_for(v)
         if v.is_leaf:
             targets[v.id] = base
             continue
         # For each d-child of v, precompute which target nodes have an
         # admissible target in their proper-descendant set. One postorder
-        # pass over the target per child keeps the whole DP polynomial.
+        # pass over the target per *distinct* admissible set keeps the
+        # whole DP polynomial (and shared sets cost one pass total).
         reach_below: dict[int, set[int]] = {}
         for cv in v.children:
             if cv.edge.is_descendant:
-                reach_below[cv.id] = _nodes_with_target_below(target, targets[cv.id])
+                reach_below[cv.id] = reach_for(targets[cv.id])
         admissible: set[int] = set()
         for u in target_nodes:
             if u.id not in base:
@@ -104,10 +178,16 @@ def _children_mappable(
     return True
 
 
-def _nodes_with_target_below(target: TreePattern, admissible: set[int]) -> set[int]:
-    """Ids of target nodes having a proper descendant in ``admissible``."""
+def _nodes_with_target_below(
+    target_postorder: list[PatternNode], admissible: set[int]
+) -> set[int]:
+    """Ids of target nodes having a proper descendant in ``admissible``.
+
+    Takes the target's postorder as a precomputed list so repeated passes
+    (one per distinct admissible set) skip the tree walk.
+    """
     result: set[int] = set()
-    for u in target.postorder():
+    for u in target_postorder:
         if any(c.id in admissible or c.id in result for c in u.children):
             result.add(u.id)
     return result
@@ -153,20 +233,31 @@ def _assign(
         _assign(cv, chosen, targets, mapping, target)
 
 
-def has_containment_mapping(source: TreePattern, target: TreePattern) -> bool:
+def has_containment_mapping(
+    source: TreePattern,
+    target: TreePattern,
+    *,
+    stats: Optional[ContainmentStats] = None,
+) -> bool:
     """Whether a containment mapping ``source → target`` exists."""
-    return bool(mapping_targets(source, target)[source.root.id])
+    return bool(mapping_targets(source, target, stats=stats)[source.root.id])
 
 
-def is_contained_in(q1: TreePattern, q2: TreePattern) -> bool:
+def is_contained_in(
+    q1: TreePattern, q2: TreePattern, *, stats: Optional[ContainmentStats] = None
+) -> bool:
     """``Q1 ⊆ Q2``: every database ``D`` satisfies ``Q1(D) ⊆ Q2(D)``.
 
     By the homomorphism theorem for tree patterns this holds iff there is a
     containment mapping from ``q2`` into ``q1``.
     """
-    return has_containment_mapping(q2, q1)
+    return has_containment_mapping(q2, q1, stats=stats)
 
 
-def equivalent(q1: TreePattern, q2: TreePattern) -> bool:
+def equivalent(
+    q1: TreePattern, q2: TreePattern, *, stats: Optional[ContainmentStats] = None
+) -> bool:
     """Two-way containment: ``Q1 ⊆ Q2`` and ``Q2 ⊆ Q1``."""
-    return is_contained_in(q1, q2) and is_contained_in(q2, q1)
+    return is_contained_in(q1, q2, stats=stats) and is_contained_in(
+        q2, q1, stats=stats
+    )

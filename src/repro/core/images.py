@@ -17,6 +17,15 @@ these tables (:class:`VirtualTarget`). The walk from the leaf's parent to
 the root implements the early exits of Figure 3: empty ``images(v)`` means
 NO immediately; ``v ∈ images(v)`` means YES immediately (identity extends
 upward).
+
+The tables are *maintained incrementally* across leaf deletions
+(:meth:`ImagesEngine.delete_leaf`): removing a leaf touches only its own
+rows, its ancestors' descendant sets, and the virtual targets anchored at
+it, so the CIM elimination loop reuses one engine for its whole run
+instead of rebuilding O(n) times. Per-node *base* candidate sets (the
+type-compatibility part of an images set, which is deletion-invariant
+modulo removed ids) are memoized for the same reason — see
+:meth:`ImagesEngine._base_images`.
 """
 
 from __future__ import annotations
@@ -114,29 +123,85 @@ class AncestorTable:
         """Whether ``node_id`` is a proper descendant of ``ancestor_id``."""
         return ancestor_id in self._ancestors.get(node_id, ())
 
-    def c_children_of(self, parent_id: int) -> set[int]:
-        """Ids of c-children (real and virtual) of ``parent_id``."""
-        return self._c_children.get(parent_id, set())
+    def has_row(self, node_id: int) -> bool:
+        """Whether ``node_id`` (real or virtual) is still in the table."""
+        return node_id in self._ancestors
 
-    def descendants_of(self, ancestor_id: int) -> set[int]:
-        """Ids of proper descendants (real and virtual) of ``ancestor_id``."""
-        return self._descendants.get(ancestor_id, set())
+    def c_children_of(self, parent_id: int) -> frozenset[int]:
+        """Ids of c-children (real and virtual) of ``parent_id``.
+
+        Returns a frozen view: the table's internal sets are never handed
+        out, so callers cannot corrupt the relation.
+        """
+        return frozenset(self._c_children.get(parent_id, ()))
+
+    def descendants_of(self, ancestor_id: int) -> frozenset[int]:
+        """Ids of proper descendants (real and virtual) of ``ancestor_id``
+        (a frozen view — see :meth:`c_children_of`)."""
+        return frozenset(self._descendants.get(ancestor_id, ()))
+
+    def delete_leaf(self, node_id: int) -> None:
+        """Incrementally remove a childless row from the table.
+
+        ``node_id`` may be a real pattern node or a virtual target; it
+        must have no remaining descendants in the table (virtual targets
+        anchored at a real node count as its descendants and must be
+        deleted first — :meth:`ImagesEngine.delete_leaf` handles the
+        ordering).
+
+        Cost is O(depth): the row itself plus one discard in each
+        ancestor's descendant set (and the parent's c-children set).
+        """
+        anc = self._ancestors.get(node_id)
+        if anc is None:
+            raise InvalidPatternError(f"node {node_id} is not in the table")
+        if self._descendants.get(node_id) or self._c_children.get(node_id):
+            raise InvalidPatternError(
+                f"node {node_id} still has descendants; delete them first"
+            )
+        del self._ancestors[node_id]
+        self._descendants.pop(node_id, None)
+        self._c_children.pop(node_id, None)
+        for a in anc:
+            children = self._c_children.get(a)
+            if children is not None:
+                children.discard(node_id)
+            below = self._descendants.get(a)
+            if below is not None:
+                below.discard(node_id)
 
 
 @dataclass
 class ImagesStats:
     """Instrumentation counters for the images engine.
 
-    ``tables_seconds`` covers building the ancestor/descendant table and
-    initializing the images sets — the fraction studied in Figure 7(b).
-    ``prune_seconds`` covers the bottom-up pruning sweeps.
+    ``tables_seconds`` covers building **and incrementally maintaining**
+    the ancestor/descendant table and initializing the images sets — the
+    fraction studied in Figure 7(b). ``prune_seconds`` covers the
+    bottom-up pruning sweeps.
+
+    ``engine_builds`` / ``incremental_deletes`` attribute table
+    maintenance: a from-scratch driver rebuilds the engine per deletion
+    (``engine_builds`` ≈ deletions), the incremental driver builds once
+    and applies cheap deletes. ``base_cache_hits`` / ``base_cache_misses``
+    instrument the memoized per-node base candidate sets.
+
+    ``max_image_size`` samples images sets as initialized (pre-pruning);
+    ``max_image_size_post_prune`` samples them after the bottom-up sweep,
+    so table-vs-prune attribution (Figure 7(b)) stays honest when the
+    memoized path makes initialization cheap.
     """
 
     tables_seconds: float = 0.0
     prune_seconds: float = 0.0
     redundancy_checks: int = 0
     max_image_size: int = 0
+    max_image_size_post_prune: int = 0
     pruned_entries: int = 0
+    engine_builds: int = 0
+    incremental_deletes: int = 0
+    base_cache_hits: int = 0
+    base_cache_misses: int = 0
     extra: dict = field(default_factory=dict)
 
     @property
@@ -144,14 +209,28 @@ class ImagesStats:
         """Tables time plus pruning time."""
         return self.tables_seconds + self.prune_seconds
 
+    def counters(self) -> dict[str, int]:
+        """The integer counters as a flat dict (for JSON reports)."""
+        return {
+            "redundancy_checks": self.redundancy_checks,
+            "max_image_size": self.max_image_size,
+            "max_image_size_post_prune": self.max_image_size_post_prune,
+            "pruned_entries": self.pruned_entries,
+            "engine_builds": self.engine_builds,
+            "incremental_deletes": self.incremental_deletes,
+            "base_cache_hits": self.base_cache_hits,
+            "base_cache_misses": self.base_cache_misses,
+        }
+
 
 class ImagesEngine:
     """Runs ``redundant-leaf`` tests against one pattern.
 
-    The engine snapshots the pattern's structure into hash tables once; the
-    pattern must not be mutated while the engine is in use (CIM rebuilds
-    the engine after each deletion — see :mod:`repro.core.cim` for the
-    incremental driver).
+    The engine snapshots the pattern's structure into hash tables once and
+    then *tracks* leaf deletions through :meth:`delete_leaf`; any other
+    mutation of the pattern while the engine is in use invalidates it.
+    The CIM driver (:mod:`repro.core.cim`) performs its whole elimination
+    loop against one engine this way.
 
     Parameters
     ----------
@@ -180,11 +259,17 @@ class ImagesEngine:
         self.virtual = tuple(virtual)
         self.pair_filter = pair_filter
         self.stats = stats if stats is not None else ImagesStats()
+        self.stats.engine_builds += 1
         start = time.perf_counter()
         self.ancestors = AncestorTable(pattern, self.virtual)
         # Type index over real nodes and virtual targets: type -> ids.
         self._by_type: dict[str, set[int]] = {}
         self._starred: set[int] = set()
+        # Memoized per-node *base* candidate sets (type compatibility,
+        # output marker, pair filter) — everything about an images set
+        # that does not depend on which leaf is under test. Maintained
+        # across deletions by delete_leaf.
+        self._base_cache: dict[int, set[int]] = {}
         for node in pattern.nodes():
             for t in node.all_types:
                 self._by_type.setdefault(t, set()).add(node.id)
@@ -201,6 +286,46 @@ class ImagesEngine:
     def is_redundant_leaf(self, leaf: PatternNode) -> bool:
         """The paper's ``redundant-leaf`` test for ``leaf``."""
         return self._run(leaf) is not None
+
+    def delete_leaf(self, leaf: PatternNode) -> tuple[VirtualTarget, ...]:
+        """Incrementally track the deletion of ``leaf`` from the pattern.
+
+        Call right after :meth:`TreePattern.delete_leaf` removed ``leaf``
+        (the detached node object still carries its id and types). The
+        update removes the leaf's rows from the ancestor/descendant table
+        and type index, drops every virtual target anchored at the leaf
+        (an IC guarantee around a node vanishes with the node), and
+        subtracts the dead ids from the memoized base candidate sets.
+
+        Returns the dropped virtual targets. Cost is O(depth) per removed
+        row plus one hash probe per memoized base set — versus O(n²) for
+        a from-scratch engine rebuild.
+        """
+        start = time.perf_counter()
+        leaf_id = leaf.id
+        dropped = tuple(vt for vt in self.virtual if vt.parent_id == leaf_id)
+        for vt in dropped:
+            self.ancestors.delete_leaf(vt.id)
+            bucket = self._by_type.get(vt.node_type)
+            if bucket is not None:
+                bucket.discard(vt.id)
+        self.ancestors.delete_leaf(leaf_id)
+        for t in leaf.all_types:
+            bucket = self._by_type.get(t)
+            if bucket is not None:
+                bucket.discard(leaf_id)
+        if dropped:
+            self.virtual = tuple(
+                vt for vt in self.virtual if vt.parent_id != leaf_id
+            )
+        dead = {leaf_id}
+        dead.update(vt.id for vt in dropped)
+        self._base_cache.pop(leaf_id, None)
+        for base in self._base_cache.values():
+            base.difference_update(dead)
+        self.stats.incremental_deletes += 1
+        self.stats.tables_seconds += time.perf_counter() - start
+        return dropped
 
     def redundancy_witness(self, leaf: PatternNode) -> Optional[dict[int, int]]:
         """A concrete endomorphism witnessing redundancy of ``leaf``.
@@ -219,6 +344,32 @@ class ImagesEngine:
     # Core algorithm (Figure 3)
     # ------------------------------------------------------------------
 
+    def _base_images(self, node: PatternNode) -> set[int]:
+        """The memoized deletion-invariant part of ``images(node)``.
+
+        Type compatibility, the output-marker restriction, and the pair
+        filter do not depend on which leaf is under test, so they are
+        computed once per node and only ever *shrink* (delete_leaf
+        subtracts removed ids). The returned set is owned by the cache —
+        callers must not mutate it.
+        """
+        cached = self._base_cache.get(node.id)
+        if cached is not None:
+            self.stats.base_cache_hits += 1
+            return cached
+        self.stats.base_cache_misses += 1
+        candidates = set(self._by_type.get(node.type, ()))
+        # The output node may only map to the output node; non-output
+        # nodes may map anywhere, including onto the output node (the
+        # marker constrains where the answer comes from, not what else
+        # may fold onto that position).
+        if node.is_output:
+            candidates &= self._starred
+        if self.pair_filter is not None:
+            candidates = {t for t in candidates if self.pair_filter(node.id, t)}
+        self._base_cache[node.id] = candidates
+        return candidates
+
     def _initial_images(self, leaf: PatternNode) -> dict[int, set[int]]:
         start = time.perf_counter()
         images: dict[int, set[int]] = {}
@@ -232,20 +383,13 @@ class ImagesEngine:
         #     closure facts let a leaf justify its own deletion).
         excluded: set[int] = {leaf.id}
         excluded.update(vt.id for vt in self.virtual if vt.parent_id == leaf.id)
+        max_size = self.stats.max_image_size
         for node in self.pattern.nodes():
-            candidates = set(self._by_type.get(node.type, ()))
-            candidates -= excluded
-            # The output node may only map to the output node; non-output
-            # nodes may map anywhere, including onto the output node (the
-            # marker constrains where the answer comes from, not what else
-            # may fold onto that position).
-            if node.is_output:
-                candidates &= self._starred
-            if self.pair_filter is not None:
-                candidates = {t for t in candidates if self.pair_filter(node.id, t)}
+            candidates = self._base_images(node) - excluded
             images[node.id] = candidates
-            if len(candidates) > self.stats.max_image_size:
-                self.stats.max_image_size = len(candidates)
+            if len(candidates) > max_size:
+                max_size = len(candidates)
+        self.stats.max_image_size = max_size
         self.stats.tables_seconds += time.perf_counter() - start
         return images
 
@@ -302,6 +446,8 @@ class ImagesEngine:
             else:
                 self.stats.pruned_entries += 1
         images[node.id] = survivors
+        if len(survivors) > self.stats.max_image_size_post_prune:
+            self.stats.max_image_size_post_prune = len(survivors)
         marked.add(node.id)
 
     def _supports_children(

@@ -86,6 +86,7 @@ def minimize(
     use_cdm_prefilter: bool = True,
     collect_witnesses: bool = False,
     seed: Optional[int] = None,
+    incremental: bool = True,
 ) -> MinimizeResult:
     """Minimize ``pattern`` (optionally under ``constraints``).
 
@@ -93,7 +94,9 @@ def minimize(
     recommended configuration); without constraints this is exactly CIM.
     Set ``use_cdm_prefilter=False`` to run ACIM directly — the result is
     identical (both are the unique minimum), only slower; the Figure 9(b)
-    benchmark measures the difference.
+    benchmark measures the difference. ``incremental=False`` selects the
+    from-scratch engine-rebuild baseline inside ACIM (see
+    :func:`repro.core.cim.cim_minimize`).
 
     Returns a :class:`MinimizeResult`; the minimized query is
     ``result.pattern`` and the input is never mutated.
@@ -105,7 +108,11 @@ def minimize(
         # No ICs: the pipeline degenerates to plain CIM (via ACIM, which
         # adds no augmentation in this case).
         result.acim = acim_minimize(
-            pattern, repo, collect_witnesses=collect_witnesses, seed=seed
+            pattern,
+            repo,
+            collect_witnesses=collect_witnesses,
+            seed=seed,
+            incremental=incremental,
         )
         result.pattern = result.acim.pattern
         return result
@@ -121,7 +128,11 @@ def minimize(
         working = result.cdm.pattern
 
     result.acim = acim_minimize(
-        working, repo, collect_witnesses=collect_witnesses, seed=seed
+        working,
+        repo,
+        collect_witnesses=collect_witnesses,
+        seed=seed,
+        incremental=incremental,
     )
     result.pattern = result.acim.pattern
     return result

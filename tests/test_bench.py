@@ -2,6 +2,11 @@
 
 from __future__ import annotations
 
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.bench import (
@@ -116,6 +121,92 @@ class TestCli:
         assert code == 0
         assert (out_dir / "fig9a.csv").exists()
         assert (out_dir / "fig9b.csv").exists()
+
+
+class TestJson:
+    def test_to_dict_round_trips_through_json(self):
+        result = tiny_result()
+        result.counters = {"engine_builds": 1}
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["name"] == "demo"
+        assert payload["series"][0] == {
+            "label": "fast",
+            "xs": [10, 20],
+            "ys": [0.001, 0.002],
+        }
+        assert payload["notes"] == ["a note"]
+        assert payload["counters"] == {"engine_builds": 1}
+
+    def test_format_json_is_deterministic(self):
+        from repro.bench import format_json
+
+        assert format_json(tiny_result()) == format_json(tiny_result())
+        assert format_json(tiny_result()).endswith("\n")
+
+    def test_cli_json_single_file(self, tmp_path, capsys):
+        target = tmp_path / "out.json"
+        code = bench_main(["fig8a", "--repeat", "1", "--no-plot", "--json", str(target)])
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert payload["name"] == "fig8a"
+        assert payload["series"]
+
+    def test_cli_json_directory(self, tmp_path, capsys):
+        out_dir = tmp_path / "jsons"
+        code = bench_main(
+            ["fig9a", "fig9b", "--repeat", "1", "--no-plot", "--json", str(out_dir)]
+        )
+        assert code == 0
+        for name in ("fig9a", "fig9b"):
+            payload = json.loads((out_dir / f"{name}.json").read_text())
+            assert payload["name"] == name
+
+
+def _load_bench_incremental():
+    path = Path(__file__).parent.parent / "benchmarks" / "bench_incremental.py"
+    spec = importlib.util.spec_from_file_location("bench_incremental_module", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_incremental_module", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestBenchIncremental:
+    """Schema smoke test for BENCH_incremental.json (fast grid)."""
+
+    def test_fast_run_writes_valid_schema(self, tmp_path):
+        bi = _load_bench_incremental()
+        out = tmp_path / "BENCH_incremental.json"
+        bi.main(["--fast", "--repeat", "1", "--out", str(out)])
+        payload = json.loads(out.read_text())
+
+        assert payload["benchmark"] == "incremental"
+        assert payload["schema_version"] == bi.SCHEMA_VERSION
+        assert payload["fast"] is True
+
+        workloads = payload["workloads"]
+        assert {r["workload"] for r in workloads} >= {
+            "fig7-chain",
+            "fig8-right-deep",
+            "fig8-bushy",
+        }
+        for row in workloads:
+            assert row["rebuild_seconds"] >= 0
+            assert row["incremental_seconds"] >= 0
+            assert row["speedup"] > 0
+            assert row["engine_builds"] >= 1
+            assert row["incremental_deletes"] == row["removed"]
+
+        cache = payload["containment_cache"]
+        assert 0.0 <= cache["base_hit_rate"] <= 1.0
+        assert 0.0 <= cache["reach_hit_rate"] <= 1.0
+
+        summary = payload["summary"]
+        assert summary["fig8_largest_size"] == max(
+            r["x"] for r in workloads if r["workload"] == "fig8-right-deep"
+        )
+        assert summary["max_speedup"] >= summary["fig8_speedup_at_largest"] > 0
+        assert isinstance(summary["meets_3x_target"], bool)
 
 
 class TestMarkdown:

@@ -1,0 +1,352 @@
+"""Tests for the incremental images engine (maintained across deletions).
+
+Three layers:
+
+* unit tests for :meth:`AncestorTable.delete_leaf`, the frozen table
+  views, and :meth:`ImagesEngine.delete_leaf` bookkeeping;
+* a hypothesis property: after any legal sequence of tracked deletions,
+  the engine's tables, type index, and redundancy answers are identical
+  to a freshly built engine — across random patterns, virtual targets,
+  and pair filters;
+* differential tests pinning the incremental drivers (``cim_minimize``,
+  ``acim_minimize``, seeded elimination orders) to the from-scratch
+  ``incremental=False`` baseline on 200+ seeded random workloads, with
+  ``cim_minimize_naive`` and ``exhaustive_minimize`` cross-checks on
+  small inputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro import TreePattern, cim_minimize, equivalent, is_minimal
+from repro.constraints.closure import closure
+from repro.core.acim import acim_minimize
+from repro.core.bruteforce import exhaustive_minimize
+from repro.core.chase import augmentation_targets
+from repro.core.cim_naive import cim_minimize_naive
+from repro.core.edges import EdgeKind
+from repro.core.images import AncestorTable, ImagesEngine, ImagesStats, VirtualTarget
+from repro.errors import InvalidPatternError
+from repro.workloads.icgen import relevant_constraints
+from repro.workloads.querygen import duplicate_random_branch, random_query
+
+TYPES = ["a", "b", "c"]
+
+
+def chain(*types: str) -> TreePattern:
+    pattern = TreePattern(types[0])
+    node = pattern.root
+    for t in types[1:]:
+        node = pattern.add_child(node, t, EdgeKind.CHILD)
+    node.is_output = True
+    return pattern
+
+
+def fanout(root_type: str, *child_types: str) -> TreePattern:
+    """A starred root with one c-child per entry (duplicates redundant)."""
+    pattern = TreePattern(root_type)
+    pattern.root.is_output = True
+    for t in child_types:
+        pattern.add_child(pattern.root, t, EdgeKind.CHILD)
+    return pattern
+
+
+# ---------------------------------------------------------------------------
+# AncestorTable: frozen views + incremental row deletion
+# ---------------------------------------------------------------------------
+
+
+class TestAncestorTableViews:
+    def test_views_are_frozen(self):
+        pattern = chain("a", "b", "c")
+        table = AncestorTable(pattern)
+        kids = table.c_children_of(pattern.root.id)
+        below = table.descendants_of(pattern.root.id)
+        assert isinstance(kids, frozenset)
+        assert isinstance(below, frozenset)
+
+    def test_mutating_a_view_does_not_corrupt_the_table(self):
+        # Regression: these used to hand out the internal mutable sets, so
+        # a caller's discard() silently broke the relation.
+        pattern = chain("a", "b", "c")
+        table = AncestorTable(pattern)
+        b = pattern.root.children[0]
+        view = set(table.c_children_of(pattern.root.id))
+        view.discard(b.id)
+        assert b.id in table.c_children_of(pattern.root.id)
+        assert table.is_c_child(b.id, pattern.root.id)
+
+
+class TestAncestorTableDeleteLeaf:
+    def test_removes_row_and_ancestor_entries(self):
+        pattern = chain("a", "b", "c")
+        table = AncestorTable(pattern)
+        leaf = next(iter(pattern.leaves()))
+        table.delete_leaf(leaf.id)
+        assert not table.has_row(leaf.id)
+        for node in pattern.nodes():
+            assert leaf.id not in table.descendants_of(node.id)
+            assert leaf.id not in table.c_children_of(node.id)
+
+    def test_unknown_id_rejected(self):
+        table = AncestorTable(chain("a", "b"))
+        with pytest.raises(InvalidPatternError):
+            table.delete_leaf(999)
+
+    def test_internal_node_rejected(self):
+        pattern = chain("a", "b", "c")
+        table = AncestorTable(pattern)
+        with pytest.raises(InvalidPatternError):
+            table.delete_leaf(pattern.root.id)
+
+    def test_virtual_target_row_deletable(self):
+        pattern = chain("a", "b")
+        vt = VirtualTarget(-1, "c", pattern.root.id, EdgeKind.CHILD)
+        table = AncestorTable(pattern, [vt])
+        assert table.is_c_child(-1, pattern.root.id)
+        table.delete_leaf(-1)
+        assert not table.has_row(-1)
+        assert not table.is_c_child(-1, pattern.root.id)
+
+    def test_anchor_with_virtual_descendants_rejected(self):
+        pattern = chain("a", "b")
+        b = pattern.root.children[0]
+        vt = VirtualTarget(-1, "c", b.id, EdgeKind.DESCENDANT)
+        table = AncestorTable(pattern, [vt])
+        with pytest.raises(InvalidPatternError):
+            table.delete_leaf(b.id)  # the virtual row must go first
+
+
+# ---------------------------------------------------------------------------
+# ImagesEngine.delete_leaf bookkeeping
+# ---------------------------------------------------------------------------
+
+
+class TestEngineDeleteLeaf:
+    def test_drops_anchored_virtuals_and_reports_them(self):
+        # a / b / c with two virtual targets on c, one elsewhere.
+        pattern = TreePattern("a")
+        pattern.root.is_output = True
+        b = pattern.add_child(pattern.root, "b", EdgeKind.CHILD)
+        c = pattern.add_child(b, "c", EdgeKind.CHILD)
+        virtual = [
+            VirtualTarget(-1, "x", c.id, EdgeKind.CHILD),
+            VirtualTarget(-2, "y", c.id, EdgeKind.DESCENDANT),
+            VirtualTarget(-3, "x", b.id, EdgeKind.CHILD),
+        ]
+        engine = ImagesEngine(pattern, virtual)
+        pattern.delete_leaf(c)
+        dropped = engine.delete_leaf(c)
+        assert {vt.id for vt in dropped} == {-1, -2}
+        assert {vt.id for vt in engine.virtual} == {-3}
+        assert not engine.ancestors.has_row(c.id)
+        assert not engine.ancestors.has_row(-1)
+        assert engine.ancestors.has_row(-3)
+
+    def test_counters_attribute_build_vs_delete(self):
+        pattern = fanout("a", "b", "b", "b")
+        stats = ImagesStats()
+        result = cim_minimize(pattern, stats=stats)
+        assert result.removed_count == 2  # three identical b children -> one
+        assert stats.engine_builds == 1
+        assert stats.incremental_deletes == 2
+
+        rebuild_stats = ImagesStats()
+        cim_minimize(pattern, stats=rebuild_stats, incremental=False)
+        assert rebuild_stats.engine_builds == 3  # initial + one per deletion
+        assert rebuild_stats.incremental_deletes == 0
+
+    def test_base_cache_counters_present_in_flat_dict(self):
+        stats = ImagesStats()
+        cim_minimize(fanout("a", "b", "b"), stats=stats)
+        counters = stats.counters()
+        assert counters["base_cache_misses"] > 0
+        for key in (
+            "engine_builds",
+            "incremental_deletes",
+            "base_cache_hits",
+            "max_image_size_post_prune",
+        ):
+            assert key in counters
+
+    def test_post_prune_image_size_tracked(self):
+        stats = ImagesStats()
+        result = cim_minimize(fanout("a", "b", "b", "b"), stats=stats)
+        assert result.removed_count > 0
+        assert stats.max_image_size_post_prune >= 1
+        assert stats.max_image_size_post_prune <= stats.max_image_size
+
+
+# ---------------------------------------------------------------------------
+# Property: tracked deletions == fresh engine
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def patterns(draw, max_size: int = 9) -> TreePattern:
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    pattern = TreePattern(draw(st.sampled_from(TYPES)))
+    nodes = [pattern.root]
+    for _ in range(size - 1):
+        parent = nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))]
+        edge = EdgeKind.DESCENDANT if draw(st.booleans()) else EdgeKind.CHILD
+        nodes.append(pattern.add_child(parent, draw(st.sampled_from(TYPES)), edge))
+    starred = nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))]
+    starred.is_output = True
+    pattern.validate()
+    return pattern
+
+
+def _delete_random_leaves(draw, query, engine, rounds: int) -> None:
+    """Track a random legal deletion sequence through ``engine``."""
+    for _ in range(rounds):
+        deletable = [
+            n for n in query.leaves() if not n.is_root and not n.is_output
+        ]
+        if not deletable:
+            return
+        leaf = deletable[draw(st.integers(min_value=0, max_value=len(deletable) - 1))]
+        query.delete_leaf(leaf)
+        engine.delete_leaf(leaf)
+
+
+def _assert_engines_agree(incremental: ImagesEngine, fresh: ImagesEngine, query) -> None:
+    assert incremental.ancestors._ancestors == fresh.ancestors._ancestors
+    assert incremental.ancestors._c_children == fresh.ancestors._c_children
+    assert incremental.ancestors._descendants == fresh.ancestors._descendants
+    # The incremental engine keeps (now empty) buckets for extinct types.
+    pruned = {t: ids for t, ids in incremental._by_type.items() if ids}
+    assert pruned == {t: ids for t, ids in fresh._by_type.items() if ids}
+    assert incremental.virtual == fresh.virtual
+    for leaf in query.leaves():
+        if leaf.is_root or leaf.is_output:
+            continue
+        assert incremental.is_redundant_leaf(leaf) == fresh.is_redundant_leaf(leaf)
+        assert incremental.redundancy_witness(leaf) == fresh.redundancy_witness(leaf)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.data())
+def test_engine_after_deletions_equals_fresh_engine(data):
+    query = data.draw(patterns())
+    engine = ImagesEngine(query)
+    # Warm the memoized base sets before mutating, so the subtracted
+    # cached sets (not just freshly computed ones) are what's compared.
+    for leaf in list(query.leaves()):
+        if not leaf.is_root and not leaf.is_output:
+            engine.is_redundant_leaf(leaf)
+    _delete_random_leaves(data.draw, query, engine, rounds=4)
+    _assert_engines_agree(engine, ImagesEngine(query), query)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.data())
+def test_engine_with_virtual_targets_equals_fresh_engine(data):
+    base = data.draw(patterns(max_size=7))
+    # relevant_constraints never emits source == target, so an in-query
+    # target pool needs at least two distinct types.
+    assume(len(base.node_types()) >= 2)
+    ics = relevant_constraints(
+        base,
+        data.draw(st.integers(min_value=1, max_value=4)),
+        target_pool=sorted(base.node_types()),
+        seed=data.draw(st.integers(min_value=0, max_value=999)),
+    )
+    virtual, extra_types = augmentation_targets(base, closure(ics))
+    query = base.copy()
+    for node_id, types in extra_types.items():
+        for t in sorted(types):
+            query.add_extra_type(query.node(node_id), t)
+    engine = ImagesEngine(query, virtual)
+    _delete_random_leaves(data.draw, query, engine, rounds=3)
+    survivors = [vt for vt in virtual if query.has_node(vt.parent_id)]
+    _assert_engines_agree(engine, ImagesEngine(query, survivors), query)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_engine_with_pair_filter_equals_fresh_engine(data):
+    query = data.draw(patterns(max_size=8))
+    salt = data.draw(st.integers(min_value=0, max_value=5))
+
+    def pair_filter(source_id: int, target_id: int) -> bool:
+        return (source_id * 31 + target_id + salt) % 4 != 0
+
+    engine = ImagesEngine(query, pair_filter=pair_filter)
+    for leaf in list(query.leaves()):
+        if not leaf.is_root and not leaf.is_output:
+            engine.is_redundant_leaf(leaf)
+    _delete_random_leaves(data.draw, query, engine, rounds=3)
+    _assert_engines_agree(
+        engine, ImagesEngine(query, pair_filter=pair_filter), query
+    )
+
+
+# ---------------------------------------------------------------------------
+# Differential: incremental drivers vs the from-scratch baseline
+# (100 + 60 + 40 + 30 + 15 = 245 seeded workloads)
+# ---------------------------------------------------------------------------
+
+
+def _random_workload(seed: int, size: int = 10) -> TreePattern:
+    base = random_query(size, types=TYPES, seed=seed)
+    return duplicate_random_branch(base, seed=seed)
+
+
+@pytest.mark.parametrize("seed", range(100))
+def test_cim_incremental_matches_rebuild(seed):
+    query = _random_workload(seed)
+    fast = cim_minimize(query)
+    slow = cim_minimize(query, incremental=False)
+    assert fast.eliminated == slow.eliminated
+    assert fast.pattern.isomorphic(slow.pattern)
+    assert equivalent(fast.pattern, query)
+    assert is_minimal(fast.pattern)
+
+
+@pytest.mark.parametrize("seed", range(60))
+def test_acim_incremental_matches_rebuild(seed):
+    """ACIM runs exercise the virtual-target maintenance: constraints with
+    in-query targets make augmentation produce virtual rows."""
+    query = _random_workload(seed, size=8)
+    pool = sorted(query.node_types())
+    ics = (
+        relevant_constraints(query, 3, target_pool=pool, seed=seed)
+        if len(pool) >= 2
+        else []
+    )
+    fast = acim_minimize(query, ics)
+    slow = acim_minimize(query, ics, incremental=False)
+    assert fast.eliminated == slow.eliminated
+    assert fast.virtual_count == slow.virtual_count
+    assert fast.pattern.isomorphic(slow.pattern)
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_seeded_elimination_orders_match_rebuild(seed):
+    """With the same seed both paths draw the same elimination order, so
+    the runs must agree deletion-for-deletion, not just up to iso."""
+    query = _random_workload(seed, size=12)
+    fast = cim_minimize(query, seed=seed, collect_witnesses=True)
+    slow = cim_minimize(query, seed=seed, incremental=False, collect_witnesses=True)
+    assert fast.eliminated == slow.eliminated
+    assert fast.witnesses == slow.witnesses
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_incremental_matches_naive_cim(seed):
+    query = _random_workload(seed, size=9)
+    fast = cim_minimize(query)
+    naive = cim_minimize_naive(query)
+    assert fast.pattern.isomorphic(naive.pattern)
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_incremental_matches_bruteforce(seed):
+    query = _random_workload(seed, size=5)
+    fast = cim_minimize(query)
+    best = exhaustive_minimize(query)
+    assert fast.pattern.size == best.size
+    assert equivalent(fast.pattern, best)
