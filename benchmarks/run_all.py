@@ -6,6 +6,8 @@ but the timings is deterministic):
 
 - ``BENCH_incremental.json`` — rebuild-vs-incremental engine comparison
   (:mod:`benchmarks.bench_incremental`);
+- ``BENCH_batch.json`` — batch backend vs serial loop + worker scaling
+  (:mod:`benchmarks.bench_batch`);
 - ``BENCH_<figure>.json`` — one file per paper-figure experiment in
   :data:`repro.bench.experiments.ALL_EXPERIMENTS`, in the same schema as
   ``repro-bench <figure> --json``.
@@ -27,6 +29,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:  # script mode without install
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+import bench_batch  # noqa: E402  (sibling module, script mode)
 import bench_incremental  # noqa: E402  (sibling module, script mode)
 
 from repro.bench.experiments import ALL_EXPERIMENTS, run_experiment  # noqa: E402
@@ -66,9 +69,20 @@ def main(argv: Optional[list[str]] = None) -> int:
         ]
         + (["--fast"] if args.fast else [])
     )
+    status = bench_batch.main(
+        [
+            "--repeat",
+            str(repeat),
+            "--out",
+            str(args.out_dir / "BENCH_batch.json"),
+        ]
+        + (["--fast"] if args.fast else [])
+    ) or status
 
     if not args.skip_figures:
         for name in ALL_EXPERIMENTS:
+            if name in ("incremental", "batch"):
+                continue  # their BENCH_*.json are the richer bench_*.py artifacts
             result = run_experiment(name, repeat=repeat)
             path = args.out_dir / f"BENCH_{name}.json"
             path.write_text(format_json(result))

@@ -50,6 +50,9 @@ from .core import (
     PatternNode,
     TreePattern,
     acim_minimize,
+    are_isomorphic,
+    fingerprint,
+    isomorphism,
     amr,
     apply_strategy,
     augment,
@@ -75,8 +78,16 @@ from .constraints import (
     required_child,
     required_descendant,
 )
+from .batch import (
+    BatchItemResult,
+    BatchMinimizer,
+    BatchResult,
+    BatchStats,
+    evaluate_batch,
+    minimize_batch,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # errors
@@ -96,6 +107,9 @@ __all__ = [
     "EdgeKind",
     "PatternNode",
     "TreePattern",
+    "are_isomorphic",
+    "fingerprint",
+    "isomorphism",
     "CimResult",
     "AcimResult",
     "CdmResult",
@@ -124,5 +138,12 @@ __all__ = [
     "required_descendant",
     "parse_constraint",
     "parse_constraints",
+    # batch backend
+    "BatchItemResult",
+    "BatchMinimizer",
+    "BatchResult",
+    "BatchStats",
+    "evaluate_batch",
+    "minimize_batch",
     "__version__",
 ]

@@ -1,0 +1,103 @@
+"""Deterministic parallel map over a process pool.
+
+The batch backends share one dispatch utility: :func:`process_map` runs a
+module-level function over a payload list with ``jobs`` worker processes,
+chunked submission, and results returned **in input order** whatever the
+completion order. Payloads that cannot be pickled — and the whole batch
+when ``jobs=1`` or process pools are unavailable — fall back to running
+the function serially in-process, so callers never need a second code
+path and results are independent of the ``jobs`` setting.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Callable, Iterable, Optional, Sequence, TypeVar
+
+__all__ = ["process_map", "resolve_jobs", "default_chunksize"]
+
+_P = TypeVar("_P")
+_R = TypeVar("_R")
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``jobs`` request: ``None``/``0`` means one worker per
+    available core; negative values raise ``ValueError``."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def default_chunksize(n_items: int, jobs: int) -> int:
+    """Chunk payloads so each worker sees ~4 chunks (amortizes pickling
+    without starving the pool of work to steal)."""
+    return max(1, n_items // (jobs * 4) or 1)
+
+
+def _is_picklable(payload: object) -> bool:
+    try:
+        pickle.dumps(payload)
+        return True
+    except Exception:
+        return False
+
+
+def process_map(
+    fn: Callable[[_P], _R],
+    payloads: Sequence[_P],
+    *,
+    jobs: int = 1,
+    chunksize: Optional[int] = None,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Iterable[object] = (),
+) -> list[_R]:
+    """Run ``fn`` over ``payloads`` with ``jobs`` processes; results in
+    input order.
+
+    ``fn`` (and ``initializer``) must be module-level functions so they
+    can be pickled by the pool. With ``jobs=1`` everything runs serially
+    in-process (the initializer is still called, so worker globals are
+    set up identically). Payloads that fail to pickle are executed
+    in-process too, spliced back into their original positions.
+    """
+    jobs = resolve_jobs(jobs)
+    if initializer is not None and (jobs == 1 or payloads):
+        # Run the initializer in-process as well: the serial path and any
+        # pickle-fallback payload read the same worker globals.
+        initializer(*initargs)
+    if jobs == 1 or len(payloads) <= 1:
+        return [fn(p) for p in payloads]
+
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+    except ImportError:  # pragma: no cover - CPython always has it
+        return [fn(p) for p in payloads]
+
+    pool_items: list[tuple[int, _P]] = []
+    local_items: list[tuple[int, _P]] = []
+    for index, payload in enumerate(payloads):
+        (pool_items if _is_picklable(payload) else local_items).append((index, payload))
+    if not pool_items:
+        return [fn(p) for p in payloads]
+
+    results: list[Optional[_R]] = [None] * len(payloads)
+    chunk = chunksize or default_chunksize(len(pool_items), jobs)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(pool_items)),
+            initializer=initializer,
+            initargs=tuple(initargs),
+        ) as pool:
+            mapped = pool.map(fn, [p for _, p in pool_items], chunksize=chunk)
+            for (index, _), result in zip(pool_items, mapped):
+                results[index] = result
+    except (OSError, PermissionError):  # pragma: no cover - sandboxed hosts
+        # No usable process pool (e.g. fork forbidden): run serially.
+        return [fn(p) for p in payloads]
+
+    for index, payload in local_items:
+        results[index] = fn(payload)
+    return results  # type: ignore[return-value]

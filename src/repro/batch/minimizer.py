@@ -1,0 +1,395 @@
+"""Workload-level minimization: closure-once, memoization, worker pool.
+
+A `repro-bench`-scale run minimizes hundreds of generated queries against
+one constraint repository. Doing that with a ``for q in workload:
+minimize(q, ics)`` loop repeats three kinds of work:
+
+1. **Closure** — every :func:`~repro.core.pipeline.minimize` call
+   re-closes the constraint set. :class:`BatchMinimizer` closes it once
+   at construction (sound because the closure depends only on the
+   repository, never on the query — see DESIGN.md).
+2. **Isomorphic duplicates** — workload generators (and real query logs)
+   repeat structurally identical queries under renamed node ids and
+   shuffled sibling order. A :func:`~repro.core.fingerprint.fingerprint`
+   keyed cache minimizes one representative per structure and *replays*
+   the recorded elimination on every duplicate through the
+   document-order-canonical :func:`~repro.core.fingerprint.isomorphism`,
+   reproducing the serial result exactly.
+3. **Single-threaded dispatch** — distinct queries are independent, so
+   with ``jobs>1`` they fan out over a process pool
+   (:func:`~repro.batch.executor.process_map`), with the closed
+   repository shipped to each worker once via the pool initializer and
+   results restored to input order.
+
+The contract, verified by the differential tests: for every ``jobs``
+setting, with or without memoization, :meth:`BatchMinimizer.minimize_all`
+produces exactly the patterns the serial per-query loop produces, in
+input order.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..constraints.closure import closure
+from ..constraints.model import IntegrityConstraint
+from ..constraints.repository import ConstraintRepository, coerce_repository
+from ..core.fingerprint import fingerprint, isomorphism
+from ..core.pattern import TreePattern
+from ..core.pipeline import MinimizeResult, minimize
+from ..errors import InvalidPatternError
+from .executor import process_map, resolve_jobs
+
+__all__ = [
+    "BatchItemResult",
+    "BatchResult",
+    "BatchStats",
+    "BatchMinimizer",
+    "minimize_batch",
+]
+
+
+@dataclass
+class BatchItemResult:
+    """One workload entry's outcome.
+
+    Attributes
+    ----------
+    index:
+        Position of the query in the input workload.
+    pattern:
+        The minimized query — identical to what the serial
+        :func:`~repro.core.pipeline.minimize` loop would produce.
+    fingerprint:
+        The input's structural fingerprint (the memoization key).
+    cache_hit:
+        True when the item was replayed from a memoized representative
+        instead of being minimized from scratch.
+    eliminated:
+        ``(node_id, node_type)`` pairs in elimination order, in *this*
+        query's node ids (mapped through the isomorphism on cache hits).
+    input_size:
+        Node count of the input query.
+    result:
+        The full per-stage :class:`~repro.core.pipeline.MinimizeResult`
+        for representatives; ``None`` for cache hits.
+    """
+
+    index: int
+    pattern: TreePattern
+    fingerprint: str
+    cache_hit: bool
+    eliminated: list[tuple[int, str]] = field(default_factory=list)
+    input_size: int = 0
+    result: Optional[MinimizeResult] = None
+
+    @property
+    def removed_count(self) -> int:
+        """Number of nodes eliminated."""
+        return len(self.eliminated)
+
+
+@dataclass
+class BatchStats:
+    """Aggregate counters of a :meth:`BatchMinimizer.minimize_all` run."""
+
+    queries: int = 0
+    distinct: int = 0
+    cache_hits: int = 0
+    pickle_fallbacks: int = 0
+    jobs: int = 1
+    closure_seconds: float = 0.0
+    fingerprint_seconds: float = 0.0
+    minimize_seconds: float = 0.0
+    replay_seconds: float = 0.0
+    #: Images-engine / containment-cache counters summed over every
+    #: representative minimized in this batch (cache hits do no engine
+    #: work, so they contribute nothing — that is the point).
+    engine_counters: dict = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of queries served from the fingerprint cache."""
+        return self.cache_hits / self.queries if self.queries else 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock total across all phases (closure included)."""
+        return (
+            self.closure_seconds
+            + self.fingerprint_seconds
+            + self.minimize_seconds
+            + self.replay_seconds
+        )
+
+    def counters(self) -> dict[str, float]:
+        """The stats as a flat dict (for JSON reports)."""
+        out = dict(self.engine_counters)
+        out.update({
+            "queries": self.queries,
+            "distinct": self.distinct,
+            "cache_hits": self.cache_hits,
+            "hit_rate": self.hit_rate,
+            "pickle_fallbacks": self.pickle_fallbacks,
+            "jobs": self.jobs,
+            "closure_seconds": self.closure_seconds,
+            "fingerprint_seconds": self.fingerprint_seconds,
+            "minimize_seconds": self.minimize_seconds,
+            "replay_seconds": self.replay_seconds,
+        })
+        return out
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one :meth:`BatchMinimizer.minimize_all` call."""
+
+    items: list[BatchItemResult]
+    stats: BatchStats
+
+    def patterns(self) -> list[TreePattern]:
+        """The minimized queries, in input order."""
+        return [item.pattern for item in self.items]
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+@dataclass
+class _MemoEntry:
+    """A memoized representative: its input structure plus the recorded
+    elimination (CDM first, then ACIM — the pipeline's order)."""
+
+    input_pattern: TreePattern
+    eliminated: list[tuple[int, str]]
+    result: MinimizeResult
+
+
+# Worker-process globals, set once per pool by `_init_worker` (the closed
+# repository is shipped a single time instead of per task).
+_WORKER_REPO: Optional[ConstraintRepository] = None
+_WORKER_USE_CDM: bool = True
+
+
+def _init_worker(repo_bytes: bytes, use_cdm_prefilter: bool) -> None:
+    global _WORKER_REPO, _WORKER_USE_CDM
+    _WORKER_REPO = pickle.loads(repo_bytes)
+    _WORKER_USE_CDM = use_cdm_prefilter
+
+
+def _minimize_one(pattern: TreePattern) -> MinimizeResult:
+    return minimize(pattern, _WORKER_REPO, use_cdm_prefilter=_WORKER_USE_CDM)
+
+
+def _result_eliminated(result: MinimizeResult) -> list[tuple[int, str]]:
+    """The pipeline's elimination record as ``(id, type)`` pairs, CDM
+    deletions first (the order they actually happened in)."""
+    out: list[tuple[int, str]] = []
+    if result.cdm is not None:
+        out.extend((node_id, node_type) for node_id, node_type, _ in result.cdm.eliminated)
+    if result.acim is not None:
+        out.extend(result.acim.eliminated)
+    return out
+
+
+class BatchMinimizer:
+    """Minimize whole workloads of queries under one constraint repository.
+
+    Parameters
+    ----------
+    constraints:
+        The shared integrity constraints. The logical closure is computed
+        **once**, here, and reused for every query (and shipped once to
+        every worker process).
+    jobs:
+        Worker processes for the distinct-query fan-out. ``1`` (default)
+        runs serially in-process; ``None``/``0`` uses the machine's core
+        count. Results are identical for every setting.
+    memoize:
+        Reuse minimization results across isomorphic queries (on by
+        default). The cache persists across :meth:`minimize_all` calls,
+        so a long-lived ``BatchMinimizer`` keeps learning its workload.
+    use_cdm_prefilter:
+        Forwarded to :func:`~repro.core.pipeline.minimize`.
+    chunksize:
+        Payloads per pool task (default: auto, ~4 chunks per worker).
+    """
+
+    def __init__(
+        self,
+        constraints: "ConstraintRepository | Iterable[IntegrityConstraint] | None" = None,
+        *,
+        jobs: int = 1,
+        memoize: bool = True,
+        use_cdm_prefilter: bool = True,
+        chunksize: Optional[int] = None,
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.memoize = memoize
+        self.use_cdm_prefilter = use_cdm_prefilter
+        self.chunksize = chunksize
+        self.closure_seconds = 0.0
+
+        repo = coerce_repository(constraints)
+        if len(repo) and not repo.is_closed:
+            start = time.perf_counter()
+            repo = closure(repo)
+            self.closure_seconds = time.perf_counter() - start
+        self.repository = repo
+        self._cache: dict[str, _MemoEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def minimize_all(self, patterns: Sequence[TreePattern]) -> BatchResult:
+        """Minimize every query; results in input order.
+
+        Queries sharing a fingerprint with an earlier query (or with a
+        previous call's, the cache is persistent) are replayed from the
+        memoized representative; the remaining distinct queries run
+        serially or across the worker pool.
+        """
+        patterns = list(patterns)
+        stats = BatchStats(
+            queries=len(patterns), jobs=self.jobs, closure_seconds=self.closure_seconds
+        )
+
+        start = time.perf_counter()
+        prints: list[str] = [fingerprint(p) for p in patterns]
+        fresh: list[int] = []  # indexes to actually minimize
+        seen: dict[str, int] = {}
+        for index, fp in enumerate(prints):
+            if self.memoize and (fp in self._cache or fp in seen):
+                continue
+            seen[fp] = index
+            fresh.append(index)
+        stats.fingerprint_seconds = time.perf_counter() - start
+        stats.distinct = len({fp for fp in prints})
+
+        start = time.perf_counter()
+        results = process_map(
+            _minimize_one,
+            [patterns[i] for i in fresh],
+            jobs=self.jobs if len(fresh) > 1 else 1,
+            chunksize=self.chunksize,
+            initializer=_init_worker,
+            initargs=(pickle.dumps(self.repository), self.use_cdm_prefilter),
+        )
+        stats.minimize_seconds = time.perf_counter() - start
+
+        by_index: dict[int, MinimizeResult] = dict(zip(fresh, results))
+        for index, result in by_index.items():
+            if result.acim is not None:
+                for key, value in result.acim.images_stats.counters().items():
+                    stats.engine_counters[key] = stats.engine_counters.get(key, 0) + value
+            fp = prints[index]
+            if self.memoize and fp not in self._cache:
+                self._cache[fp] = _MemoEntry(
+                    input_pattern=patterns[index].copy(),
+                    eliminated=_result_eliminated(result),
+                    result=result,
+                )
+
+        start = time.perf_counter()
+        items: list[BatchItemResult] = []
+        for index, (pattern, fp) in enumerate(zip(patterns, prints)):
+            if index in by_index:
+                result = by_index[index]
+                items.append(
+                    BatchItemResult(
+                        index=index,
+                        pattern=result.pattern,
+                        fingerprint=fp,
+                        cache_hit=False,
+                        eliminated=_result_eliminated(result),
+                        input_size=pattern.size,
+                        result=result,
+                    )
+                )
+                continue
+            stats.cache_hits += 1
+            items.append(self._replay(index, pattern, fp))
+        stats.replay_seconds = time.perf_counter() - start
+        return BatchResult(items=items, stats=stats)
+
+    def minimize(self, pattern: TreePattern) -> BatchItemResult:
+        """Minimize one query through the batch cache (serial path)."""
+        return self.minimize_all([pattern]).items[0]
+
+    @property
+    def cache_size(self) -> int:
+        """Number of memoized representative structures."""
+        return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # Memoization replay
+    # ------------------------------------------------------------------
+
+    def _replay(self, index: int, pattern: TreePattern, fp: str) -> BatchItemResult:
+        """Reproduce the representative's elimination on an isomorphic
+        duplicate by mapping the recorded deletions through the
+        document-order-canonical isomorphism."""
+        entry = self._cache[fp]
+        mapping = isomorphism(entry.input_pattern, pattern)
+        if mapping is None:  # pragma: no cover - SHA-256 collision
+            result = _fresh_minimize(pattern, self.repository, self.use_cdm_prefilter)
+            return BatchItemResult(
+                index=index,
+                pattern=result.pattern,
+                fingerprint=fp,
+                cache_hit=False,
+                eliminated=_result_eliminated(result),
+                input_size=pattern.size,
+                result=result,
+            )
+        minimized = pattern.copy()
+        eliminated: list[tuple[int, str]] = []
+        for rep_id, node_type in entry.eliminated:
+            node = minimized.node(mapping[rep_id])
+            if not node.is_leaf:  # pragma: no cover - defensive
+                raise InvalidPatternError(
+                    "memoization replay out of order: non-leaf deletion"
+                )
+            minimized.delete_leaf(node)
+            eliminated.append((mapping[rep_id], node_type))
+        return BatchItemResult(
+            index=index,
+            pattern=minimized,
+            fingerprint=fp,
+            cache_hit=True,
+            eliminated=eliminated,
+            input_size=pattern.size,
+        )
+
+
+def _fresh_minimize(
+    pattern: TreePattern, repo: ConstraintRepository, use_cdm_prefilter: bool
+) -> MinimizeResult:
+    return minimize(pattern, repo, use_cdm_prefilter=use_cdm_prefilter)
+
+
+def minimize_batch(
+    patterns: Sequence[TreePattern],
+    constraints: "ConstraintRepository | Iterable[IntegrityConstraint] | None" = None,
+    *,
+    jobs: int = 1,
+    memoize: bool = True,
+    use_cdm_prefilter: bool = True,
+    chunksize: Optional[int] = None,
+) -> BatchResult:
+    """One-shot convenience wrapper around :class:`BatchMinimizer`."""
+    minimizer = BatchMinimizer(
+        constraints,
+        jobs=jobs,
+        memoize=memoize,
+        use_cdm_prefilter=use_cdm_prefilter,
+        chunksize=chunksize,
+    )
+    return minimizer.minimize_all(patterns)

@@ -16,12 +16,15 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Sequence
 
+from ..batch.minimizer import BatchMinimizer
 from ..constraints.closure import closure
 from ..constraints.model import required_child, required_descendant
 from ..constraints.repository import ConstraintRepository
 from ..core.acim import acim_minimize
 from ..core.cdm import cdm_minimize
 from ..core.pattern import TreePattern
+from ..core.pipeline import minimize
+from ..workloads.batchgen import batch_workload
 from ..workloads.icgen import relevant_constraints
 from ..workloads.querygen import (
     bushy_cdm_query,
@@ -46,6 +49,7 @@ __all__ = [
     "fig9b",
     "incremental",
     "incremental_workload",
+    "batch",
     "ALL_EXPERIMENTS",
     "run_experiment",
 ]
@@ -400,6 +404,59 @@ def incremental(
     return result
 
 
+#: Figure 8(b)-flavoured batch workload sizes (number of queries).
+_BATCH_COUNTS: tuple[int, ...] = (10, 20, 30, 40, 60)
+_BATCH_DISTINCT = 6
+_BATCH_SIZE = 30
+
+
+def batch(*, repeat: int = 3, counts: Sequence[int] = _BATCH_COUNTS) -> ExperimentResult:
+    """Batch backend vs the naive per-query loop on duplicated workloads.
+
+    Times ``BatchMinimizer`` (closure computed once, isomorphic queries
+    replayed from the fingerprint cache) against the serial
+    ``minimize(q, constraints)`` loop on Figure 8(b)-style workloads with
+    ``_BATCH_DISTINCT`` distinct structures per workload. The counters
+    carry the cache statistics of the largest run.
+    """
+    result = ExperimentResult(
+        name="batch",
+        title="Batch minimization: memoized backend vs serial loop",
+        x_label="workload size (queries)",
+        y_label="total minimization time (s)",
+    )
+    serial = Series("SerialLoop")
+    batched = Series("BatchMemo")
+    for count in counts:
+        queries, constraints = batch_workload(
+            count, kind="fig8", distinct=_BATCH_DISTINCT, size=_BATCH_SIZE, seed=count
+        )
+        serial.add(
+            count,
+            best_of(lambda: [minimize(q, constraints) for q in queries], repeat=repeat),
+        )
+        batched.add(
+            count,
+            best_of(
+                lambda: BatchMinimizer(constraints).minimize_all(queries), repeat=repeat
+            ),
+        )
+    result.series = [serial, batched]
+    largest = max(counts)
+    queries, constraints = batch_workload(
+        largest, kind="fig8", distinct=_BATCH_DISTINCT, size=_BATCH_SIZE, seed=largest
+    )
+    run = BatchMinimizer(constraints).minimize_all(queries)
+    result.counters.update(run.stats.counters())
+    speedup = serial.ys[-1] / max(batched.ys[-1], 1e-12)
+    result.notes.append(
+        f"memoized batch backend is {speedup:.1f}x faster than the serial loop "
+        f"at {largest} queries (hit rate {run.stats.hit_rate:.0%}, "
+        f"{run.stats.distinct} distinct structures)"
+    )
+    return result
+
+
 #: Registry of all experiment drivers, keyed by figure id.
 ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig7a": fig7a,
@@ -409,6 +466,7 @@ ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig9a": fig9a,
     "fig9b": fig9b,
     "incremental": incremental,
+    "batch": batch,
 }
 
 

@@ -15,6 +15,7 @@ entry points are:
 from .edges import CHILD, DESCENDANT, EdgeKind
 from .node import PatternNode
 from .pattern import TreePattern
+from .fingerprint import are_isomorphic, fingerprint, isomorphism
 from .containment import (
     ContainmentStats,
     equivalent,
@@ -42,6 +43,9 @@ __all__ = [
     "EdgeKind",
     "PatternNode",
     "TreePattern",
+    "are_isomorphic",
+    "fingerprint",
+    "isomorphism",
     "ContainmentStats",
     "equivalent",
     "find_containment_mapping",

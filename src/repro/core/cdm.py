@@ -229,17 +229,24 @@ def _minimize_at(
 def _find_justification(
     content: InfoContent, target: InfoArg, repo: ConstraintRepository
 ) -> Optional[str]:
+    # A self-pair justification (the target trimming its own duplicates,
+    # e.g. t ->> t) must keep one source alive, so it is only a fallback:
+    # any other justifier discharges *every* source, and each target is
+    # visited once.
+    fallback: Optional[str] = None
     for justifier in content.args():
         if not content.is_live(justifier):
             continue
-        if justifier == target and len(content.sources_of(target)) < 2:
-            # An argument may justify trimming its own duplicates (e.g.
-            # t ->> t), but never its sole source.
+        if justifier == target:
+            if fallback is None and len(content.sources_of(target)) >= 2:
+                rule = _match_rule(justifier, target, repo)
+                if rule is not None:
+                    fallback = f"{rule}(self-pair)"
             continue
         rule = _match_rule(justifier, target, repo)
         if rule is not None:
-            return rule if justifier != target else f"{rule}(self-pair)"
-    return None
+            return rule
+    return fallback
 
 
 def _discharge(
@@ -252,13 +259,20 @@ def _discharge(
     """Delete the deletable source leaves behind ``target``; return
     whether anything was removed."""
     sources = sorted(content.sources_of(target))
-    keep_one = rule.endswith("(self-pair)")
+    # A self-pair rule (the target justifies its own duplicates) must
+    # leave one source alive as the justifier. An undeletable source
+    # (output/temporary) serves for free; otherwise keep the first.
+    kept_justifier = not rule.endswith("(self-pair)") or any(
+        node.pattern.node(s).is_output or node.pattern.node(s).temporary
+        for s in sources
+    )
     removed_any = False
     for source_id in sources:
-        if keep_one and not removed_any and source_id == sources[0]:
-            continue
         child = node.pattern.node(source_id)
         if child.is_output or child.temporary:
+            continue
+        if not kept_justifier:
+            kept_justifier = True
             continue
         node.pattern.delete_leaf(child)
         content.drop_source(target, source_id)

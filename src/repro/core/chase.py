@@ -60,14 +60,80 @@ def augmentation_targets(
         ``extra_types`` — per node id, the co-occurrence types to associate
         with the node.
 
-    Only types already present in ``pattern`` are ever introduced, and ICs
-    are applied to the pattern's (original) nodes only — both per Section
-    5.2. The constraint set is closed first if needed.
+    Without co-occurrence constraints, only types already present in
+    ``pattern`` are introduced and every target is a flat leaf — the
+    Section 5.2 augmentation, which bottom-up leaf elimination makes
+    complete (a leaf's images stay anchored at real nodes, each carrying
+    its own guarantees). Co-occurrence breaks that: a multi-typed witness
+    (``a -> b`` with ``b ~ c``) can serve as the image of a *non-leaf*
+    real node, whose children must then map below the witness. Those runs
+    therefore expand full witness subtrees, mirroring the containment
+    oracle (:func:`repro.core.ic_containment.chase_for_containment`):
+    each target carries its (presence-filtered) co-occurrence types,
+    recursion materializes the guarantees below it, and witness structure
+    is not presence-filtered — a chain may pass through an absent type to
+    reach a present one (extra types stay filtered: mapping sources are
+    real nodes, so an absent extra type can never receive one). Witness
+    depth is capped at the pattern's height — an image chain k levels
+    below an anchor needs k strict source ancestors mapping above it, so
+    deeper witnesses can never receive a mapping. Degenerate closures
+    (not finitely satisfiable) keep the flat Section 5.2 targets: their
+    witness trees are infinite, and the conservative augmentation matches
+    what the containment oracle can verify in that regime.
+
+    ICs are applied to the pattern's (original) nodes only, and the
+    constraint set is closed first if needed.
     """
     repo = _closed(constraints)
-    present = {n.type for n in pattern.nodes() if not n.temporary}
     virtual: list[VirtualTarget] = []
     extra_types: dict[int, frozenset[str]] = {}
+    has_cooc = any(c.is_co_occurrence for c in repo)
+    if has_cooc:
+        from .ic_containment import finitely_satisfiable
+
+        has_cooc = finitely_satisfiable(repo)
+    present = {n.type for n in pattern.nodes() if not n.temporary}
+    if has_cooc:
+        depth_cap = max(n.depth for n in pattern.nodes())
+        counter = iter(range(-1, -(1 << 30), -1))
+
+        def expand(parent_id: int, t2: str, edge: EdgeKind, depth: int) -> None:
+            # Witness *structure* is not presence-filtered — a chain can
+            # pass through an absent type to reach a present one — but
+            # extra types are: mapping sources are real nodes, so an
+            # absent extra type can never receive a mapping.
+            vt = VirtualTarget(
+                next(counter), t2, parent_id, edge,
+                extra_types=frozenset(
+                    t for t in repo.co_occurring_with(t2) if t in present
+                ),
+            )
+            virtual.append(vt)
+            if depth >= depth_cap:
+                return
+            child_types = repo.required_children_of(t2)
+            for t3 in sorted(child_types):
+                expand(vt.id, t3, EdgeKind.CHILD, depth + 1)
+            for t3 in sorted(repo.required_descendants_of(t2)):
+                if t3 not in child_types:
+                    expand(vt.id, t3, EdgeKind.DESCENDANT, depth + 1)
+
+        for node in pattern.nodes():
+            if node.temporary:
+                continue
+            cooc = {
+                t2 for t2 in repo.co_occurring_with(node.type) if t2 in present
+            }
+            if cooc:
+                extra_types[node.id] = frozenset(cooc)
+            child_types = {t2 for t2 in repo.required_children_of(node.type)}
+            for t2 in sorted(child_types):
+                expand(node.id, t2, EdgeKind.CHILD, 1)
+            for t2 in sorted(repo.required_descendants_of(node.type)):
+                if t2 not in child_types:
+                    expand(node.id, t2, EdgeKind.DESCENDANT, 1)
+        return virtual, extra_types
+
     next_id = -1
     for node in pattern.nodes():
         if node.temporary:
@@ -110,8 +176,17 @@ def augment(
     for node_id, types in extra_types.items():
         for t in sorted(types):
             result.add_extra_type(result.node(node_id), t)
+    materialized: dict[int, object] = {}
     for vt in virtual:
-        result.add_child(result.node(vt.parent_id), vt.node_type, vt.edge, temporary=True)
+        parent = (
+            materialized[vt.parent_id]
+            if vt.parent_id < 0
+            else result.node(vt.parent_id)
+        )
+        node = result.add_child(parent, vt.node_type, vt.edge, temporary=True)
+        for t in sorted(vt.extra_types):
+            result.add_extra_type(node, t)
+        materialized[vt.id] = node
     return result
 
 

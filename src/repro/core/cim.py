@@ -139,7 +139,17 @@ def cim_minimize(
     result = CimResult(pattern=query, stats=stats if stats is not None else ImagesStats())
     rng = random.Random(seed) if seed is not None else None
 
-    live_virtual = [vt for vt in virtual if query.has_node(vt.parent_id)]
+    # A target is live when its anchor chain reaches a node of the query:
+    # witness subtrees anchor virtual targets on other (earlier-listed)
+    # virtual targets, so liveness propagates down the list.
+    live_virtual: list[VirtualTarget] = []
+    kept_ids: set[int] = set()
+    for vt in virtual:
+        if vt.parent_id in kept_ids or (
+            vt.parent_id >= 0 and query.has_node(vt.parent_id)
+        ):
+            live_virtual.append(vt)
+            kept_ids.add(vt.id)
     non_redundant: set[int] = set()
     candidates = [
         n.id for n in query.leaves() if _eligible(n, protect, include_temporaries)
@@ -181,11 +191,18 @@ def cim_minimize(
             # applied to the live tables instead of rebuilding them.
             engine.delete_leaf(leaf)
         else:
-            # From-scratch baseline: virtual targets anchored at the
-            # deleted node die with it; skip the list rebuild when the
-            # leaf anchored none.
+            # From-scratch baseline: virtual targets anchored (possibly
+            # through other virtual targets) at the deleted node die with
+            # it; skip the list rebuild when the leaf anchored none.
             if any(vt.parent_id == leaf_id for vt in live_virtual):
-                live_virtual = [vt for vt in live_virtual if vt.parent_id != leaf_id]
+                dead = {leaf_id}
+                survivors = []
+                for vt in live_virtual:
+                    if vt.parent_id in dead:
+                        dead.add(vt.id)
+                    else:
+                        survivors.append(vt)
+                live_virtual = survivors
             engine = ImagesEngine(
                 query, live_virtual, result.stats, pair_filter=pair_filter
             )

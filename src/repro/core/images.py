@@ -49,8 +49,8 @@ class VirtualTarget:
     A required-child IC ``t1 -> t2`` applied to node ``p`` guarantees that
     in every constraint-satisfying database the image of ``p`` has a child
     of type ``t2``; a required-descendant IC guarantees a descendant. Such
-    guaranteed nodes are leaves with no further obligations, so they never
-    need to be mapped themselves — they only *receive* mappings.
+    guaranteed nodes never need to be mapped themselves — they only
+    *receive* mappings.
 
     Attributes
     ----------
@@ -59,16 +59,29 @@ class VirtualTarget:
     node_type:
         The guaranteed node's type.
     parent_id:
-        Id of the (real) pattern node the IC was applied to.
+        Id of the node the IC was applied to. Usually a real pattern node;
+        may be another (earlier) virtual target when the augmentation
+        expands whole witness subtrees. Sequences of targets must list
+        every virtual parent before its virtual children.
     edge:
         ``CHILD`` if the IC was ``t1 -> t2`` (the target is a c-child of
         its parent), ``DESCENDANT`` for ``t1 ->> t2``.
+    extra_types:
+        Co-occurrence types the guaranteed node must also carry (``t2 ~
+        t3`` makes every ``t2`` node a ``t3`` node too), so the target can
+        receive mappings from sources of those types as well.
     """
 
     id: int
     node_type: str
     parent_id: int
     edge: EdgeKind
+    extra_types: frozenset[str] = frozenset()
+
+    @property
+    def all_types(self) -> frozenset[str]:
+        """Primary type plus co-occurrence extras."""
+        return self.extra_types | {self.node_type}
 
     def __post_init__(self) -> None:
         if self.id >= 0:
@@ -276,7 +289,8 @@ class ImagesEngine:
             if node.is_output:
                 self._starred.add(node.id)
         for vt in self.virtual:
-            self._by_type.setdefault(vt.node_type, set()).add(vt.id)
+            for t in vt.all_types:
+                self._by_type.setdefault(t, set()).add(vt.id)
         self.stats.tables_seconds += time.perf_counter() - start
 
     # ------------------------------------------------------------------
@@ -286,6 +300,19 @@ class ImagesEngine:
     def is_redundant_leaf(self, leaf: PatternNode) -> bool:
         """The paper's ``redundant-leaf`` test for ``leaf``."""
         return self._run(leaf) is not None
+
+    def _anchored_at(self, node_id: int) -> tuple[VirtualTarget, ...]:
+        """Virtual targets anchored at ``node_id``, transitively: a witness
+        subtree hangs off its anchor through virtual-parented targets, and
+        the whole subtree stands or falls with the anchor. One forward pass
+        suffices because ``self.virtual`` lists parents before children."""
+        dead = {node_id}
+        anchored: list[VirtualTarget] = []
+        for vt in self.virtual:
+            if vt.parent_id in dead:
+                anchored.append(vt)
+                dead.add(vt.id)
+        return tuple(anchored)
 
     def delete_leaf(self, leaf: PatternNode) -> tuple[VirtualTarget, ...]:
         """Incrementally track the deletion of ``leaf`` from the pattern.
@@ -303,20 +330,25 @@ class ImagesEngine:
         """
         start = time.perf_counter()
         leaf_id = leaf.id
-        dropped = tuple(vt for vt in self.virtual if vt.parent_id == leaf_id)
-        for vt in dropped:
+        dropped = self._anchored_at(leaf_id)
+        # Delete deepest-first: the ancestor table refuses to drop a row
+        # that still has descendants, and witness subtrees list parents
+        # before children.
+        for vt in reversed(dropped):
             self.ancestors.delete_leaf(vt.id)
-            bucket = self._by_type.get(vt.node_type)
-            if bucket is not None:
-                bucket.discard(vt.id)
+            for t in vt.all_types:
+                bucket = self._by_type.get(t)
+                if bucket is not None:
+                    bucket.discard(vt.id)
         self.ancestors.delete_leaf(leaf_id)
         for t in leaf.all_types:
             bucket = self._by_type.get(t)
             if bucket is not None:
                 bucket.discard(leaf_id)
         if dropped:
+            dead_ids = {vt.id for vt in dropped}
             self.virtual = tuple(
-                vt for vt in self.virtual if vt.parent_id != leaf_id
+                vt for vt in self.virtual if vt.id not in dead_ids
             )
         dead = {leaf_id}
         dead.update(vt.id for vt in dropped)
@@ -382,7 +414,7 @@ class ImagesEngine:
         #     a node vanishes with the node (without this, `b ->> b`-style
         #     closure facts let a leaf justify its own deletion).
         excluded: set[int] = {leaf.id}
-        excluded.update(vt.id for vt in self.virtual if vt.parent_id == leaf.id)
+        excluded.update(vt.id for vt in self._anchored_at(leaf.id))
         max_size = self.stats.max_image_size
         for node in self.pattern.nodes():
             candidates = self._base_images(node) - excluded

@@ -43,25 +43,45 @@ __all__ = ["apply_strategy", "amr", "OPTIMAL_STRATEGY"]
 def _minimization_step(query: TreePattern) -> TreePattern:
     """The ``M`` step: CIM with temporaries as pure targets.
 
-    Materialized temporary leaves become :class:`VirtualTarget` rows for
+    Materialized temporary nodes become :class:`VirtualTarget` rows for
     the duration of the elimination, then the survivors (those whose
-    anchor node is still present) are re-materialized. Temporary nodes
-    produced by :func:`~repro.core.chase.augment` are always leaves, so
-    the conversion is lossless.
+    anchor chain still reaches a real node) are re-materialized.
+    Temporaries may form whole witness subtrees (co-occurrence-aware
+    augmentation), so the conversion maps temporary parents to virtual
+    parents; a temporary below a non-temporary ancestor chain is assumed,
+    as :func:`~repro.core.chase.augment` guarantees.
     """
     temps = [n for n in query.nodes() if n.temporary]
-    if any(not n.is_leaf for n in temps):
-        raise StrategyError("temporary nodes must be leaves in the M step")
+    if any(not c.temporary for n in temps for c in n.children):
+        raise StrategyError("real nodes must not hang below temporaries in the M step")
+    # query.nodes() is document order, so parents precede children and the
+    # virtual list keeps the parent-before-child invariant.
+    ids = {n.id: -(i + 1) for i, n in enumerate(temps)}
     virtual = [
-        VirtualTarget(-(i + 1), n.type, n.parent.id, n.edge)
-        for i, n in enumerate(temps)
+        VirtualTarget(
+            ids[n.id],
+            n.type,
+            ids.get(n.parent.id, n.parent.id),
+            n.edge,
+            extra_types=frozenset(n.extra_types),
+        )
+        for n in temps
     ]
-    for n in temps:
+    for n in reversed(temps):  # deepest-first: only ever delete leaves
         query.delete_leaf(n)
     result = cim_minimize(query, virtual=virtual, in_place=True).pattern
+    materialized = {}
     for vt in virtual:
-        if result.has_node(vt.parent_id):
-            result.add_child(result.node(vt.parent_id), vt.node_type, vt.edge, temporary=True)
+        if vt.parent_id in materialized:
+            parent = materialized[vt.parent_id]
+        elif vt.parent_id >= 0 and result.has_node(vt.parent_id):
+            parent = result.node(vt.parent_id)
+        else:
+            continue
+        node = result.add_child(parent, vt.node_type, vt.edge, temporary=True)
+        for t in sorted(vt.extra_types):
+            result.add_extra_type(node, t)
+        materialized[vt.id] = node
     return result
 
 #: The provably optimal strategy string (Lemma 5.4).

@@ -71,29 +71,57 @@ def evaluate(
     return out
 
 
-def evaluate_nodes(pattern: TreePattern, database: Database) -> list[DataNode]:
+def evaluate_nodes(
+    pattern: TreePattern, database: Database, *, engine: str = "dp"
+) -> list[DataNode]:
     """The answer set as data nodes (document order per tree)."""
+    engine_class = _engine_class(engine)
     out: list[DataNode] = []
     for tree in _trees(database):
-        out.extend(EmbeddingEngine(pattern, tree).answer_nodes())
+        if engine == "dp":
+            out.extend(engine_class(pattern, tree).answer_nodes())
+        else:
+            ids = engine_class(pattern, tree).answer_set()
+            out.extend(node for node in tree.nodes() if node.id in ids)
     return out
 
 
-def count_embeddings(pattern: TreePattern, database: Database) -> int:
-    """Total number of embeddings across the database."""
-    return sum(EmbeddingEngine(pattern, t).count_embeddings() for t in _trees(database))
+def count_embeddings(pattern: TreePattern, database: Database, *, engine: str = "dp") -> int:
+    """Total number of embeddings across the database.
+
+    Only the engines that enumerate embeddings (``dp``, ``twigmerge``)
+    can count them; the others raise :class:`EvaluationError`.
+    """
+    engine_class = _engine_class(engine)
+    if not hasattr(engine_class, "count_embeddings"):
+        raise EvaluationError(
+            f"engine {engine!r} cannot count embeddings (use 'dp' or 'twigmerge')"
+        )
+    return sum(engine_class(pattern, t).count_embeddings() for t in _trees(database))
 
 
-def matches(pattern: TreePattern, database: Database) -> bool:
+def matches(pattern: TreePattern, database: Database, *, engine: str = "dp") -> bool:
     """Whether the pattern embeds anywhere in the database."""
-    return any(EmbeddingEngine(pattern, t).exists() for t in _trees(database))
+    engine_class = _engine_class(engine)
+    for tree in _trees(database):
+        instance = engine_class(pattern, tree)
+        found = instance.exists() if hasattr(instance, "exists") else bool(instance.answer_set())
+        if found:
+            return True
+    return False
 
 
-def agree_on(q1: TreePattern, q2: TreePattern, database: Database) -> bool:
+def agree_on(
+    q1: TreePattern, q2: TreePattern, database: Database, *, engine: str = "dp"
+) -> bool:
     """Whether two queries produce the same answer set on this database.
 
     Used by the property tests as the *semantic* (per-instance) check that
     complements the syntactic containment-mapping oracle: equivalent
     queries must agree on every database satisfying the constraints.
+
+    The database is materialized once, so one-shot iterables (generators)
+    are safe to pass: both queries see every tree.
     """
-    return evaluate(q1, database) == evaluate(q2, database)
+    trees = _trees(database)
+    return evaluate(q1, trees, engine=engine) == evaluate(q2, trees, engine=engine)

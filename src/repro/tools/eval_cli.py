@@ -1,4 +1,4 @@
-"""``tpq-eval`` — run a tree pattern query against an XML or LDIF file.
+"""``tpq-eval`` — run tree pattern queries against XML or LDIF files.
 
 Examples::
 
@@ -6,6 +6,13 @@ Examples::
     tpq-eval 'Organization//Person*' directory.ldif --format ldif
     tpq-eval 'Catalog/Product*[Vendor]' catalog.xml \\
         -c 'Product -> Vendor' --minimize --engine twig --count
+
+Several documents form a forest; ``--jobs`` fans the trees across
+worker processes. ``--batch`` evaluates a whole file of queries (one per
+line) through the batch backend instead of a single positional query::
+
+    tpq-eval 'Library//Book*' a.xml b.xml c.xml --jobs 4
+    tpq-eval --batch queries.txt catalog.xml --count --jobs 0
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from ..batch import evaluate_batch, minimize_batch
 from ..constraints.model import parse_constraints
 from ..core.pipeline import minimize
 from ..data.ldif import parse_ldif
@@ -21,9 +29,7 @@ from ..data.ldap import dn_of
 from ..data.tree import DataNode, DataTree
 from ..data.xml_io import parse_xml
 from ..errors import ReproError
-from ..matching.embeddings import EmbeddingEngine
-from ..matching.pathstack import PathStackEngine, is_path_pattern
-from ..matching.structural import TwigJoinEngine
+from ..matching.pathstack import is_path_pattern
 from ..parsing.serializer import to_xpath
 from ..parsing.xpath import parse_xpath
 
@@ -34,10 +40,28 @@ def build_parser() -> argparse.ArgumentParser:
     """The ``tpq-eval`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="tpq-eval",
-        description="Evaluate a tree pattern query against an XML or LDIF document.",
+        description="Evaluate tree pattern queries against XML or LDIF documents.",
     )
-    parser.add_argument("query", help="XPath-subset query")
-    parser.add_argument("document", type=Path, help="XML or LDIF file")
+    parser.add_argument(
+        "query", nargs="?", default=None, help="XPath-subset query (omit with --batch)"
+    )
+    parser.add_argument("document", nargs="+", type=Path, help="XML or LDIF file(s)")
+    parser.add_argument(
+        "--batch",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "evaluate a file of queries (one per line, '#' comments; '-' for "
+            "stdin) instead of a positional QUERY"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for fanning documents (0 = one per core; default 1)",
+    )
     parser.add_argument(
         "--format",
         choices=("auto", "xml", "ldif"),
@@ -46,9 +70,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=("dp", "twig", "pathstack"),
+        choices=("dp", "twig", "pathstack", "twigmerge"),
         default="dp",
-        help="matching engine (pathstack requires a linear query)",
+        help="matching engine (pathstack requires linear queries)",
     )
     parser.add_argument(
         "-c", "--constraints", default=None, help="';'-separated integrity constraints"
@@ -56,7 +80,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--minimize",
         action="store_true",
-        help="minimize the query (under the constraints, if given) before matching",
+        help="minimize the queries (under the constraints, if given) before matching",
     )
     parser.add_argument("--count", action="store_true", help="print only the match count")
     return parser
@@ -80,35 +104,75 @@ def _describe(node: DataNode, is_directory: bool) -> str:
     return f"{'+'.join(sorted(node.types))}{detail}  ({path})"
 
 
+def _read_batch_queries(path: Path) -> list:
+    text = sys.stdin.read() if str(path) == "-" else path.read_text()
+    queries = []
+    for line in text.splitlines():
+        line = line.split("#", 1)[0].strip()
+        if line:
+            queries.append(parse_xpath(line))
+    return queries
+
+
+def _print_answers(answers, docs, trees) -> None:
+    prefix_files = len(docs) > 1
+    for tree_index, (path, is_directory) in enumerate(docs):
+        prefix = f"{path}: " if prefix_files else ""
+        for node in trees[tree_index].nodes():  # document order
+            if (tree_index, node.id) in answers:
+                print(f"{prefix}{_describe(node, is_directory)}")
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the tool; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     try:
-        pattern = parse_xpath(args.query)
+        if args.batch is not None:
+            # All positionals are documents in batch mode.
+            documents = ([Path(args.query)] if args.query else []) + list(args.document)
+            patterns = _read_batch_queries(args.batch)
+        else:
+            if args.query is None:
+                parser.error("QUERY is required unless --batch FILE is given")
+            documents = list(args.document)
+            patterns = [parse_xpath(args.query)]
         constraints = parse_constraints(args.constraints or "")
-        tree, is_directory = _load(args.document, args.format)
+
+        loaded = [_load(path, args.format) for path in documents]
+        trees = [tree for tree, _ in loaded]
+        docs = [(path, is_dir) for path, (_, is_dir) in zip(documents, loaded)]
 
         if args.minimize:
-            result = minimize(pattern, constraints)
-            pattern = result.pattern
-            print(f"# minimized to: {to_xpath(pattern)}", file=sys.stderr)
+            if len(patterns) > 1:
+                batch = minimize_batch(patterns, constraints, jobs=args.jobs)
+                patterns = batch.patterns()
+            else:
+                patterns = [minimize(patterns[0], constraints).pattern]
+            for pattern in patterns:
+                print(f"# minimized to: {to_xpath(pattern)}", file=sys.stderr)
 
-        if args.engine == "twig":
-            answers = TwigJoinEngine(pattern, tree).answer_set()
-        elif args.engine == "pathstack":
-            if not is_path_pattern(pattern):
-                print("error: --engine pathstack requires a linear query", file=sys.stderr)
-                return 2
-            answers = PathStackEngine(pattern, tree).answer_set()
-        else:
-            answers = EmbeddingEngine(pattern, tree).answer_set()
+        if args.engine == "pathstack":
+            for pattern in patterns:
+                if not is_path_pattern(pattern):
+                    print(
+                        "error: --engine pathstack requires a linear query",
+                        file=sys.stderr,
+                    )
+                    return 2
 
-        if args.count:
-            print(len(answers))
-            return 0
-        for node in tree.nodes():  # document order
-            if node.id in answers:
-                print(_describe(node, is_directory))
+        answer_sets = evaluate_batch(
+            patterns, trees, engine=args.engine, jobs=args.jobs
+        )
+
+        header_queries = len(patterns) > 1 and not args.count
+        for pattern, answers in zip(patterns, answer_sets):
+            if header_queries:
+                print(f"## {to_xpath(pattern)}")
+            if args.count:
+                print(len(answers))
+            else:
+                _print_answers(answers, docs, trees)
         return 0
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)

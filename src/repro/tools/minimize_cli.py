@@ -8,6 +8,14 @@ Examples::
     tpq-minimize --sexpr '(a (/ b) (/ b))' --format sexpr
     echo 'Section ->> Paragraph' > ics.txt
     tpq-minimize 'Articles/Article*[.//Paragraph][.//Section]' -C ics.txt
+
+Batch mode minimizes a whole file of queries (one per line, ``#``
+comments allowed) through the workload backend — constraint closure
+computed once, isomorphic queries memoized, distinct queries optionally
+fanned across worker processes::
+
+    tpq-minimize --batch queries.txt -C ics.txt --jobs 4
+    tpq-minimize --batch - < queries.txt --explain
 """
 
 from __future__ import annotations
@@ -35,9 +43,31 @@ def build_parser() -> argparse.ArgumentParser:
         prog="tpq-minimize",
         description="Minimize a tree pattern query (CIM / CDM / ACIM / full pipeline).",
     )
-    parser.add_argument("query", help="the query (XPath subset, or s-expression with --sexpr)")
+    parser.add_argument(
+        "query",
+        nargs="?",
+        default=None,
+        help="the query (XPath subset, or s-expression with --sexpr)",
+    )
     parser.add_argument(
         "--sexpr", action="store_true", help="parse the query as an s-expression"
+    )
+    parser.add_argument(
+        "--batch",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "minimize a file of queries (one per line, '#' comments; '-' for "
+            "stdin) through the batch backend; prints one minimized query "
+            "per line in input order"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for --batch (0 = one per core; default 1)",
     )
     parser.add_argument(
         "-c",
@@ -78,15 +108,64 @@ def _render(pattern, fmt: str) -> str:
     return pattern.to_ascii()
 
 
+def _read_batch_queries(path: Path, use_sexpr: bool) -> list:
+    """Parse a file of queries (one per line; '#' comments, blank lines
+    skipped; '-' reads stdin)."""
+    text = sys.stdin.read() if str(path) == "-" else path.read_text()
+    parse = parse_sexpr if use_sexpr else parse_xpath
+    queries = []
+    for line in text.splitlines():
+        line = line.split("#", 1)[0].strip()
+        if line:
+            queries.append(parse(line))
+    return queries
+
+
+def _run_batch(args, constraints) -> int:
+    from ..batch import BatchMinimizer
+
+    queries = _read_batch_queries(args.batch, args.sexpr)
+    minimizer = BatchMinimizer(constraints, jobs=args.jobs)
+    batch = minimizer.minimize_all(queries)
+    for item in batch:
+        fmt = "sexpr" if args.format == "sexpr" else args.format
+        rendered = to_sexpr(item.pattern) if fmt == "sexpr" else _render(item.pattern, fmt)
+        print(rendered)
+    if args.explain:
+        stats = batch.stats
+        removed = sum(item.removed_count for item in batch)
+        print(
+            f"# {stats.queries} queries ({stats.distinct} distinct structures), "
+            f"{removed} nodes removed",
+            file=sys.stderr,
+        )
+        print(
+            f"# cache hit rate {stats.hit_rate:.0%}, jobs={stats.jobs}, "
+            f"total {stats.total_seconds * 1e3:.1f} ms "
+            f"(closure {stats.closure_seconds * 1e3:.1f} ms)",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the tool; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if (args.query is None) == (args.batch is None):
+        parser.error("exactly one of QUERY or --batch FILE is required")
+    if args.batch is not None and args.algorithm != "pipeline":
+        parser.error("--batch only supports the default pipeline algorithm")
     try:
-        query = parse_sexpr(args.query) if args.sexpr else parse_xpath(args.query)
         constraint_text = args.constraints or ""
         if args.constraints_file is not None:
             constraint_text += "\n" + args.constraints_file.read_text()
         constraints = parse_constraints(constraint_text)
+
+        if args.batch is not None:
+            return _run_batch(args, constraints)
+
+        query = parse_sexpr(args.query) if args.sexpr else parse_xpath(args.query)
 
         explain_lines: list[str] = []
         if args.algorithm == "cim":

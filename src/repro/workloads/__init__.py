@@ -15,10 +15,14 @@ from .querygen import (
     redundancy_query,
     right_deep_cdm_query,
 )
+from .batchgen import BATCH_WORKLOAD_KINDS, batch_workload, isomorphic_shuffle
 from .icgen import relevant_constraints
 from . import paper_queries
 
 __all__ = [
+    "BATCH_WORKLOAD_KINDS",
+    "batch_workload",
+    "isomorphic_shuffle",
     "bushy_cdm_query",
     "chain_constraints",
     "chain_query",

@@ -148,3 +148,45 @@ class TestCoOccurrenceSubtleties:
         # The Person branch folds onto the Manager (who is a Person).
         assert result.pattern.size == 2
         assert "Manager" in result.pattern.node_types()
+
+
+class TestWitnessCompleteAugmentation:
+    """Co-occurrence + required-child chains need multi-level witnesses:
+    a guaranteed child can be multi-typed and carry guarantees of its own,
+    so it may serve as the image of a *non-leaf* real node (regression for
+    a minimality gap found by the brute-force property test)."""
+
+    ICS = parse_constraints("a -> b; b -> c; b ~ c")
+
+    def test_deep_witness_absorbs_child_chain(self):
+        # a's guaranteed b-child is also a c (b ~ c) and has its own
+        # c-child (b -> c), so c[/c] folds onto the witness subtree.
+        pattern = q(("a*", [("/", ("c", [("/", "c")])), ("/", "d")]))
+        result = acim_minimize(pattern, self.ICS)
+        assert result.pattern.size == 2
+        assert sorted(result.pattern.node_types()) == ["a", "d"]
+
+    def test_deep_witness_with_descendant_edges(self):
+        pattern = q(("a*", [
+            ("//", ("c", [("//", "c")])),
+            ("//", ("b", [("/", "c")])),
+        ]))
+        result = acim_minimize(pattern, self.ICS)
+        assert result.pattern.size == 1
+
+    def test_chain_without_co_occurrence_unchanged(self):
+        # Without co-occurrence, bottom-up elimination over flat one-level
+        # targets already reaches the minimum (Section 5.2 augmentation).
+        ics = parse_constraints("a -> b; b -> c")
+        pattern = q(("a*", [("/", ("b", [("/", "c")]))]))
+        result = acim_minimize(pattern, ics)
+        assert result.pattern.size == 1
+
+    def test_matches_exhaustive_on_witness_case(self):
+        from repro.core.bruteforce import exhaustive_minimize
+
+        pattern = q(("a*", [("/", ("c", [("/", "c")])), ("/", "d")]))
+        assert (
+            acim_minimize(pattern, self.ICS).pattern.size
+            == exhaustive_minimize(pattern, self.ICS).size
+        )

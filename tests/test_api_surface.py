@@ -12,6 +12,7 @@ import repro
 SUBPACKAGES = [
     "repro",
     "repro.core",
+    "repro.batch",
     "repro.constraints",
     "repro.data",
     "repro.matching",
@@ -48,7 +49,7 @@ def test_all_exports_resolve(module_name):
 
 
 def test_version():
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"
 
 
 def test_public_callables_documented():

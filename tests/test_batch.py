@@ -1,0 +1,274 @@
+"""Tests for the batch backend (``repro.batch``).
+
+The load-bearing guarantee is *drop-in equivalence*: for every workload
+and every ``jobs``/``memoize`` setting, ``BatchMinimizer`` must return
+byte-for-byte the same minimal patterns, in the same order, as the naive
+serial loop ``[minimize(q, ics) for q in workload]``. The differential
+sweeps here pin that over hundreds of seeded workloads, with and without
+constraints.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.batch import (
+    BatchMinimizer,
+    evaluate_batch,
+    minimize_batch,
+    process_map,
+    resolve_jobs,
+)
+from repro.batch.executor import default_chunksize
+from repro.constraints.model import parse_constraints
+from repro.core.pipeline import minimize
+from repro.data.generate import random_tree
+from repro.matching.evaluator import ENGINES, evaluate
+from repro.parsing.sexpr import to_sexpr
+from repro.workloads import batch_workload, isomorphic_shuffle, random_query
+from repro.workloads.icgen import relevant_constraints
+
+CONSTRAINTS = parse_constraints("a -> b; b ->> c; a ~ c")
+
+
+def serial_loop(queries, constraints):
+    return [to_sexpr(minimize(q, constraints).pattern) for q in queries]
+
+
+def random_workload(seed: int, *, n_queries: int = 6, max_size: int = 8):
+    """A small random workload with duplicate structures mixed in."""
+    rng = random.Random(seed)
+    queries = []
+    while len(queries) < n_queries:
+        base = random_query(
+            rng.randint(1, max_size), types=["a", "b", "c"], rng=rng
+        )
+        queries.append(base)
+        if rng.random() < 0.5 and len(queries) < n_queries:
+            queries.append(isomorphic_shuffle(base, rng=rng))
+    rng.shuffle(queries)
+    return queries
+
+
+class TestDifferential:
+    """BatchMinimizer == serial loop, byte for byte."""
+
+    @pytest.mark.parametrize("offset", range(0, 200, 25))
+    def test_random_workloads_without_constraints(self, offset):
+        for seed in range(offset, offset + 25):
+            queries = random_workload(seed)
+            assert (
+                [to_sexpr(i.pattern) for i in minimize_batch(queries, [])]
+                == serial_loop(queries, [])
+            ), f"diverged without constraints at seed {seed}"
+
+    @pytest.mark.parametrize("offset", range(0, 200, 25))
+    def test_random_workloads_with_constraints(self, offset):
+        for seed in range(offset, offset + 25):
+            queries = random_workload(seed)
+            constraints = list(CONSTRAINTS) + relevant_constraints(
+                queries[0], 3, seed=seed
+            )
+            assert (
+                [to_sexpr(i.pattern) for i in minimize_batch(queries, constraints)]
+                == serial_loop(queries, constraints)
+            ), f"diverged under constraints at seed {seed}"
+
+    @pytest.mark.parametrize("kind", ("fig7", "fig8", "mixed"))
+    @pytest.mark.parametrize("jobs", (1, 2))
+    def test_paper_workloads_all_jobs(self, kind, jobs):
+        queries, constraints = batch_workload(
+            20, kind=kind, distinct=4, size=16, seed=11
+        )
+        batch = minimize_batch(queries, constraints, jobs=jobs)
+        assert [to_sexpr(i.pattern) for i in batch] == serial_loop(
+            queries, constraints
+        )
+
+    @pytest.mark.parametrize("memoize", (True, False))
+    def test_memoize_toggle_is_invisible(self, memoize):
+        queries, constraints = batch_workload(
+            15, kind="fig8", distinct=3, size=12, seed=5
+        )
+        minimizer = BatchMinimizer(constraints, memoize=memoize)
+        batch = minimizer.minimize_all(queries)
+        assert [to_sexpr(i.pattern) for i in batch] == serial_loop(
+            queries, constraints
+        )
+        assert batch.stats.cache_hits == (12 if memoize else 0)
+
+    def test_eliminated_nodes_match_serial(self):
+        queries, constraints = batch_workload(
+            10, kind="fig7", distinct=2, size=16, seed=3
+        )
+        batch = minimize_batch(queries, constraints)
+        for item, query in zip(batch, queries):
+            run = minimize(query, constraints)
+            expected = []
+            if run.cdm is not None:
+                expected += [(i, t) for i, t, _rule in run.cdm.eliminated]
+            if run.acim is not None:
+                expected += list(run.acim.eliminated)
+            assert item.eliminated == expected
+
+
+class TestBatchMinimizer:
+    def test_items_in_input_order_with_metadata(self):
+        queries, constraints = batch_workload(
+            8, kind="fig8", distinct=2, size=10, seed=1
+        )
+        batch = BatchMinimizer(constraints).minimize_all(queries)
+        assert len(batch) == 8
+        assert [item.index for item in batch] == list(range(8))
+        for item, query in zip(batch, queries):
+            assert item.input_size == query.size
+            assert item.removed_count == query.size - item.pattern.size
+        assert len(batch.patterns()) == 8
+
+    def test_cache_persists_across_calls(self):
+        queries, constraints = batch_workload(
+            6, kind="fig8", distinct=2, size=10, seed=2
+        )
+        minimizer = BatchMinimizer(constraints)
+        first = minimizer.minimize_all(queries)
+        assert first.stats.cache_hits == 4
+        assert minimizer.cache_size == 2
+        second = minimizer.minimize_all(queries)
+        assert second.stats.cache_hits == 6  # everything replays now
+        assert [to_sexpr(i.pattern) for i in second] == [
+            to_sexpr(i.pattern) for i in first
+        ]
+
+    def test_single_query_wrapper(self):
+        query = random_workload(9)[0]
+        minimizer = BatchMinimizer(CONSTRAINTS)
+        assert to_sexpr(minimizer.minimize(query).pattern) == to_sexpr(
+            minimize(query, CONSTRAINTS).pattern
+        )
+
+    def test_stats_accounting(self):
+        queries, constraints = batch_workload(
+            12, kind="mixed", distinct=3, size=12, seed=4
+        )
+        batch = minimize_batch(queries, constraints)
+        stats = batch.stats
+        assert stats.queries == 12
+        assert stats.distinct == 3
+        assert stats.cache_hits == 9
+        assert stats.hit_rate == pytest.approx(0.75)
+        assert stats.total_seconds >= 0
+        counters = stats.counters()
+        assert counters["queries"] == 12 and counters["hit_rate"] == 0.75
+        # Engine counters aggregate over the 3 representatives only —
+        # cache hits do no images-engine work.
+        assert stats.engine_counters["engine_builds"] == 3
+
+    def test_empty_workload(self):
+        batch = minimize_batch([], CONSTRAINTS)
+        assert len(batch) == 0 and batch.stats.queries == 0
+
+
+class TestExecutor:
+    def test_resolve_jobs(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) >= 1
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+    def test_default_chunksize(self):
+        assert default_chunksize(0, 4) == 1
+        assert default_chunksize(100, 4) == 100 // 16
+
+    def test_serial_map_preserves_order(self):
+        assert process_map(str, [3, 1, 2], jobs=1) == ["3", "1", "2"]
+
+    def test_parallel_map_preserves_order(self):
+        assert process_map(_square, list(range(20)), jobs=2) == [
+            i * i for i in range(20)
+        ]
+
+    def test_unpicklable_payloads_fall_back_to_serial(self):
+        payloads = [1, lambda: 2, 3]  # the lambda cannot cross a process
+        assert process_map(_typename, payloads, jobs=2) == [
+            "int",
+            "function",
+            "int",
+        ]
+
+
+def _square(x):
+    return x * x
+
+
+def _typename(x):
+    return type(x).__name__
+
+
+class TestEvaluateBatch:
+    @pytest.fixture(scope="class")
+    def forest(self):
+        return [random_tree(["a", "b", "c"], size=25, seed=s) for s in range(4)]
+
+    @pytest.fixture(scope="class")
+    def queries(self):
+        rng = random.Random(13)
+        return [
+            random_query(rng.randint(1, 5), types=["a", "b", "c"], rng=rng)
+            for _ in range(6)
+        ]
+
+    @pytest.mark.parametrize("jobs", (1, 3))
+    def test_matches_evaluate_per_query(self, forest, queries, jobs):
+        answers = evaluate_batch(queries, forest, jobs=jobs)
+        assert answers == [evaluate(q, forest) for q in queries]
+
+    @pytest.mark.parametrize("engine", [e for e in ENGINES if e != "pathstack"])
+    def test_all_engines_agree(self, forest, queries, engine):
+        assert evaluate_batch(queries, forest, engine=engine) == evaluate_batch(
+            queries, forest
+        )
+
+    def test_pathstack_rejects_branching_queries(self, forest):
+        branching = random_query(6, types=["a", "b"], max_fanout=3, seed=0)
+        while all(len(n.children) <= 1 for n in branching.nodes()):
+            branching = random_query(8, types=["a", "b"], max_fanout=4, seed=1)
+        from repro.errors import EvaluationError
+
+        with pytest.raises(EvaluationError, match="linear"):
+            evaluate_batch([branching], forest, engine="pathstack")
+
+    def test_unknown_engine_fails_fast(self, forest, queries):
+        from repro.errors import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            evaluate_batch(queries, forest, engine="nope")
+
+
+class TestBatchWorkload:
+    def test_deterministic(self):
+        a = batch_workload(10, seed=42)
+        b = batch_workload(10, seed=42)
+        assert [to_sexpr(q) for q in a[0]] == [to_sexpr(q) for q in b[0]]
+        assert a[1] == b[1]
+
+    @pytest.mark.parametrize("kind", ("fig7", "fig8", "mixed"))
+    def test_counts_and_duplication(self, kind):
+        queries, constraints = batch_workload(
+            12, kind=kind, distinct=4, size=16, seed=0
+        )
+        assert len(queries) == 12
+        assert constraints
+        from repro.core.fingerprint import fingerprint
+
+        assert 1 <= len({fingerprint(q) for q in queries}) <= 4
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            batch_workload(0)
+        with pytest.raises(ValueError):
+            batch_workload(5, kind="fig99")
+        with pytest.raises(ValueError):
+            batch_workload(5, distinct=0)

@@ -162,13 +162,18 @@ class TestJson:
             assert payload["name"] == name
 
 
-def _load_bench_incremental():
-    path = Path(__file__).parent.parent / "benchmarks" / "bench_incremental.py"
-    spec = importlib.util.spec_from_file_location("bench_incremental_module", path)
+def _load_bench_script(stem):
+    path = Path(__file__).parent.parent / "benchmarks" / f"{stem}.py"
+    name = f"{stem}_module"
+    spec = importlib.util.spec_from_file_location(name, path)
     module = importlib.util.module_from_spec(spec)
-    sys.modules.setdefault("bench_incremental_module", module)
+    sys.modules.setdefault(name, module)
     spec.loader.exec_module(module)
     return module
+
+
+def _load_bench_incremental():
+    return _load_bench_script("bench_incremental")
 
 
 class TestBenchIncremental:
@@ -207,6 +212,41 @@ class TestBenchIncremental:
         )
         assert summary["max_speedup"] >= summary["fig8_speedup_at_largest"] > 0
         assert isinstance(summary["meets_3x_target"], bool)
+
+
+class TestBenchBatch:
+    """Schema smoke test for BENCH_batch.json (fast grid)."""
+
+    def test_fast_run_writes_valid_schema(self, tmp_path):
+        bb = _load_bench_script("bench_batch")
+        out = tmp_path / "BENCH_batch.json"
+        bb.main(["--fast", "--repeat", "1", "--out", str(out)])
+        payload = json.loads(out.read_text())
+
+        assert payload["benchmark"] == "batch"
+        assert payload["schema_version"] == bb.SCHEMA_VERSION
+        assert payload["fast"] is True
+        assert payload["cpu_count"] >= 1
+
+        workloads = payload["workloads"]
+        assert {r["workload"] for r in workloads} == {"fig7", "fig8", "mixed"}
+        for row in workloads:
+            assert row["serial_seconds"] >= 0
+            assert row["batch_seconds"] >= 0
+            assert row["speedup"] > 0
+            assert 0.0 <= row["hit_rate"] <= 1.0
+            assert 1 <= row["distinct_structures"] <= row["n_queries"]
+            assert row["cache_hits"] == row["n_queries"] - row["distinct_structures"]
+
+        scaling = payload["scaling"]
+        assert [r["jobs"] for r in scaling] == [1, 2, 4, 8]
+        for row in scaling:
+            assert row["seconds"] >= 0 and row["speedup_vs_serial"] > 0
+
+        summary = payload["summary"]
+        assert summary["target_jobs"] == min(4, payload["cpu_count"])
+        assert summary["speedup_at_target_jobs"] == max(r["speedup"] for r in workloads)
+        assert isinstance(summary["meets_2x_target"], bool)
 
 
 class TestMarkdown:

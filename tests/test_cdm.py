@@ -212,3 +212,22 @@ class TestMutualJustification:
         pattern = q(("r*", [("//", "t"), ("//", "t")]))
         result = cdm_minimize(pattern, ics)
         assert result.pattern.size >= 2
+
+
+class TestJustifierPreference:
+    def test_full_discharge_beats_self_pair(self):
+        # Both //a duplicates are justified by the /a sibling through
+        # a ->> a; the self-pair reading (keep one duplicate) must not
+        # shadow it (regression: CDM left a locally redundant leaf).
+        repo = closure([co_occurrence("b", "a"), required_child("a", "b")])
+        pattern = q(("c*", [("/", "a"), ("//", "a"), ("//", "a")]))
+        result = cdm_minimize(pattern, repo)
+        assert result.pattern.size == 2
+        assert [n.type for n in result.pattern.leaves()] == ["a"]
+
+    def test_sibling_justifier_discharges_both_duplicates(self):
+        repo = closure([co_occurrence("b", "a"), required_child("a", "b")])
+        pattern = q(("c*", [("//", "a"), ("//", "a"), ("/", "b")]))
+        result = cdm_minimize(pattern, repo)
+        assert result.pattern.size == 2
+        assert [n.type for n in result.pattern.leaves()] == ["b"]

@@ -128,3 +128,48 @@ class TestClassicalChase:
         pattern = q("a")
         chased = chase(pattern, [], rounds=10)
         assert chased.size == 1
+
+
+class TestWitnessSubtreeExpansion:
+    ICS = closure([required_child("a", "b"), required_child("b", "c"), co_occurrence("b", "c")])
+
+    def test_virtual_targets_form_subtrees(self):
+        pattern = q(("a*", [("/", ("c", [("/", "c")])), ("/", "d")]))
+        virtual, _ = augmentation_targets(pattern, self.ICS)
+        by_id = {vt.id: vt for vt in virtual}
+        # Some target is parented on another virtual target...
+        nested = [vt for vt in virtual if vt.parent_id < 0]
+        assert nested
+        # ...and parents always precede children in the list.
+        order = {vt.id: i for i, vt in enumerate(virtual)}
+        assert all(order[vt.parent_id] < order[vt.id] for vt in nested)
+        # The b-witness carries its co-occurrence type c.
+        b_witnesses = [vt for vt in virtual if vt.node_type == "b"]
+        assert b_witnesses and all("c" in vt.extra_types for vt in b_witnesses)
+        assert all(by_id[vt.parent_id].node_type == "b" or vt.parent_id >= 0 for vt in nested)
+
+    def test_depth_capped_at_pattern_height(self):
+        deep_ics = closure(
+            [required_child("a", "b"), required_child("b", "c"),
+             required_child("c", "d"), co_occurrence("a", "d")]
+        )
+        pattern = q(("a*", [("/", "b")]))  # height 1
+        virtual, _ = augmentation_targets(pattern, deep_ics)
+        depth = {}
+        for vt in virtual:
+            depth[vt.id] = 1 if vt.parent_id >= 0 else depth[vt.parent_id] + 1
+        assert max(depth.values()) == 1
+
+    def test_degenerate_closure_stays_flat(self):
+        ics = closure([required_child("a", "b"), co_occurrence("b", "a")])
+        pattern = q(("a*", [("/", ("b", [("/", "a")]))]))
+        virtual, _ = augmentation_targets(pattern, ics)
+        assert all(vt.parent_id >= 0 for vt in virtual)
+
+    def test_materialized_augment_matches_targets(self):
+        pattern = q(("a*", [("/", ("c", [("/", "c")])), ("/", "d")]))
+        augmented = augment(pattern, self.ICS)
+        temps = [n for n in augmented.nodes() if n.temporary]
+        virtual, _ = augmentation_targets(pattern, self.ICS)
+        assert len(temps) == len(virtual)
+        assert any(n.temporary and n.parent is not None and n.parent.temporary for n in temps)

@@ -87,3 +87,72 @@ class TestEvalCli:
 
     def test_bad_query(self, xml_file, capsys):
         assert main(["a[[", str(xml_file)]) == 1
+
+    def test_twigmerge_engine(self, xml_file, capsys):
+        assert main(
+            ["Catalog//Name*", str(xml_file), "--engine", "twigmerge", "--count"]
+        ) == 0
+        assert capsys.readouterr().out.strip() == "3"
+
+
+class TestEvalBatchMode:
+    @pytest.fixture
+    def second_xml(self, tmp_path):
+        path = tmp_path / "cat2.xml"
+        path.write_text("<Catalog><Product><Name>Gizmo</Name></Product></Catalog>")
+        return path
+
+    @pytest.fixture
+    def query_file(self, tmp_path):
+        path = tmp_path / "queries.txt"
+        path.write_text("Catalog/Product*  # one per product\nCatalog//Name*\n")
+        return path
+
+    def test_batch_counts_per_query(self, xml_file, query_file, capsys):
+        assert main(["--batch", str(query_file), str(xml_file), "--count"]) == 0
+        assert capsys.readouterr().out.split() == ["2", "3"]
+
+    def test_batch_headers_and_forest(self, xml_file, second_xml, query_file, capsys):
+        code = main(
+            ["--batch", str(query_file), str(xml_file), str(second_xml), "--jobs", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "## Catalog/Product" in out and "## Catalog//Name" in out
+        assert str(second_xml) in out  # multi-document output is prefixed
+
+    def test_forest_positional_single_query(self, xml_file, second_xml, capsys):
+        assert main(
+            ["Catalog//Name*", str(xml_file), str(second_xml), "--count"]
+        ) == 0
+        assert capsys.readouterr().out.strip() == "4"
+
+    def test_jobs_do_not_change_answers(self, xml_file, second_xml, capsys):
+        serial = main(["Catalog//Name*", str(xml_file), str(second_xml)])
+        serial_out = capsys.readouterr().out
+        parallel = main(
+            ["Catalog//Name*", str(xml_file), str(second_xml), "--jobs", "2"]
+        )
+        assert (serial, parallel) == (0, 0)
+        assert capsys.readouterr().out == serial_out
+
+    def test_batch_minimize_uses_backend(self, xml_file, query_file, capsys):
+        code = main(
+            [
+                "--batch",
+                str(query_file),
+                str(xml_file),
+                "--minimize",
+                "-c",
+                "Product -> Name",
+                "--count",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out.split() == ["2", "3"]
+        assert captured.err.count("# minimized to:") == 2
+
+    def test_query_required_without_batch(self, xml_file):
+        with pytest.raises(SystemExit):
+            main([str(xml_file)])

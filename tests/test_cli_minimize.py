@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.tools.minimize_cli import main
 
 
@@ -64,3 +66,68 @@ class TestMinimizeCli:
 
     def test_bad_constraint_exit_code(self, capsys):
         assert main(["a/b", "-c", "a >>> b"]) == 1
+
+
+class TestBatchMode:
+    def test_batch_file_preserves_order(self, tmp_path, capsys):
+        queries = tmp_path / "queries.txt"
+        queries.write_text(
+            "a/b[c][c]\n"
+            "# a comment line\n"
+            "Book*[Title]   # trailing comment\n"
+            "\n"
+            "a/b[c][c]\n"
+        )
+        code = main(["--batch", str(queries), "-c", "Book -> Title"])
+        assert code == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out == ["a/b[c]", "Book", "a/b[c]"]
+
+    def test_batch_matches_single_query_runs(self, tmp_path, capsys):
+        queries = tmp_path / "queries.txt"
+        lines = ["a/b[c][c]", "Book*[Title][Publisher]", "a*[.//b][.//b]"]
+        queries.write_text("\n".join(lines) + "\n")
+        constraints = "Book -> Title; Book -> Publisher"
+        assert main(["--batch", str(queries), "-c", constraints]) == 0
+        batch_out = capsys.readouterr().out.strip().splitlines()
+        singles = []
+        for line in lines:
+            assert main([line, "-c", constraints]) == 0
+            singles.append(capsys.readouterr().out.strip())
+        assert batch_out == singles
+
+    def test_batch_explain_reports_cache(self, tmp_path, capsys):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("a/b[c][c]\na/b[c][c]\n")
+        assert main(["--batch", str(queries), "--explain", "--jobs", "2"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip().splitlines() == ["a/b[c]", "a/b[c]"]
+        assert "2 queries (1 distinct structures)" in captured.err
+        assert "hit rate 50%" in captured.err
+
+    def test_batch_stdin(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("a/b[c][c]\n"))
+        assert main(["--batch", "-"]) == 0
+        assert capsys.readouterr().out.strip() == "a/b[c]"
+
+    def test_batch_and_query_are_exclusive(self, tmp_path, capsys):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("a/b\n")
+        with pytest.raises(SystemExit):
+            main(["a/b", "--batch", str(queries)])
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_batch_rejects_non_pipeline_algorithms(self, tmp_path):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("a/b\n")
+        with pytest.raises(SystemExit):
+            main(["--batch", str(queries), "--algorithm", "cim"])
+
+    def test_batch_parse_error_exit_code(self, tmp_path, capsys):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("a/b\na[[\n")
+        assert main(["--batch", str(queries)]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -7,7 +7,14 @@ import pytest
 from repro import TreePattern
 from repro.data import Forest, build_tree
 from repro.errors import EvaluationError
-from repro.matching.evaluator import ENGINES, evaluate
+from repro.matching.evaluator import (
+    ENGINES,
+    agree_on,
+    count_embeddings,
+    evaluate,
+    evaluate_nodes,
+    matches,
+)
 
 
 def forest() -> Forest:
@@ -43,3 +50,64 @@ class TestEngineSelection:
     def test_default_is_dp(self):
         q = TreePattern.build(("a", [("//", "b*")]))
         assert evaluate(q, forest()) == evaluate(q, forest(), engine="dp")
+
+
+class TestEngineThreading:
+    """Every evaluator entry point accepts ``engine=`` and agrees with dp."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_evaluate_nodes_all_engines(self, engine):
+        q = TreePattern.build(("a", [("//", "b*")]))
+        db = forest()
+        baseline = [id(n) for n in evaluate_nodes(q, db)]
+        assert [id(n) for n in evaluate_nodes(q, db, engine=engine)] == baseline
+        assert len(baseline) == len(evaluate(q, db))
+
+    @pytest.mark.parametrize("engine", ["dp", "twigmerge"])
+    def test_count_embeddings_counting_engines(self, engine):
+        q = TreePattern.build(("a", [("//", "b*")]))
+        assert count_embeddings(q, forest(), engine=engine) == 3
+
+    @pytest.mark.parametrize("engine", ["twig", "pathstack"])
+    def test_count_embeddings_rejects_noncounting_engines(self, engine):
+        q = TreePattern.build(("a", [("//", "b*")]))
+        with pytest.raises(EvaluationError, match="cannot count"):
+            count_embeddings(q, forest(), engine=engine)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_matches_all_engines(self, engine):
+        hit = TreePattern.build(("a", [("//", "b*")]))
+        miss = TreePattern.build(("a", [("/", "zzz*")]))
+        assert matches(hit, forest(), engine=engine)
+        assert not matches(miss, forest(), engine=engine)
+
+    @pytest.mark.parametrize("engine", ["dp", "twig", "twigmerge"])
+    def test_agree_on_all_engines(self, engine):
+        q1 = TreePattern.build(("a*", [("/", "b"), ("/", "c")]))
+        q2 = TreePattern.build(("a*", [("/", "c")]))
+        q3 = TreePattern.build(("a*", [("/", "b")]))
+        assert not agree_on(q1, q3, forest(), engine=engine)
+        assert agree_on(q1, q2, forest()) == agree_on(q1, q2, forest(), engine=engine)
+
+
+class TestGeneratorDatabases:
+    """A database passed as a one-shot generator must not be silently
+    exhausted between the two evaluations inside ``agree_on``."""
+
+    def trees(self):
+        yield build_tree(("a", [("b", [])]))
+        yield build_tree(("a", [("b", [("b", [])]), ("c", [])]))
+
+    def test_agree_on_generator(self):
+        q1 = TreePattern.build(("a", [("//", "b*")]))
+        q2 = TreePattern.build(("a", [("//", "b*")]))
+        assert agree_on(q1, q2, self.trees())
+
+    def test_agree_on_generator_detects_disagreement(self):
+        q1 = TreePattern.build(("a", [("//", "b*")]))
+        q2 = TreePattern.build(("a", [("/", "c*")]))
+        assert not agree_on(q1, q2, self.trees())
+
+    def test_evaluate_generator(self):
+        q = TreePattern.build(("a", [("//", "b*")]))
+        assert evaluate(q, self.trees()) == {(0, 1), (1, 1), (1, 2)}

@@ -1,0 +1,123 @@
+"""Property tests for structural fingerprints (``repro.core.fingerprint``).
+
+The batch backend's memoization is sound only if the fingerprint is a
+*perfect* structural hash: isomorphic patterns (same shape up to sibling
+order and node-id renaming) must collide, and colliding patterns must be
+isomorphic. Both directions are pinned here, plus the validity of the
+witness mapping ``isomorphism`` that the replay path consumes.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro import TreePattern
+from repro.core.edges import EdgeKind
+from repro.core.fingerprint import are_isomorphic, fingerprint, isomorphism, subtree_keys
+from repro.workloads import isomorphic_shuffle
+
+TYPES = ["a", "b", "c"]
+
+
+@st.composite
+def patterns(draw, max_size: int = 10) -> TreePattern:
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    pattern = TreePattern(draw(st.sampled_from(TYPES)))
+    nodes = [pattern.root]
+    for _ in range(size - 1):
+        parent = nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))]
+        edge = EdgeKind.DESCENDANT if draw(st.booleans()) else EdgeKind.CHILD
+        nodes.append(pattern.add_child(parent, draw(st.sampled_from(TYPES)), edge))
+    nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))].is_output = True
+    return pattern
+
+
+class TestFingerprintCollides:
+    """Isomorphic-by-construction patterns must collide."""
+
+    @given(patterns(), st.integers(min_value=0, max_value=1 << 16))
+    @settings(max_examples=150, deadline=None)
+    def test_shuffle_preserves_fingerprint(self, pattern, seed):
+        twin = isomorphic_shuffle(pattern, seed=seed)
+        assert fingerprint(twin) == fingerprint(pattern)
+        assert are_isomorphic(pattern, twin)
+
+    @given(patterns(), st.integers(min_value=0, max_value=1 << 16))
+    @settings(max_examples=100, deadline=None)
+    def test_shuffle_is_idempotent_on_fingerprint(self, pattern, seed):
+        once = isomorphic_shuffle(pattern, seed=seed)
+        twice = isomorphic_shuffle(once, seed=seed + 1)
+        assert fingerprint(twice) == fingerprint(pattern)
+
+
+class TestFingerprintSeparates:
+    """Fingerprint equality must imply isomorphism (no false merges)."""
+
+    @given(patterns(), patterns())
+    @settings(max_examples=200, deadline=None)
+    def test_equality_iff_isomorphic(self, a, b):
+        assert (fingerprint(a) == fingerprint(b)) == are_isomorphic(a, b)
+
+    def test_edge_kind_matters(self):
+        child = TreePattern("a", root_is_output=True)
+        child.add_child(child.root, "b", EdgeKind.CHILD)
+        desc = TreePattern("a", root_is_output=True)
+        desc.add_child(desc.root, "b", EdgeKind.DESCENDANT)
+        assert fingerprint(child) != fingerprint(desc)
+
+    def test_output_position_matters(self):
+        marked_root = TreePattern("a", root_is_output=True)
+        marked_root.add_child(marked_root.root, "b", EdgeKind.CHILD)
+        marked_leaf = TreePattern("a")
+        marked_leaf.add_child(marked_leaf.root, "b", EdgeKind.CHILD, is_output=True)
+        assert fingerprint(marked_root) != fingerprint(marked_leaf)
+
+    def test_type_rename_matters(self):
+        a = TreePattern("a", root_is_output=True)
+        b = TreePattern("b", root_is_output=True)
+        assert fingerprint(a) != fingerprint(b)
+
+
+class TestIsomorphismWitness:
+    """The mapping the replay path consumes must be a real isomorphism."""
+
+    @given(patterns(), st.integers(min_value=0, max_value=1 << 16))
+    @settings(max_examples=150, deadline=None)
+    def test_mapping_is_structure_preserving(self, pattern, seed):
+        twin = isomorphic_shuffle(pattern, seed=seed)
+        mapping = isomorphism(pattern, twin)
+        assert mapping is not None
+        assert sorted(mapping) == sorted(n.id for n in pattern.nodes())
+        assert sorted(mapping.values()) == sorted(n.id for n in twin.nodes())
+        for node in pattern.nodes():
+            image = twin.node(mapping[node.id])
+            assert image.type == node.type
+            assert image.is_output == node.is_output
+            if not node.is_root:
+                assert image.edge is node.edge
+                assert mapping[node.parent.id] == image.parent.id
+
+    @given(patterns(), patterns())
+    @settings(max_examples=100, deadline=None)
+    def test_mapping_exists_iff_isomorphic(self, a, b):
+        assert (isomorphism(a, b) is not None) == are_isomorphic(a, b)
+
+
+class TestSubtreeKeys:
+    def test_root_key_agrees_with_canonical_key(self):
+        pattern = TreePattern("a", root_is_output=True)
+        b = pattern.add_child(pattern.root, "b", EdgeKind.DESCENDANT)
+        pattern.add_child(b, "c", EdgeKind.CHILD)
+        assert subtree_keys(pattern)[pattern.root.id] == pattern.canonical_key()
+
+    @given(patterns())
+    @settings(max_examples=100, deadline=None)
+    def test_every_node_keyed(self, pattern):
+        keys = subtree_keys(pattern)
+        assert sorted(keys) == sorted(n.id for n in pattern.nodes())
+
+    def test_fingerprint_is_stable_hex(self):
+        pattern = TreePattern("a", root_is_output=True)
+        fp = fingerprint(pattern)
+        assert fp == fingerprint(pattern)
+        assert len(fp) == 64 and int(fp, 16) >= 0

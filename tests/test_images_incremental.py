@@ -350,3 +350,38 @@ def test_incremental_matches_bruteforce(seed):
     best = exhaustive_minimize(query)
     assert fast.pattern.size == best.size
     assert equivalent(fast.pattern, best)
+
+
+class TestNestedVirtualTargets:
+    """Witness subtrees: virtual targets parented on virtual targets."""
+
+    def test_delete_leaf_drops_whole_witness_subtree(self):
+        pattern = TreePattern("a", root_is_output=True)
+        b = pattern.add_child(pattern.root, "b", EdgeKind.CHILD)
+        pattern.add_child(pattern.root, "c", EdgeKind.CHILD)
+        virtual = [
+            VirtualTarget(-1, "x", b.id, EdgeKind.CHILD),
+            VirtualTarget(-2, "y", -1, EdgeKind.CHILD),
+            VirtualTarget(-3, "z", -2, EdgeKind.DESCENDANT),
+            VirtualTarget(-4, "x", pattern.root.id, EdgeKind.CHILD),
+        ]
+        engine = ImagesEngine(pattern, virtual)
+        assert engine.ancestors.is_descendant(-3, b.id)
+        pattern.delete_leaf(b)
+        dropped = engine.delete_leaf(b)
+        assert [vt.id for vt in dropped] == [-1, -2, -3]
+        assert [vt.id for vt in engine.virtual] == [-4]
+        for vid in (-1, -2, -3):
+            assert not engine.ancestors.has_row(vid)
+        assert engine.ancestors.has_row(-4)
+
+    def test_extra_types_make_virtual_reachable_by_other_types(self):
+        pattern = TreePattern("a", root_is_output=True)
+        pattern.add_child(pattern.root, "c", EdgeKind.CHILD)
+        vt = VirtualTarget(
+            -1, "b", pattern.root.id, EdgeKind.CHILD, extra_types=frozenset({"c"})
+        )
+        engine = ImagesEngine(pattern, [vt])
+        leaf = pattern.find("c")[0]
+        # The c-leaf can map onto the b∧c witness, so it is redundant.
+        assert engine.is_redundant_leaf(leaf)
