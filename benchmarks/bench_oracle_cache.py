@@ -1,0 +1,292 @@
+"""Containment-oracle cache benchmark: cached vs uncached, all layers.
+
+Measures the three cache layers of the oracle-cache subsystem against
+their memo-free baselines, asserting byte-for-byte result equality on
+every section:
+
+1. **Cross-query oracle cache** — the content-keyed
+   :class:`~repro.core.oracle_cache.ContainmentOracleCache` serving
+   whole ``mapping_targets`` DP tables by isomorphism remap, on the
+   Figure 8(b) repeated-structure pair stream
+   (:func:`~repro.bench.experiments.oracle_cache_workload`);
+2. **Sibling-subtree prune memo** — ACIM redundancy checks reusing the
+   pruned images of unchanged sibling subtrees
+   (``cim_minimize(..., oracle_cache=True)``);
+3. **CDM rule-probe memo** — Figure 6 rule probes shared across sibling
+   leaves of equal type (``cdm_minimize(..., oracle_cache=True)``),
+   plus the batch-backend composition (workers rebuild their own cache).
+
+Run as a script (or via ``benchmarks/run_all.py``) to write the
+machine-readable ``BENCH_oracle_cache.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_oracle_cache.py
+    PYTHONPATH=src python benchmarks/bench_oracle_cache.py --fast --out /tmp/b.json
+
+All workloads are deterministic (fixed seeds); only the timings vary
+between machines. The JSON schema is validated by ``tests/test_bench.py``.
+
+The module doubles as a pytest-benchmark suite::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_oracle_cache.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from pathlib import Path
+from typing import Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # script mode without install
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.batch import minimize_batch
+from repro.bench.experiments import oracle_cache_workload
+from repro.bench.timing import best_of
+from repro.core.acim import acim_minimize
+from repro.core.cdm import cdm_minimize
+from repro.core.containment import mapping_targets
+from repro.core.oracle_cache import ContainmentOracleCache, oracle_cache_disabled
+from repro.parsing.sexpr import to_sexpr
+from repro.workloads.batchgen import batch_workload
+from repro.workloads.querygen import duplicate_random_branch, random_query
+
+__all__ = ["SCHEMA_VERSION", "DEFAULT_OUTPUT", "run_comparison", "main"]
+
+SCHEMA_VERSION = 1
+
+#: Default output artifact, at the repo root so the perf trajectory is
+#: tracked in-tree from this PR onward.
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_oracle_cache.json"
+
+#: Deterministic workload seed.
+SEED = 91
+
+_ORACLE_COUNTS = (8, 16, 24, 32)
+_FAST_ORACLE_COUNTS = (8, 16)
+
+_PRUNE_SEEDS = tuple(range(16))
+_FAST_PRUNE_SEEDS = tuple(range(6))
+_PRUNE_SIZE = 40
+_FAST_PRUNE_SIZE = 25
+
+
+def _run_pairs(pairs, cache):
+    return [mapping_targets(s, t, cache=cache) for s, t in pairs]
+
+
+def _oracle_section(*, repeat: int, fast: bool) -> dict:
+    """Cross-query cache vs raw DP on the fig8 repeated-structure pair
+    stream; a fresh cache per timed pass, so cold stores are included."""
+    counts = _FAST_ORACLE_COUNTS if fast else _ORACLE_COUNTS
+    rows: list[dict] = []
+    for count in counts:
+        pairs = oracle_cache_workload(count)
+        uncached_seconds = best_of(lambda: _run_pairs(pairs, None), repeat=repeat)
+        cached_seconds = best_of(
+            lambda: _run_pairs(pairs, ContainmentOracleCache()), repeat=repeat
+        )
+        cache = ContainmentOracleCache()
+        cached_tables = _run_pairs(pairs, cache)
+        if cached_tables != _run_pairs(pairs, None):
+            raise AssertionError(
+                f"oracle cache diverged from the uncached DP (count {count})"
+            )
+        row = {
+            "queries": count,
+            "pairs": len(pairs),
+            "uncached_seconds": uncached_seconds,
+            "cached_seconds": cached_seconds,
+            "speedup": uncached_seconds / max(cached_seconds, 1e-12),
+        }
+        row.update(cache.stats.counters())
+        rows.append(row)
+    return {"rows": rows}
+
+
+def _prune_memo_section(*, repeat: int, fast: bool) -> dict:
+    """ACIM with vs without the sibling-subtree prune memo on
+    heterogeneous duplicated-branch queries (the memo's regime: subtrees
+    type-incompatible with the tested leaf are reusable as-is)."""
+    seeds = _FAST_PRUNE_SEEDS if fast else _PRUNE_SEEDS
+    size = _FAST_PRUNE_SIZE if fast else _PRUNE_SIZE
+    queries = []
+    for seed in seeds:
+        rng = random.Random(SEED + seed)
+        queries.append(
+            duplicate_random_branch(
+                random_query(size, types=["a", "b", "c", "d", "e"], rng=rng), rng=rng
+            )
+        )
+
+    def run_all(flag: bool):
+        return [acim_minimize(q, oracle_cache=flag) for q in queries]
+
+    memo_off_seconds = best_of(lambda: run_all(False), repeat=repeat)
+    memo_on_seconds = best_of(lambda: run_all(True), repeat=repeat)
+    on_results = run_all(True)
+    off_results = run_all(False)
+    if [to_sexpr(r.pattern) for r in on_results] != [
+        to_sexpr(r.pattern) for r in off_results
+    ]:
+        raise AssertionError("prune memo changed an ACIM result")
+    hits = sum(r.images_stats.prune_memo_hits for r in on_results)
+    misses = sum(r.images_stats.prune_memo_misses for r in on_results)
+    return {
+        "queries": len(queries),
+        "query_size": size,
+        "memo_off_seconds": memo_off_seconds,
+        "memo_on_seconds": memo_on_seconds,
+        "speedup": memo_off_seconds / max(memo_on_seconds, 1e-12),
+        "prune_memo_hits": hits,
+        "prune_memo_misses": misses,
+        "prune_memo_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+    }
+
+
+def _cdm_probe_section(*, repeat: int, fast: bool) -> dict:
+    """CDM with vs without the rule-probe memo on the fig8 batch
+    workload (shared constraint set, repeated sibling types)."""
+    count = 12 if fast else 24
+    queries, constraints = batch_workload(
+        count, kind="fig8", distinct=4, size=30 if fast else 60, seed=SEED
+    )
+
+    def run_all(flag: bool):
+        return [cdm_minimize(q, constraints, oracle_cache=flag) for q in queries]
+
+    probe_off_seconds = best_of(lambda: run_all(False), repeat=repeat)
+    probe_on_seconds = best_of(lambda: run_all(True), repeat=repeat)
+    on_results = run_all(True)
+    off_results = run_all(False)
+    if [to_sexpr(r.pattern) for r in on_results] != [
+        to_sexpr(r.pattern) for r in off_results
+    ]:
+        raise AssertionError("rule-probe memo changed a CDM result")
+    hits = sum(r.probe_cache_hits for r in on_results)
+    misses = sum(r.probe_cache_misses for r in on_results)
+    return {
+        "queries": len(queries),
+        "probe_off_seconds": probe_off_seconds,
+        "probe_on_seconds": probe_on_seconds,
+        "speedup": probe_off_seconds / max(probe_on_seconds, 1e-12),
+        "probe_cache_hits": hits,
+        "probe_cache_misses": misses,
+        "probe_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+    }
+
+
+def _batch_section(*, fast: bool) -> dict:
+    """Composition check: BatchMinimizer with the subsystem on vs off
+    produces identical patterns, and the engine counters surface the
+    per-layer hit counts."""
+    count = 10 if fast else 20
+    queries, constraints = batch_workload(
+        count, kind="fig8", distinct=4, size=24, seed=SEED
+    )
+    on = minimize_batch(queries, constraints, memoize=False, oracle_cache=True)
+    with oracle_cache_disabled():
+        off = minimize_batch(queries, constraints, memoize=False, oracle_cache=False)
+    if [to_sexpr(p) for p in on.patterns()] != [to_sexpr(p) for p in off.patterns()]:
+        raise AssertionError("oracle-cache subsystem changed a batch result")
+    counters = on.stats.counters()
+    return {
+        "queries": count,
+        "identical_results": True,
+        "prune_memo_hits": counters.get("prune_memo_hits", 0),
+        "prune_memo_misses": counters.get("prune_memo_misses", 0),
+        "cdm_probe_cache_hits": counters.get("cdm_probe_cache_hits", 0),
+        "cdm_probe_cache_misses": counters.get("cdm_probe_cache_misses", 0),
+    }
+
+
+def run_comparison(*, repeat: int = 3, fast: bool = False) -> dict:
+    """Run every section; return the ``BENCH_oracle_cache.json`` payload."""
+    oracle = _oracle_section(repeat=repeat, fast=fast)
+    prune = _prune_memo_section(repeat=repeat, fast=fast)
+    cdm = _cdm_probe_section(repeat=repeat, fast=fast)
+    batch = _batch_section(fast=fast)
+
+    largest = max(oracle["rows"], key=lambda r: r["queries"])
+    return {
+        "benchmark": "oracle_cache",
+        "schema_version": SCHEMA_VERSION,
+        "seed": SEED,
+        "repeat": repeat,
+        "fast": fast,
+        "oracle": oracle,
+        "prune_memo": prune,
+        "cdm_probe": cdm,
+        "batch": batch,
+        "summary": {
+            "oracle_speedup_at_largest": largest["speedup"],
+            "oracle_hit_rate_at_largest": largest["oracle_cache_hit_rate"],
+            "oracle_hits_at_largest": largest["oracle_cache_hits"],
+            "results_identical": True,
+            "meets_target": largest["speedup"] > 1.0
+            and largest["oracle_cache_hits"] > 0,
+        },
+    }
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Write ``BENCH_oracle_cache.json``; exit 1 when the cached oracle
+    fails to beat the raw DP on the repeated-structure stream (so CI
+    catches regressions of the cache fast paths)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeat", type=int, default=3, help="best-of repetitions")
+    parser.add_argument(
+        "--fast", action="store_true", help="small grid (smoke tests / CI)"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUTPUT, help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+    if args.repeat < 1:
+        parser.error("--repeat must be >= 1")
+
+    payload = run_comparison(repeat=args.repeat, fast=args.fast)
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    summary = payload["summary"]
+    print(
+        f"wrote {args.out}: oracle cache speedup "
+        f"{summary['oracle_speedup_at_largest']:.1f}x at hit rate "
+        f"{summary['oracle_hit_rate_at_largest']:.0%} "
+        f"(prune memo {payload['prune_memo']['speedup']:.2f}x, "
+        f"CDM probe {payload['cdm_probe']['speedup']:.2f}x); "
+        f"results identical to uncached"
+    )
+    return 0 if summary["meets_target"] else 1
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark rows (same workloads, per-point timings)
+# ---------------------------------------------------------------------------
+
+try:  # pragma: no cover - optional dependency in script mode
+    import pytest
+except ImportError:  # pragma: no cover
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.benchmark(group="oracle: cross-query pair stream (fig8, cached)")
+    @pytest.mark.parametrize("count", [8, 16, 32])
+    def test_cached_oracle_stream(benchmark, count):
+        pairs = oracle_cache_workload(count)
+        tables = benchmark(lambda: _run_pairs(pairs, ContainmentOracleCache()))
+        assert len(tables) == len(pairs)
+
+    @pytest.mark.benchmark(group="oracle: cross-query pair stream (fig8, uncached)")
+    @pytest.mark.parametrize("count", [8, 16, 32])
+    def test_uncached_oracle_stream(benchmark, count):
+        pairs = oracle_cache_workload(count)
+        tables = benchmark(lambda: _run_pairs(pairs, None))
+        assert len(tables) == len(pairs)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -8,6 +8,8 @@ but the timings is deterministic):
   (:mod:`benchmarks.bench_incremental`);
 - ``BENCH_batch.json`` — batch backend vs serial loop + worker scaling
   (:mod:`benchmarks.bench_batch`);
+- ``BENCH_oracle_cache.json`` — containment-oracle cache layers vs their
+  memo-free baselines (:mod:`benchmarks.bench_oracle_cache`);
 - ``BENCH_<figure>.json`` — one file per paper-figure experiment in
   :data:`repro.bench.experiments.ALL_EXPERIMENTS`, in the same schema as
   ``repro-bench <figure> --json``.
@@ -31,6 +33,7 @@ if str(REPO_ROOT / "src") not in sys.path:  # script mode without install
 
 import bench_batch  # noqa: E402  (sibling module, script mode)
 import bench_incremental  # noqa: E402  (sibling module, script mode)
+import bench_oracle_cache  # noqa: E402  (sibling module, script mode)
 
 from repro.bench.experiments import ALL_EXPERIMENTS, run_experiment  # noqa: E402
 from repro.bench.report import format_json  # noqa: E402
@@ -78,10 +81,19 @@ def main(argv: Optional[list[str]] = None) -> int:
         ]
         + (["--fast"] if args.fast else [])
     ) or status
+    status = bench_oracle_cache.main(
+        [
+            "--repeat",
+            str(repeat),
+            "--out",
+            str(args.out_dir / "BENCH_oracle_cache.json"),
+        ]
+        + (["--fast"] if args.fast else [])
+    ) or status
 
     if not args.skip_figures:
         for name in ALL_EXPERIMENTS:
-            if name in ("incremental", "batch"):
+            if name in ("incremental", "batch", "oracle_cache"):
                 continue  # their BENCH_*.json are the richer bench_*.py artifacts
             result = run_experiment(name, repeat=repeat)
             path = args.out_dir / f"BENCH_{name}.json"

@@ -45,10 +45,14 @@ from .core import (
     AcimResult,
     CdmResult,
     CimResult,
+    ContainmentOracleCache,
     EdgeKind,
     MinimizeResult,
+    OracleCacheStats,
     PatternNode,
     TreePattern,
+    oracle_cache_disabled,
+    set_global_enabled,
     acim_minimize,
     are_isomorphic,
     fingerprint,
@@ -128,6 +132,11 @@ __all__ = [
     "is_contained_in",
     "is_contained_in_under",
     "is_minimal",
+    # containment-oracle cache
+    "ContainmentOracleCache",
+    "OracleCacheStats",
+    "oracle_cache_disabled",
+    "set_global_enabled",
     # constraints
     "ConstraintKind",
     "IntegrityConstraint",

@@ -4,9 +4,12 @@ The batch backends share one dispatch utility: :func:`process_map` runs a
 module-level function over a payload list with ``jobs`` worker processes,
 chunked submission, and results returned **in input order** whatever the
 completion order. Payloads that cannot be pickled — and the whole batch
-when ``jobs=1`` or process pools are unavailable — fall back to running
-the function serially in-process, so callers never need a second code
-path and results are independent of the ``jobs`` setting.
+when ``jobs=1``, process pools are unavailable, or the pool breaks
+mid-run (a worker hard-crashes) — fall back to running the function
+serially in-process, so callers never need a second code path and
+results are independent of the ``jobs`` setting. Each payload is
+pickled exactly once: the picklability probe's bytes are what the pool
+ships.
 """
 
 from __future__ import annotations
@@ -37,12 +40,23 @@ def default_chunksize(n_items: int, jobs: int) -> int:
     return max(1, n_items // (jobs * 4) or 1)
 
 
-def _is_picklable(payload: object) -> bool:
+def _serialize(payload: object) -> Optional[bytes]:
+    """Pickle ``payload`` once, or ``None`` when it cannot be pickled.
+
+    The blob doubles as the pool submission: shipping already-serialized
+    bytes re-pickles a flat ``bytes`` object (near-free) instead of
+    walking the payload's object graph a second time.
+    """
     try:
-        pickle.dumps(payload)
-        return True
+        return pickle.dumps(payload)
     except Exception:
-        return False
+        return None
+
+
+def _invoke_serialized(item: "tuple[Callable, bytes]"):
+    """Worker-side shim: unpickle the payload blob and apply ``fn``."""
+    fn, blob = item
+    return fn(pickle.loads(blob))
 
 
 def process_map(
@@ -76,10 +90,17 @@ def process_map(
     except ImportError:  # pragma: no cover - CPython always has it
         return [fn(p) for p in payloads]
 
-    pool_items: list[tuple[int, _P]] = []
+    # Pickle each payload exactly once: the probe's serialized bytes ARE
+    # what gets submitted (via `_invoke_serialized`), instead of probing
+    # with one pickling pass and letting `pool.map` repeat it.
+    pool_items: list[tuple[int, bytes]] = []
     local_items: list[tuple[int, _P]] = []
     for index, payload in enumerate(payloads):
-        (pool_items if _is_picklable(payload) else local_items).append((index, payload))
+        blob = _serialize(payload)
+        if blob is None:
+            local_items.append((index, payload))
+        else:
+            pool_items.append((index, blob))
     if not pool_items:
         return [fn(p) for p in payloads]
 
@@ -91,11 +112,20 @@ def process_map(
             initializer=initializer,
             initargs=tuple(initargs),
         ) as pool:
-            mapped = pool.map(fn, [p for _, p in pool_items], chunksize=chunk)
+            mapped = pool.map(
+                _invoke_serialized,
+                [(fn, blob) for _, blob in pool_items],
+                chunksize=chunk,
+            )
             for (index, _), result in zip(pool_items, mapped):
                 results[index] = result
-    except (OSError, PermissionError):  # pragma: no cover - sandboxed hosts
-        # No usable process pool (e.g. fork forbidden): run serially.
+    except (OSError, PermissionError, RuntimeError):
+        # No usable process pool. OSError/PermissionError: process
+        # creation forbidden (sandboxed hosts). RuntimeError covers both
+        # BrokenProcessPool (a worker died mid-batch — e.g. OOM-killed or
+        # hard-crashed) and pools that cannot start at all (missing start
+        # method, interpreter shutting down). The batch still completes:
+        # rerun everything serially in-process.
         return [fn(p) for p in payloads]
 
     for index, payload in local_items:

@@ -172,19 +172,31 @@ class _MemoEntry:
 
 
 # Worker-process globals, set once per pool by `_init_worker` (the closed
-# repository is shipped a single time instead of per task).
+# repository is shipped a single time instead of per task). The
+# containment-oracle cache is deliberately NOT shipped: each worker
+# rebuilds its own process-local cache, warmed by the queries it happens
+# to minimize — only the on/off switch crosses the process boundary.
 _WORKER_REPO: Optional[ConstraintRepository] = None
 _WORKER_USE_CDM: bool = True
+_WORKER_ORACLE: Optional[bool] = None
 
 
-def _init_worker(repo_bytes: bytes, use_cdm_prefilter: bool) -> None:
-    global _WORKER_REPO, _WORKER_USE_CDM
+def _init_worker(
+    repo_bytes: bytes, use_cdm_prefilter: bool, oracle_cache: Optional[bool] = None
+) -> None:
+    global _WORKER_REPO, _WORKER_USE_CDM, _WORKER_ORACLE
     _WORKER_REPO = pickle.loads(repo_bytes)
     _WORKER_USE_CDM = use_cdm_prefilter
+    _WORKER_ORACLE = oracle_cache
 
 
 def _minimize_one(pattern: TreePattern) -> MinimizeResult:
-    return minimize(pattern, _WORKER_REPO, use_cdm_prefilter=_WORKER_USE_CDM)
+    return minimize(
+        pattern,
+        _WORKER_REPO,
+        use_cdm_prefilter=_WORKER_USE_CDM,
+        oracle_cache=_WORKER_ORACLE,
+    )
 
 
 def _result_eliminated(result: MinimizeResult) -> list[tuple[int, str]]:
@@ -217,6 +229,13 @@ class BatchMinimizer:
         so a long-lived ``BatchMinimizer`` keeps learning its workload.
     use_cdm_prefilter:
         Forwarded to :func:`~repro.core.pipeline.minimize`.
+    oracle_cache:
+        Forwarded to :func:`~repro.core.pipeline.minimize` for every
+        representative (serial path and worker processes alike; workers
+        rebuild their own process-local containment-oracle cache, this
+        parameter only carries the switch). ``None`` (default) follows
+        the process-wide oracle-cache switch in whichever process runs
+        the minimization.
     chunksize:
         Payloads per pool task (default: auto, ~4 chunks per worker).
     """
@@ -228,11 +247,13 @@ class BatchMinimizer:
         jobs: int = 1,
         memoize: bool = True,
         use_cdm_prefilter: bool = True,
+        oracle_cache: Optional[bool] = None,
         chunksize: Optional[int] = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.memoize = memoize
         self.use_cdm_prefilter = use_cdm_prefilter
+        self.oracle_cache = oracle_cache
         self.chunksize = chunksize
         self.closure_seconds = 0.0
 
@@ -280,7 +301,11 @@ class BatchMinimizer:
             jobs=self.jobs if len(fresh) > 1 else 1,
             chunksize=self.chunksize,
             initializer=_init_worker,
-            initargs=(pickle.dumps(self.repository), self.use_cdm_prefilter),
+            initargs=(
+                pickle.dumps(self.repository),
+                self.use_cdm_prefilter,
+                self.oracle_cache,
+            ),
         )
         stats.minimize_seconds = time.perf_counter() - start
 
@@ -288,6 +313,12 @@ class BatchMinimizer:
         for index, result in by_index.items():
             if result.acim is not None:
                 for key, value in result.acim.images_stats.counters().items():
+                    stats.engine_counters[key] = stats.engine_counters.get(key, 0) + value
+            if result.cdm is not None:
+                for key, value in (
+                    ("cdm_probe_cache_hits", result.cdm.probe_cache_hits),
+                    ("cdm_probe_cache_misses", result.cdm.probe_cache_misses),
+                ):
                     stats.engine_counters[key] = stats.engine_counters.get(key, 0) + value
             fp = prints[index]
             if self.memoize and fp not in self._cache:
@@ -339,7 +370,9 @@ class BatchMinimizer:
         entry = self._cache[fp]
         mapping = isomorphism(entry.input_pattern, pattern)
         if mapping is None:  # pragma: no cover - SHA-256 collision
-            result = _fresh_minimize(pattern, self.repository, self.use_cdm_prefilter)
+            result = _fresh_minimize(
+                pattern, self.repository, self.use_cdm_prefilter, self.oracle_cache
+            )
             return BatchItemResult(
                 index=index,
                 pattern=result.pattern,
@@ -370,9 +403,14 @@ class BatchMinimizer:
 
 
 def _fresh_minimize(
-    pattern: TreePattern, repo: ConstraintRepository, use_cdm_prefilter: bool
+    pattern: TreePattern,
+    repo: ConstraintRepository,
+    use_cdm_prefilter: bool,
+    oracle_cache: Optional[bool] = None,
 ) -> MinimizeResult:
-    return minimize(pattern, repo, use_cdm_prefilter=use_cdm_prefilter)
+    return minimize(
+        pattern, repo, use_cdm_prefilter=use_cdm_prefilter, oracle_cache=oracle_cache
+    )
 
 
 def minimize_batch(
@@ -382,6 +420,7 @@ def minimize_batch(
     jobs: int = 1,
     memoize: bool = True,
     use_cdm_prefilter: bool = True,
+    oracle_cache: Optional[bool] = None,
     chunksize: Optional[int] = None,
 ) -> BatchResult:
     """One-shot convenience wrapper around :class:`BatchMinimizer`."""
@@ -390,6 +429,7 @@ def minimize_batch(
         jobs=jobs,
         memoize=memoize,
         use_cdm_prefilter=use_cdm_prefilter,
+        oracle_cache=oracle_cache,
         chunksize=chunksize,
     )
     return minimizer.minimize_all(patterns)

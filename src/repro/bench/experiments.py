@@ -14,6 +14,7 @@ the constraint repository, not of minimization.
 
 from __future__ import annotations
 
+import random
 from typing import Callable, Iterable, Sequence
 
 from ..batch.minimizer import BatchMinimizer
@@ -22,6 +23,8 @@ from ..constraints.model import required_child, required_descendant
 from ..constraints.repository import ConstraintRepository
 from ..core.acim import acim_minimize
 from ..core.cdm import cdm_minimize
+from ..core.containment import mapping_targets
+from ..core.oracle_cache import ContainmentOracleCache
 from ..core.pattern import TreePattern
 from ..core.pipeline import minimize
 from ..workloads.batchgen import batch_workload
@@ -50,6 +53,8 @@ __all__ = [
     "incremental",
     "incremental_workload",
     "batch",
+    "oracle_cache",
+    "oracle_cache_workload",
     "ALL_EXPERIMENTS",
     "run_experiment",
 ]
@@ -457,6 +462,95 @@ def batch(*, repeat: int = 3, counts: Sequence[int] = _BATCH_COUNTS) -> Experime
     return result
 
 
+#: Oracle-cache workload defaults: pairwise containment checks over a
+#: Figure 8(b) repeated-structure workload (the regime the cross-query
+#: cache exists for: few distinct fingerprints, many repeats).
+_ORACLE_COUNTS: tuple[int, ...] = (4, 8, 16, 24, 32)
+_ORACLE_DISTINCT = 4
+#: Query size where the DP clearly outgrows the canonicalize-and-remap
+#: cost of a cache hit (the DP is superlinear, keying is ~n log n).
+_ORACLE_SIZE = 90
+
+
+def oracle_cache_workload(
+    count: int,
+    *,
+    distinct: int = _ORACLE_DISTINCT,
+    size: int = _ORACLE_SIZE,
+    pairs_per_query: int = 4,
+    seed: int = 0,
+) -> list[tuple[TreePattern, TreePattern]]:
+    """A stream of ``pairs_per_query * count`` cross-query containment
+    checks over a ``fig8`` batch workload of ``count`` queries
+    (``distinct`` base structures filled with isomorphic shuffles).
+
+    Each pair asks "does query *i* map into query *j*" — the multi-query
+    optimization question (answer sharing, view caching) that repeats the
+    same (source, target) *content* under different node ids, which is
+    exactly what the cross-query oracle cache keys on.
+    """
+    queries, _ = batch_workload(
+        count, kind="fig8", distinct=distinct, size=size, seed=seed
+    )
+    rng = random.Random(seed + 1)
+    pairs: list[tuple[TreePattern, TreePattern]] = []
+    for _ in range(pairs_per_query * count):
+        source = rng.choice(queries)
+        target = rng.choice(queries)
+        pairs.append((source, target))
+    return pairs
+
+
+def _run_oracle_pairs(pairs, cache) -> list[dict[int, set[int]]]:
+    return [mapping_targets(s, t, cache=cache) for s, t in pairs]
+
+
+def oracle_cache(
+    *, repeat: int = 3, counts: Sequence[int] = _ORACLE_COUNTS
+) -> ExperimentResult:
+    """Cross-query containment-oracle cache vs the raw DP.
+
+    Times the :func:`oracle_cache_workload` pair stream with a fresh
+    :class:`~repro.core.oracle_cache.ContainmentOracleCache` per pass
+    (cold start included — repeats *within* one pass are what hit)
+    against ``cache=None``. The counters carry the cache statistics of
+    the largest run, and the outputs of both passes are verified equal.
+    """
+    result = ExperimentResult(
+        name="oracle_cache",
+        title="Cross-query containment-oracle cache vs uncached DP",
+        x_label="workload size (queries)",
+        y_label="oracle time (s)",
+    )
+    uncached = Series("Uncached")
+    cached = Series("OracleCache")
+    for count in counts:
+        pairs = oracle_cache_workload(count)
+        uncached.add(count, best_of(lambda: _run_oracle_pairs(pairs, None), repeat=repeat))
+        cached.add(
+            count,
+            best_of(
+                lambda: _run_oracle_pairs(pairs, ContainmentOracleCache()),
+                repeat=repeat,
+            ),
+        )
+    result.series = [uncached, cached]
+
+    pairs = oracle_cache_workload(max(counts))
+    cache = ContainmentOracleCache()
+    if _run_oracle_pairs(pairs, cache) != _run_oracle_pairs(pairs, None):
+        raise AssertionError("oracle cache diverged from the uncached DP")
+    result.counters.update(cache.stats.counters())
+    speedup = uncached.ys[-1] / max(cached.ys[-1], 1e-12)
+    result.notes.append(
+        f"content-keyed oracle cache is {speedup:.1f}x faster than the raw DP "
+        f"at {max(counts)} queries (hit rate {cache.stats.hit_rate:.0%}, "
+        f"{cache.stats.remapped_nodes} DP rows served by remap); "
+        f"outputs verified identical"
+    )
+    return result
+
+
 #: Registry of all experiment drivers, keyed by figure id.
 ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig7a": fig7a,
@@ -467,6 +561,7 @@ ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig9b": fig9b,
     "incremental": incremental,
     "batch": batch,
+    "oracle_cache": oracle_cache,
 }
 
 

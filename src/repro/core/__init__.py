@@ -16,6 +16,14 @@ from .edges import CHILD, DESCENDANT, EdgeKind
 from .node import PatternNode
 from .pattern import TreePattern
 from .fingerprint import are_isomorphic, fingerprint, isomorphism
+from .oracle_cache import (
+    ContainmentOracleCache,
+    OracleCacheStats,
+    global_cache,
+    oracle_cache_disabled,
+    reset_global_cache,
+    set_global_enabled,
+)
 from .containment import (
     ContainmentStats,
     equivalent,
@@ -46,6 +54,12 @@ __all__ = [
     "are_isomorphic",
     "fingerprint",
     "isomorphism",
+    "ContainmentOracleCache",
+    "OracleCacheStats",
+    "global_cache",
+    "oracle_cache_disabled",
+    "reset_global_cache",
+    "set_global_enabled",
     "ContainmentStats",
     "equivalent",
     "find_containment_mapping",

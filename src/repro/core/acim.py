@@ -96,6 +96,7 @@ def acim_minimize(
     collect_witnesses: bool = False,
     seed: Optional[int] = None,
     incremental: bool = True,
+    oracle_cache: Optional[bool] = None,
 ) -> AcimResult:
     """Minimize ``pattern`` under ``constraints`` (Algorithm ACIM).
 
@@ -104,9 +105,10 @@ def acim_minimize(
     already marked closed.
 
     Parameters mirror :func:`repro.core.cim.cim_minimize`; see there for
-    ``collect_witnesses``, ``seed``, and ``incremental`` (one maintained
+    ``collect_witnesses``, ``seed``, ``incremental`` (one maintained
     images engine for the whole elimination loop vs the from-scratch
-    rebuild-per-deletion baseline).
+    rebuild-per-deletion baseline), and ``oracle_cache`` (the
+    sibling-subtree prune memo).
     """
     repo = coerce_repository(constraints)
     result = AcimResult(pattern=pattern)  # placeholder, replaced below
@@ -132,6 +134,7 @@ def acim_minimize(
         stats=result.images_stats,
         seed=seed,
         incremental=incremental,
+        oracle_cache=oracle_cache,
     )
     cim.pattern.clear_extra_types()
 

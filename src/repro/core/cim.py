@@ -92,6 +92,7 @@ def cim_minimize(
     include_temporaries: bool = False,
     pair_filter=None,
     incremental: bool = True,
+    oracle_cache: Optional[bool] = None,
 ) -> CimResult:
     """Minimize ``pattern`` by maximal elimination of redundant leaves.
 
@@ -129,6 +130,12 @@ def cim_minimize(
         behaviour — a fresh engine per deletion — kept as the
         differential-testing and benchmarking baseline; results are
         identical, only slower.
+    oracle_cache:
+        Use the sibling-subtree prune memo of the oracle-cache subsystem
+        inside the images engine. ``None`` (default) follows the
+        process-wide switch
+        (:func:`repro.core.oracle_cache.global_enabled`); ``False`` is
+        the memo-free baseline. Results are identical either way.
 
     Returns
     -------
@@ -154,7 +161,13 @@ def cim_minimize(
     candidates = [
         n.id for n in query.leaves() if _eligible(n, protect, include_temporaries)
     ]
-    engine = ImagesEngine(query, live_virtual, result.stats, pair_filter=pair_filter)
+    engine = ImagesEngine(
+        query,
+        live_virtual,
+        result.stats,
+        pair_filter=pair_filter,
+        prune_memo=oracle_cache,
+    )
 
     while candidates:
         if rng is not None:
@@ -204,7 +217,11 @@ def cim_minimize(
                         survivors.append(vt)
                 live_virtual = survivors
             engine = ImagesEngine(
-                query, live_virtual, result.stats, pair_filter=pair_filter
+                query,
+                live_virtual,
+                result.stats,
+                pair_filter=pair_filter,
+                prune_memo=oracle_cache,
             )
         if (
             parent is not None

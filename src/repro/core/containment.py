@@ -27,6 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from . import oracle_cache as _oracle_cache
+from .fingerprint import are_isomorphic
 from .node import PatternNode
 from .pattern import TreePattern
 
@@ -39,6 +41,11 @@ __all__ = [
     "is_contained_in",
     "equivalent",
 ]
+
+#: Sentinel: resolve the cache argument to the process-wide instance
+#: (:func:`repro.core.oracle_cache.global_cache`). Pass ``cache=None``
+#: to force an uncached run.
+USE_GLOBAL_CACHE = object()
 
 
 @dataclass
@@ -53,12 +60,22 @@ class ContainmentStats:
     * the reachability pass ``_nodes_with_target_below`` per admissible
       set — distinct d-children with equal target sets share one pass
       (``reach_cache_*``).
+
+    Across runs, the process-wide content-keyed cache
+    (:mod:`repro.core.oracle_cache`) may serve the whole DP table
+    (``oracle_cache_*``; a hit skips the DP, so the per-run counters
+    above stay untouched for that call), and :func:`equivalent` may
+    short-circuit on canonical-fingerprint equality
+    (``equivalent_fast_path``).
     """
 
     base_cache_hits: int = 0
     base_cache_misses: int = 0
     reach_cache_hits: int = 0
     reach_cache_misses: int = 0
+    oracle_cache_hits: int = 0
+    oracle_cache_misses: int = 0
+    equivalent_fast_path: int = 0
 
     def counters(self) -> dict[str, int]:
         """The counters as a flat dict (for JSON reports)."""
@@ -67,6 +84,9 @@ class ContainmentStats:
             "base_cache_misses": self.base_cache_misses,
             "reach_cache_hits": self.reach_cache_hits,
             "reach_cache_misses": self.reach_cache_misses,
+            "oracle_cache_hits": self.oracle_cache_hits,
+            "oracle_cache_misses": self.oracle_cache_misses,
+            "equivalent_fast_path": self.equivalent_fast_path,
         }
 
 
@@ -88,6 +108,7 @@ def mapping_targets(
     target: TreePattern,
     *,
     stats: Optional[ContainmentStats] = None,
+    cache: object = USE_GLOBAL_CACHE,
 ) -> dict[int, set[int]]:
     """For every node ``v`` of ``source``, the ids of ``target`` nodes that
     ``v`` can map to under some containment mapping of ``v``'s subtree.
@@ -101,9 +122,23 @@ def mapping_targets(
     hit rates): label-compatibility base sets are shared by every source
     node of the same ``(type, is_output)`` class, and the per-d-child
     reachability pass is shared by d-children with equal admissible sets.
+
+    Across runs, whole DP tables are keyed on the (source, target)
+    content fingerprints in the process-wide
+    :class:`~repro.core.oracle_cache.ContainmentOracleCache` and remapped
+    onto the caller's node ids on a hit — identical output, no DP. Pass
+    ``cache=None`` for an uncached run, or an explicit cache instance to
+    use instead of the global one.
     """
     if stats is None:
         stats = ContainmentStats()
+    oc = _oracle_cache.global_cache() if cache is USE_GLOBAL_CACHE else cache
+    if oc is not None:
+        remapped = oc.lookup(source, target)
+        if remapped is not None:
+            stats.oracle_cache_hits += 1
+            return remapped
+        stats.oracle_cache_misses += 1
     target_nodes = list(target.nodes())
     target_postorder = list(target.postorder())
     targets: dict[int, set[int]] = {}
@@ -157,6 +192,8 @@ def mapping_targets(
             if _children_mappable(v, u, targets, reach_below):
                 admissible.add(u.id)
         targets[v.id] = admissible
+    if oc is not None:
+        oc.store(source, target, targets)
     return targets
 
 
@@ -238,26 +275,48 @@ def has_containment_mapping(
     target: TreePattern,
     *,
     stats: Optional[ContainmentStats] = None,
+    cache: object = USE_GLOBAL_CACHE,
 ) -> bool:
     """Whether a containment mapping ``source → target`` exists."""
-    return bool(mapping_targets(source, target, stats=stats)[source.root.id])
+    return bool(
+        mapping_targets(source, target, stats=stats, cache=cache)[source.root.id]
+    )
 
 
 def is_contained_in(
-    q1: TreePattern, q2: TreePattern, *, stats: Optional[ContainmentStats] = None
+    q1: TreePattern,
+    q2: TreePattern,
+    *,
+    stats: Optional[ContainmentStats] = None,
+    cache: object = USE_GLOBAL_CACHE,
 ) -> bool:
     """``Q1 ⊆ Q2``: every database ``D`` satisfies ``Q1(D) ⊆ Q2(D)``.
 
     By the homomorphism theorem for tree patterns this holds iff there is a
     containment mapping from ``q2`` into ``q1``.
     """
-    return has_containment_mapping(q2, q1, stats=stats)
+    return has_containment_mapping(q2, q1, stats=stats, cache=cache)
 
 
 def equivalent(
-    q1: TreePattern, q2: TreePattern, *, stats: Optional[ContainmentStats] = None
+    q1: TreePattern,
+    q2: TreePattern,
+    *,
+    stats: Optional[ContainmentStats] = None,
+    cache: object = USE_GLOBAL_CACHE,
 ) -> bool:
-    """Two-way containment: ``Q1 ⊆ Q2`` and ``Q2 ⊆ Q1``."""
-    return is_contained_in(q1, q2, stats=stats) and is_contained_in(
-        q2, q1, stats=stats
+    """Two-way containment: ``Q1 ⊆ Q2`` and ``Q2 ⊆ Q1``.
+
+    Canonical-fingerprint-identical patterns short-circuit to ``True``
+    without running the DP: an isomorphism preserves types, the output
+    marker, and edge kinds, so it *is* a containment mapping in both
+    directions. The fast path is exact (it compares canonical keys, not
+    hashes) and differential-tested against the two-pass DP.
+    """
+    if are_isomorphic(q1, q2):
+        if stats is not None:
+            stats.equivalent_fast_path += 1
+        return True
+    return is_contained_in(q1, q2, stats=stats, cache=cache) and is_contained_in(
+        q2, q1, stats=stats, cache=cache
     )

@@ -72,7 +72,13 @@ def are_isomorphic(a: TreePattern, b: TreePattern) -> bool:
     return a.canonical_key() == b.canonical_key()
 
 
-def isomorphism(a: TreePattern, b: TreePattern) -> Optional[Dict[int, int]]:
+def isomorphism(
+    a: TreePattern,
+    b: TreePattern,
+    *,
+    keys_a: Optional[Dict[int, str]] = None,
+    keys_b: Optional[Dict[int, str]] = None,
+) -> Optional[Dict[int, int]]:
     """A concrete isomorphism ``a`` → ``b`` as a node-id mapping, or
     ``None`` when the patterns are not isomorphic.
 
@@ -80,9 +86,15 @@ def isomorphism(a: TreePattern, b: TreePattern) -> Optional[Dict[int, int]]:
     whose subtrees have identical canonical encodings are paired in
     insertion order on both sides. This is the property the memoization
     replay in :mod:`repro.batch` relies on.
+
+    ``keys_a``/``keys_b`` accept precomputed :func:`subtree_keys` tables
+    (they dominate the cost of this function); the oracle cache passes
+    the tables it already computed for fingerprinting.
     """
-    keys_a = subtree_keys(a)
-    keys_b = subtree_keys(b)
+    if keys_a is None:
+        keys_a = subtree_keys(a)
+    if keys_b is None:
+        keys_b = subtree_keys(b)
     if keys_a[a.root.id] != keys_b[b.root.id]:
         return None
 

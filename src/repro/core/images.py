@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
 
 from ..errors import InvalidPatternError
+from . import oracle_cache as _oracle_cache
 from .edges import EdgeKind
 from .node import PatternNode
 from .pattern import TreePattern
@@ -132,6 +133,11 @@ class AncestorTable:
         """Whether ``node_id`` is a c-child of ``parent_id``."""
         return node_id in self._c_children.get(parent_id, ())
 
+    def ancestors_of(self, node_id: int) -> frozenset[int]:
+        """Ids of ``node_id``'s proper ancestors (empty for the root or
+        for ids not in the table)."""
+        return self._ancestors.get(node_id, frozenset())
+
     def is_descendant(self, node_id: int, ancestor_id: int) -> bool:
         """Whether ``node_id`` is a proper descendant of ``ancestor_id``."""
         return ancestor_id in self._ancestors.get(node_id, ())
@@ -203,6 +209,12 @@ class ImagesStats:
     ``max_image_size_post_prune`` samples them after the bottom-up sweep,
     so table-vs-prune attribution (Figure 7(b)) stays honest when the
     memoized path makes initialization cheap.
+
+    ``prune_memo_hits`` / ``prune_memo_misses`` instrument the
+    sibling-subtree prune memo (part of the oracle-cache subsystem): a
+    hit means a whole subtree's pruned images sets were reused from an
+    earlier redundancy check instead of being re-derived;
+    ``prune_memo_evictions`` counts whole-memo resets at the size cap.
     """
 
     tables_seconds: float = 0.0
@@ -215,6 +227,9 @@ class ImagesStats:
     incremental_deletes: int = 0
     base_cache_hits: int = 0
     base_cache_misses: int = 0
+    prune_memo_hits: int = 0
+    prune_memo_misses: int = 0
+    prune_memo_evictions: int = 0
     extra: dict = field(default_factory=dict)
 
     @property
@@ -233,6 +248,9 @@ class ImagesStats:
             "incremental_deletes": self.incremental_deletes,
             "base_cache_hits": self.base_cache_hits,
             "base_cache_misses": self.base_cache_misses,
+            "prune_memo_hits": self.prune_memo_hits,
+            "prune_memo_misses": self.prune_memo_misses,
+            "prune_memo_evictions": self.prune_memo_evictions,
         }
 
 
@@ -259,7 +277,18 @@ class ImagesEngine:
         target_id) -> bool`` applied when initializing images sets. Used
         by the value-predicate extension (Section 7 of the paper): a
         target is admissible only if its conditions entail the source's.
+        Must be deterministic — the prune memo replays its results.
+    prune_memo:
+        Reuse pruned sibling-subtree images across redundancy checks
+        (see :meth:`_prune_child_subtree`). ``None`` (default) follows
+        the process-wide oracle-cache switch
+        (:func:`repro.core.oracle_cache.global_enabled`); pass ``False``
+        for the memo-free baseline used by differential tests.
     """
+
+    #: Whole-memo reset threshold: entries reference the pruned sets of
+    #: past checks, so an unbounded memo would pin every check's sets.
+    PRUNE_MEMO_CAP = 4096
 
     def __init__(
         self,
@@ -267,10 +296,23 @@ class ImagesEngine:
         virtual: Sequence[VirtualTarget] = (),
         stats: Optional[ImagesStats] = None,
         pair_filter: Optional[Callable[[int, int], bool]] = None,
+        prune_memo: Optional[bool] = None,
     ) -> None:
         self.pattern = pattern
         self.virtual = tuple(virtual)
         self.pair_filter = pair_filter
+        self.use_prune_memo = (
+            _oracle_cache.global_enabled() if prune_memo is None else bool(prune_memo)
+        )
+        # Pruned sibling-subtree results: (subtree root id, relevant part
+        # of the excluded set) -> ({node id -> pruned images set over the
+        # subtree}, the subtree's relevant set when stored).
+        self._prune_memo: dict[
+            tuple[int, frozenset[int]], tuple[dict[int, set[int]], frozenset[int]]
+        ] = {}
+        # Per-subtree union of base candidate sets ("relevant" ids): the
+        # part of the target space a subtree's pruning can observe.
+        self._relevant_cache: dict[int, frozenset[int]] = {}
         self.stats = stats if stats is not None else ImagesStats()
         self.stats.engine_builds += 1
         start = time.perf_counter()
@@ -330,6 +372,7 @@ class ImagesEngine:
         """
         start = time.perf_counter()
         leaf_id = leaf.id
+        ancestor_ids = self.ancestors.ancestors_of(leaf_id)
         dropped = self._anchored_at(leaf_id)
         # Delete deepest-first: the ancestor table refuses to drop a row
         # that still has descendants, and witness subtrees list parents
@@ -355,6 +398,26 @@ class ImagesEngine:
         self._base_cache.pop(leaf_id, None)
         for base in self._base_cache.values():
             base.difference_update(dead)
+        # Prune-memo maintenance. Subtrees on the leaf's ancestor path
+        # changed structurally — their memoized prunes and relevant sets
+        # are stale. Everywhere else the structure is intact and the base
+        # sets merely lost the dead ids, so: entries whose relevant set
+        # never saw a dead id are still exact (their pruned sets cannot
+        # mention it), the rest are dropped; relevant sets shrink by the
+        # dead ids exactly as their underlying base sets did.
+        if self.use_prune_memo:
+            stale = set(ancestor_ids)
+            stale.add(leaf_id)
+            self._prune_memo = {
+                (root, key): entry
+                for (root, key), entry in self._prune_memo.items()
+                if root not in stale and not (entry[1] & dead)
+            }
+            self._relevant_cache = {
+                node_id: relevant - dead
+                for node_id, relevant in self._relevant_cache.items()
+                if node_id not in stale
+            }
         self.stats.incremental_deletes += 1
         self.stats.tables_seconds += time.perf_counter() - start
         return dropped
@@ -402,19 +465,28 @@ class ImagesEngine:
         self._base_cache[node.id] = candidates
         return candidates
 
-    def _initial_images(self, leaf: PatternNode) -> dict[int, set[int]]:
+    def _excluded_for(self, leaf: PatternNode) -> frozenset[int]:
+        """Target ids barred from every images set when testing ``leaf``.
+
+        Deleting `leaf` must leave an equivalent query, i.e. there must
+        be a containment mapping from Q into (Q - leaf) plus the
+        augmentation of (Q - leaf). Two target families therefore drop
+        out of every images set:
+
+        * `leaf` itself — it is exactly what is being deleted;
+        * virtual targets anchored at `leaf` — an IC guarantee around
+          a node vanishes with the node (without this, `b ->> b`-style
+          closure facts let a leaf justify its own deletion).
+        """
+        excluded = {leaf.id}
+        excluded.update(vt.id for vt in self._anchored_at(leaf.id))
+        return frozenset(excluded)
+
+    def _initial_images(
+        self, leaf: PatternNode, excluded: frozenset[int]
+    ) -> dict[int, set[int]]:
         start = time.perf_counter()
         images: dict[int, set[int]] = {}
-        # Deleting `leaf` must leave an equivalent query, i.e. there must
-        # be a containment mapping from Q into (Q - leaf) plus the
-        # augmentation of (Q - leaf). Two target families therefore drop
-        # out of every images set:
-        #   * `leaf` itself — it is exactly what is being deleted;
-        #   * virtual targets anchored at `leaf` — an IC guarantee around
-        #     a node vanishes with the node (without this, `b ->> b`-style
-        #     closure facts let a leaf justify its own deletion).
-        excluded: set[int] = {leaf.id}
-        excluded.update(vt.id for vt in self._anchored_at(leaf.id))
         max_size = self.stats.max_image_size
         for node in self.pattern.nodes():
             candidates = self._base_images(node) - excluded
@@ -437,7 +509,8 @@ class ImagesEngine:
         if leaf.is_output:
             return None
         self.stats.redundancy_checks += 1
-        images = self._initial_images(leaf)
+        excluded = self._excluded_for(leaf)
+        images = self._initial_images(leaf, excluded)
         if not images[leaf.id]:
             return None
 
@@ -446,7 +519,7 @@ class ImagesEngine:
             marked: set[int] = {leaf.id}
             node = leaf.parent
             while node is not None:
-                self._minimize_images(node, images, marked)
+                self._minimize_images(node, images, marked, excluded)
                 if not images[node.id]:
                     return None
                 if node.id in images[node.id]:
@@ -461,8 +534,85 @@ class ImagesEngine:
         finally:
             self.stats.prune_seconds += time.perf_counter() - start
 
+    def _relevant(self, node: PatternNode) -> frozenset[int]:
+        """Union of base candidate sets over ``node``'s subtree — every
+        target id the subtree's pruning can possibly observe. Cached per
+        node; :meth:`delete_leaf` keeps the cache exact."""
+        cached = self._relevant_cache.get(node.id)
+        if cached is not None:
+            return cached
+        stack: list[tuple[PatternNode, bool]] = [(node, False)]
+        while stack:
+            current, expanded = stack.pop()
+            if current.id in self._relevant_cache:
+                continue
+            if not expanded:
+                stack.append((current, True))
+                stack.extend((child, False) for child in current.children)
+                continue
+            relevant = set(self._base_images(current))
+            for child in current.children:
+                relevant |= self._relevant_cache[child.id]
+            self._relevant_cache[current.id] = frozenset(relevant)
+        return self._relevant_cache[node.id]
+
+    def _prune_child_subtree(
+        self,
+        child: PatternNode,
+        images: dict[int, set[int]],
+        marked: set[int],
+        excluded: frozenset[int],
+    ) -> None:
+        """Prune ``child``'s whole subtree, reusing a memoized result when
+        an earlier redundancy check already pruned it under an equivalent
+        exclusion.
+
+        The pruned sets of a subtree are a pure function of (a) the
+        subtree's structure, (b) its initial images — the base sets minus
+        the excluded ids — and (c) the ancestor/descendant relation among
+        live targets. Base sets are bounded by the subtree's *relevant*
+        set, so two excluded sets with the same intersection with it
+        yield identical initial images, hence identical pruned sets: the
+        memo key is ``(subtree root, excluded ∩ relevant)``. Sibling-leaf
+        checks differ only in the leaf under test, so subtrees that
+        cannot see either leaf share the empty key — the reuse this memo
+        exists for.
+        """
+        if not self.use_prune_memo:
+            self._minimize_images(child, images, marked, excluded)
+            return
+        relevant = self._relevant(child)
+        key = (child.id, excluded & relevant)
+        entry = self._prune_memo.get(key)
+        if entry is not None:
+            self.stats.prune_memo_hits += 1
+            pruned, _ = entry
+            # The memoized sets are shared read-only: every consumer
+            # (parent-level pruning, witness extraction) only reads
+            # them, and re-pruning always *replaces* a node's set.
+            for node_id, targets in pruned.items():
+                images[node_id] = targets
+                marked.add(node_id)
+            return
+        self.stats.prune_memo_misses += 1
+        self._minimize_images(child, images, marked, excluded)
+        if len(self._prune_memo) >= self.PRUNE_MEMO_CAP:
+            self._prune_memo.clear()
+            self.stats.prune_memo_evictions += 1
+        pruned = {}
+        stack = [child]
+        while stack:
+            current = stack.pop()
+            pruned[current.id] = images[current.id]
+            stack.extend(current.children)
+        self._prune_memo[key] = (pruned, relevant)
+
     def _minimize_images(
-        self, node: PatternNode, images: dict[int, set[int]], marked: set[int]
+        self,
+        node: PatternNode,
+        images: dict[int, set[int]],
+        marked: set[int],
+        excluded: frozenset[int],
     ) -> None:
         """Prune ``images`` throughout ``node``'s subtree (post-order)."""
         if node.is_leaf:
@@ -470,7 +620,7 @@ class ImagesEngine:
             return
         for child in node.children:
             if child.id not in marked:
-                self._minimize_images(child, images, marked)
+                self._prune_child_subtree(child, images, marked, excluded)
         survivors: set[int] = set()
         for s in images[node.id]:
             if self._supports_children(s, node, images):

@@ -1,0 +1,300 @@
+"""Process-wide containment-oracle cache, keyed by pattern content.
+
+The containment DP of :mod:`repro.core.containment` memoizes two
+sub-results *within* one :func:`~repro.core.containment.mapping_targets`
+run, but the whole table dies with the call. Real workloads (and the
+paper's generators) are dominated by structurally repeated twigs —
+isomorphic queries under renamed node ids and shuffled sibling order —
+so the same (source, target) *content* is checked over and over across
+queries, batches, and redundancy sweeps.
+
+:class:`ContainmentOracleCache` closes that gap: it keys the full
+``mapping_targets`` DP table on the canonical content fingerprints of
+the (source, target) pair (:func:`repro.core.fingerprint.fingerprint`)
+and, on a hit, *remaps* the cached table onto the caller's node ids
+through the document-order-canonical
+:func:`repro.core.fingerprint.isomorphism`. The admissible-target table
+is a pure function of pattern structure, and structure is exactly what
+the fingerprint captures, so the remapped table is **byte-for-byte
+equal** to what the DP would have computed — differential tests pin
+this. A fingerprint collision (astronomically unlikely, but the remap
+would be unsound) is detected by the isomorphism returning ``None`` and
+degrades to an ordinary miss.
+
+A single process-wide instance (:func:`global_cache`) backs
+``mapping_targets`` by default, so repeated oracle calls — equivalence
+checks in tests, the brute-force minimizer, containment-under-ICs, and
+cross-query workloads — share one table store. Disable it process-wide
+with :func:`set_global_enabled` (the CLIs expose ``--no-oracle-cache``),
+per call with ``cache=None``, or temporarily with
+:func:`oracle_cache_disabled`. The cache is deliberately *not*
+picklable state: worker processes of the batch backend simply rebuild
+their own global instance on first use, which keeps
+:class:`~repro.batch.minimizer.BatchMinimizer` composition trivial.
+
+Entries are LRU-evicted beyond ``maxsize``; every transition is counted
+in :class:`OracleCacheStats` (hits, misses, remapped nodes, stores,
+evictions, collisions) for the observability surfaces: ``repro-bench
+--json``, ``benchmarks/bench_oracle_cache.py``, and the CLI
+``--explain`` output.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import hashlib
+
+from .fingerprint import isomorphism, subtree_keys
+from .pattern import TreePattern
+
+__all__ = [
+    "OracleCacheStats",
+    "ContainmentOracleCache",
+    "global_cache",
+    "global_enabled",
+    "set_global_enabled",
+    "reset_global_cache",
+    "oracle_cache_disabled",
+]
+
+
+@dataclass
+class OracleCacheStats:
+    """Observability counters for one :class:`ContainmentOracleCache`.
+
+    ``hits``/``misses`` count lookups; ``remapped_nodes`` totals the DP
+    table rows translated onto caller node ids on hits (the work a hit
+    *does* pay, versus the full DP it avoids); ``collisions`` counts
+    fingerprint matches whose isomorphism check failed (each is also a
+    miss); ``stores``/``evictions`` track the entry population.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    remapped_nodes: int = 0
+    stores: int = 0
+    evictions: int = 0
+    collisions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def counters(self) -> dict[str, float]:
+        """The counters as a flat dict (for JSON reports)."""
+        return {
+            "oracle_cache_hits": self.hits,
+            "oracle_cache_misses": self.misses,
+            "oracle_cache_hit_rate": self.hit_rate,
+            "oracle_cache_remapped_nodes": self.remapped_nodes,
+            "oracle_cache_stores": self.stores,
+            "oracle_cache_evictions": self.evictions,
+            "oracle_cache_collisions": self.collisions,
+        }
+
+
+@dataclass
+class _Entry:
+    """One cached DP table, in the representative pair's node-id space.
+
+    The subtree-key tables are snapshotted alongside the patterns so a
+    hit never re-canonicalizes the stored side of the isomorphism."""
+
+    source: TreePattern
+    target: TreePattern
+    source_keys: dict[int, str]
+    target_keys: dict[int, str]
+    table: dict[int, frozenset[int]]
+
+
+def _digest(canonical_key: str) -> str:
+    """sha256 of a canonical key — identical to
+    :func:`repro.core.fingerprint.fingerprint` of the pattern."""
+    return hashlib.sha256(canonical_key.encode("utf-8")).hexdigest()
+
+
+class ContainmentOracleCache:
+    """Cross-query cache of ``mapping_targets`` DP tables.
+
+    Thread-safe (one lock around the entry store); see the module
+    docstring for the keying/remap contract.
+
+    Parameters
+    ----------
+    maxsize:
+        Entry cap; least-recently-used entries are evicted beyond it.
+    stats:
+        Optional shared :class:`OracleCacheStats` to accumulate into.
+    """
+
+    def __init__(self, maxsize: int = 512, stats: Optional[OracleCacheStats] = None) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.stats = stats if stats is not None else OracleCacheStats()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple[str, str], _Entry]" = OrderedDict()
+        # Per-thread hand-off of the subtree-key tables from a missed
+        # lookup to the store() that follows it (the mapping_targets
+        # miss path), so the pair is canonicalized once, not twice.
+        self._pending = threading.local()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def lookup(
+        self, source: TreePattern, target: TreePattern
+    ) -> Optional[dict[int, set[int]]]:
+        """The cached DP table for ``(source, target)``, remapped onto the
+        caller's node ids — or ``None`` on a miss.
+
+        The returned dict is freshly built (caller-owned): node ids of
+        ``source`` map to sets of node ids of ``target``, exactly as
+        :func:`~repro.core.containment.mapping_targets` would return.
+        """
+        source_keys = subtree_keys(source)
+        target_keys = subtree_keys(target)
+        key = (
+            _digest(source_keys[source.root.id]),
+            _digest(target_keys[target.root.id]),
+        )
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+        if entry is None:
+            self.stats.misses += 1
+            self._pending.value = (id(source), id(target), source_keys, target_keys)
+            return None
+        source_map = isomorphism(
+            entry.source, source, keys_a=entry.source_keys, keys_b=source_keys
+        )
+        target_map = isomorphism(
+            entry.target, target, keys_a=entry.target_keys, keys_b=target_keys
+        )
+        if source_map is None or target_map is None:
+            # SHA-256 collision: the stored pair is not isomorphic to the
+            # caller's. Refuse the entry — the caller recomputes.
+            self.stats.collisions += 1
+            self.stats.misses += 1
+            self._pending.value = (id(source), id(target), source_keys, target_keys)
+            return None
+        self._pending.value = None
+        self.stats.hits += 1
+        self.stats.remapped_nodes += len(entry.table)
+        return {
+            source_map[v]: {target_map[u] for u in targets}
+            for v, targets in entry.table.items()
+        }
+
+    def store(
+        self,
+        source: TreePattern,
+        target: TreePattern,
+        table: dict[int, set[int]],
+    ) -> None:
+        """Record a freshly computed DP table for ``(source, target)``.
+
+        The patterns are snapshotted (copied), so callers may go on
+        mutating them — the minimizers delete leaves from patterns they
+        just ran the oracle on.
+        """
+        pending = getattr(self._pending, "value", None)
+        self._pending.value = None
+        if pending is not None and pending[0] == id(source) and pending[1] == id(target):
+            # The keys computed by the missed lookup just before this
+            # store (the DP in between never mutates the patterns).
+            source_keys, target_keys = pending[2], pending[3]
+        else:
+            source_keys = subtree_keys(source)
+            target_keys = subtree_keys(target)
+        key = (
+            _digest(source_keys[source.root.id]),
+            _digest(target_keys[target.root.id]),
+        )
+        entry = _Entry(
+            source=source.copy(),
+            target=target.copy(),
+            source_keys=source_keys,
+            target_keys=target_keys,
+            table={v: frozenset(targets) for v, targets in table.items()},
+        )
+        with self._lock:
+            if key not in self._entries and len(self._entries) >= self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+        self.stats.stores += 1
+
+
+# ---------------------------------------------------------------------------
+# The process-wide instance
+# ---------------------------------------------------------------------------
+
+_global_lock = threading.Lock()
+_global_cache: Optional[ContainmentOracleCache] = None
+_global_enabled: bool = True
+
+
+def global_cache() -> Optional[ContainmentOracleCache]:
+    """The process-wide cache, created lazily — or ``None`` while the
+    global cache is disabled (:func:`set_global_enabled`)."""
+    global _global_cache
+    if not _global_enabled:
+        return None
+    if _global_cache is None:
+        with _global_lock:
+            if _global_cache is None:
+                _global_cache = ContainmentOracleCache()
+    return _global_cache
+
+
+def global_enabled() -> bool:
+    """Whether the process-wide oracle-cache subsystem is enabled (this
+    switch also governs the default for the images-engine prune memo)."""
+    return _global_enabled
+
+
+def set_global_enabled(enabled: bool) -> None:
+    """Enable/disable the process-wide cache (the ``--no-oracle-cache``
+    escape hatch). Disabling does not drop existing entries; re-enabling
+    resumes with the same store."""
+    global _global_enabled
+    _global_enabled = bool(enabled)
+
+
+def reset_global_cache() -> None:
+    """Replace the process-wide cache with a fresh (empty, zero-counter)
+    instance. Used by tests and benchmarks to isolate measurements."""
+    global _global_cache
+    with _global_lock:
+        _global_cache = None
+
+
+@contextmanager
+def oracle_cache_disabled() -> Iterator[None]:
+    """Temporarily disable the process-wide cache (and the prune-memo
+    default) — the uncached side of differential tests and benchmarks."""
+    previous = _global_enabled
+    set_global_enabled(False)
+    try:
+        yield
+    finally:
+        set_global_enabled(previous)

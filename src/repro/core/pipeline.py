@@ -87,6 +87,7 @@ def minimize(
     collect_witnesses: bool = False,
     seed: Optional[int] = None,
     incremental: bool = True,
+    oracle_cache: Optional[bool] = None,
 ) -> MinimizeResult:
     """Minimize ``pattern`` (optionally under ``constraints``).
 
@@ -96,7 +97,9 @@ def minimize(
     identical (both are the unique minimum), only slower; the Figure 9(b)
     benchmark measures the difference. ``incremental=False`` selects the
     from-scratch engine-rebuild baseline inside ACIM (see
-    :func:`repro.core.cim.cim_minimize`).
+    :func:`repro.core.cim.cim_minimize`); ``oracle_cache=False``
+    disables the sibling-subtree prune memo there (and the CDM rule-probe
+    cache), ``None`` follows the process-wide oracle-cache switch.
 
     Returns a :class:`MinimizeResult`; the minimized query is
     ``result.pattern`` and the input is never mutated.
@@ -113,6 +116,7 @@ def minimize(
             collect_witnesses=collect_witnesses,
             seed=seed,
             incremental=incremental,
+            oracle_cache=oracle_cache,
         )
         result.pattern = result.acim.pattern
         return result
@@ -124,7 +128,7 @@ def minimize(
 
     working = pattern
     if use_cdm_prefilter:
-        result.cdm = cdm_minimize(working, repo)
+        result.cdm = cdm_minimize(working, repo, oracle_cache=oracle_cache)
         working = result.cdm.pattern
 
     result.acim = acim_minimize(
@@ -133,6 +137,7 @@ def minimize(
         collect_witnesses=collect_witnesses,
         seed=seed,
         incremental=incremental,
+        oracle_cache=oracle_cache,
     )
     result.pattern = result.acim.pattern
     return result

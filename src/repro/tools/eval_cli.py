@@ -19,10 +19,12 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from pathlib import Path
 
 from ..batch import evaluate_batch, minimize_batch
 from ..constraints.model import parse_constraints
+from ..core.oracle_cache import oracle_cache_disabled
 from ..core.pipeline import minimize
 from ..data.ldif import parse_ldif
 from ..data.ldap import dn_of
@@ -83,6 +85,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="minimize the queries (under the constraints, if given) before matching",
     )
     parser.add_argument("--count", action="store_true", help="print only the match count")
+    parser.add_argument(
+        "--no-oracle-cache",
+        action="store_true",
+        help=(
+            "disable the containment-oracle cache layers during --minimize "
+            "(results are identical either way)"
+        ),
+    )
     return parser
 
 
@@ -144,11 +154,20 @@ def main(argv: list[str] | None = None) -> int:
         docs = [(path, is_dir) for path, (_, is_dir) in zip(documents, loaded)]
 
         if args.minimize:
-            if len(patterns) > 1:
-                batch = minimize_batch(patterns, constraints, jobs=args.jobs)
-                patterns = batch.patterns()
-            else:
-                patterns = [minimize(patterns[0], constraints).pattern]
+            guard = oracle_cache_disabled() if args.no_oracle_cache else nullcontext()
+            with guard:
+                if len(patterns) > 1:
+                    # Workers don't inherit the parent's global switch, so
+                    # the flag is also passed explicitly.
+                    batch = minimize_batch(
+                        patterns,
+                        constraints,
+                        jobs=args.jobs,
+                        oracle_cache=False if args.no_oracle_cache else None,
+                    )
+                    patterns = batch.patterns()
+                else:
+                    patterns = [minimize(patterns[0], constraints).pattern]
             for pattern in patterns:
                 print(f"# minimized to: {to_xpath(pattern)}", file=sys.stderr)
 

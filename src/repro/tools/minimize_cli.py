@@ -22,12 +22,14 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from pathlib import Path
 
 from ..constraints.model import parse_constraints
 from ..core.acim import acim_minimize
 from ..core.cdm import cdm_minimize
 from ..core.cim import cim_minimize
+from ..core.oracle_cache import oracle_cache_disabled
 from ..core.pipeline import minimize
 from ..errors import ReproError
 from ..parsing.serializer import to_xpath
@@ -97,6 +99,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--explain", action="store_true", help="print what was removed and why"
     )
+    parser.add_argument(
+        "--no-oracle-cache",
+        action="store_true",
+        help=(
+            "disable the process-wide containment-oracle cache and the "
+            "prune/rule-probe memos (results are identical either way)"
+        ),
+    )
     return parser
 
 
@@ -125,7 +135,13 @@ def _run_batch(args, constraints) -> int:
     from ..batch import BatchMinimizer
 
     queries = _read_batch_queries(args.batch, args.sexpr)
-    minimizer = BatchMinimizer(constraints, jobs=args.jobs)
+    # Workers don't inherit the parent's global switch, so the flag is
+    # passed explicitly (False) rather than relying on the context below.
+    minimizer = BatchMinimizer(
+        constraints,
+        jobs=args.jobs,
+        oracle_cache=False if args.no_oracle_cache else None,
+    )
     batch = minimizer.minimize_all(queries)
     for item in batch:
         fmt = "sexpr" if args.format == "sexpr" else args.format
@@ -156,53 +172,60 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("exactly one of QUERY or --batch FILE is required")
     if args.batch is not None and args.algorithm != "pipeline":
         parser.error("--batch only supports the default pipeline algorithm")
+    guard = oracle_cache_disabled() if args.no_oracle_cache else nullcontext()
     try:
-        constraint_text = args.constraints or ""
-        if args.constraints_file is not None:
-            constraint_text += "\n" + args.constraints_file.read_text()
-        constraints = parse_constraints(constraint_text)
+        with guard:
+            constraint_text = args.constraints or ""
+            if args.constraints_file is not None:
+                constraint_text += "\n" + args.constraints_file.read_text()
+            constraints = parse_constraints(constraint_text)
 
-        if args.batch is not None:
-            return _run_batch(args, constraints)
+            if args.batch is not None:
+                return _run_batch(args, constraints)
 
-        query = parse_sexpr(args.query) if args.sexpr else parse_xpath(args.query)
+            query = parse_sexpr(args.query) if args.sexpr else parse_xpath(args.query)
 
-        explain_lines: list[str] = []
-        if args.algorithm == "cim":
-            run = cim_minimize(query)
-            minimized = run.pattern
-            explain_lines = [f"removed node #{i} ({t}) [CIM]" for i, t in run.eliminated]
-        elif args.algorithm == "cdm":
-            run = cdm_minimize(query, constraints)
-            minimized = run.pattern
-            explain_lines = [
-                f"removed node #{i} ({t}) [CDM rule: {rule}]" for i, t, rule in run.eliminated
-            ]
-        elif args.algorithm == "acim":
-            run = acim_minimize(query, constraints)
-            minimized = run.pattern
-            explain_lines = [f"removed node #{i} ({t}) [ACIM]" for i, t in run.eliminated]
-        else:
-            run = minimize(query, constraints)
-            minimized = run.pattern
-            if run.cdm is not None:
-                explain_lines += [
+            explain_lines: list[str] = []
+            if args.algorithm == "cim":
+                run = cim_minimize(query)
+                minimized = run.pattern
+                explain_lines = [
+                    f"removed node #{i} ({t}) [CIM]" for i, t in run.eliminated
+                ]
+            elif args.algorithm == "cdm":
+                run = cdm_minimize(query, constraints)
+                minimized = run.pattern
+                explain_lines = [
                     f"removed node #{i} ({t}) [CDM rule: {rule}]"
-                    for i, t, rule in run.cdm.eliminated
+                    for i, t, rule in run.eliminated
                 ]
-            if run.acim is not None:
-                explain_lines += [
-                    f"removed node #{i} ({t}) [ACIM]" for i, t in run.acim.eliminated
+            elif args.algorithm == "acim":
+                run = acim_minimize(query, constraints)
+                minimized = run.pattern
+                explain_lines = [
+                    f"removed node #{i} ({t}) [ACIM]" for i, t in run.eliminated
                 ]
+            else:
+                run = minimize(query, constraints)
+                minimized = run.pattern
+                if run.cdm is not None:
+                    explain_lines += [
+                        f"removed node #{i} ({t}) [CDM rule: {rule}]"
+                        for i, t, rule in run.cdm.eliminated
+                    ]
+                if run.acim is not None:
+                    explain_lines += [
+                        f"removed node #{i} ({t}) [ACIM]" for i, t in run.acim.eliminated
+                    ]
 
-        print(_render(minimized, args.format))
-        if args.explain:
-            print(f"# {query.size} -> {minimized.size} nodes", file=sys.stderr)
-            for line in explain_lines:
-                print(f"# {line}", file=sys.stderr)
-            if not explain_lines:
-                print("# query was already minimal", file=sys.stderr)
-        return 0
+            print(_render(minimized, args.format))
+            if args.explain:
+                print(f"# {query.size} -> {minimized.size} nodes", file=sys.stderr)
+                for line in explain_lines:
+                    print(f"# {line}", file=sys.stderr)
+                if not explain_lines:
+                    print("# query was already minimal", file=sys.stderr)
+            return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -198,6 +198,41 @@ class TestExecutor:
             "int",
         ]
 
+    def test_crashed_worker_falls_back_to_serial(self):
+        """A worker hard-crashing (BrokenProcessPool) must not lose the
+        batch: process_map reruns everything serially in-process."""
+        assert process_map(_crash_in_worker, list(range(8)), jobs=2) == [
+            i * 10 for i in range(8)
+        ]
+
+    def test_unstartable_pool_falls_back_to_serial(self, monkeypatch):
+        import concurrent.futures
+
+        class _BrokenPool:
+            def __init__(self, *args, **kwargs):
+                raise RuntimeError("cannot start process pool")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", _BrokenPool
+        )
+        assert process_map(_square, list(range(6)), jobs=2) == [
+            i * i for i in range(6)
+        ]
+
+    def test_payloads_pickled_exactly_once(self):
+        """The picklability probe's bytes are what the pool ships — the
+        payload object graph is never serialized a second time."""
+        _CountingPayload.pickles = 0
+        payloads = [_CountingPayload(i) for i in range(10)]
+        assert process_map(_payload_value, payloads, jobs=2) == list(range(10))
+        assert _CountingPayload.pickles == len(payloads)
+
+    def test_serial_path_never_pickles(self):
+        _CountingPayload.pickles = 0
+        payloads = [_CountingPayload(i) for i in range(4)]
+        assert process_map(_payload_value, payloads, jobs=1) == list(range(4))
+        assert _CountingPayload.pickles == 0
+
 
 def _square(x):
     return x * x
@@ -205,6 +240,32 @@ def _square(x):
 
 def _typename(x):
     return type(x).__name__
+
+
+def _crash_in_worker(x):
+    import multiprocessing
+    import os
+
+    if multiprocessing.parent_process() is not None:
+        os._exit(1)  # hard-kill the worker: the pool breaks, no exception
+    return x * 10
+
+
+class _CountingPayload:
+    """Counts parent-side pickling passes via ``__reduce__``."""
+
+    pickles = 0
+
+    def __init__(self, value):
+        self.value = value
+
+    def __reduce__(self):
+        type(self).pickles += 1
+        return (_CountingPayload, (self.value,))
+
+
+def _payload_value(p):
+    return p.value
 
 
 class TestEvaluateBatch:

@@ -249,6 +249,48 @@ class TestBenchBatch:
         assert isinstance(summary["meets_2x_target"], bool)
 
 
+class TestBenchOracleCache:
+    """Schema smoke test for BENCH_oracle_cache.json (fast grid)."""
+
+    def test_fast_run_writes_valid_schema(self, tmp_path):
+        bo = _load_bench_script("bench_oracle_cache")
+        out = tmp_path / "BENCH_oracle_cache.json"
+        bo.main(["--fast", "--repeat", "1", "--out", str(out)])
+        payload = json.loads(out.read_text())
+
+        assert payload["benchmark"] == "oracle_cache"
+        assert payload["schema_version"] == bo.SCHEMA_VERSION
+        assert payload["fast"] is True
+
+        rows = payload["oracle"]["rows"]
+        assert [r["queries"] for r in rows] == sorted(r["queries"] for r in rows)
+        for row in rows:
+            assert row["uncached_seconds"] >= 0
+            assert row["cached_seconds"] >= 0
+            assert row["speedup"] > 0
+            assert row["pairs"] == 4 * row["queries"]
+            assert row["oracle_cache_hits"] > 0
+            assert 0.0 <= row["oracle_cache_hit_rate"] <= 1.0
+            assert row["oracle_cache_collisions"] == 0
+
+        prune = payload["prune_memo"]
+        assert prune["prune_memo_hits"] > 0
+        assert 0.0 <= prune["prune_memo_hit_rate"] <= 1.0
+
+        cdm = payload["cdm_probe"]
+        assert cdm["probe_cache_hits"] > 0
+        assert 0.0 <= cdm["probe_hit_rate"] <= 1.0
+
+        batch = payload["batch"]
+        assert batch["identical_results"] is True
+        assert batch["cdm_probe_cache_hits"] >= 0
+
+        summary = payload["summary"]
+        assert summary["results_identical"] is True
+        assert summary["oracle_hits_at_largest"] > 0
+        assert isinstance(summary["meets_target"], bool)
+
+
 class TestMarkdown:
     def test_markdown_table(self):
         from repro.bench.report import format_markdown
