@@ -36,6 +36,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:  # script mode without install
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.api import MinimizeOptions
 from repro.batch import BatchMinimizer
 from repro.bench.timing import best_of
 from repro.core.pipeline import minimize
@@ -81,11 +82,12 @@ def run_comparison(*, repeat: int = 3, fast: bool = False) -> dict:
         serial_seconds = best_of(
             lambda: [minimize(q, constraints) for q in queries], repeat=repeat
         )
+        batch_options = MinimizeOptions(jobs=target_jobs)
         batch_seconds = best_of(
-            lambda: BatchMinimizer(constraints, jobs=target_jobs).minimize_all(queries),
+            lambda: BatchMinimizer(constraints, batch_options).minimize_all(queries),
             repeat=repeat,
         )
-        run = BatchMinimizer(constraints, jobs=target_jobs).minimize_all(queries)
+        run = BatchMinimizer(constraints, batch_options).minimize_all(queries)
         # The backend must be a drop-in for the loop: identical minimal
         # patterns, in order, for every jobs setting.
         serial_patterns = [minimize(q, constraints).pattern for q in queries]
@@ -117,10 +119,9 @@ def run_comparison(*, repeat: int = 3, fast: bool = False) -> dict:
     )
     scaling: list[dict] = []
     for jobs in _SCALING_JOBS:
+        scaling_options = MinimizeOptions(jobs=jobs, memoize=False)
         seconds = best_of(
-            lambda: BatchMinimizer(
-                constraints, jobs=jobs, memoize=False
-            ).minimize_all(queries),
+            lambda: BatchMinimizer(constraints, scaling_options).minimize_all(queries),
             repeat=repeat,
         )
         scaling.append({"jobs": jobs, "seconds": seconds})

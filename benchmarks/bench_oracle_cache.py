@@ -43,6 +43,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:  # script mode without install
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.api import MinimizeOptions
 from repro.batch import minimize_batch
 from repro.bench.experiments import oracle_cache_workload
 from repro.bench.timing import best_of
@@ -187,9 +188,13 @@ def _batch_section(*, fast: bool) -> dict:
     queries, constraints = batch_workload(
         count, kind="fig8", distinct=4, size=24, seed=SEED
     )
-    on = minimize_batch(queries, constraints, memoize=False, oracle_cache=True)
+    on = minimize_batch(
+        queries, constraints, MinimizeOptions(memoize=False, oracle_cache=True)
+    )
     with oracle_cache_disabled():
-        off = minimize_batch(queries, constraints, memoize=False, oracle_cache=False)
+        off = minimize_batch(
+            queries, constraints, MinimizeOptions(memoize=False, oracle_cache=False)
+        )
     if [to_sexpr(p) for p in on.patterns()] != [to_sexpr(p) for p in off.patterns()]:
         raise AssertionError("oracle-cache subsystem changed a batch result")
     counters = on.stats.counters()

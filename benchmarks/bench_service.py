@@ -1,0 +1,161 @@
+"""Serving-layer benchmark: adaptive micro-batching vs one-at-a-time.
+
+Replays a duplicated Figure 7-flavoured query stream through
+:class:`~repro.service.MinimizationService` under Poisson arrivals at
+several offered rates (multiples of the measured one-at-a-time
+capacity), via the :func:`repro.bench.experiments.service` driver.
+Two client disciplines are compared at every rate:
+
+- **one-at-a-time** — a client that never submits request *i+1* before
+  *i*'s response; every micro-batch holds one query, waiting never
+  overlaps with work (the pre-service world: one-shot calls per query);
+- **micro-batched** — requests dispatched at their arrival offsets;
+  close-together arrivals share a micro-batch, so the fingerprint memo,
+  the containment-oracle cache, and the dispatch overhead amortize.
+
+Requests are served in paranoid ``verify=True`` mode (every response
+re-proves input ≡ output through the containment oracle), which is what
+surfaces oracle-cache hits in the service stats alongside the
+fingerprint-memo hits.
+
+Run as a script (or via ``benchmarks/run_all.py``) to write the
+machine-readable ``BENCH_service.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+    PYTHONPATH=src python benchmarks/bench_service.py --fast --out /tmp/s.json
+
+The exit code gates the serving layer: nonzero when the micro-batched
+client does not beat one-at-a-time at the mid arrival rate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # script mode without install
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.experiments import service as service_experiment
+
+__all__ = ["SCHEMA_VERSION", "DEFAULT_OUTPUT", "run_comparison", "main"]
+
+SCHEMA_VERSION = 1
+
+#: Default output artifact, at the repo root so the perf trajectory is
+#: tracked in-tree.
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_service.json"
+
+_COUNT, _FAST_COUNT = 60, 48
+
+#: Stats keys copied into the ``mid_rate`` block of the artifact.
+_MID_RATE_KEYS = (
+    "batches",
+    "mean_batch_size",
+    "flushes_full",
+    "flushes_deadline",
+    "flushes_drain",
+    "queue_high_watermark",
+    "cache_hits",
+    "oracle_cache_hits",
+    "oracle_cache_misses",
+    "verified",
+    "latency_mean_seconds",
+    "latency_p50_seconds",
+    "latency_p95_seconds",
+    "latency_p99_seconds",
+    "latency_max_seconds",
+    "queue_wait_mean_seconds",
+    "queue_wait_p95_seconds",
+)
+
+
+def run_comparison(*, repeat: int = 3, fast: bool = False) -> dict:
+    """Run the full comparison; return the ``BENCH_service.json``
+    payload as a dict.
+
+    ``repeat`` is floored at 3: throughput is best-of-``repeat``
+    replays, and a single replay of a sub-second stream is too noisy to
+    gate CI on.
+    """
+    count = _FAST_COUNT if fast else _COUNT
+    repeat = max(repeat, 3)
+    result = service_experiment(repeat=repeat, count=count)
+    one_at_a_time = result.series_by_label("OneAtATime")
+    batched = result.series_by_label("MicroBatched")
+
+    rates = []
+    for rate, serial_tp, batched_tp in zip(
+        result.x_values(), one_at_a_time.ys, batched.ys
+    ):
+        rates.append(
+            {
+                "offered_rate_qps": rate,
+                "one_at_a_time_qps": serial_tp,
+                "micro_batched_qps": batched_tp,
+                "speedup": batched_tp / max(serial_tp, 1e-12),
+            }
+        )
+
+    counters = result.counters
+    mid_serial = counters["mid_rate_one_at_a_time_throughput"]
+    mid_batched = counters["mid_rate_batched_throughput"]
+    return {
+        "benchmark": "service",
+        "schema_version": SCHEMA_VERSION,
+        "repeat": repeat,
+        "fast": fast,
+        "cpu_count": os.cpu_count() or 1,
+        "n_queries": count,
+        "rates": rates,
+        "mid_rate": {key: counters.get(key, 0) for key in _MID_RATE_KEYS},
+        "notes": list(result.notes),
+        "summary": {
+            "capacity_one_at_a_time_qps": counters["capacity_one_at_a_time"],
+            "mid_rate_factor": counters.get("mid_rate_factor", 0),
+            "mid_rate_one_at_a_time_qps": mid_serial,
+            "mid_rate_micro_batched_qps": mid_batched,
+            "mid_rate_speedup": mid_batched / max(mid_serial, 1e-12),
+            "fingerprint_hits": counters.get("cache_hits", 0),
+            "oracle_cache_hits": counters.get("oracle_cache_hits", 0),
+            "batched_beats_one_at_a_time": mid_batched > mid_serial,
+        },
+    }
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Write ``BENCH_service.json``; exit 1 when micro-batching does not
+    beat one-at-a-time at the mid arrival rate (so CI catches serving
+    regressions)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeat", type=int, default=3, help="best-of repetitions")
+    parser.add_argument(
+        "--fast", action="store_true", help="small stream (smoke tests / CI)"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUTPUT, help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+    if args.repeat < 1:
+        parser.error("--repeat must be >= 1")
+
+    payload = run_comparison(repeat=args.repeat, fast=args.fast)
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    summary = payload["summary"]
+    print(
+        f"wrote {args.out}: micro-batched {summary['mid_rate_micro_batched_qps']:.0f} "
+        f"q/s vs one-at-a-time {summary['mid_rate_one_at_a_time_qps']:.0f} q/s at the "
+        f"mid rate ({summary['mid_rate_speedup']:.2f}x; fingerprint hits "
+        f"{summary['fingerprint_hits']:.0f}, oracle-cache hits "
+        f"{summary['oracle_cache_hits']:.0f})"
+    )
+    return 0 if summary["batched_beats_one_at_a_time"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

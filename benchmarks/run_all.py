@@ -10,6 +10,8 @@ but the timings is deterministic):
   (:mod:`benchmarks.bench_batch`);
 - ``BENCH_oracle_cache.json`` — containment-oracle cache layers vs their
   memo-free baselines (:mod:`benchmarks.bench_oracle_cache`);
+- ``BENCH_service.json`` — micro-batched serving vs one-at-a-time
+  clients at several arrival rates (:mod:`benchmarks.bench_service`);
 - ``BENCH_<figure>.json`` — one file per paper-figure experiment in
   :data:`repro.bench.experiments.ALL_EXPERIMENTS`, in the same schema as
   ``repro-bench <figure> --json``.
@@ -34,6 +36,7 @@ if str(REPO_ROOT / "src") not in sys.path:  # script mode without install
 import bench_batch  # noqa: E402  (sibling module, script mode)
 import bench_incremental  # noqa: E402  (sibling module, script mode)
 import bench_oracle_cache  # noqa: E402  (sibling module, script mode)
+import bench_service  # noqa: E402  (sibling module, script mode)
 
 from repro.bench.experiments import ALL_EXPERIMENTS, run_experiment  # noqa: E402
 from repro.bench.report import format_json  # noqa: E402
@@ -90,10 +93,19 @@ def main(argv: Optional[list[str]] = None) -> int:
         ]
         + (["--fast"] if args.fast else [])
     ) or status
+    status = bench_service.main(
+        [
+            "--repeat",
+            str(repeat),
+            "--out",
+            str(args.out_dir / "BENCH_service.json"),
+        ]
+        + (["--fast"] if args.fast else [])
+    ) or status
 
     if not args.skip_figures:
         for name in ALL_EXPERIMENTS:
-            if name in ("incremental", "batch", "oracle_cache"):
+            if name in ("incremental", "batch", "oracle_cache", "service"):
                 continue  # their BENCH_*.json are the richer bench_*.py artifacts
             result = run_experiment(name, repeat=repeat)
             path = args.out_dir / f"BENCH_{name}.json"

@@ -37,6 +37,9 @@ from .errors import (
     PatternError,
     ReproError,
     SchemaError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
     StrategyError,
 )
 from .core import (
@@ -87,9 +90,11 @@ from .batch import (
     BatchMinimizer,
     BatchResult,
     BatchStats,
+    WorkerPool,
     evaluate_batch,
     minimize_batch,
 )
+from .api import STRATEGIES, MinimizeOptions, QueryResult, Session
 
 __version__ = "1.1.0"
 
@@ -105,6 +110,14 @@ __all__ = [
     "DataModelError",
     "EvaluationError",
     "StrategyError",
+    "ServiceError",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
+    # unified front-door API
+    "MinimizeOptions",
+    "QueryResult",
+    "Session",
+    "STRATEGIES",
     # patterns & algorithms
     "CHILD",
     "DESCENDANT",
@@ -152,6 +165,7 @@ __all__ = [
     "BatchMinimizer",
     "BatchResult",
     "BatchStats",
+    "WorkerPool",
     "evaluate_batch",
     "minimize_batch",
     "__version__",

@@ -1,0 +1,476 @@
+"""The unified front-door API: one configuration object, one session.
+
+Before this module existed, every layer threaded its own keyword soup —
+``minimize(..., incremental=..., oracle_cache=...)``,
+``BatchMinimizer(..., jobs=..., use_cdm_prefilter=...)``,
+``evaluate(..., engine=...)`` — and the CLIs, benchmarks, and the
+serving layer each re-invented the plumbing. :class:`Session` collapses
+that into a single configuration path:
+
+* :class:`MinimizeOptions` — one frozen dataclass capturing *all* the
+  knobs (``engine``, ``incremental``, ``oracle_cache``, ``jobs``,
+  ``strategy``, plus the batch-backend tuning fields);
+* :class:`Session` — a facade owning the engine/cache/jobs wiring:
+  ``session.minimize(...)``, ``session.minimize_many(...)``,
+  ``session.evaluate(...)``, ``session.equivalent(...)``. A session
+  keeps one :class:`~repro.batch.minimizer.BatchMinimizer` per
+  constraint repository, so repeated calls share the closed closure,
+  the fingerprint memo, and (when enabled) a warm worker pool;
+* :class:`QueryResult` — the one result shape shared by the library,
+  both CLIs' ``--json`` output, and the service protocol
+  (:mod:`repro.service`), with :meth:`QueryResult.to_json`.
+
+Quickstart::
+
+    from repro import Session, MinimizeOptions, parse_xpath
+
+    with Session(MinimizeOptions(jobs=2)) as session:
+        result = session.minimize(parse_xpath("a/b[c][c]"))
+        print(result.summary())        # '4 -> 3 nodes ...'
+        print(result.to_json()["minimized"])
+
+Sessions honor ``oracle_cache=False`` through the re-entrant
+:func:`~repro.core.oracle_cache.oracle_cache_disabled` scope — they never
+mutate the process-wide switch, so concurrent sessions with different
+settings compose.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional, Sequence, Union
+
+from .constraints.model import IntegrityConstraint
+from .constraints.repository import ConstraintRepository, coerce_repository
+from .core.containment import equivalent as _equivalent
+from .core.ic_containment import equivalent_under as _equivalent_under
+from .core.oracle_cache import oracle_cache_disabled
+from .core.pattern import TreePattern
+from .errors import ReproError
+from .core.pipeline import MinimizeResult
+from .matching.evaluator import ENGINES, Database, evaluate as _evaluate
+from .parsing.serializer import to_xpath
+from .parsing.sexpr import to_sexpr
+
+__all__ = [
+    "MinimizeOptions",
+    "QueryResult",
+    "Session",
+    "STRATEGIES",
+]
+
+#: Minimization strategies understood by :class:`MinimizeOptions`:
+#: ``"pipeline"`` is CDM-then-ACIM (the paper's recommended Theorem 5.3
+#: configuration), ``"acim"`` runs ACIM directly (identical result,
+#: slower — the Figure 9(b) baseline).
+STRATEGIES = ("pipeline", "acim")
+
+Constraints = Union[ConstraintRepository, Iterable[IntegrityConstraint], None]
+
+
+@dataclass(frozen=True)
+class MinimizeOptions:
+    """Every configuration knob of the minimization stack, in one place.
+
+    Attributes
+    ----------
+    engine:
+        Matching engine used by :meth:`Session.evaluate`
+        (``dp``/``twig``/``pathstack``/``twigmerge``).
+    incremental:
+        Maintain one images engine across the ACIM elimination loop
+        (default) instead of rebuilding per deletion.
+    oracle_cache:
+        ``None`` follows the process-wide containment-oracle-cache
+        switch; ``False`` disables every cache layer for work done
+        through the session (scoped — the global switch is untouched);
+        ``True`` forces it on for worker processes.
+    jobs:
+        Worker processes for batch fan-out (``0`` = one per core).
+    strategy:
+        One of :data:`STRATEGIES`.
+    memoize:
+        Replay isomorphic duplicates from the fingerprint memo.
+    chunksize:
+        Payloads per pool task (``None`` = auto).
+    persistent_pool:
+        Keep the worker pool alive across batches (the serving layer's
+        keep-warm mode) instead of spawning one per call.
+    verify:
+        Re-prove ``input ≡ minimized`` under the constraints for every
+        result served (paranoid mode; raises
+        :class:`~repro.errors.ReproError` on mismatch). The proof goes
+        through the containment oracle, so for workloads with repeated
+        structures its cost is mostly absorbed by the cross-query
+        oracle cache.
+    """
+
+    engine: str = "dp"
+    incremental: bool = True
+    oracle_cache: Optional[bool] = None
+    jobs: int = 1
+    strategy: str = "pipeline"
+    memoize: bool = True
+    chunksize: Optional[int] = None
+    persistent_pool: bool = False
+    verify: bool = False
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r} (expected one of {ENGINES})"
+            )
+        if self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r} (expected one of {STRATEGIES})"
+            )
+        if self.jobs is not None and self.jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {self.jobs}")
+
+    @property
+    def use_cdm_prefilter(self) -> bool:
+        """Whether the CDM pre-filter stage runs (strategy ``pipeline``)."""
+        return self.strategy == "pipeline"
+
+    def with_overrides(self, **changes: object) -> "MinimizeOptions":
+        """A copy with the given fields replaced (frozen-dataclass
+        convenience for the CLIs and the service)."""
+        return replace(self, **changes)
+
+
+@dataclass
+class QueryResult:
+    """The one minimization-result shape shared by every surface.
+
+    Library callers, both CLIs' ``--json`` output, and the service
+    protocol all speak this object: the input, the minimized pattern,
+    what was removed, whether the fingerprint memo served it, and the
+    timing/cache counters of the work actually done.
+
+    Attributes
+    ----------
+    pattern:
+        The minimized query.
+    input_pattern:
+        The query as submitted (never mutated).
+    eliminated:
+        ``(node_id, node_type)`` pairs in elimination order, in the
+        input's node ids.
+    cache_hit:
+        True when the result was replayed from the fingerprint memo.
+    fingerprint:
+        The input's structural fingerprint (memo key), when known.
+    timings:
+        Phase wall-clock seconds (``closure_seconds``, ``cdm_seconds``,
+        ``acim_seconds``, ``total_seconds`` — whichever apply).
+    counters:
+        Engine/cache counters of the work done for this result (empty
+        for memo replays — a hit does no engine work).
+    detail:
+        The full per-stage :class:`~repro.core.pipeline.MinimizeResult`
+        when this query was freshly minimized; ``None`` for replays.
+    """
+
+    pattern: TreePattern
+    input_pattern: TreePattern
+    eliminated: list[tuple[int, str]] = field(default_factory=list)
+    cache_hit: bool = False
+    fingerprint: Optional[str] = None
+    timings: dict[str, float] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+    detail: Optional[MinimizeResult] = None
+
+    @property
+    def input_size(self) -> int:
+        """Node count of the submitted query."""
+        return self.input_pattern.size
+
+    @property
+    def output_size(self) -> int:
+        """Node count of the minimized query."""
+        return self.pattern.size
+
+    @property
+    def removed_count(self) -> int:
+        """Number of nodes eliminated."""
+        return len(self.eliminated)
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        via = " [memo replay]" if self.cache_hit else ""
+        return (
+            f"{self.input_size} -> {self.output_size} nodes "
+            f"({self.removed_count} removed){via}"
+        )
+
+    def to_json(self, *, fmt: str = "xpath") -> dict:
+        """The JSON-serializable unified shape (both CLIs' ``--json``
+        and the service protocol emit exactly this dict).
+
+        ``fmt`` renders the input/minimized queries as ``"xpath"`` or
+        ``"sexpr"``.
+        """
+        if fmt not in ("xpath", "sexpr"):
+            raise ValueError(f"unknown render format {fmt!r}")
+        render = to_xpath if fmt == "xpath" else to_sexpr
+        return {
+            "input": render(self.input_pattern),
+            "minimized": render(self.pattern),
+            "input_size": self.input_size,
+            "output_size": self.output_size,
+            "removed": self.removed_count,
+            "eliminated": [[node_id, node_type] for node_id, node_type in self.eliminated],
+            "cache_hit": self.cache_hit,
+            "fingerprint": self.fingerprint,
+            "timings": dict(self.timings),
+            "counters": dict(self.counters),
+        }
+
+    # ------------------------------------------------------------------
+    # Constructors from the per-layer result objects
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_minimize_result(
+        cls, result: MinimizeResult, input_pattern: TreePattern, *, fingerprint: Optional[str] = None
+    ) -> "QueryResult":
+        """Adapt a :class:`~repro.core.pipeline.MinimizeResult`."""
+        eliminated: list[tuple[int, str]] = []
+        timings: dict[str, float] = {"closure_seconds": result.closure_seconds}
+        counters: dict[str, float] = {}
+        if result.cdm is not None:
+            eliminated.extend(
+                (node_id, node_type) for node_id, node_type, _ in result.cdm.eliminated
+            )
+            timings["cdm_seconds"] = result.cdm.seconds
+            counters["cdm_probe_cache_hits"] = result.cdm.probe_cache_hits
+            counters["cdm_probe_cache_misses"] = result.cdm.probe_cache_misses
+        if result.acim is not None:
+            eliminated.extend(result.acim.eliminated)
+            timings["acim_seconds"] = result.acim.total_seconds
+            counters.update(result.acim.images_stats.counters())
+        timings["total_seconds"] = result.total_seconds
+        return cls(
+            pattern=result.pattern,
+            input_pattern=input_pattern,
+            eliminated=eliminated,
+            cache_hit=False,
+            fingerprint=fingerprint,
+            timings=timings,
+            counters=counters,
+            detail=result,
+        )
+
+    @classmethod
+    def from_batch_item(cls, item, input_pattern: TreePattern) -> "QueryResult":
+        """Adapt a :class:`~repro.batch.minimizer.BatchItemResult`."""
+        if item.result is not None:
+            out = cls.from_minimize_result(
+                item.result, input_pattern, fingerprint=item.fingerprint
+            )
+            # The replayed elimination is already in *this* query's node
+            # ids; the MinimizeResult's record is in the representative's.
+            out.eliminated = list(item.eliminated)
+            return out
+        return cls(
+            pattern=item.pattern,
+            input_pattern=input_pattern,
+            eliminated=list(item.eliminated),
+            cache_hit=item.cache_hit,
+            fingerprint=item.fingerprint,
+        )
+
+
+class Session:
+    """A long-lived facade over the minimization stack.
+
+    One session owns the whole engine/cache/jobs configuration
+    (:class:`MinimizeOptions`) and amortizes shared state across calls:
+    constraint closures are computed once per repository, the
+    fingerprint memo and containment-oracle caches persist, and (with
+    ``persistent_pool=True``) worker processes stay warm. The service
+    layer (:class:`repro.service.MinimizationService`), both CLIs, and
+    library callers all configure the stack exclusively through here.
+
+    Parameters
+    ----------
+    options:
+        The configuration; ``None`` means all defaults.
+    constraints:
+        Default integrity constraints for calls that don't pass their
+        own ``repo``.
+
+    Sessions are context managers; :meth:`close` releases any persistent
+    worker pools. All methods are thread-safe to the extent the
+    underlying batch backend is (one batch at a time per repository).
+    """
+
+    def __init__(
+        self, options: Optional[MinimizeOptions] = None, *, constraints: Constraints = None
+    ) -> None:
+        self.options = options if options is not None else MinimizeOptions()
+        if not isinstance(self.options, MinimizeOptions):
+            raise TypeError(
+                f"options must be a MinimizeOptions, got {type(self.options).__name__}"
+            )
+        self._default_constraints = constraints
+        self._minimizers: dict[tuple, "BatchMinimizer"] = {}
+        self._counters: dict[str, float] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release persistent worker pools (idempotent)."""
+        for minimizer in self._minimizers.values():
+            minimizer.close()
+        self._closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Minimization
+    # ------------------------------------------------------------------
+
+    def minimize(self, pattern: TreePattern, repo: Constraints = None) -> QueryResult:
+        """Minimize one query under ``repo`` (or the session default).
+
+        Identical output to :func:`repro.core.pipeline.minimize` with
+        the session's options — but served through the session's
+        fingerprint memo, so repeated structures replay instead of
+        recomputing.
+        """
+        return self.minimize_many([pattern], repo)[0]
+
+    def minimize_many(
+        self, patterns: Sequence[TreePattern], repo: Constraints = None
+    ) -> list[QueryResult]:
+        """Minimize a whole workload; one :class:`QueryResult` per query,
+        in input order (byte-identical to the serial loop)."""
+        patterns = list(patterns)
+        minimizer = self._minimizer_for(repo)
+        with self._cache_scope():
+            batch = minimizer.minimize_all(patterns)
+            results = [
+                QueryResult.from_batch_item(item, pattern)
+                for item, pattern in zip(batch, patterns)
+            ]
+            if self.options.verify:
+                self._verify(results, minimizer.repository)
+        self._absorb(batch.stats.counters())
+        return results
+
+    # ------------------------------------------------------------------
+    # Evaluation & equivalence
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        patterns: "TreePattern | Sequence[TreePattern]",
+        database: Database,
+    ) -> "set[tuple[int, int]] | list[set[tuple[int, int]]]":
+        """Answer set(s) over ``database`` with the session's engine.
+
+        A single pattern returns one ``{(tree_index, node_id)}`` set; a
+        sequence returns one set per query (via the batch evaluator,
+        fanned across the session's ``jobs``).
+        """
+        from .batch.evaluation import evaluate_batch
+
+        if isinstance(patterns, TreePattern):
+            return _evaluate(patterns, database, engine=self.options.engine)
+        return evaluate_batch(
+            list(patterns),
+            database,
+            engine=self.options.engine,
+            jobs=self.options.jobs,
+            chunksize=self.options.chunksize,
+        )
+
+    def equivalent(
+        self, q1: TreePattern, q2: TreePattern, repo: Constraints = None
+    ) -> bool:
+        """Whether the queries are equivalent — absolutely, or under the
+        given (or session-default) constraints when any are present."""
+        constraints = repo if repo is not None else self._default_constraints
+        repository = coerce_repository(constraints)
+        with self._cache_scope():
+            if len(repository):
+                return _equivalent_under(q1, q2, repository)
+            return _equivalent(q1, q2)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def counters(self) -> dict[str, float]:
+        """Aggregate batch/engine/cache counters over every call made
+        through this session (the ``*Stats``-style flat dict)."""
+        out = dict(self._counters)
+        if out.get("queries"):
+            out["hit_rate"] = out.get("cache_hits", 0) / out["queries"]
+        return out
+
+    @property
+    def cache_size(self) -> int:
+        """Memoized representative structures across all repositories."""
+        return sum(m.cache_size for m in self._minimizers.values())
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _cache_scope(self):
+        """The oracle-cache scope implied by the options: a re-entrant
+        disabled scope for ``oracle_cache=False``, no-op otherwise."""
+        if self.options.oracle_cache is False:
+            return oracle_cache_disabled()
+        return nullcontext()
+
+    def _minimizer_for(self, repo: Constraints) -> "BatchMinimizer":
+        """The per-repository batch backend (created on first use; the
+        closure, memo, and pool live as long as the session)."""
+        from .batch.minimizer import BatchMinimizer
+
+        if self._closed:
+            raise RuntimeError("session is closed")
+        constraints = repo if repo is not None else self._default_constraints
+        repository = coerce_repository(constraints)
+        key = tuple(repository)  # sorted, hashable constraint tuple
+        minimizer = self._minimizers.get(key)
+        if minimizer is None:
+            minimizer = BatchMinimizer(repository, options=self.options)
+            self._minimizers[key] = minimizer
+        return minimizer
+
+    def _verify(self, results: "list[QueryResult]", repository) -> None:
+        """Re-prove input ≡ minimized for every result (``verify=True``).
+
+        Each proof is two containment-oracle calls; across duplicated
+        workloads the cross-query cache serves the repeats, which is why
+        paranoid mode is affordable in the serving layer."""
+        for result in results:
+            if len(repository):
+                ok = _equivalent_under(result.pattern, result.input_pattern, repository)
+            else:
+                ok = _equivalent(result.pattern, result.input_pattern)
+            if not ok:
+                raise ReproError(
+                    "verification failed: minimized query is not equivalent "
+                    f"to its input ({result.summary()})"
+                )
+        self._counters["verified"] = self._counters.get("verified", 0) + len(results)
+
+    def _absorb(self, counters: dict[str, float]) -> None:
+        for key, value in counters.items():
+            if key.endswith("_rate") or key == "jobs":  # not summable
+                continue
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self._counters[key] = self._counters.get(key, 0) + value

@@ -15,7 +15,7 @@ system. Entry points:
   that fail to pickle).
 """
 
-from .executor import process_map, resolve_jobs
+from .executor import WorkerPool, process_map, resolve_jobs
 from .evaluation import evaluate_batch
 from .minimizer import BatchItemResult, BatchResult, BatchStats, BatchMinimizer, minimize_batch
 
@@ -24,6 +24,7 @@ __all__ = [
     "BatchMinimizer",
     "BatchResult",
     "BatchStats",
+    "WorkerPool",
     "evaluate_batch",
     "minimize_batch",
     "process_map",

@@ -16,9 +16,10 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
-__all__ = ["process_map", "resolve_jobs", "default_chunksize"]
+__all__ = ["process_map", "resolve_jobs", "default_chunksize", "WorkerPool"]
 
 _P = TypeVar("_P")
 _R = TypeVar("_R")
@@ -59,6 +60,73 @@ def _invoke_serialized(item: "tuple[Callable, bytes]"):
     return fn(pickle.loads(blob))
 
 
+class WorkerPool:
+    """A keep-warm process pool for repeated :func:`process_map` calls.
+
+    The one-shot path spawns (and tears down) a ``ProcessPoolExecutor``
+    per call, paying worker startup plus the initializer — repository
+    unpickling, cache warm-up — every batch. A ``WorkerPool`` pins the
+    initializer once and keeps the executor alive between calls, which
+    is what lets the serving layer's micro-batches reuse warm workers
+    (and their process-local containment-oracle caches) across requests.
+
+    The executor is created lazily and recreated after
+    :meth:`invalidate` — :func:`process_map` invalidates the pool when
+    it breaks (a worker hard-crashed) and falls back to serial for that
+    batch, so the *next* batch transparently gets a fresh pool.
+    Thread-safe; ``recreations`` counts executor (re)builds for the
+    stats surfaces.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        *,
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Iterable[object] = (),
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self._initializer = initializer
+        self._initargs = tuple(initargs)
+        self._executor = None
+        self._lock = threading.Lock()
+        self.recreations = 0
+
+    def executor(self):
+        """The live ``ProcessPoolExecutor``, creating it if needed."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        with self._lock:
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    initializer=self._initializer,
+                    initargs=self._initargs,
+                )
+                self.recreations += 1
+            return self._executor
+
+    def invalidate(self) -> None:
+        """Discard a broken executor; the next call builds a fresh one."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        """Shut the pool down for good (idempotent)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 def process_map(
     fn: Callable[[_P], _R],
     payloads: Sequence[_P],
@@ -67,6 +135,7 @@ def process_map(
     chunksize: Optional[int] = None,
     initializer: Optional[Callable[..., None]] = None,
     initargs: Iterable[object] = (),
+    pool: Optional[WorkerPool] = None,
 ) -> list[_R]:
     """Run ``fn`` over ``payloads`` with ``jobs`` processes; results in
     input order.
@@ -76,6 +145,13 @@ def process_map(
     in-process (the initializer is still called, so worker globals are
     set up identically). Payloads that fail to pickle are executed
     in-process too, spliced back into their original positions.
+
+    ``pool`` selects a persistent :class:`WorkerPool` instead of a
+    per-call executor: the pool's pinned initializer must match
+    ``initializer``/``initargs`` (callers own that invariant), workers
+    stay warm across calls, and a broken pool is invalidated — the
+    current batch falls back to serial, the next call gets fresh
+    workers.
     """
     jobs = resolve_jobs(jobs)
     if initializer is not None and (jobs == 1 or payloads):
@@ -105,27 +181,32 @@ def process_map(
         return [fn(p) for p in payloads]
 
     results: list[Optional[_R]] = [None] * len(payloads)
-    chunk = chunksize or default_chunksize(len(pool_items), jobs)
+    chunk = chunksize or default_chunksize(len(pool_items), min(jobs, pool.jobs) if pool else jobs)
+    tasks = [(fn, blob) for _, blob in pool_items]
     try:
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(pool_items)),
-            initializer=initializer,
-            initargs=tuple(initargs),
-        ) as pool:
-            mapped = pool.map(
-                _invoke_serialized,
-                [(fn, blob) for _, blob in pool_items],
-                chunksize=chunk,
-            )
+        if pool is not None:
+            mapped = pool.executor().map(_invoke_serialized, tasks, chunksize=chunk)
             for (index, _), result in zip(pool_items, mapped):
                 results[index] = result
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(pool_items)),
+                initializer=initializer,
+                initargs=tuple(initargs),
+            ) as executor:
+                mapped = executor.map(_invoke_serialized, tasks, chunksize=chunk)
+                for (index, _), result in zip(pool_items, mapped):
+                    results[index] = result
     except (OSError, PermissionError, RuntimeError):
         # No usable process pool. OSError/PermissionError: process
         # creation forbidden (sandboxed hosts). RuntimeError covers both
         # BrokenProcessPool (a worker died mid-batch — e.g. OOM-killed or
         # hard-crashed) and pools that cannot start at all (missing start
         # method, interpreter shutting down). The batch still completes:
-        # rerun everything serially in-process.
+        # rerun everything serially in-process. A broken persistent pool
+        # is invalidated so the next call rebuilds fresh workers.
+        if pool is not None:
+            pool.invalidate()
         return [fn(p) for p in payloads]
 
     for index, payload in local_items:

@@ -31,8 +31,9 @@ from __future__ import annotations
 
 import pickle
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 from ..constraints.closure import closure
 from ..constraints.model import IntegrityConstraint
@@ -41,7 +42,10 @@ from ..core.fingerprint import fingerprint, isomorphism
 from ..core.pattern import TreePattern
 from ..core.pipeline import MinimizeResult, minimize
 from ..errors import InvalidPatternError
-from .executor import process_map, resolve_jobs
+from .executor import WorkerPool, process_map, resolve_jobs
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api imports batch)
+    from ..api import MinimizeOptions
 
 __all__ = [
     "BatchItemResult",
@@ -179,15 +183,20 @@ class _MemoEntry:
 _WORKER_REPO: Optional[ConstraintRepository] = None
 _WORKER_USE_CDM: bool = True
 _WORKER_ORACLE: Optional[bool] = None
+_WORKER_INCREMENTAL: bool = True
 
 
 def _init_worker(
-    repo_bytes: bytes, use_cdm_prefilter: bool, oracle_cache: Optional[bool] = None
+    repo_bytes: bytes,
+    use_cdm_prefilter: bool,
+    oracle_cache: Optional[bool] = None,
+    incremental: bool = True,
 ) -> None:
-    global _WORKER_REPO, _WORKER_USE_CDM, _WORKER_ORACLE
+    global _WORKER_REPO, _WORKER_USE_CDM, _WORKER_ORACLE, _WORKER_INCREMENTAL
     _WORKER_REPO = pickle.loads(repo_bytes)
     _WORKER_USE_CDM = use_cdm_prefilter
     _WORKER_ORACLE = oracle_cache
+    _WORKER_INCREMENTAL = incremental
 
 
 def _minimize_one(pattern: TreePattern) -> MinimizeResult:
@@ -196,6 +205,7 @@ def _minimize_one(pattern: TreePattern) -> MinimizeResult:
         _WORKER_REPO,
         use_cdm_prefilter=_WORKER_USE_CDM,
         oracle_cache=_WORKER_ORACLE,
+        incremental=_WORKER_INCREMENTAL,
     )
 
 
@@ -210,6 +220,11 @@ def _result_eliminated(result: MinimizeResult) -> list[tuple[int, str]]:
     return out
 
 
+#: Sentinel distinguishing "kwarg not passed" from an explicit value, so
+#: only *explicit* legacy kwargs trigger the deprecation warning.
+_UNSET: object = object()
+
+
 class BatchMinimizer:
     """Minimize whole workloads of queries under one constraint repository.
 
@@ -219,42 +234,89 @@ class BatchMinimizer:
         The shared integrity constraints. The logical closure is computed
         **once**, here, and reused for every query (and shipped once to
         every worker process).
+    options:
+        A :class:`repro.api.MinimizeOptions` carrying the whole
+        configuration (jobs, memoize, strategy, oracle_cache, chunksize,
+        incremental, persistent_pool). This is the preferred path — the
+        :class:`repro.api.Session` facade constructs minimizers this
+        way — and is mutually exclusive with the legacy kwargs below.
     jobs:
-        Worker processes for the distinct-query fan-out. ``1`` (default)
-        runs serially in-process; ``None``/``0`` uses the machine's core
-        count. Results are identical for every setting.
+        **Deprecated** (use ``options``). Worker processes for the
+        distinct-query fan-out. ``1`` (default) runs serially
+        in-process; ``None``/``0`` uses the machine's core count.
+        Results are identical for every setting.
     memoize:
-        Reuse minimization results across isomorphic queries (on by
-        default). The cache persists across :meth:`minimize_all` calls,
-        so a long-lived ``BatchMinimizer`` keeps learning its workload.
+        **Deprecated** (use ``options``). Reuse minimization results
+        across isomorphic queries (on by default). The cache persists
+        across :meth:`minimize_all` calls, so a long-lived
+        ``BatchMinimizer`` keeps learning its workload.
     use_cdm_prefilter:
-        Forwarded to :func:`~repro.core.pipeline.minimize`.
+        **Deprecated** (use ``options.strategy``). Forwarded to
+        :func:`~repro.core.pipeline.minimize`.
     oracle_cache:
-        Forwarded to :func:`~repro.core.pipeline.minimize` for every
-        representative (serial path and worker processes alike; workers
-        rebuild their own process-local containment-oracle cache, this
-        parameter only carries the switch). ``None`` (default) follows
-        the process-wide oracle-cache switch in whichever process runs
-        the minimization.
+        **Deprecated** (use ``options``). Forwarded to
+        :func:`~repro.core.pipeline.minimize` for every representative
+        (serial path and worker processes alike; workers rebuild their
+        own process-local containment-oracle cache, this parameter only
+        carries the switch). ``None`` (default) follows the
+        process-wide oracle-cache switch in whichever process runs the
+        minimization.
     chunksize:
-        Payloads per pool task (default: auto, ~4 chunks per worker).
+        **Deprecated** (use ``options``). Payloads per pool task
+        (default: auto, ~4 chunks per worker).
     """
 
     def __init__(
         self,
         constraints: "ConstraintRepository | Iterable[IntegrityConstraint] | None" = None,
+        options: "Optional[MinimizeOptions]" = None,
         *,
-        jobs: int = 1,
-        memoize: bool = True,
-        use_cdm_prefilter: bool = True,
-        oracle_cache: Optional[bool] = None,
-        chunksize: Optional[int] = None,
+        jobs: int = _UNSET,  # type: ignore[assignment]
+        memoize: bool = _UNSET,  # type: ignore[assignment]
+        use_cdm_prefilter: bool = _UNSET,  # type: ignore[assignment]
+        oracle_cache: Optional[bool] = _UNSET,  # type: ignore[assignment]
+        chunksize: Optional[int] = _UNSET,  # type: ignore[assignment]
     ) -> None:
-        self.jobs = resolve_jobs(jobs)
-        self.memoize = memoize
-        self.use_cdm_prefilter = use_cdm_prefilter
-        self.oracle_cache = oracle_cache
-        self.chunksize = chunksize
+        legacy = {
+            name: value
+            for name, value in (
+                ("jobs", jobs),
+                ("memoize", memoize),
+                ("use_cdm_prefilter", use_cdm_prefilter),
+                ("oracle_cache", oracle_cache),
+                ("chunksize", chunksize),
+            )
+            if value is not _UNSET
+        }
+        if options is not None and legacy:
+            raise ValueError(
+                "pass configuration through options=MinimizeOptions(...) OR the "
+                f"legacy kwargs, not both (got options and {sorted(legacy)})"
+            )
+        if legacy:
+            warnings.warn(
+                f"BatchMinimizer({', '.join(sorted(legacy))}) kwargs are deprecated; "
+                "configure through repro.api.Session / "
+                "BatchMinimizer(constraints, options=MinimizeOptions(...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        if options is not None:
+            self.jobs = resolve_jobs(options.jobs)
+            self.memoize = options.memoize
+            self.use_cdm_prefilter = options.use_cdm_prefilter
+            self.oracle_cache = options.oracle_cache
+            self.chunksize = options.chunksize
+            self.incremental = options.incremental
+            persistent_pool = options.persistent_pool
+        else:
+            self.jobs = resolve_jobs(legacy.get("jobs", 1))
+            self.memoize = legacy.get("memoize", True)
+            self.use_cdm_prefilter = legacy.get("use_cdm_prefilter", True)
+            self.oracle_cache = legacy.get("oracle_cache", None)
+            self.chunksize = legacy.get("chunksize", None)
+            self.incremental = True
+            persistent_pool = False
         self.closure_seconds = 0.0
 
         repo = coerce_repository(constraints)
@@ -264,6 +326,30 @@ class BatchMinimizer:
             self.closure_seconds = time.perf_counter() - start
         self.repository = repo
         self._cache: dict[str, _MemoEntry] = {}
+        # The pool initargs are pinned per instance, so the closed
+        # repository is pickled once here, not once per minimize_all call.
+        self._initargs = (
+            pickle.dumps(self.repository),
+            self.use_cdm_prefilter,
+            self.oracle_cache,
+            self.incremental,
+        )
+        self._pool: Optional[WorkerPool] = (
+            WorkerPool(self.jobs, initializer=_init_worker, initargs=self._initargs)
+            if persistent_pool and self.jobs > 1
+            else None
+        )
+
+    def close(self) -> None:
+        """Release the persistent worker pool, if any (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "BatchMinimizer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Public API
@@ -301,11 +387,8 @@ class BatchMinimizer:
             jobs=self.jobs if len(fresh) > 1 else 1,
             chunksize=self.chunksize,
             initializer=_init_worker,
-            initargs=(
-                pickle.dumps(self.repository),
-                self.use_cdm_prefilter,
-                self.oracle_cache,
-            ),
+            initargs=self._initargs,
+            pool=self._pool,
         )
         stats.minimize_seconds = time.perf_counter() - start
 
@@ -371,7 +454,11 @@ class BatchMinimizer:
         mapping = isomorphism(entry.input_pattern, pattern)
         if mapping is None:  # pragma: no cover - SHA-256 collision
             result = _fresh_minimize(
-                pattern, self.repository, self.use_cdm_prefilter, self.oracle_cache
+                pattern,
+                self.repository,
+                self.use_cdm_prefilter,
+                self.oracle_cache,
+                self.incremental,
             )
             return BatchItemResult(
                 index=index,
@@ -407,29 +494,55 @@ def _fresh_minimize(
     repo: ConstraintRepository,
     use_cdm_prefilter: bool,
     oracle_cache: Optional[bool] = None,
+    incremental: bool = True,
 ) -> MinimizeResult:
     return minimize(
-        pattern, repo, use_cdm_prefilter=use_cdm_prefilter, oracle_cache=oracle_cache
+        pattern,
+        repo,
+        use_cdm_prefilter=use_cdm_prefilter,
+        oracle_cache=oracle_cache,
+        incremental=incremental,
     )
 
 
 def minimize_batch(
     patterns: Sequence[TreePattern],
     constraints: "ConstraintRepository | Iterable[IntegrityConstraint] | None" = None,
+    options: "Optional[MinimizeOptions]" = None,
     *,
-    jobs: int = 1,
-    memoize: bool = True,
-    use_cdm_prefilter: bool = True,
-    oracle_cache: Optional[bool] = None,
-    chunksize: Optional[int] = None,
+    jobs: int = _UNSET,  # type: ignore[assignment]
+    memoize: bool = _UNSET,  # type: ignore[assignment]
+    use_cdm_prefilter: bool = _UNSET,  # type: ignore[assignment]
+    oracle_cache: Optional[bool] = _UNSET,  # type: ignore[assignment]
+    chunksize: Optional[int] = _UNSET,  # type: ignore[assignment]
 ) -> BatchResult:
-    """One-shot convenience wrapper around :class:`BatchMinimizer`."""
-    minimizer = BatchMinimizer(
-        constraints,
-        jobs=jobs,
-        memoize=memoize,
-        use_cdm_prefilter=use_cdm_prefilter,
-        oracle_cache=oracle_cache,
-        chunksize=chunksize,
-    )
+    """One-shot convenience wrapper around :class:`BatchMinimizer`.
+
+    Prefer ``minimize_batch(patterns, constraints, MinimizeOptions(...))``
+    (or a long-lived :class:`repro.api.Session`); the scattered kwargs
+    are deprecated, exactly as on :class:`BatchMinimizer`.
+    """
+    legacy = {
+        name: value
+        for name, value in (
+            ("jobs", jobs),
+            ("memoize", memoize),
+            ("use_cdm_prefilter", use_cdm_prefilter),
+            ("oracle_cache", oracle_cache),
+            ("chunksize", chunksize),
+        )
+        if value is not _UNSET
+    }
+    with warnings.catch_warnings():
+        # The constructor warns with pointers at BatchMinimizer; re-raise
+        # the warning here, at the caller's line, instead.
+        warnings.simplefilter("ignore", DeprecationWarning)
+        minimizer = BatchMinimizer(constraints, options, **legacy)
+    if legacy:
+        warnings.warn(
+            f"minimize_batch({', '.join(sorted(legacy))}) kwargs are deprecated; "
+            "pass options=MinimizeOptions(...) or use repro.api.Session",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     return minimizer.minimize_all(patterns)

@@ -251,13 +251,19 @@ class ContainmentOracleCache:
 _global_lock = threading.Lock()
 _global_cache: Optional[ContainmentOracleCache] = None
 _global_enabled: bool = True
+#: Nesting depth of active :func:`oracle_cache_disabled` scopes. The
+#: context manager counts instead of flipping ``_global_enabled`` so
+#: nested/concurrent scopes compose (re-entrant) and an exception inside
+#: one scope can never leave the process-wide switch stuck off.
+_disabled_depth: int = 0
 
 
 def global_cache() -> Optional[ContainmentOracleCache]:
     """The process-wide cache, created lazily — or ``None`` while the
-    global cache is disabled (:func:`set_global_enabled`)."""
+    global cache is disabled (:func:`set_global_enabled` or an active
+    :func:`oracle_cache_disabled` scope)."""
     global _global_cache
-    if not _global_enabled:
+    if not global_enabled():
         return None
     if _global_cache is None:
         with _global_lock:
@@ -268,8 +274,11 @@ def global_cache() -> Optional[ContainmentOracleCache]:
 
 def global_enabled() -> bool:
     """Whether the process-wide oracle-cache subsystem is enabled (this
-    switch also governs the default for the images-engine prune memo)."""
-    return _global_enabled
+    switch also governs the default for the images-engine prune memo).
+
+    False while the ``set_global_enabled(False)`` switch is off **or**
+    any :func:`oracle_cache_disabled` scope is active."""
+    return _global_enabled and _disabled_depth == 0
 
 
 def set_global_enabled(enabled: bool) -> None:
@@ -291,10 +300,19 @@ def reset_global_cache() -> None:
 @contextmanager
 def oracle_cache_disabled() -> Iterator[None]:
     """Temporarily disable the process-wide cache (and the prune-memo
-    default) — the uncached side of differential tests and benchmarks."""
-    previous = _global_enabled
-    set_global_enabled(False)
+    default) — the uncached side of differential tests and benchmarks.
+
+    Re-entrant and exception-safe: scopes nest through a depth counter
+    (the cache stays off until the outermost scope exits) and never
+    mutate the :func:`set_global_enabled` switch, so overlapping scopes —
+    e.g. a :class:`~repro.api.Session` with ``oracle_cache=False`` used
+    inside a test that already disabled the cache — restore the previous
+    state exactly, even when the body raises."""
+    global _disabled_depth
+    with _global_lock:
+        _disabled_depth += 1
     try:
         yield
     finally:
-        set_global_enabled(previous)
+        with _global_lock:
+            _disabled_depth -= 1

@@ -18,6 +18,9 @@ __all__ = [
     "DataModelError",
     "EvaluationError",
     "StrategyError",
+    "ServiceError",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
 ]
 
 
@@ -85,3 +88,26 @@ class EvaluationError(ReproError):
 
 class StrategyError(ReproError):
     """An A/R/M strategy string is malformed."""
+
+
+class ServiceError(ReproError):
+    """Base class for minimization-service failures."""
+
+
+class ServiceClosedError(ServiceError):
+    """The service is draining or stopped and accepts no new requests."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The request queue is full (backpressure).
+
+    Attributes
+    ----------
+    retry_after:
+        Suggested client back-off in seconds, estimated from the
+        service's recent batch latency.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 0.05):
+        super().__init__(message)
+        self.retry_after = retry_after

@@ -1,0 +1,223 @@
+"""JSON-lines wire protocol over stdio or TCP for the service.
+
+One request per line, one response per line, newline-delimited JSON —
+trivially scriptable (``echo '{"op":"minimize","query":"a/b[c][c]"}' |
+repro-serve``) and still concurrent: every incoming line is handled in
+its own task, so requests arriving close together land in the same
+micro-batch even over a single connection.
+
+Request objects::
+
+    {"op": "minimize", "query": "a/b[c][c]",
+     "id": 1,                  # optional, echoed back verbatim
+     "format": "xpath",        # or "sexpr" — parse AND render format
+     "timeout": 2.5}           # optional per-request seconds
+    {"op": "stats", "id": 2}
+    {"op": "ping", "id": 3}
+
+Responses::
+
+    {"id": 1, "ok": true, "result": { ...QueryResult.to_json()... }}
+    {"id": 1, "ok": false,
+     "error": {"type": "ServiceOverloadedError",
+               "message": "request queue full (256 pending)",
+               "retry_after": 0.02}}
+
+``result`` for ``minimize`` is exactly the unified
+:meth:`repro.api.QueryResult.to_json` shape the CLIs' ``--json`` mode
+emits; ``stats`` returns the service's flat counter dict; ``ping``
+returns ``{"pong": true}``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import stat
+import sys
+from typing import Optional
+
+from ..errors import ReproError, ServiceOverloadedError
+from ..parsing.sexpr import parse_sexpr
+from ..parsing.xpath import parse_xpath
+from .service import MinimizationService
+
+__all__ = ["handle_connection", "handle_line", "serve_stdio", "serve_tcp"]
+
+_PARSERS = {"xpath": parse_xpath, "sexpr": parse_sexpr}
+
+
+def _error_response(request_id, exc: BaseException) -> dict:
+    error: dict = {"type": type(exc).__name__, "message": str(exc)}
+    if isinstance(exc, ServiceOverloadedError):
+        error["retry_after"] = exc.retry_after
+    return {"id": request_id, "ok": False, "error": error}
+
+
+async def handle_line(service: MinimizationService, line: str) -> Optional[dict]:
+    """Dispatch one protocol line; the response dict, or ``None`` for
+    blank/comment lines."""
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return None
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return _error_response(None, exc)
+    if not isinstance(request, dict):
+        return _error_response(None, ValueError("request must be a JSON object"))
+    request_id = request.get("id")
+    op = request.get("op", "minimize")
+    try:
+        if op == "ping":
+            return {"id": request_id, "ok": True, "result": {"pong": True}}
+        if op == "stats":
+            return {"id": request_id, "ok": True, "result": service.counters()}
+        if op == "minimize":
+            fmt = request.get("format", "xpath")
+            parser = _PARSERS.get(fmt)
+            if parser is None:
+                raise ValueError(
+                    f"unknown format {fmt!r} (expected one of {sorted(_PARSERS)})"
+                )
+            query = request.get("query")
+            if not isinstance(query, str):
+                raise ValueError("minimize request needs a string 'query' field")
+            pattern = parser(query)
+            result = await service.submit(pattern, timeout=request.get("timeout"))
+            return {"id": request_id, "ok": True, "result": result.to_json(fmt=fmt)}
+        raise ValueError(f"unknown op {op!r} (expected minimize/stats/ping)")
+    except (ReproError, ValueError, TimeoutError, asyncio.TimeoutError) as exc:
+        return _error_response(request_id, exc)
+
+
+async def handle_connection(
+    service: MinimizationService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """Serve one JSON-lines connection until EOF.
+
+    Every line is dispatched in its own task — a client that writes N
+    requests back-to-back gets them micro-batched — and a write lock
+    keeps concurrent responses line-atomic.
+    """
+    write_lock = asyncio.Lock()
+    tasks: set[asyncio.Task] = set()
+
+    async def _respond(line_bytes: bytes) -> None:
+        response = await handle_line(service, line_bytes.decode("utf-8", "replace"))
+        if response is None:
+            return
+        payload = json.dumps(response, sort_keys=True).encode("utf-8") + b"\n"
+        async with write_lock:
+            writer.write(payload)
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    try:
+        while True:
+            line_bytes = await reader.readline()
+            if not line_bytes:
+                break
+            task = asyncio.ensure_future(_respond(line_bytes))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+    finally:
+        try:
+            writer.close()
+        except Exception:  # pragma: no cover - transport already gone
+            pass
+
+
+async def serve_tcp(
+    service: MinimizationService, host: str = "127.0.0.1", port: int = 8777
+) -> None:
+    """Run a TCP JSON-lines server until cancelled."""
+    server = await asyncio.start_server(
+        lambda r, w: handle_connection(service, r, w), host, port
+    )
+    async with server:
+        await server.serve_forever()
+
+
+def _pipe_transport_capable(stream) -> bool:
+    """Whether the event loop can attach a pipe transport to ``stream``.
+
+    Regular files (``repro-serve < reqs.txt > out.json``) cannot be
+    registered with the selector; probing *before* connecting matters
+    because ``connect_read_pipe`` takes ownership of stdin — failing
+    on stdout afterwards would leave stdin non-blocking and partially
+    consumed, starving the thread-backed fallback.
+    """
+    try:
+        mode = os.fstat(stream.fileno()).st_mode
+    except (OSError, ValueError):
+        return False
+    return stat.S_ISFIFO(mode) or stat.S_ISSOCK(mode) or stat.S_ISCHR(mode)
+
+
+async def _stdio_streams() -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Wrap this process's stdin/stdout as asyncio streams."""
+    if not (
+        _pipe_transport_capable(sys.stdin) and _pipe_transport_capable(sys.stdout)
+    ):
+        raise ValueError("stdin/stdout are not pipe-transport-capable")
+    loop = asyncio.get_running_loop()
+    reader = asyncio.StreamReader()
+    await loop.connect_read_pipe(
+        lambda: asyncio.StreamReaderProtocol(reader), sys.stdin
+    )
+    transport, proto = await loop.connect_write_pipe(
+        asyncio.streams.FlowControlMixin, sys.stdout
+    )
+    writer = asyncio.StreamWriter(transport, proto, reader, loop)
+    return reader, writer
+
+
+def _write_stdout_line(payload: str) -> None:
+    sys.stdout.write(payload + "\n")
+    sys.stdout.flush()
+
+
+async def _serve_stdio_threads(service: MinimizationService) -> None:
+    """Thread-backed stdio loop for when stdin/stdout are regular files
+    (redirection, CI logs) and pipe transports refuse them. Lines are
+    still dispatched concurrently, so back-to-back requests micro-batch."""
+    write_lock = asyncio.Lock()
+    tasks: set[asyncio.Task] = set()
+
+    async def _respond(line: str) -> None:
+        response = await handle_line(service, line)
+        if response is None:
+            return
+        payload = json.dumps(response, sort_keys=True)
+        async with write_lock:
+            await asyncio.to_thread(_write_stdout_line, payload)
+
+    while True:
+        line = await asyncio.to_thread(sys.stdin.readline)
+        if not line:
+            break
+        task = asyncio.ensure_future(_respond(line))
+        tasks.add(task)
+        task.add_done_callback(tasks.discard)
+    if tasks:
+        await asyncio.gather(*tasks, return_exceptions=True)
+
+
+async def serve_stdio(service: MinimizationService) -> None:
+    """Serve JSON-lines over stdin/stdout until EOF."""
+    try:
+        reader, writer = await _stdio_streams()
+    except (ValueError, OSError):
+        # stdin/stdout are not pipe-transport-capable (e.g. redirected
+        # to regular files) — fall back to a thread-backed loop.
+        await _serve_stdio_threads(service)
+        return
+    await handle_connection(service, reader, writer)

@@ -18,14 +18,12 @@ line) through the batch backend instead of a single positional query::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from contextlib import nullcontext
 from pathlib import Path
 
-from ..batch import evaluate_batch, minimize_batch
+from ..api import MinimizeOptions, Session
 from ..constraints.model import parse_constraints
-from ..core.oracle_cache import oracle_cache_disabled
-from ..core.pipeline import minimize
 from ..data.ldif import parse_ldif
 from ..data.ldap import dn_of
 from ..data.tree import DataNode, DataTree
@@ -85,6 +83,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="minimize the queries (under the constraints, if given) before matching",
     )
     parser.add_argument("--count", action="store_true", help="print only the match count")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "emit one JSON object per query: match count, answers, and "
+            "(with --minimize) the unified QueryResult shape the "
+            "repro-serve protocol returns"
+        ),
+    )
     parser.add_argument(
         "--no-oracle-cache",
         action="store_true",
@@ -153,36 +160,45 @@ def main(argv: list[str] | None = None) -> int:
         trees = [tree for tree, _ in loaded]
         docs = [(path, is_dir) for path, (_, is_dir) in zip(documents, loaded)]
 
-        if args.minimize:
-            guard = oracle_cache_disabled() if args.no_oracle_cache else nullcontext()
-            with guard:
-                if len(patterns) > 1:
-                    # Workers don't inherit the parent's global switch, so
-                    # the flag is also passed explicitly.
-                    batch = minimize_batch(
-                        patterns,
-                        constraints,
-                        jobs=args.jobs,
-                        oracle_cache=False if args.no_oracle_cache else None,
-                    )
-                    patterns = batch.patterns()
-                else:
-                    patterns = [minimize(patterns[0], constraints).pattern]
-            for pattern in patterns:
-                print(f"# minimized to: {to_xpath(pattern)}", file=sys.stderr)
-
-        if args.engine == "pathstack":
-            for pattern in patterns:
-                if not is_path_pattern(pattern):
-                    print(
-                        "error: --engine pathstack requires a linear query",
-                        file=sys.stderr,
-                    )
-                    return 2
-
-        answer_sets = evaluate_batch(
-            patterns, trees, engine=args.engine, jobs=args.jobs
+        options = MinimizeOptions(
+            engine=args.engine,
+            jobs=args.jobs,
+            oracle_cache=False if args.no_oracle_cache else None,
         )
+        with Session(options, constraints=constraints) as session:
+            minimized_results = None
+            if args.minimize:
+                minimized_results = session.minimize_many(patterns)
+                patterns = [result.pattern for result in minimized_results]
+                if not args.json:
+                    for pattern in patterns:
+                        print(f"# minimized to: {to_xpath(pattern)}", file=sys.stderr)
+
+            if args.engine == "pathstack":
+                for pattern in patterns:
+                    if not is_path_pattern(pattern):
+                        print(
+                            "error: --engine pathstack requires a linear query",
+                            file=sys.stderr,
+                        )
+                        return 2
+
+            answer_sets = session.evaluate(patterns, trees)
+
+        if args.json:
+            records = []
+            for index, (pattern, answers) in enumerate(zip(patterns, answer_sets)):
+                record = {
+                    "query": to_xpath(pattern),
+                    "matches": len(answers),
+                    "answers": sorted([t, n] for t, n in answers),
+                }
+                if minimized_results is not None:
+                    record["minimization"] = minimized_results[index].to_json()
+                records.append(record)
+            print(json.dumps(records[0] if len(records) == 1 else records,
+                             indent=2, sort_keys=True))
+            return 0
 
         header_queries = len(patterns) > 1 and not args.count
         for pattern, answers in zip(patterns, answer_sets):

@@ -21,16 +21,15 @@ fanned across worker processes::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from contextlib import nullcontext
 from pathlib import Path
 
+from ..api import MinimizeOptions, QueryResult, Session
 from ..constraints.model import parse_constraints
 from ..core.acim import acim_minimize
 from ..core.cdm import cdm_minimize
 from ..core.cim import cim_minimize
-from ..core.oracle_cache import oracle_cache_disabled
-from ..core.pipeline import minimize
 from ..errors import ReproError
 from ..parsing.serializer import to_xpath
 from ..parsing.sexpr import parse_sexpr, to_sexpr
@@ -100,6 +99,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--explain", action="store_true", help="print what was removed and why"
     )
     parser.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "emit the unified QueryResult JSON (one object per query; the "
+            "same shape the repro-serve protocol returns)"
+        ),
+    )
+    parser.add_argument(
         "--no-oracle-cache",
         action="store_true",
         help=(
@@ -131,36 +138,108 @@ def _read_batch_queries(path: Path, use_sexpr: bool) -> list:
     return queries
 
 
-def _run_batch(args, constraints) -> int:
-    from ..batch import BatchMinimizer
-
-    queries = _read_batch_queries(args.batch, args.sexpr)
-    # Workers don't inherit the parent's global switch, so the flag is
-    # passed explicitly (False) rather than relying on the context below.
-    minimizer = BatchMinimizer(
-        constraints,
+def _session_options(args) -> MinimizeOptions:
+    """The one configuration object both CLI paths hand to ``Session``
+    (no engine/cache kwargs threaded anywhere below this line)."""
+    return MinimizeOptions(
         jobs=args.jobs,
         oracle_cache=False if args.no_oracle_cache else None,
     )
-    batch = minimizer.minimize_all(queries)
-    for item in batch:
-        fmt = "sexpr" if args.format == "sexpr" else args.format
-        rendered = to_sexpr(item.pattern) if fmt == "sexpr" else _render(item.pattern, fmt)
-        print(rendered)
+
+
+def _emit_json(results: "list[QueryResult]", fmt: str) -> None:
+    """Print the unified JSON shape (a list for batch, one object for a
+    single query) — exactly what the service protocol returns."""
+    payload = [r.to_json(fmt=fmt) for r in results]
+    print(json.dumps(payload[0] if len(payload) == 1 else payload, indent=2, sort_keys=True))
+
+
+def _json_fmt(args) -> str:
+    return "sexpr" if args.format == "sexpr" else "xpath"
+
+
+def _run_batch(args, constraints) -> int:
+    queries = _read_batch_queries(args.batch, args.sexpr)
+    with Session(_session_options(args), constraints=constraints) as session:
+        results = session.minimize_many(queries)
+        counters = session.counters()
+    if args.json:
+        _emit_json(results, _json_fmt(args))
+    else:
+        for result in results:
+            fmt = "sexpr" if args.format == "sexpr" else args.format
+            rendered = (
+                to_sexpr(result.pattern) if fmt == "sexpr" else _render(result.pattern, fmt)
+            )
+            print(rendered)
     if args.explain:
-        stats = batch.stats
-        removed = sum(item.removed_count for item in batch)
+        removed = sum(r.removed_count for r in results)
         print(
-            f"# {stats.queries} queries ({stats.distinct} distinct structures), "
+            f"# {counters.get('queries', 0):.0f} queries "
+            f"({counters.get('distinct', 0):.0f} distinct structures), "
             f"{removed} nodes removed",
             file=sys.stderr,
         )
         print(
-            f"# cache hit rate {stats.hit_rate:.0%}, jobs={stats.jobs}, "
-            f"total {stats.total_seconds * 1e3:.1f} ms "
-            f"(closure {stats.closure_seconds * 1e3:.1f} ms)",
+            f"# cache hit rate {counters.get('hit_rate', 0.0):.0%}, "
+            f"jobs={args.jobs}, "
+            f"minimize {counters.get('minimize_seconds', 0.0) * 1e3:.1f} ms "
+            f"(closure {counters.get('closure_seconds', 0.0) * 1e3:.1f} ms)",
             file=sys.stderr,
         )
+    return 0
+
+
+def _run_single(args, constraints) -> int:
+    query = parse_sexpr(args.query) if args.sexpr else parse_xpath(args.query)
+
+    if args.algorithm == "pipeline":
+        with Session(_session_options(args), constraints=constraints) as session:
+            result = session.minimize(query)
+        explain_lines: list[str] = []
+        detail = result.detail
+        if detail is not None and detail.cdm is not None:
+            explain_lines += [
+                f"removed node #{i} ({t}) [CDM rule: {rule}]"
+                for i, t, rule in detail.cdm.eliminated
+            ]
+        if detail is not None and detail.acim is not None:
+            explain_lines += [
+                f"removed node #{i} ({t}) [ACIM]" for i, t in detail.acim.eliminated
+            ]
+    else:
+        # The research-algorithm drivers (CIM / CDM / ACIM in isolation)
+        # run outside the pipeline; the session's cache scope still
+        # applies through the re-entrant guard in main().
+        if args.algorithm == "cim":
+            run = cim_minimize(query)
+            eliminated = list(run.eliminated)
+            explain_lines = [f"removed node #{i} ({t}) [CIM]" for i, t in run.eliminated]
+        elif args.algorithm == "cdm":
+            run = cdm_minimize(query, constraints)
+            eliminated = [(i, t) for i, t, _ in run.eliminated]
+            explain_lines = [
+                f"removed node #{i} ({t}) [CDM rule: {rule}]"
+                for i, t, rule in run.eliminated
+            ]
+        else:  # acim
+            run = acim_minimize(query, constraints)
+            eliminated = list(run.eliminated)
+            explain_lines = [f"removed node #{i} ({t}) [ACIM]" for i, t in run.eliminated]
+        result = QueryResult(
+            pattern=run.pattern, input_pattern=query, eliminated=eliminated
+        )
+
+    if args.json:
+        _emit_json([result], _json_fmt(args))
+    else:
+        print(_render(result.pattern, args.format))
+    if args.explain:
+        print(f"# {result.input_size} -> {result.output_size} nodes", file=sys.stderr)
+        for line in explain_lines:
+            print(f"# {line}", file=sys.stderr)
+        if not explain_lines:
+            print("# query was already minimal", file=sys.stderr)
     return 0
 
 
@@ -172,60 +251,26 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("exactly one of QUERY or --batch FILE is required")
     if args.batch is not None and args.algorithm != "pipeline":
         parser.error("--batch only supports the default pipeline algorithm")
-    guard = oracle_cache_disabled() if args.no_oracle_cache else nullcontext()
+    if args.json and args.format == "ascii":
+        parser.error("--json renders queries as xpath or sexpr, not ascii")
     try:
+        constraint_text = args.constraints or ""
+        if args.constraints_file is not None:
+            constraint_text += "\n" + args.constraints_file.read_text()
+        constraints = parse_constraints(constraint_text)
+
+        if args.batch is not None:
+            return _run_batch(args, constraints)
+        if args.algorithm == "pipeline":
+            return _run_single(args, constraints)
+        # Standalone-algorithm runs honor --no-oracle-cache through the
+        # re-entrant scope (never the process-global switch).
+        from ..core.oracle_cache import oracle_cache_disabled
+        from contextlib import nullcontext
+
+        guard = oracle_cache_disabled() if args.no_oracle_cache else nullcontext()
         with guard:
-            constraint_text = args.constraints or ""
-            if args.constraints_file is not None:
-                constraint_text += "\n" + args.constraints_file.read_text()
-            constraints = parse_constraints(constraint_text)
-
-            if args.batch is not None:
-                return _run_batch(args, constraints)
-
-            query = parse_sexpr(args.query) if args.sexpr else parse_xpath(args.query)
-
-            explain_lines: list[str] = []
-            if args.algorithm == "cim":
-                run = cim_minimize(query)
-                minimized = run.pattern
-                explain_lines = [
-                    f"removed node #{i} ({t}) [CIM]" for i, t in run.eliminated
-                ]
-            elif args.algorithm == "cdm":
-                run = cdm_minimize(query, constraints)
-                minimized = run.pattern
-                explain_lines = [
-                    f"removed node #{i} ({t}) [CDM rule: {rule}]"
-                    for i, t, rule in run.eliminated
-                ]
-            elif args.algorithm == "acim":
-                run = acim_minimize(query, constraints)
-                minimized = run.pattern
-                explain_lines = [
-                    f"removed node #{i} ({t}) [ACIM]" for i, t in run.eliminated
-                ]
-            else:
-                run = minimize(query, constraints)
-                minimized = run.pattern
-                if run.cdm is not None:
-                    explain_lines += [
-                        f"removed node #{i} ({t}) [CDM rule: {rule}]"
-                        for i, t, rule in run.cdm.eliminated
-                    ]
-                if run.acim is not None:
-                    explain_lines += [
-                        f"removed node #{i} ({t}) [ACIM]" for i, t in run.acim.eliminated
-                    ]
-
-            print(_render(minimized, args.format))
-            if args.explain:
-                print(f"# {query.size} -> {minimized.size} nodes", file=sys.stderr)
-                for line in explain_lines:
-                    print(f"# {line}", file=sys.stderr)
-                if not explain_lines:
-                    print("# query was already minimal", file=sys.stderr)
-            return 0
+            return _run_single(args, constraints)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

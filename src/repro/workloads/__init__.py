@@ -15,14 +15,18 @@ from .querygen import (
     redundancy_query,
     right_deep_cdm_query,
 )
+from .arrival import arrival_workload, poisson_arrivals, uniform_arrivals
 from .batchgen import BATCH_WORKLOAD_KINDS, batch_workload, isomorphic_shuffle
 from .icgen import relevant_constraints
 from . import paper_queries
 
 __all__ = [
     "BATCH_WORKLOAD_KINDS",
+    "arrival_workload",
     "batch_workload",
     "isomorphic_shuffle",
+    "poisson_arrivals",
+    "uniform_arrivals",
     "bushy_cdm_query",
     "chain_constraints",
     "chain_query",

@@ -1,0 +1,89 @@
+"""Arrival-process generators for the serving-layer experiments.
+
+The service benchmarks replay a query stream against
+:class:`~repro.service.MinimizationService` — which needs not just the
+queries (:func:`~repro.workloads.batchgen.batch_workload` provides
+those) but *when* each one arrives. This module generates deterministic
+arrival timelines:
+
+* :func:`poisson_arrivals` — a Poisson process (i.i.d. exponential
+  gaps), the standard open-system traffic model;
+* :func:`uniform_arrivals` — evenly spaced arrivals, the deterministic
+  lower-variance baseline;
+* :func:`arrival_workload` — queries + constraints + arrival offsets in
+  one call, ready to drive the service.
+
+All generators are deterministic given their arguments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..constraints.model import IntegrityConstraint
+from ..core.pattern import TreePattern
+from .batchgen import batch_workload
+
+__all__ = ["poisson_arrivals", "uniform_arrivals", "arrival_workload"]
+
+
+def poisson_arrivals(n: int, rate: float, *, seed: int = 0) -> list[float]:
+    """``n`` arrival offsets (seconds from stream start, nondecreasing)
+    of a Poisson process with ``rate`` arrivals/second.
+
+    Gaps are i.i.d. exponential with mean ``1/rate``; the first request
+    arrives after one gap, not at time zero.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if rate <= 0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    rng = random.Random(seed)
+    offsets: list[float] = []
+    now = 0.0
+    for _ in range(n):
+        now += rng.expovariate(rate)
+        offsets.append(now)
+    return offsets
+
+
+def uniform_arrivals(n: int, rate: float) -> list[float]:
+    """``n`` evenly spaced arrival offsets at ``rate`` arrivals/second
+    (the deterministic baseline; first arrival after one gap)."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if rate <= 0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    gap = 1.0 / rate
+    return [gap * (i + 1) for i in range(n)]
+
+
+def arrival_workload(
+    n_queries: int,
+    rate: float,
+    *,
+    kind: str = "fig8",
+    distinct: int = 8,
+    size: int = 40,
+    seed: int = 0,
+    process: str = "poisson",
+) -> tuple[list[TreePattern], list[float], list[IntegrityConstraint]]:
+    """A timed query stream: ``(queries, arrival_offsets, constraints)``.
+
+    Queries and constraints come from
+    :func:`~repro.workloads.batchgen.batch_workload` (same ``kind`` /
+    ``distinct`` / ``size`` semantics: duplicated structures over one
+    shared constraint set); arrival offsets from ``process``
+    (``"poisson"`` or ``"uniform"``) at ``rate`` arrivals/second.
+    """
+    if process not in ("poisson", "uniform"):
+        raise ValueError(f"unknown arrival process {process!r}")
+    queries, constraints = batch_workload(
+        n_queries, kind=kind, distinct=distinct, size=size, seed=seed
+    )
+    if process == "poisson":
+        offsets = poisson_arrivals(n_queries, rate, seed=seed + 1)
+    else:
+        offsets = uniform_arrivals(n_queries, rate)
+    return queries, offsets, constraints

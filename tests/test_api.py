@@ -1,0 +1,225 @@
+"""Tests for the unified front-door API (``repro.api``).
+
+The Session facade must be a *pure* re-packaging of the existing stack:
+``Session.minimize`` / ``minimize_many`` byte-identical to the pipeline,
+``Session.evaluate`` identical to the evaluators, options validated in
+one place, and the scoped oracle-cache switch never leaking into global
+state.
+"""
+
+from __future__ import annotations
+
+import random
+import warnings
+
+import pytest
+
+from repro.api import STRATEGIES, MinimizeOptions, QueryResult, Session
+from repro.batch import BatchMinimizer
+from repro.constraints.model import parse_constraints
+from repro.core import oracle_cache
+from repro.core.pipeline import minimize
+from repro.data.generate import random_tree
+from repro.errors import ReproError
+from repro.matching.evaluator import evaluate
+from repro.parsing.sexpr import to_sexpr
+from repro.parsing.xpath import parse_xpath
+from repro.workloads import batch_workload, isomorphic_shuffle, random_query
+
+CONSTRAINTS = parse_constraints("a -> b; b ->> c; a ~ c")
+
+
+def random_workload(seed: int, *, n_queries: int = 6, max_size: int = 8):
+    rng = random.Random(seed)
+    queries = []
+    while len(queries) < n_queries:
+        base = random_query(rng.randint(1, max_size), types=["a", "b", "c"], rng=rng)
+        queries.append(base)
+        if rng.random() < 0.5 and len(queries) < n_queries:
+            queries.append(isomorphic_shuffle(base, rng=rng))
+    rng.shuffle(queries)
+    return queries
+
+
+class TestMinimizeOptions:
+    def test_defaults(self):
+        options = MinimizeOptions()
+        assert options.engine == "dp"
+        assert options.strategy == "pipeline"
+        assert options.jobs == 1
+        assert options.oracle_cache is None
+        assert options.verify is False
+        assert options.use_cdm_prefilter is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="engine"):
+            MinimizeOptions(engine="nope")
+        with pytest.raises(ValueError, match="strategy"):
+            MinimizeOptions(strategy="nope")
+        with pytest.raises(ValueError, match="jobs"):
+            MinimizeOptions(jobs=-1)
+
+    def test_with_overrides(self):
+        options = MinimizeOptions()
+        warmed = options.with_overrides(persistent_pool=True, jobs=2)
+        assert warmed.persistent_pool and warmed.jobs == 2
+        assert options.persistent_pool is False  # frozen original untouched
+
+    def test_strategies_pinned(self):
+        assert STRATEGIES == ("pipeline", "acim")
+        assert MinimizeOptions(strategy="acim").use_cdm_prefilter is False
+
+
+class TestSessionDifferential:
+    """Session output == the bare pipeline, byte for byte."""
+
+    @pytest.mark.parametrize("offset", (0, 50))
+    def test_random_workloads(self, offset):
+        for seed in range(offset, offset + 25):
+            queries = random_workload(seed)
+            with Session(constraints=CONSTRAINTS) as session:
+                results = session.minimize_many(queries)
+            assert [to_sexpr(r.pattern) for r in results] == [
+                to_sexpr(minimize(q, CONSTRAINTS).pattern) for q in queries
+            ], f"diverged at seed {seed}"
+
+    @pytest.mark.parametrize("kind", ("fig7", "fig8"))
+    def test_paper_workloads(self, kind):
+        queries, constraints = batch_workload(12, kind=kind, distinct=3, size=14, seed=7)
+        with Session(MinimizeOptions(jobs=2), constraints=constraints) as session:
+            results = session.minimize_many(queries)
+        assert [to_sexpr(r.pattern) for r in results] == [
+            to_sexpr(minimize(q, constraints).pattern) for q in queries
+        ]
+
+    def test_verify_mode_is_invisible_when_correct(self):
+        queries, constraints = batch_workload(8, kind="fig7", distinct=2, size=12, seed=3)
+        with Session(MinimizeOptions(verify=True), constraints=constraints) as session:
+            results = session.minimize_many(queries)
+            assert session.counters()["verified"] == 8
+        assert [to_sexpr(r.pattern) for r in results] == [
+            to_sexpr(minimize(q, constraints).pattern) for q in queries
+        ]
+
+    def test_verify_mode_catches_wrong_output(self, monkeypatch):
+        import repro.api as api_module
+
+        monkeypatch.setattr(api_module, "_equivalent_under", lambda *a: False)
+        with Session(MinimizeOptions(verify=True), constraints=CONSTRAINTS) as session:
+            with pytest.raises(ReproError, match="verification failed"):
+                session.minimize_many([parse_xpath("a/b[c][c]")])
+
+
+class TestSession:
+    def test_memo_replays_across_calls(self):
+        query = parse_xpath("a/b[c][c]")
+        with Session(constraints=CONSTRAINTS) as session:
+            first = session.minimize(query)
+            second = session.minimize(query)
+        assert not first.cache_hit and second.cache_hit
+        assert to_sexpr(first.pattern) == to_sexpr(second.pattern)
+        assert second.fingerprint == first.fingerprint
+
+    def test_counters_aggregate_across_calls(self):
+        with Session(constraints=CONSTRAINTS) as session:
+            session.minimize(parse_xpath("a/b[c][c]"))
+            session.minimize(parse_xpath("a/b[c][c]"))
+            counters = session.counters()
+        assert counters["queries"] == 2
+        assert counters["cache_hits"] == 1
+        assert counters["hit_rate"] == pytest.approx(0.5)
+        assert "jobs" not in counters  # not summable, not aggregated
+
+    def test_per_call_repo_overrides_default(self):
+        query = parse_xpath("a[b][.//c]")
+        with Session(constraints=CONSTRAINTS) as session:
+            constrained = session.minimize(query)
+            unconstrained = session.minimize(query, [])
+        assert to_sexpr(constrained.pattern) == to_sexpr(
+            minimize(query, CONSTRAINTS).pattern
+        )
+        assert to_sexpr(unconstrained.pattern) == to_sexpr(minimize(query, []).pattern)
+
+    def test_closed_session_rejects_work(self):
+        session = Session()
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.minimize(parse_xpath("a/b"))
+
+    def test_scoped_oracle_cache_never_touches_global_switch(self):
+        enabled_before = oracle_cache.global_enabled()
+        with Session(MinimizeOptions(oracle_cache=False), constraints=CONSTRAINTS) as session:
+            session.minimize(parse_xpath("a/b[c][c]"))
+            # Inside minimize the scope applies; between calls it must not.
+            assert oracle_cache.global_enabled() == enabled_before
+        assert oracle_cache.global_enabled() == enabled_before
+
+    def test_evaluate_single_and_batch(self):
+        forest = [random_tree(["a", "b", "c"], size=25, seed=s) for s in range(3)]
+        rng = random.Random(5)
+        queries = [
+            random_query(rng.randint(1, 5), types=["a", "b", "c"], rng=rng)
+            for _ in range(4)
+        ]
+        with Session() as session:
+            single = session.evaluate(queries[0], forest)
+            many = session.evaluate(queries, forest)
+        assert single == evaluate(queries[0], forest)
+        assert many == [evaluate(q, forest) for q in queries]
+
+    def test_equivalent(self):
+        with Session(constraints=CONSTRAINTS) as session:
+            assert session.equivalent(
+                parse_xpath("a/b[c][c]"), parse_xpath("a/b[c]")
+            )
+            assert not session.equivalent(parse_xpath("a/b"), parse_xpath("a/c"))
+            # Explicit empty repo: absolute equivalence only.
+            assert session.equivalent(parse_xpath("a/b[c][c]"), parse_xpath("a/b[c]"), [])
+
+    def test_rejects_non_options(self):
+        with pytest.raises(TypeError, match="MinimizeOptions"):
+            Session({"jobs": 2})
+
+
+class TestQueryResult:
+    def test_to_json_shape(self):
+        with Session(constraints=CONSTRAINTS) as session:
+            result = session.minimize(parse_xpath("a/b[c][c]"))
+        payload = result.to_json()
+        assert payload["input"] == "a/b[c][c]"
+        assert payload["minimized"] == "a/b[c]"
+        assert payload["input_size"] == 4 and payload["output_size"] == 3
+        assert payload["removed"] == 1 and payload["cache_hit"] is False
+        assert payload["eliminated"] and payload["fingerprint"]
+        assert payload["timings"]["total_seconds"] >= 0
+        # Round-trippable through the sexpr renderer too.
+        sexpr_payload = result.to_json(fmt="sexpr")
+        assert sexpr_payload["minimized"].startswith("(")
+        with pytest.raises(ValueError, match="format"):
+            result.to_json(fmt="ascii")
+
+    def test_summary_marks_replays(self):
+        with Session(constraints=CONSTRAINTS) as session:
+            session.minimize(parse_xpath("a/b[c][c]"))
+            replay = session.minimize(parse_xpath("a/b[c][c]"))
+        assert "memo replay" in replay.summary()
+        assert replay.detail is None  # a hit does no engine work
+
+
+class TestLegacyKwargsDeprecation:
+    def test_batch_minimizer_legacy_kwargs_warn(self):
+        with pytest.warns(DeprecationWarning, match="options"):
+            minimizer = BatchMinimizer(CONSTRAINTS, jobs=1, memoize=False)
+        batch = minimizer.minimize_all([parse_xpath("a/b[c][c]")])
+        assert to_sexpr(batch.items[0].pattern) == to_sexpr(
+            minimize(parse_xpath("a/b[c][c]"), CONSTRAINTS).pattern
+        )
+
+    def test_options_path_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            BatchMinimizer(CONSTRAINTS, options=MinimizeOptions(memoize=False))
+
+    def test_options_and_legacy_kwargs_are_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            BatchMinimizer(CONSTRAINTS, options=MinimizeOptions(), jobs=2)

@@ -21,6 +21,7 @@ SUBPACKAGES = [
     "repro.workloads",
     "repro.bench",
     "repro.extensions",
+    "repro.service",
     "repro.tools",
 ]
 
@@ -50,6 +51,44 @@ def test_all_exports_resolve(module_name):
 
 def test_version():
     assert repro.__version__ == "1.1.0"
+
+
+def test_session_api_is_exported():
+    """The Session front door (and its option/result shapes) is the
+    pinned public configuration path."""
+    import dataclasses
+
+    for name in ("Session", "MinimizeOptions", "QueryResult", "STRATEGIES"):
+        assert name in repro.__all__, f"repro.__all__ is missing {name}"
+    fields = {f.name for f in dataclasses.fields(repro.MinimizeOptions)}
+    assert fields == {
+        "engine",
+        "incremental",
+        "oracle_cache",
+        "jobs",
+        "strategy",
+        "memoize",
+        "chunksize",
+        "persistent_pool",
+        "verify",
+    }
+
+
+def test_service_surface():
+    """The serving layer's exports resolve and ride on the Session API."""
+    service = importlib.import_module("repro.service")
+    for name in (
+        "MinimizationService",
+        "ServiceStats",
+        "LatencyHistogram",
+        "serve_tcp",
+        "serve_stdio",
+        "handle_line",
+        "handle_connection",
+    ):
+        assert hasattr(service, name), f"repro.service is missing {name}"
+    for name in ("ServiceError", "ServiceClosedError", "ServiceOverloadedError"):
+        assert name in repro.__all__, f"repro.__all__ is missing {name}"
 
 
 def test_public_callables_documented():

@@ -14,6 +14,7 @@ import random
 
 import pytest
 
+from repro.api import MinimizeOptions
 from repro.batch import (
     BatchMinimizer,
     evaluate_batch,
@@ -82,7 +83,7 @@ class TestDifferential:
         queries, constraints = batch_workload(
             20, kind=kind, distinct=4, size=16, seed=11
         )
-        batch = minimize_batch(queries, constraints, jobs=jobs)
+        batch = minimize_batch(queries, constraints, MinimizeOptions(jobs=jobs))
         assert [to_sexpr(i.pattern) for i in batch] == serial_loop(
             queries, constraints
         )
@@ -92,7 +93,7 @@ class TestDifferential:
         queries, constraints = batch_workload(
             15, kind="fig8", distinct=3, size=12, seed=5
         )
-        minimizer = BatchMinimizer(constraints, memoize=memoize)
+        minimizer = BatchMinimizer(constraints, MinimizeOptions(memoize=memoize))
         batch = minimizer.minimize_all(queries)
         assert [to_sexpr(i.pattern) for i in batch] == serial_loop(
             queries, constraints

@@ -291,6 +291,44 @@ class TestBenchOracleCache:
         assert isinstance(summary["meets_target"], bool)
 
 
+class TestBenchService:
+    """Schema smoke test for BENCH_service.json (fast stream)."""
+
+    def test_fast_run_writes_valid_schema(self, tmp_path):
+        bs = _load_bench_script("bench_service")
+        out = tmp_path / "BENCH_service.json"
+        bs.main(["--fast", "--repeat", "1", "--out", str(out)])
+        payload = json.loads(out.read_text())
+
+        assert payload["benchmark"] == "service"
+        assert payload["schema_version"] == bs.SCHEMA_VERSION
+        assert payload["fast"] is True
+        assert payload["repeat"] >= 3  # floored: single replays too noisy
+
+        rates = payload["rates"]
+        assert len(rates) >= 5
+        assert [r["offered_rate_qps"] for r in rates] == sorted(
+            r["offered_rate_qps"] for r in rates
+        )
+        for row in rates:
+            assert row["one_at_a_time_qps"] > 0
+            assert row["micro_batched_qps"] > 0
+            assert row["speedup"] > 0
+
+        mid = payload["mid_rate"]
+        assert mid["batches"] >= 1
+        assert mid["mean_batch_size"] >= 1.0
+        assert mid["verified"] > 0  # paranoid mode re-proved every answer
+        assert mid["latency_p95_seconds"] >= mid["latency_p50_seconds"] >= 0
+
+        summary = payload["summary"]
+        assert summary["capacity_one_at_a_time_qps"] > 0
+        assert summary["mid_rate_factor"] > 1
+        assert summary["fingerprint_hits"] > 0
+        assert summary["oracle_cache_hits"] > 0
+        assert isinstance(summary["batched_beats_one_at_a_time"], bool)
+
+
 class TestMarkdown:
     def test_markdown_table(self):
         from repro.bench.report import format_markdown

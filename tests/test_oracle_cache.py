@@ -18,6 +18,7 @@ import random
 import pytest
 from hypothesis import assume, given, settings, strategies as st
 
+from repro.api import MinimizeOptions
 from repro.batch import BatchMinimizer, minimize_batch
 from repro.bench.experiments import incremental_workload
 from repro.constraints.model import parse_constraints
@@ -285,18 +286,20 @@ class TestMinimizerDifferential:
         every (jobs, oracle_cache) setting; workers rebuild their own."""
         queries, ics = batch_workload(10, kind="fig8", distinct=3, size=20, seed=5)
         on = minimize_batch(
-            queries, ics, jobs=jobs, memoize=False, oracle_cache=True
+            queries, ics, MinimizeOptions(jobs=jobs, memoize=False, oracle_cache=True)
         )
         with oracle_cache_disabled():
             off = minimize_batch(
-                queries, ics, jobs=jobs, memoize=False, oracle_cache=False
+                queries,
+                ics,
+                MinimizeOptions(jobs=jobs, memoize=False, oracle_cache=False),
             )
         assert [to_sexpr(p) for p in on.patterns()] == [
             to_sexpr(p) for p in off.patterns()
         ]
 
     def test_batch_minimizer_keeps_flag(self):
-        minimizer = BatchMinimizer(CONSTRAINTS, oracle_cache=False)
+        minimizer = BatchMinimizer(CONSTRAINTS, MinimizeOptions(oracle_cache=False))
         assert minimizer.oracle_cache is False
         queries = [random_query(6, types=["a", "b", "c"], seed=s) for s in range(4)]
         batch = minimizer.minimize_all(queries)
