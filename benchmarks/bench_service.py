@@ -72,6 +72,13 @@ _MID_RATE_KEYS = (
     "latency_max_seconds",
     "queue_wait_mean_seconds",
     "queue_wait_p95_seconds",
+    # Resilience counters (PR 5): all zero in a fault-free benchmark run,
+    # but recorded so chaos/replay runs of the same harness surface them.
+    "sheds",
+    "faults_injected",
+    "watchdog_kills",
+    "client_retries",
+    "breaker_opens",
 )
 
 

@@ -28,18 +28,22 @@ paper-to-module map.
 """
 
 from .errors import (
+    CircuitOpenError,
     ConstraintError,
     DataModelError,
+    DeadlineExceededError,
     EvaluationError,
     InvalidPatternError,
     OutputNodeError,
     ParseError,
     PatternError,
+    ProtocolError,
     ReproError,
     SchemaError,
     ServiceClosedError,
     ServiceError,
     ServiceOverloadedError,
+    ServiceUnavailableError,
     StrategyError,
 )
 from .core import (
@@ -95,8 +99,18 @@ from .batch import (
     minimize_batch,
 )
 from .api import STRATEGIES, MinimizeOptions, QueryResult, Session
+from .resilience import (
+    AsyncServiceClient,
+    CircuitBreaker,
+    ClientStats,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    ServiceClient,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # errors
@@ -113,6 +127,10 @@ __all__ = [
     "ServiceError",
     "ServiceClosedError",
     "ServiceOverloadedError",
+    "DeadlineExceededError",
+    "ProtocolError",
+    "CircuitOpenError",
+    "ServiceUnavailableError",
     # unified front-door API
     "MinimizeOptions",
     "QueryResult",
@@ -168,5 +186,14 @@ __all__ = [
     "WorkerPool",
     "evaluate_batch",
     "minimize_batch",
+    # resilience layer
+    "AsyncServiceClient",
+    "CircuitBreaker",
+    "ClientStats",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "ServiceClient",
     "__version__",
 ]

@@ -52,6 +52,7 @@ from .core.pipeline import MinimizeResult
 from .matching.evaluator import ENGINES, Database, evaluate as _evaluate
 from .parsing.serializer import to_xpath
 from .parsing.sexpr import to_sexpr
+from .resilience.faults import FaultInjector, FaultPlan
 
 __all__ = [
     "MinimizeOptions",
@@ -104,6 +105,14 @@ class MinimizeOptions:
         through the containment oracle, so for workloads with repeated
         structures its cost is mostly absorbed by the cross-query
         oracle cache.
+    watchdog:
+        Per-chunk wall-clock bound (seconds) on pooled work: a chunk
+        exceeding it has its hung workers SIGKILLed and is requeued on a
+        fresh pool. ``None`` (default) waits forever.
+    fault_plan:
+        A :class:`~repro.resilience.faults.FaultPlan` arming
+        deterministic fault injection throughout the stack (chaos
+        testing / failure replay). ``None`` disables injection.
     """
 
     engine: str = "dp"
@@ -115,6 +124,8 @@ class MinimizeOptions:
     chunksize: Optional[int] = None
     persistent_pool: bool = False
     verify: bool = False
+    watchdog: Optional[float] = None
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -127,6 +138,12 @@ class MinimizeOptions:
             )
         if self.jobs is not None and self.jobs < 0:
             raise ValueError(f"jobs must be >= 0, got {self.jobs}")
+        if self.watchdog is not None and self.watchdog <= 0:
+            raise ValueError(f"watchdog must be > 0 seconds, got {self.watchdog}")
+        if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
+            raise ValueError(
+                f"fault_plan must be a FaultPlan, got {type(self.fault_plan).__name__}"
+            )
 
     @property
     def use_cdm_prefilter(self) -> bool:
@@ -318,6 +335,14 @@ class Session:
         self._minimizers: dict[tuple, "BatchMinimizer"] = {}
         self._counters: dict[str, float] = {}
         self._closed = False
+        #: One injector shared by every layer working through this
+        #: session, so the whole stack reports into a single ordered
+        #: fired-faults log; ``None`` when no fault plan is configured.
+        self.injector: Optional[FaultInjector] = (
+            FaultInjector(self.options.fault_plan)
+            if self.options.fault_plan is not None and self.options.fault_plan
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -446,7 +471,9 @@ class Session:
         key = tuple(repository)  # sorted, hashable constraint tuple
         minimizer = self._minimizers.get(key)
         if minimizer is None:
-            minimizer = BatchMinimizer(repository, options=self.options)
+            minimizer = BatchMinimizer(
+                repository, options=self.options, injector=self.injector
+            )
             self._minimizers[key] = minimizer
         return minimizer
 

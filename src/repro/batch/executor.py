@@ -4,25 +4,51 @@ The batch backends share one dispatch utility: :func:`process_map` runs a
 module-level function over a payload list with ``jobs`` worker processes,
 chunked submission, and results returned **in input order** whatever the
 completion order. Payloads that cannot be pickled — and the whole batch
-when ``jobs=1``, process pools are unavailable, or the pool breaks
-mid-run (a worker hard-crashes) — fall back to running the function
-serially in-process, so callers never need a second code path and
-results are independent of the ``jobs`` setting. Each payload is
-pickled exactly once: the picklability probe's bytes are what the pool
-ships.
+when ``jobs=1`` or process pools are unavailable — fall back to running
+the function serially in-process, so callers never need a second code
+path and results are independent of the ``jobs`` setting. Each payload
+is pickled exactly once: the picklability probe's bytes are what the
+pool ships.
+
+Failure is structured, not all-or-nothing: chunks are submitted as
+individual futures, so when the pool breaks mid-run (a worker
+hard-crashes) only the **not-yet-completed chunks** are retried on a
+recreated pool — completed results are kept — with bounded retries
+before the serial last resort. An optional per-chunk **watchdog**
+bounds how long any chunk may run: a hung worker is SIGKILLed, the pool
+recreated, and only the lost chunks requeued. Both paths are counted
+separately in :class:`ExecutorStats`, and a
+:class:`~repro.resilience.faults.FaultInjector` can be threaded in to
+arm deterministic worker crashes, slow workers, and pickle failures at
+the ``worker.chunk`` / ``executor.pickle`` injection points.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import signal
 import threading
-from typing import Callable, Iterable, Optional, Sequence, TypeVar
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence, TypeVar
 
-__all__ = ["process_map", "resolve_jobs", "default_chunksize", "WorkerPool"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.faults import FaultInjector
+
+__all__ = [
+    "ExecutorStats",
+    "process_map",
+    "resolve_jobs",
+    "default_chunksize",
+    "WorkerPool",
+]
 
 _P = TypeVar("_P")
 _R = TypeVar("_R")
+
+#: Rounds of chunk retry on a recreated pool before the serial fallback.
+MAX_POOL_RETRIES = 2
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -41,6 +67,55 @@ def default_chunksize(n_items: int, jobs: int) -> int:
     return max(1, n_items // (jobs * 4) or 1)
 
 
+@dataclass
+class ExecutorStats:
+    """Counters of one (or many) :func:`process_map` dispatches.
+
+    Attributes
+    ----------
+    dispatched_chunks:
+        Chunks submitted to a pool (first submissions only).
+    pool_retries:
+        Retry **rounds** run on a recreated pool after a break/timeout.
+    chunks_retried:
+        Chunks resubmitted across all retry rounds.
+    watchdog_kills:
+        Times the per-chunk watchdog SIGKILLed a hung pool.
+    serial_fallbacks:
+        Payloads that ran serially in-process as the last resort.
+    pickle_fallbacks:
+        Payloads that ran in-process because they would not pickle
+        (including injected pickle faults).
+    """
+
+    dispatched_chunks: int = 0
+    pool_retries: int = 0
+    chunks_retried: int = 0
+    watchdog_kills: int = 0
+    serial_fallbacks: int = 0
+    pickle_fallbacks: int = 0
+
+    def counters(self) -> dict[str, float]:
+        """The stats as a flat dict (for JSON reports)."""
+        return {
+            "dispatched_chunks": self.dispatched_chunks,
+            "pool_retries": self.pool_retries,
+            "chunks_retried": self.chunks_retried,
+            "watchdog_kills": self.watchdog_kills,
+            "serial_fallbacks": self.serial_fallbacks,
+            "pickle_fallbacks": self.pickle_fallbacks,
+        }
+
+    def absorb(self, other: "ExecutorStats") -> None:
+        """Add another run's counters into this one."""
+        self.dispatched_chunks += other.dispatched_chunks
+        self.pool_retries += other.pool_retries
+        self.chunks_retried += other.chunks_retried
+        self.watchdog_kills += other.watchdog_kills
+        self.serial_fallbacks += other.serial_fallbacks
+        self.pickle_fallbacks += other.pickle_fallbacks
+
+
 def _serialize(payload: object) -> Optional[bytes]:
     """Pickle ``payload`` once, or ``None`` when it cannot be pickled.
 
@@ -54,10 +129,38 @@ def _serialize(payload: object) -> Optional[bytes]:
         return None
 
 
-def _invoke_serialized(item: "tuple[Callable, bytes]"):
-    """Worker-side shim: unpickle the payload blob and apply ``fn``."""
-    fn, blob = item
-    return fn(pickle.loads(blob))
+def _execute_worker_fault(kind: str, delay: float) -> None:
+    """Worker-side fault execution (``worker.chunk`` kinds)."""
+    if kind == "crash":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif kind == "slow":
+        time.sleep(delay)
+
+
+def _run_chunk(task: "tuple[Callable, tuple[bytes, ...], Optional[tuple]]"):
+    """Worker-side shim: unpickle each payload blob and apply ``fn``.
+
+    ``fault`` (when set) is ``(kind, delay, position)`` — executed just
+    before the ``position``-th payload, so a ``crash`` lands mid-chunk.
+    """
+    fn, blobs, fault = task
+    position = fault[2] if fault is not None else -1
+    results = []
+    for index, blob in enumerate(blobs):
+        if index == position:
+            _execute_worker_fault(fault[0], fault[1])
+        results.append(fn(pickle.loads(blob)))
+    return results
+
+
+def _kill_executor_workers(executor) -> None:
+    """SIGKILL a pool's worker processes (the watchdog's hammer)."""
+    processes = getattr(executor, "_processes", None) or {}
+    for pid in list(processes):
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except (OSError, TypeError):  # pragma: no cover - already gone
+            pass
 
 
 class WorkerPool:
@@ -72,10 +175,9 @@ class WorkerPool:
 
     The executor is created lazily and recreated after
     :meth:`invalidate` — :func:`process_map` invalidates the pool when
-    it breaks (a worker hard-crashed) and falls back to serial for that
-    batch, so the *next* batch transparently gets a fresh pool.
-    Thread-safe; ``recreations`` counts executor (re)builds for the
-    stats surfaces.
+    it breaks (a worker hard-crashed or the watchdog fired) and retries
+    the lost chunks on the fresh pool. Thread-safe; ``recreations``
+    counts executor (re)builds for the stats surfaces.
     """
 
     def __init__(
@@ -127,6 +229,70 @@ class WorkerPool:
         self.close()
 
 
+class _RoundOutcome:
+    """One dispatch round's completions and requeue list."""
+
+    __slots__ = ("completed", "failed")
+
+    def __init__(self):
+        self.completed: dict[int, object] = {}
+        #: Chunks to resubmit: lists of (payload_index, blob) pairs.
+        self.failed: list[list[tuple[int, bytes]]] = []
+
+
+def _dispatch_round(
+    executor,
+    fn: Callable,
+    chunks: "list[list[tuple[int, bytes]]]",
+    *,
+    arm_faults: bool,
+    injector: "Optional[FaultInjector]",
+    watchdog: Optional[float],
+    stats: ExecutorStats,
+) -> _RoundOutcome:
+    """Submit every chunk as its own future and collect results.
+
+    A chunk whose future breaks the pool (``BrokenProcessPool``) or
+    outlives the watchdog is queued on ``outcome.failed``; completed
+    chunks keep their results either way. Faults are armed only on the
+    first submission of a chunk (``arm_faults``) — a retried chunk runs
+    clean, otherwise an injected crash would re-fire forever.
+    """
+    from concurrent.futures import TimeoutError as FutureTimeoutError
+
+    outcome = _RoundOutcome()
+    futures = []
+    for items in chunks:
+        fault_token = None
+        if arm_faults and injector is not None:
+            spec = injector.draw("worker.chunk")
+            if spec is not None:
+                fault_token = (spec.kind, spec.delay, len(items) // 2)
+        blobs = tuple(blob for _, blob in items)
+        futures.append((executor.submit(_run_chunk, (fn, blobs, fault_token)), items))
+    for future, items in futures:
+        try:
+            chunk_results = future.result(timeout=watchdog)
+        except FutureTimeoutError:
+            # The chunk outlived its watchdog: kill the (hung) workers.
+            # The pool breaks, this chunk and everything still in flight
+            # land on the requeue list, completed chunks keep results.
+            stats.watchdog_kills += 1
+            _kill_executor_workers(executor)
+            future.cancel()
+            outcome.failed.append(items)
+        except (OSError, RuntimeError):
+            # BrokenProcessPool (a worker died mid-chunk) and other pool
+            # machinery failures: requeue the chunk and let the
+            # retry/serial ladder decide. App-level errors from ``fn``
+            # raise other exception types and propagate to the caller.
+            outcome.failed.append(items)
+        else:
+            for (index, _), result in zip(items, chunk_results):
+                outcome.completed[index] = result
+    return outcome
+
+
 def process_map(
     fn: Callable[[_P], _R],
     payloads: Sequence[_P],
@@ -136,6 +302,10 @@ def process_map(
     initializer: Optional[Callable[..., None]] = None,
     initargs: Iterable[object] = (),
     pool: Optional[WorkerPool] = None,
+    injector: "Optional[FaultInjector]" = None,
+    watchdog: Optional[float] = None,
+    stats: Optional[ExecutorStats] = None,
+    max_pool_retries: int = MAX_POOL_RETRIES,
 ) -> list[_R]:
     """Run ``fn`` over ``payloads`` with ``jobs`` processes; results in
     input order.
@@ -148,12 +318,26 @@ def process_map(
 
     ``pool`` selects a persistent :class:`WorkerPool` instead of a
     per-call executor: the pool's pinned initializer must match
-    ``initializer``/``initargs`` (callers own that invariant), workers
-    stay warm across calls, and a broken pool is invalidated — the
-    current batch falls back to serial, the next call gets fresh
-    workers.
+    ``initializer``/``initargs`` (callers own that invariant) and
+    workers stay warm across calls.
+
+    Resilience knobs:
+
+    - ``watchdog`` — per-chunk wall-clock bound in seconds; a chunk that
+      exceeds it has its workers SIGKILLed and is requeued on a fresh
+      pool (``None`` waits forever, the legacy behavior);
+    - ``max_pool_retries`` — rounds of requeue-on-recreated-pool after a
+      break before the not-yet-completed payloads run serially
+      in-process (the last resort, as before);
+    - ``injector`` — a :class:`~repro.resilience.faults.FaultInjector`
+      arming ``worker.chunk`` (crash/slow, shipped to the worker inside
+      the chunk task) and ``executor.pickle`` (forces the pickle
+      fallback) on the pooled path;
+    - ``stats`` — an :class:`ExecutorStats` the call adds its retry /
+      watchdog / fallback counters into.
     """
     jobs = resolve_jobs(jobs)
+    stats = stats if stats is not None else ExecutorStats()
     if initializer is not None and (jobs == 1 or payloads):
         # Run the initializer in-process as well: the serial path and any
         # pickle-fallback payload read the same worker globals.
@@ -167,47 +351,84 @@ def process_map(
         return [fn(p) for p in payloads]
 
     # Pickle each payload exactly once: the probe's serialized bytes ARE
-    # what gets submitted (via `_invoke_serialized`), instead of probing
-    # with one pickling pass and letting `pool.map` repeat it.
+    # what gets submitted (via `_run_chunk`), instead of probing with one
+    # pickling pass and letting the pool repeat it.
     pool_items: list[tuple[int, bytes]] = []
     local_items: list[tuple[int, _P]] = []
     for index, payload in enumerate(payloads):
         blob = _serialize(payload)
+        if blob is not None and injector is not None and injector.draw("executor.pickle"):
+            blob = None  # injected pickle failure: force the fallback path
         if blob is None:
             local_items.append((index, payload))
+            stats.pickle_fallbacks += 1
         else:
             pool_items.append((index, blob))
     if not pool_items:
         return [fn(p) for p in payloads]
 
     results: list[Optional[_R]] = [None] * len(payloads)
-    chunk = chunksize or default_chunksize(len(pool_items), min(jobs, pool.jobs) if pool else jobs)
-    tasks = [(fn, blob) for _, blob in pool_items]
+    chunk = chunksize or default_chunksize(
+        len(pool_items), min(jobs, pool.jobs) if pool else jobs
+    )
+    pending = [pool_items[i : i + chunk] for i in range(0, len(pool_items), chunk)]
+    stats.dispatched_chunks += len(pending)
+
+    ephemeral = None
     try:
-        if pool is not None:
-            mapped = pool.executor().map(_invoke_serialized, tasks, chunksize=chunk)
-            for (index, _), result in zip(pool_items, mapped):
+        for round_no in range(1 + max(max_pool_retries, 0)):
+            try:
+                if pool is not None:
+                    executor = pool.executor()
+                else:
+                    if ephemeral is None:
+                        ephemeral = ProcessPoolExecutor(
+                            max_workers=min(jobs, len(pool_items)),
+                            initializer=initializer,
+                            initargs=tuple(initargs),
+                        )
+                    executor = ephemeral
+                outcome = _dispatch_round(
+                    executor,
+                    fn,
+                    pending,
+                    arm_faults=(round_no == 0),
+                    injector=injector,
+                    watchdog=watchdog,
+                    stats=stats,
+                )
+            except (OSError, PermissionError, RuntimeError):
+                # No usable process pool at all (process creation
+                # forbidden on sandboxed hosts, missing start method,
+                # interpreter shutting down): serial last resort below.
+                break
+            for index, result in outcome.completed.items():
                 results[index] = result
-        else:
-            with ProcessPoolExecutor(
-                max_workers=min(jobs, len(pool_items)),
-                initializer=initializer,
-                initargs=tuple(initargs),
-            ) as executor:
-                mapped = executor.map(_invoke_serialized, tasks, chunksize=chunk)
-                for (index, _), result in zip(pool_items, mapped):
-                    results[index] = result
-    except (OSError, PermissionError, RuntimeError):
-        # No usable process pool. OSError/PermissionError: process
-        # creation forbidden (sandboxed hosts). RuntimeError covers both
-        # BrokenProcessPool (a worker died mid-batch — e.g. OOM-killed or
-        # hard-crashed) and pools that cannot start at all (missing start
-        # method, interpreter shutting down). The batch still completes:
-        # rerun everything serially in-process. A broken persistent pool
-        # is invalidated so the next call rebuilds fresh workers.
-        if pool is not None:
+            pending = outcome.failed
+            if not pending:
+                break
+            # A worker died or hung: recreate the pool and retry only
+            # the chunks that never completed.
+            if round_no < max_pool_retries:
+                stats.pool_retries += 1
+                stats.chunks_retried += len(pending)
+            if pool is not None:
+                pool.invalidate()
+            elif ephemeral is not None:
+                ephemeral.shutdown(wait=False, cancel_futures=True)
+                ephemeral = None
+        if pending and pool is not None:
             pool.invalidate()
-        return [fn(p) for p in payloads]
+    finally:
+        if ephemeral is not None:
+            ephemeral.shutdown(wait=False, cancel_futures=True)
+
+    # Serial last resort: whatever never completed on a pool runs
+    # in-process (the initializer already ran above).
+    for items in pending:
+        for index, _ in items:
+            results[index] = fn(payloads[index])
+            stats.serial_fallbacks += 1
 
     for index, payload in local_items:
         results[index] = fn(payload)

@@ -42,10 +42,11 @@ from ..core.fingerprint import fingerprint, isomorphism
 from ..core.pattern import TreePattern
 from ..core.pipeline import MinimizeResult, minimize
 from ..errors import InvalidPatternError
-from .executor import WorkerPool, process_map, resolve_jobs
+from .executor import ExecutorStats, WorkerPool, process_map, resolve_jobs
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api imports batch)
     from ..api import MinimizeOptions
+    from ..resilience.faults import FaultInjector
 
 __all__ = [
     "BatchItemResult",
@@ -271,6 +272,7 @@ class BatchMinimizer:
         constraints: "ConstraintRepository | Iterable[IntegrityConstraint] | None" = None,
         options: "Optional[MinimizeOptions]" = None,
         *,
+        injector: "Optional[FaultInjector]" = None,
         jobs: int = _UNSET,  # type: ignore[assignment]
         memoize: bool = _UNSET,  # type: ignore[assignment]
         use_cdm_prefilter: bool = _UNSET,  # type: ignore[assignment]
@@ -308,6 +310,8 @@ class BatchMinimizer:
             self.oracle_cache = options.oracle_cache
             self.chunksize = options.chunksize
             self.incremental = options.incremental
+            self.watchdog = options.watchdog
+            fault_plan = options.fault_plan
             persistent_pool = options.persistent_pool
         else:
             self.jobs = resolve_jobs(legacy.get("jobs", 1))
@@ -316,7 +320,20 @@ class BatchMinimizer:
             self.oracle_cache = legacy.get("oracle_cache", None)
             self.chunksize = legacy.get("chunksize", None)
             self.incremental = True
+            self.watchdog = None
+            fault_plan = None
             persistent_pool = False
+        if injector is None and fault_plan is not None and fault_plan:
+            from ..resilience.faults import FaultInjector as _FaultInjector
+
+            injector = _FaultInjector(fault_plan)
+        #: The shared fault injector (usually owned by the Session so
+        #: every layer reports into one fired-events log); ``None`` when
+        #: no fault plan is active.
+        self.injector = injector
+        #: Lifetime executor resilience counters (pool retries, watchdog
+        #: kills, serial/pickle fallbacks) across every minimize_all call.
+        self.executor_stats = ExecutorStats()
         self.closure_seconds = 0.0
 
         repo = coerce_repository(constraints)
@@ -367,6 +384,10 @@ class BatchMinimizer:
         stats = BatchStats(
             queries=len(patterns), jobs=self.jobs, closure_seconds=self.closure_seconds
         )
+        if self.injector is not None:
+            fault = self.injector.draw("batch.run")
+            if fault is not None and fault.kind == "slow":
+                time.sleep(fault.delay)
 
         start = time.perf_counter()
         prints: list[str] = [fingerprint(p) for p in patterns]
@@ -381,6 +402,7 @@ class BatchMinimizer:
         stats.distinct = len({fp for fp in prints})
 
         start = time.perf_counter()
+        xstats = ExecutorStats()
         results = process_map(
             _minimize_one,
             [patterns[i] for i in fresh],
@@ -389,8 +411,17 @@ class BatchMinimizer:
             initializer=_init_worker,
             initargs=self._initargs,
             pool=self._pool,
+            injector=self.injector,
+            watchdog=self.watchdog,
+            stats=xstats,
         )
         stats.minimize_seconds = time.perf_counter() - start
+        self.executor_stats.absorb(xstats)
+        stats.pickle_fallbacks = xstats.pickle_fallbacks
+        for key, value in xstats.counters().items():
+            if key == "pickle_fallbacks":
+                continue  # already a first-class BatchStats field
+            stats.engine_counters[key] = stats.engine_counters.get(key, 0) + value
 
         by_index: dict[int, MinimizeResult] = dict(zip(fresh, results))
         for index, result in by_index.items():

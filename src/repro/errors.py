@@ -21,6 +21,10 @@ __all__ = [
     "ServiceError",
     "ServiceClosedError",
     "ServiceOverloadedError",
+    "DeadlineExceededError",
+    "ProtocolError",
+    "CircuitOpenError",
+    "ServiceUnavailableError",
 ]
 
 
@@ -111,3 +115,56 @@ class ServiceOverloadedError(ServiceError):
     def __init__(self, message: str, *, retry_after: float = 0.05):
         super().__init__(message)
         self.retry_after = retry_after
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's end-to-end deadline elapsed.
+
+    Raised *before any minimization work runs* when the deadline has
+    already passed at submission or at micro-batch assembly (the request
+    is shed), and while awaiting a result whose deadline expires.
+    """
+
+
+class ProtocolError(ServiceError):
+    """A wire-protocol line was malformed or oversized.
+
+    Returned as a structured error response; the connection stays up.
+    """
+
+
+class CircuitOpenError(ServiceError):
+    """The client's circuit breaker is open; no request was sent.
+
+    Attributes
+    ----------
+    retry_after:
+        Seconds until the breaker half-opens and lets a probe through.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServiceUnavailableError(ServiceError):
+    """The resilient client exhausted its retry budget.
+
+    Attributes
+    ----------
+    attempts:
+        Number of attempts made before giving up.
+    last_error:
+        The final underlying failure, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        attempts: int = 0,
+        last_error: "BaseException | None" = None,
+    ):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error

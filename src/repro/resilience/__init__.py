@@ -1,0 +1,29 @@
+"""Resilience layer: deterministic fault injection + hardened clients.
+
+:mod:`repro.resilience.faults` plans and arms seeded, counter-based
+fault injection throughout the stack (chaos testing, failure replay);
+:mod:`repro.resilience.client` provides the retrying, circuit-broken
+sync/async clients for the JSON-lines service. See DESIGN.md §6.
+"""
+
+from .client import (
+    AsyncServiceClient,
+    CircuitBreaker,
+    ClientStats,
+    RetryPolicy,
+    ServiceClient,
+)
+from .faults import FAULT_POINTS, FaultEvent, FaultInjector, FaultPlan, FaultSpec
+
+__all__ = [
+    "AsyncServiceClient",
+    "CircuitBreaker",
+    "ClientStats",
+    "FAULT_POINTS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "ServiceClient",
+]

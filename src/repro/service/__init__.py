@@ -13,11 +13,18 @@ Entry points:
   surface, in the library's ``*Stats`` flat-counter style.
 """
 
-from .protocol import handle_connection, handle_line, serve_stdio, serve_tcp
+from .protocol import (
+    MAX_LINE_BYTES,
+    handle_connection,
+    handle_line,
+    serve_stdio,
+    serve_tcp,
+)
 from .service import LatencyHistogram, MinimizationService, ServiceStats
 
 __all__ = [
     "LatencyHistogram",
+    "MAX_LINE_BYTES",
     "MinimizationService",
     "ServiceStats",
     "handle_connection",

@@ -10,12 +10,21 @@ Examples::
 
     # Tighter batching for latency-sensitive clients:
     repro-serve --max-wait 0.002 --max-batch-size 8
+
+    # Chaos mode — replay a deterministic fault plan over TCP:
+    repro-serve --tcp 127.0.0.1:0 --fault-plan seed:42 --max-batch-size 1
+
+Lifecycle: SIGTERM and SIGINT trigger a **graceful drain** — the server
+stops accepting new requests/connections, flushes every in-flight
+response, releases the worker pool, and exits 0.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import contextlib
+import signal
 import sys
 from pathlib import Path
 
@@ -23,6 +32,7 @@ from ..api import MinimizeOptions, STRATEGIES
 from ..constraints.model import parse_constraints
 from ..errors import ReproError
 from ..matching.evaluator import ENGINES
+from ..resilience.faults import FaultPlan
 from .protocol import serve_stdio, serve_tcp
 from .service import MinimizationService
 
@@ -104,7 +114,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="default per-request timeout in seconds (default: none)",
     )
+    parser.add_argument(
+        "--watchdog",
+        type=float,
+        default=None,
+        help=(
+            "per-chunk wall-clock bound (seconds) on pooled work: hung "
+            "workers are killed and the chunk requeued (default: none)"
+        ),
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PLAN",
+        help=(
+            "deterministic fault injection: 'seed:<int>', inline JSON, or "
+            "'@file.json' (see repro.resilience.faults; chaos testing only)"
+        ),
+    )
     return parser
+
+
+def _parse_fault_plan(spec: str) -> FaultPlan:
+    if spec.startswith("@"):
+        spec = Path(spec[1:]).read_text()
+    return FaultPlan.parse(spec)
 
 
 def _parse_endpoint(spec: str) -> tuple[str, int]:
@@ -124,6 +158,10 @@ async def _serve(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         jobs=args.jobs,
         oracle_cache=False if args.no_oracle_cache else None,
+        watchdog=args.watchdog,
+        fault_plan=(
+            _parse_fault_plan(args.fault_plan) if args.fault_plan else None
+        ),
     )
     service = MinimizationService(
         options,
@@ -133,13 +171,39 @@ async def _serve(args: argparse.Namespace) -> int:
         max_queue=args.max_queue,
         default_timeout=args.timeout,
     )
-    async with service:
-        if args.tcp is not None:
-            host, port = _parse_endpoint(args.tcp)
-            print(f"repro-serve listening on {host}:{port}", file=sys.stderr)
-            await serve_tcp(service, host, port)
-        else:
-            await serve_stdio(service)
+
+    # Graceful drain on SIGTERM/SIGINT: stop accepting, flush in-flight
+    # responses, release the pool, exit 0.
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed: list[signal.Signals] = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+            loop.add_signal_handler(sig, stop.set)
+            installed.append(sig)
+    try:
+        async with service:
+            if args.tcp is not None:
+                host, port = _parse_endpoint(args.tcp)
+
+                def _announce(bound_port: int) -> None:
+                    # The *actual* port (meaningful with ':0'), parsed by
+                    # test harnesses and supervisors.
+                    print(
+                        f"repro-serve listening on {host}:{bound_port}",
+                        file=sys.stderr,
+                        flush=True,
+                    )
+
+                await serve_tcp(service, host, port, stop=stop, on_bound=_announce)
+            else:
+                await serve_stdio(service, stop=stop)
+        if stop.is_set():
+            print("repro-serve drained, exiting", file=sys.stderr, flush=True)
+    finally:
+        for sig in installed:
+            with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+                loop.remove_signal_handler(sig)
     return 0
 
 

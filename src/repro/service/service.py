@@ -42,7 +42,11 @@ from typing import Optional, Sequence
 from ..api import MinimizeOptions, QueryResult, Session
 from ..core.oracle_cache import global_cache
 from ..core.pattern import TreePattern
-from ..errors import ServiceClosedError, ServiceOverloadedError
+from ..errors import (
+    DeadlineExceededError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
 
 __all__ = [
     "LatencyHistogram",
@@ -138,6 +142,22 @@ class ServiceStats:
     timed_out: int = 0
     cancelled: int = 0
     failed: int = 0
+    #: Requests shed because their end-to-end deadline had already
+    #: elapsed — at submission or at micro-batch assembly, always
+    #: *before* any minimization work ran for them.
+    sheds: int = 0
+    #: Faults fired by the active fault plan (all layers; mirrors the
+    #: shared :class:`~repro.resilience.faults.FaultInjector`).
+    faults_injected: int = 0
+    #: Pooled chunks SIGKILLed by the per-chunk watchdog (mirrored from
+    #: the batch backend's executor counters).
+    watchdog_kills: int = 0
+    #: Requests that arrived marked as client retries (the protocol's
+    #: ``retry`` field — the resilient client's idempotent resends).
+    client_retries: int = 0
+    #: Client-side circuit-breaker opens reported by clients; stays 0
+    #: unless a client surface feeds it (the breaker lives client-side).
+    breaker_opens: int = 0
     batches: int = 0
     #: Flush cause tallies: the batch filled up vs. the oldest request's
     #: ``max_wait`` deadline expired vs. drained at shutdown.
@@ -172,6 +192,11 @@ class ServiceStats:
                 "timed_out": self.timed_out,
                 "cancelled": self.cancelled,
                 "failed": self.failed,
+                "sheds": self.sheds,
+                "faults_injected": self.faults_injected,
+                "watchdog_kills": self.watchdog_kills,
+                "client_retries": self.client_retries,
+                "breaker_opens": self.breaker_opens,
                 "batches": self.batches,
                 "flushes_full": self.flushes_full,
                 "flushes_deadline": self.flushes_deadline,
@@ -192,6 +217,8 @@ class _Request:
     pattern: TreePattern
     future: "asyncio.Future[QueryResult]"
     enqueued_at: float
+    #: Absolute ``time.perf_counter()`` deadline, or ``None``.
+    deadline: Optional[float] = None
 
 
 class _Drain:
@@ -255,6 +282,10 @@ class MinimizationService:
         self.default_timeout = default_timeout
         self.stats = ServiceStats()
         self._session = Session(options, constraints=constraints)
+        #: Shared fault injector (``None`` unless the session's options
+        #: carry a fault plan); the batcher arms ``batcher.flush`` and
+        #: the protocol layer arms ``protocol.send`` through this.
+        self.injector = self._session.injector
         self._queue: "asyncio.Queue[_Request | _Drain]" = asyncio.Queue(
             maxsize=max_queue
         )
@@ -301,9 +332,22 @@ class MinimizationService:
     # ------------------------------------------------------------------
 
     async def submit(
-        self, pattern: TreePattern, *, timeout: Optional[float] = None
+        self,
+        pattern: TreePattern,
+        *,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> QueryResult:
         """Minimize one query through the service; awaits the result.
+
+        ``deadline`` is an end-to-end budget in seconds: a request whose
+        deadline has already elapsed is **shed** — rejected before any
+        queueing, batching, or minimization work happens for it (at
+        submission when the budget is non-positive, at micro-batch
+        assembly when it expires while queued). Unlike ``timeout`` (a
+        caller-side wait bound), the deadline travels with the request:
+        the protocol layer forwards client deadlines here, so shedding
+        happens server-side where it saves actual work.
 
         Raises
         ------
@@ -312,6 +356,9 @@ class MinimizationService:
         ServiceOverloadedError
             The request queue is full; ``exc.retry_after`` suggests a
             back-off based on recent batch latency.
+        DeadlineExceededError
+            The request's ``deadline`` elapsed — before submission,
+            while queued (shed), or while awaiting the result.
         TimeoutError
             The request's ``timeout`` (or the service default) elapsed;
             the request is dropped from its batch if still queued.
@@ -320,8 +367,19 @@ class MinimizationService:
             raise ServiceClosedError(
                 "service is closed" if self._closing else "service not started"
             )
+        now = time.perf_counter()
+        deadline_at: Optional[float] = None
+        if deadline is not None:
+            if deadline <= 0:
+                # Already past deadline: shed before any work or queueing.
+                self.stats.sheds += 1
+                raise DeadlineExceededError(
+                    f"deadline of {deadline}s already elapsed at submission; "
+                    "request shed"
+                )
+            deadline_at = now + deadline
         future: "asyncio.Future[QueryResult]" = asyncio.get_running_loop().create_future()
-        request = _Request(pattern, future, time.perf_counter())
+        request = _Request(pattern, future, now, deadline_at)
         try:
             self._queue.put_nowait(request)
         except asyncio.QueueFull:
@@ -335,12 +393,19 @@ class MinimizationService:
         if depth > self.stats.queue_high_watermark:
             self.stats.queue_high_watermark = depth
         timeout = timeout if timeout is not None else self.default_timeout
+        wait = timeout
+        if deadline is not None:
+            wait = deadline if wait is None else min(wait, deadline)
         try:
-            if timeout is None:
+            if wait is None:
                 return await future
-            return await asyncio.wait_for(future, timeout)
+            return await asyncio.wait_for(future, wait)
         except asyncio.TimeoutError:
             self.stats.timed_out += 1
+            if deadline is not None and (timeout is None or deadline <= timeout):
+                raise DeadlineExceededError(
+                    f"deadline of {deadline}s elapsed awaiting the result"
+                ) from None
             raise
         except asyncio.CancelledError:
             # Caller-side cancellation: drop the request from its batch.
@@ -350,13 +415,17 @@ class MinimizationService:
             raise
 
     async def submit_many(
-        self, patterns: Sequence[TreePattern], *, timeout: Optional[float] = None
+        self,
+        patterns: Sequence[TreePattern],
+        *,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> list[QueryResult]:
         """Submit a group of queries concurrently; results in input
         order. They micro-batch together (plus whatever else is queued)."""
         return list(
             await asyncio.gather(
-                *(self.submit(p, timeout=timeout) for p in patterns)
+                *(self.submit(p, timeout=timeout, deadline=deadline) for p in patterns)
             )
         )
 
@@ -369,11 +438,27 @@ class MinimizationService:
 
         Oracle-cache numbers are the *delta* since this service was
         created (the cache is process-wide)."""
+        self._sync_fault_counters()
         out = self.stats.counters()
         base = self._oracle_stats_base
         for key, value in self._oracle_snapshot().items():
             out[key] = value - base.get(key, 0)
         return out
+
+    def fault_events(self) -> list[list]:
+        """Fired faults as ``[point, kind, hit]`` rows, in firing order
+        (empty without a fault plan) — the protocol's ``faults`` op."""
+        if self.injector is None:
+            return []
+        return [[e.point, e.kind, e.hit] for e in self.injector.events()]
+
+    def _sync_fault_counters(self) -> None:
+        """Mirror injector / executor tallies into the explicit stats
+        fields (they would otherwise be shadowed by the backend dict)."""
+        if self.injector is not None:
+            self.stats.faults_injected = self.injector.faults_injected
+        backend = self.stats.backend_counters
+        self.stats.watchdog_kills = int(backend.get("watchdog_kills", 0))
 
     def _oracle_snapshot(self) -> dict[str, float]:
         cache = global_cache()
@@ -417,14 +502,36 @@ class MinimizationService:
                 self.stats.flushes_deadline += 1
             else:
                 self.stats.flushes_drain += 1
+            if self.injector is not None:
+                fault = self.injector.draw("batcher.flush")
+                if fault is not None and fault.kind == "stall":
+                    # A stalled flush: the queue keeps accepting (and
+                    # deadlines keep ticking) while this batch waits.
+                    await asyncio.sleep(fault.delay)
             await self._run_batch(batch)
 
     async def _run_batch(self, batch: list[_Request]) -> None:
         """Execute one micro-batch on the session (in a thread, so the
         event loop keeps accepting submissions) and resolve futures."""
         started = time.perf_counter()
-        # Timed-out / cancelled requests never reach the backend.
-        live = [r for r in batch if not r.future.done()]
+        # Timed-out / cancelled requests never reach the backend, and
+        # requests whose deadline expired while queued are shed here —
+        # their futures resolve to DeadlineExceededError without any
+        # minimization work running for them.
+        live = []
+        for request in batch:
+            if request.future.done():
+                continue
+            if request.deadline is not None and started >= request.deadline:
+                self.stats.sheds += 1
+                request.future.set_exception(
+                    DeadlineExceededError(
+                        "deadline elapsed while queued; request shed "
+                        "before batch dispatch"
+                    )
+                )
+                continue
+            live.append(request)
         for request in live:
             self.stats.queue_wait.observe(started - request.enqueued_at)
         if not live:
@@ -446,6 +553,7 @@ class MinimizationService:
             elapsed, 1e-6
         )
         self.stats.backend_counters = self._merge_backend(self._session.counters())
+        self._sync_fault_counters()
         for request, result in zip(live, results):
             if request.future.done():
                 continue  # timed out / cancelled mid-batch: discard

@@ -16,7 +16,7 @@ from .querygen import (
     right_deep_cdm_query,
 )
 from .arrival import arrival_workload, poisson_arrivals, uniform_arrivals
-from .batchgen import BATCH_WORKLOAD_KINDS, batch_workload, isomorphic_shuffle
+from .batchgen import BATCH_WORKLOAD_KINDS, batch_workload, chaos_workload, isomorphic_shuffle
 from .icgen import relevant_constraints
 from . import paper_queries
 
@@ -24,6 +24,7 @@ __all__ = [
     "BATCH_WORKLOAD_KINDS",
     "arrival_workload",
     "batch_workload",
+    "chaos_workload",
     "isomorphic_shuffle",
     "poisson_arrivals",
     "uniform_arrivals",

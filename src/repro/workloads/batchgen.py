@@ -25,7 +25,7 @@ from .querygen import (
     right_deep_cdm_query,
 )
 
-__all__ = ["isomorphic_shuffle", "batch_workload", "BATCH_WORKLOAD_KINDS"]
+__all__ = ["isomorphic_shuffle", "batch_workload", "chaos_workload", "BATCH_WORKLOAD_KINDS"]
 
 #: Workload flavours understood by :func:`batch_workload`.
 BATCH_WORKLOAD_KINDS = ("fig7", "fig8", "mixed")
@@ -143,3 +143,25 @@ def batch_workload(
         queries.append(isomorphic_shuffle(base, rng=rng))
     rng.shuffle(queries)
     return queries, constraints
+
+
+def chaos_workload(
+    n_queries: int = 12,
+    *,
+    seed: int = 0,
+) -> tuple[list[str], list[IntegrityConstraint]]:
+    """A small deterministic workload for the chaos suite, as XPath text.
+
+    Chaos tests drive the stack over the wire protocol, so queries are
+    returned *serialized* (via :func:`repro.parsing.serializer.to_xpath`)
+    rather than as patterns: the same strings go to ``repro-serve`` and
+    to the in-process serial oracle, keeping the byte-identical
+    comparison honest. Sizes are kept small — chaos runs repeat the
+    workload under many fault plans and must stay fast.
+    """
+    from ..parsing.serializer import to_xpath
+
+    queries, constraints = batch_workload(
+        n_queries, kind="mixed", distinct=min(4, n_queries), size=10, seed=seed
+    )
+    return [to_xpath(q) for q in queries], constraints

@@ -21,6 +21,7 @@ SUBPACKAGES = [
     "repro.workloads",
     "repro.bench",
     "repro.extensions",
+    "repro.resilience",
     "repro.service",
     "repro.tools",
 ]
@@ -50,7 +51,7 @@ def test_all_exports_resolve(module_name):
 
 
 def test_version():
-    assert repro.__version__ == "1.1.0"
+    assert repro.__version__ == "1.2.0"
 
 
 def test_session_api_is_exported():
@@ -71,6 +72,8 @@ def test_session_api_is_exported():
         "chunksize",
         "persistent_pool",
         "verify",
+        "watchdog",
+        "fault_plan",
     }
 
 

@@ -1,0 +1,420 @@
+"""Chaos suite: the full stack under deterministic fault injection.
+
+Every test drives the TCP service (and the resilient clients) under a
+:class:`~repro.resilience.faults.FaultPlan` and holds it to the same
+contract as the fault-free differential tests: **responses are
+byte-identical to the serial ``minimize`` loop** — the minimal-query
+uniqueness theorem (SIGMOD 2001) makes that a perfect oracle — with
+zero requests lost, duplicated, or misrouted, whatever crashes, stalls,
+truncations, or corruption happen along the way.
+
+Marked ``chaos`` (run with ``pytest -m chaos``); CI gives the marker
+its own job with a hard timeout.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.api import MinimizeOptions, Session
+from repro.core.pipeline import minimize
+from repro.errors import DeadlineExceededError
+from repro.parsing.serializer import to_xpath
+from repro.parsing.xpath import parse_xpath
+from repro.resilience import (
+    AsyncServiceClient,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    ServiceClient,
+)
+from repro.service import MinimizationService
+from repro.service.protocol import serve_tcp
+from repro.service.service import _Request
+from repro.workloads import chaos_workload
+
+pytestmark = pytest.mark.chaos
+
+#: One deterministic workload shared by the whole suite.
+QUERIES, CONSTRAINTS = chaos_workload(10, seed=1)
+
+#: Fast client retry settings — chaos runs retry a lot; never sleep long.
+FAST_RETRY = RetryPolicy(max_attempts=8, base_delay=0.01, max_delay=0.1)
+
+
+def serial_expected() -> list[tuple[str, list]]:
+    """The serial-loop oracle: (minimized xpath, eliminated pairs)."""
+    out = []
+    for query in QUERIES:
+        result = minimize(parse_xpath(query), CONSTRAINTS)
+        eliminated = []
+        if result.cdm is not None:
+            eliminated.extend([i, t] for i, t, _ in result.cdm.eliminated)
+        if result.acim is not None:
+            eliminated.extend([i, t] for i, t in result.acim.eliminated)
+        out.append((to_xpath(result.pattern), eliminated))
+    return out
+
+
+EXPECTED = serial_expected()
+
+
+def assert_identical(results: list[dict]) -> None:
+    """Responses must match the serial loop: byte-identical minimized
+    queries, same eliminated node set (the memoized replay path may
+    order eliminations differently than serial cdm+acim)."""
+    assert len(results) == len(EXPECTED)
+    for response, (minimized, eliminated) in zip(results, EXPECTED):
+        assert response["minimized"] == minimized
+        got = sorted(tuple(pair) for pair in response["eliminated"])
+        assert got == sorted(tuple(pair) for pair in eliminated)
+
+
+async def drive_tcp(
+    plan,
+    *,
+    jobs: int = 1,
+    watchdog=None,
+    max_batch_size: int = 4,
+    sequential: bool = False,
+):
+    """Serve the shared workload over TCP under ``plan``; returns
+    ``(results, counters, fault_events, client_stats)``."""
+    options = MinimizeOptions(jobs=jobs, fault_plan=plan, watchdog=watchdog)
+    service = MinimizationService(
+        options,
+        constraints=CONSTRAINTS,
+        max_batch_size=max_batch_size,
+        max_wait=0.005,
+    )
+    stop = asyncio.Event()
+    bound: dict = {}
+    async with service:
+        server = asyncio.ensure_future(
+            serve_tcp(
+                service, "127.0.0.1", 0, stop=stop,
+                on_bound=lambda p: bound.update(port=p),
+            )
+        )
+        while "port" not in bound:
+            await asyncio.sleep(0.005)
+        client = AsyncServiceClient(
+            "127.0.0.1", bound["port"], retry=FAST_RETRY, timeout=30.0, seed=7
+        )
+        try:
+            if sequential:
+                results = [await client.minimize(q) for q in QUERIES]
+            else:
+                results = list(
+                    await asyncio.gather(*(client.minimize(q) for q in QUERIES))
+                )
+        finally:
+            await client.aclose()
+        counters = service.counters()
+        events = service.fault_events()
+        stop.set()
+        await server
+    return results, counters, events, client.stats
+
+
+class TestFaultMatrix:
+    def test_no_faults_baseline(self):
+        results, counters, events, _ = asyncio.run(drive_tcp(None))
+        assert_identical(results)
+        assert counters["faults_injected"] == 0 and events == []
+
+    def test_slow_batch(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(point="batch.run", kind="slow", every=1, delay=0.01),)
+        )
+        results, counters, events, _ = asyncio.run(drive_tcp(plan))
+        assert_identical(results)
+        assert counters["faults_injected"] == counters["batches"] > 0
+        assert all(e[0] == "batch.run" for e in events)
+
+    def test_queue_stall(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(point="batcher.flush", kind="stall", every=2, delay=0.02),)
+        )
+        results, counters, _, _ = asyncio.run(drive_tcp(plan))
+        assert_identical(results)
+        assert counters["faults_injected"] >= 1
+
+    def test_protocol_garbage(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(point="protocol.send", kind="garbage", every=2),)
+        )
+        results, counters, _, client_stats = asyncio.run(drive_tcp(plan))
+        assert_identical(results)
+        assert counters["faults_injected"] >= 1
+        assert client_stats.garbage_lines >= 1
+        assert client_stats.retries == 0  # garbage is skipped, not retried
+
+    def test_protocol_truncate(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(point="protocol.send", kind="truncate", at=(2,)),)
+        )
+        results, counters, _, client_stats = asyncio.run(drive_tcp(plan))
+        assert_identical(results)
+        assert counters["faults_injected"] == 1
+        assert client_stats.retries >= 1
+        assert counters["client_retries"] >= 1  # the server saw the resend
+
+    def test_protocol_broken_pipe(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(point="protocol.send", kind="broken_pipe", at=(2,)),)
+        )
+        results, counters, _, client_stats = asyncio.run(drive_tcp(plan))
+        assert_identical(results)
+        assert client_stats.retries >= 1 and client_stats.reconnects >= 1
+
+    def test_pickle_failure(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(point="executor.pickle", kind="fail", every=2),)
+        )
+        results, counters, _, _ = asyncio.run(drive_tcp(plan, jobs=2))
+        assert_identical(results)
+        assert counters["pickle_fallbacks"] >= 1
+
+    def test_worker_crash_mid_chunk(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(point="worker.chunk", kind="crash", at=(1,)),)
+        )
+        results, counters, _, _ = asyncio.run(drive_tcp(plan, jobs=2))
+        assert_identical(results)
+        assert counters["faults_injected"] >= 1
+        assert counters["chunks_retried"] >= 1  # only lost chunks re-ran
+
+    def test_hung_worker_watchdog(self):
+        plan = FaultPlan(
+            # A deterministic hang: a "slow" fault far beyond the watchdog.
+            specs=(FaultSpec(point="worker.chunk", kind="slow", at=(1,), delay=30.0),)
+        )
+        results, counters, _, _ = asyncio.run(
+            drive_tcp(plan, jobs=2, watchdog=0.5)
+        )
+        assert_identical(results)
+        assert counters["watchdog_kills"] >= 1
+
+
+class TestDeadlines:
+    def test_expired_deadline_shed_before_any_work(self):
+        async def scenario():
+            async with MinimizationService(constraints=CONSTRAINTS) as service:
+                with pytest.raises(DeadlineExceededError):
+                    await service.submit(parse_xpath(QUERIES[0]), deadline=0)
+                return service.stats
+
+        stats = asyncio.run(scenario())
+        assert stats.sheds == 1
+        assert stats.batches == 0 and stats.submitted == 0  # no work ran
+
+    def test_deadline_expiring_in_queue_sheds_at_batch_assembly(self):
+        async def scenario():
+            async with MinimizationService(constraints=CONSTRAINTS) as service:
+                # White-box: a request whose deadline lapsed while queued
+                # (the batcher was stalled) must be shed by _run_batch
+                # without reaching the backend.
+                future = asyncio.get_running_loop().create_future()
+                request = _Request(
+                    parse_xpath(QUERIES[0]),
+                    future,
+                    time.perf_counter() - 1.0,
+                    time.perf_counter() - 0.5,
+                )
+                await service._run_batch([request])
+                return service.stats, future
+
+        stats, future = asyncio.run(scenario())
+        assert stats.sheds == 1 and stats.batches == 0
+        assert isinstance(future.exception(), DeadlineExceededError)
+
+    def test_deadline_travels_through_protocol(self):
+        async def scenario():
+            stall = FaultPlan(
+                specs=(FaultSpec(point="batcher.flush", kind="stall", every=1, delay=0.2),)
+            )
+            options = MinimizeOptions(fault_plan=stall)
+            service = MinimizationService(
+                options, constraints=CONSTRAINTS, max_batch_size=1, max_wait=0.0
+            )
+            stop = asyncio.Event()
+            bound: dict = {}
+            async with service:
+                server = asyncio.ensure_future(
+                    serve_tcp(
+                        service, "127.0.0.1", 0, stop=stop,
+                        on_bound=lambda p: bound.update(port=p),
+                    )
+                )
+                while "port" not in bound:
+                    await asyncio.sleep(0.005)
+                client = AsyncServiceClient(
+                    "127.0.0.1", bound["port"], retry=FAST_RETRY, timeout=30.0
+                )
+                try:
+                    with pytest.raises(DeadlineExceededError):
+                        await client.minimize(QUERIES[0], deadline=-1)
+                    ok = await client.minimize(QUERIES[1])
+                finally:
+                    await client.aclose()
+                counters = service.counters()
+                stop.set()
+                await server
+            return ok, counters
+
+        ok, counters = asyncio.run(scenario())
+        assert ok["minimized"] == EXPECTED[1][0]
+        assert counters["sheds"] == 1
+
+
+class TestReplayDeterminism:
+    """The same seed must replay the same fault sequence — in-process,
+    over TCP, and across independent runs. No wall-clock randomness."""
+
+    SEED = 5
+
+    def test_tcp_replays_identically(self):
+        plan = FaultPlan.seeded(self.SEED)
+        first = asyncio.run(drive_tcp(plan, max_batch_size=1, sequential=True))
+        second = asyncio.run(drive_tcp(plan, max_batch_size=1, sequential=True))
+        assert_identical(first[0])
+        assert_identical(second[0])
+        assert first[2] == second[2]  # the full fired-event sequences
+        assert first[2], "seeded plan fired nothing — window never reached"
+
+    def test_in_process_matches_tcp_on_shared_points(self):
+        plan = FaultPlan.seeded(self.SEED)
+        # In-process: the serial Session loop arms batch.run once per
+        # query, exactly like the TCP service at max_batch_size=1.
+        with Session(
+            MinimizeOptions(fault_plan=plan), constraints=CONSTRAINTS
+        ) as session:
+            for query in QUERIES:
+                result = session.minimize(parse_xpath(query))
+                assert result is not None
+            in_process = [
+                [e.point, e.kind, e.hit] for e in session.injector.events()
+            ]
+        _, _, tcp_events, _ = asyncio.run(
+            drive_tcp(plan, max_batch_size=1, sequential=True)
+        )
+        shared = [e for e in tcp_events if e[0] == "batch.run"]
+        assert shared == [e for e in in_process if e[0] == "batch.run"]
+        assert shared, "batch.run never fired — determinism check is vacuous"
+
+    def test_injector_replay_is_pure_counting(self):
+        plan = FaultPlan.seeded(self.SEED)
+        arms = ["batch.run", "batcher.flush", "batch.run", "protocol.send"] * 4
+        runs = []
+        for _ in range(2):
+            injector = FaultInjector(plan)
+            for point in arms:
+                injector.draw(point)
+            runs.append(injector.events())
+        assert runs[0] == runs[1]
+
+
+class TestReproServeSubprocess:
+    """``repro-serve --fault-plan`` end-to-end: the console entry point
+    replays plans deterministically and drains gracefully on SIGTERM."""
+
+    def _spawn(self, *extra_args: str) -> tuple[subprocess.Popen, int]:
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.path.join(root, "src")
+        constraint_text = "; ".join(str(c) for c in CONSTRAINTS)
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.service.cli",
+                "--tcp", "127.0.0.1:0",
+                "-c", constraint_text,
+                *extra_args,
+            ],
+            env=env,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        deadline = time.monotonic() + 30
+        port = None
+        while time.monotonic() < deadline:
+            line = proc.stderr.readline()
+            if "listening on" in line:
+                port = int(line.rsplit(":", 1)[1])
+                break
+            if proc.poll() is not None:
+                break
+        if port is None:
+            proc.kill()
+            raise AssertionError("repro-serve never announced its port")
+        return proc, port
+
+    def _run_workload(self, port: int) -> tuple[list[dict], list]:
+        with ServiceClient(
+            "127.0.0.1", port, retry=FAST_RETRY, timeout=30.0, seed=7
+        ) as client:
+            results = [client.minimize(q) for q in QUERIES]
+            events = client.server_faults()
+        return results, events
+
+    def test_fault_plan_replays_across_server_processes(self):
+        seed_arg = f"seed:{TestReplayDeterminism.SEED}"
+        runs = []
+        for _ in range(2):
+            proc, port = self._spawn(
+                "--fault-plan", seed_arg, "--max-batch-size", "1"
+            )
+            try:
+                results, events = self._run_workload(port)
+            finally:
+                proc.send_signal(signal.SIGTERM)
+                proc.wait(timeout=30)
+            assert proc.returncode == 0  # graceful drain exits clean
+            assert_identical(results)
+            runs.append(events)
+        assert runs[0] == runs[1]
+        assert runs[0], "seeded plan fired nothing through repro-serve"
+
+    def test_sigterm_mid_stream_drains_in_flight_requests(self):
+        proc, port = self._spawn("--max-batch-size", "4", "--max-wait", "0.05")
+        try:
+            import socket as socket_mod
+
+            sock = socket_mod.create_connection(("127.0.0.1", port), timeout=30)
+            sock.settimeout(30)
+            reader = sock.makefile("rb")
+            n = 6
+            payload = b"".join(
+                json.dumps({"op": "minimize", "query": q, "id": i}).encode() + b"\n"
+                for i, q in enumerate(QUERIES[:n])
+            )
+            sock.sendall(payload)
+            # SIGTERM lands while those requests are queued/batching.
+            proc.send_signal(signal.SIGTERM)
+            responses = []
+            while len(responses) < n:
+                line = reader.readline()
+                if not line:
+                    break
+                responses.append(json.loads(line))
+            sock.close()
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+        assert proc.returncode == 0
+        # Every accepted request got exactly one response, none lost.
+        assert sorted(r["id"] for r in responses) == list(range(n))
+        for response in responses:
+            assert response["ok"], response
+            assert response["result"]["minimized"] == EXPECTED[response["id"]][0]

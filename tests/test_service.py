@@ -30,11 +30,13 @@ from repro.errors import (
 from repro.parsing.sexpr import to_sexpr
 from repro.parsing.xpath import parse_xpath
 from repro.service import (
+    MAX_LINE_BYTES,
     LatencyHistogram,
     MinimizationService,
     ServiceStats,
     handle_connection,
     handle_line,
+    serve_tcp,
 )
 from repro.workloads import batch_workload, isomorphic_shuffle, random_query
 
@@ -516,3 +518,125 @@ class TestServeCli:
         args = build_parser().parse_args([])
         assert args.tcp is None and args.jobs == 1
         assert args.max_batch_size == 16 and args.max_queue == 256
+
+
+class TestProtocolHardening:
+    """Malformed input must get a structured error on the same
+    connection — never tear the connection (or the server) down."""
+
+    @staticmethod
+    async def _serve(service):
+        """serve_tcp on an ephemeral port; returns (stop, server_task, port)."""
+        stop = asyncio.Event()
+        bound: dict = {}
+        task = asyncio.ensure_future(
+            serve_tcp(
+                service, "127.0.0.1", 0, stop=stop,
+                on_bound=lambda p: bound.update(port=p),
+            )
+        )
+        while "port" not in bound:
+            await asyncio.sleep(0.005)
+        return stop, task, bound["port"]
+
+    def test_oversized_line_gets_structured_error_and_connection_survives(self):
+        async def scenario():
+            async with MinimizationService(constraints=CONSTRAINTS) as service:
+                stop, task, port = await self._serve(service)
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                # A single line well over the cap, never a valid request.
+                writer.write(b'{"op": "minimize", "query": "' + b"a" * (MAX_LINE_BYTES + 64) + b'"}\n')
+                writer.write(json.dumps({"op": "minimize", "query": "a/b[c][c]", "id": 1}).encode() + b"\n")
+                await writer.drain()
+                writer.write_eof()
+                responses = []
+                while len(responses) < 2:
+                    line = await asyncio.wait_for(reader.readline(), 10)
+                    assert line, "connection closed early"
+                    responses.append(json.loads(line))
+                writer.close()
+                stop.set()
+                await task
+                return responses
+
+        responses = run(scenario())
+        by_ok = {bool(r["ok"]): r for r in responses}
+        assert by_ok[False]["error"]["type"] == "ProtocolError"
+        assert "MAX_LINE_BYTES" in by_ok[False]["error"]["message"]
+        assert by_ok[True]["id"] == 1
+        assert by_ok[True]["result"]["minimized"] == "a/b[c]"
+
+    def test_garbage_bytes_roundtrip(self):
+        async def scenario():
+            async with MinimizationService(constraints=CONSTRAINTS) as service:
+                stop, task, port = await self._serve(service)
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                writer.write(b"\x00\xfe{not json)\x80\n")
+                writer.write(json.dumps({"op": "minimize", "query": "a/b[c][c]", "id": 2}).encode() + b"\n")
+                await writer.drain()
+                writer.write_eof()
+                responses = []
+                while len(responses) < 2:
+                    line = await asyncio.wait_for(reader.readline(), 10)
+                    assert line, "connection closed early"
+                    responses.append(json.loads(line))
+                writer.close()
+                stop.set()
+                await task
+                return responses
+
+        responses = run(scenario())
+        by_ok = {bool(r["ok"]): r for r in responses}
+        assert by_ok[False]["error"]["type"] == "JSONDecodeError"
+        assert by_ok[True]["id"] == 2
+        assert by_ok[True]["result"]["minimized"] == "a/b[c]"
+
+
+class TestDrainRaces:
+    """Graceful drain racing per-request timeouts and cancellations:
+    every future resolves exactly once, nothing hangs, counters add up."""
+
+    def test_drain_races_timeouts_and_cancellations_under_load(self):
+        async def scenario():
+            service = SlowService(
+                constraints=CONSTRAINTS, delay=0.08, max_batch_size=4, max_wait=0.0
+            )
+            await service.start()
+            pattern = parse_xpath("a/b[c][c]")
+            # Three populations racing the drain: requests that will time
+            # out while their batch is in flight, requests we cancel, and
+            # requests that should complete normally.
+            doomed = [
+                asyncio.ensure_future(service.submit(pattern, timeout=0.02))
+                for _ in range(4)
+            ]
+            victims = [
+                asyncio.ensure_future(service.submit(pattern)) for _ in range(4)
+            ]
+            survivors = [
+                asyncio.ensure_future(service.submit(pattern)) for _ in range(4)
+            ]
+            await asyncio.sleep(0)  # let everything enqueue
+            for victim in victims:
+                victim.cancel()
+            # Drain while the first batch is mid-flight and the timeouts
+            # are about to fire.
+            await service.aclose()
+            outcomes = await asyncio.gather(
+                *doomed, *victims, *survivors, return_exceptions=True
+            )
+            return outcomes, service.stats
+
+        outcomes, stats = run(scenario())
+        doomed, victims, survivors = outcomes[:4], outcomes[4:8], outcomes[8:]
+        # A double resolution of any future would have raised
+        # InvalidStateError inside the service; reaching here with clean
+        # per-population outcomes proves exactly-once resolution.
+        assert all(isinstance(o, asyncio.TimeoutError) for o in doomed)
+        assert all(isinstance(o, asyncio.CancelledError) for o in victims)
+        assert all(isinstance(o, QueryResult) for o in survivors)
+        expected = to_sexpr(minimize(parse_xpath("a/b[c][c]"), CONSTRAINTS).pattern)
+        assert all(to_sexpr(o.pattern) == expected for o in survivors)
+        assert stats.submitted == 12
+        assert stats.timed_out == 4 and stats.cancelled == 4
+        assert stats.completed >= 4  # survivors always complete
