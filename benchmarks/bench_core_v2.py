@@ -1,0 +1,227 @@
+"""Flat-core (engine v2) vs object-core (engine v1) benchmark.
+
+Times the ACIM elimination loop — engine build, redundancy checks, and
+incremental ``delete_leaf`` maintenance — under both core engines on the
+Figure 8 right-deep workload, asserts the results are byte-identical,
+and additionally reports the containment-DP micro-benchmark and the
+FlatPattern pickle-size reduction used by the batch backend.
+
+Run as a script (or via ``benchmarks/run_all.py``) to write the
+machine-readable ``BENCH_core_v2.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_core_v2.py
+    PYTHONPATH=src python benchmarks/bench_core_v2.py --fast --out /tmp/b.json
+
+All workloads are deterministic (fixed seeds); only the timings vary
+between machines. The JSON schema is validated by ``tests/test_bench.py``.
+The exit gate: the full grid must show >= 2x at the largest fig8 size,
+the ``--fast`` grid (CI smoke) >= 1x — v2 must never be a regression.
+
+The module doubles as a pytest-benchmark suite::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_core_v2.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pickle
+import sys
+from pathlib import Path
+from typing import Iterator, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # script mode without install
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.experiments import incremental_workload
+from repro.bench.timing import best_of
+from repro.core.acim import acim_minimize
+from repro.core.containment import ContainmentStats, mapping_targets
+from repro.core.engine_v2 import flat_pickle
+from repro.parsing.sexpr import to_sexpr
+from repro.workloads.querygen import (
+    chain_query,
+    duplicate_random_branch,
+    random_query,
+)
+
+__all__ = ["SCHEMA_VERSION", "DEFAULT_OUTPUT", "run_comparison", "main"]
+
+SCHEMA_VERSION = 1
+
+#: Default output artifact, at the repo root so the perf trajectory is
+#: tracked in-tree.
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_core_v2.json"
+
+#: Deterministic workload seed (random-query sections).
+SEED = 90
+
+#: Full-grid gate: v2 must beat v1 by this factor at the largest fig8
+#: size. The --fast grid only asserts no regression (>= 1x) — small
+#: sizes under-state the win and CI boxes are noisy.
+FULL_TARGET = 2.0
+FAST_TARGET = 1.0
+
+_FIG8_SIZES = (20, 50, 80, 110, 140)
+_FAST_FIG8_SIZES = (20, 40)
+
+
+def _workloads(fast: bool) -> Iterator[tuple[str, int, object, object]]:
+    """Yield ``(workload, size, query, closed_repo)`` rows, fixed seeds."""
+    for shape in ("right-deep", "bushy"):
+        for size in _FAST_FIG8_SIZES if fast else _FIG8_SIZES:
+            query, repo = incremental_workload(size, shape=shape)
+            yield f"fig8-{shape}", size, query, repo
+
+
+def _acim_record(query, repo, engine: str):
+    """The byte-identity fingerprint of one ACIM run."""
+    result = acim_minimize(query, repo, core_engine=engine)
+    return (
+        to_sexpr(result.pattern),
+        result.eliminated,
+        result.images_stats.counters(),
+    )
+
+
+def _containment_section(fast: bool, repeat: int) -> dict:
+    """The flat containment DP vs the object-walking DP on a
+    duplicated-branch query (``cache=None``: the cross-query oracle
+    cache would serve repeats whole and hide the DP cost)."""
+    size = 16 if fast else 40
+    base = random_query(size, types=["a", "b", "c"], seed=SEED)
+    bloated = duplicate_random_branch(base, seed=SEED)
+    row: dict = {"source_size": bloated.size, "target_size": base.size}
+    tables = {}
+    for engine in ("v1", "v2"):
+        stats = ContainmentStats()
+        row[f"{engine}_seconds"] = best_of(
+            lambda: mapping_targets(bloated, base, stats=stats, cache=None, engine=engine),
+            repeat=repeat,
+        )
+        tables[engine] = mapping_targets(bloated, base, cache=None, engine=engine)
+    row["speedup_vs_v1"] = row["v1_seconds"] / max(row["v2_seconds"], 1e-12)
+    row["identical"] = tables["v1"] == tables["v2"]
+    return row
+
+
+def _pickle_section() -> dict:
+    """FlatPattern-based pickling vs the legacy object-graph pickle
+    (what every batch-pool payload pays)."""
+    query = chain_query(120)
+    flat_bytes = len(pickle.dumps(query))
+    with flat_pickle(False):
+        legacy_bytes = len(pickle.dumps(query))
+    return {
+        "query_size": query.size,
+        "flat_bytes": flat_bytes,
+        "legacy_bytes": legacy_bytes,
+        "shrink_factor": legacy_bytes / max(flat_bytes, 1),
+    }
+
+
+def run_comparison(*, repeat: int = 3, fast: bool = False) -> dict:
+    """Run the full comparison; return the ``BENCH_core_v2.json``
+    payload as a dict."""
+    rows: list[dict] = []
+    for workload, size, query, repo in _workloads(fast):
+        v1_seconds = best_of(
+            lambda: acim_minimize(query, repo, core_engine="v1"), repeat=repeat
+        )
+        v2_seconds = best_of(
+            lambda: acim_minimize(query, repo, core_engine="v2"), repeat=repeat
+        )
+        identical = _acim_record(query, repo, "v1") == _acim_record(query, repo, "v2")
+        rows.append(
+            {
+                "workload": workload,
+                "size": size,
+                "query_size": query.size,
+                "v1_seconds": v1_seconds,
+                "v2_seconds": v2_seconds,
+                "speedup_vs_v1": v1_seconds / max(v2_seconds, 1e-12),
+                "identical": identical,
+            }
+        )
+
+    fig8 = [r for r in rows if r["workload"] == "fig8-right-deep"]
+    largest = max(fig8, key=lambda r: r["size"])
+    target = FAST_TARGET if fast else FULL_TARGET
+    return {
+        "benchmark": "core_v2",
+        "schema_version": SCHEMA_VERSION,
+        "seed": SEED,
+        "repeat": repeat,
+        "fast": fast,
+        "workloads": rows,
+        "containment": _containment_section(fast, repeat),
+        "pickle": _pickle_section(),
+        "summary": {
+            "fig8_largest_size": largest["size"],
+            "speedup_vs_v1": largest["speedup_vs_v1"],
+            "max_speedup": max(r["speedup_vs_v1"] for r in rows),
+            "all_identical": all(r["identical"] for r in rows),
+            "target": target,
+            "meets_target": largest["speedup_vs_v1"] >= target
+            and all(r["identical"] for r in rows),
+        },
+    }
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Write ``BENCH_core_v2.json``; exit 1 when the speedup gate is
+    missed or any workload's v2 result diverges from v1."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeat", type=int, default=3, help="best-of repetitions")
+    parser.add_argument(
+        "--fast", action="store_true", help="small grid (smoke tests / CI)"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUTPUT, help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+    if args.repeat < 1:
+        parser.error("--repeat must be >= 1")
+
+    payload = run_comparison(repeat=args.repeat, fast=args.fast)
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    summary = payload["summary"]
+    print(
+        f"wrote {args.out}: fig8 v2-vs-v1 speedup at size "
+        f"{summary['fig8_largest_size']} = {summary['speedup_vs_v1']:.1f}x "
+        f"(target {summary['target']:.1f}x, identical results: "
+        f"{summary['all_identical']})"
+    )
+    return 0 if summary["meets_target"] else 1
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark rows (same workloads, per-point timings)
+# ---------------------------------------------------------------------------
+
+try:  # pragma: no cover - optional dependency in script mode
+    import pytest
+except ImportError:  # pragma: no cover
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.benchmark(group="core: ACIM flat engine v2 (fig8 right-deep)")
+    @pytest.mark.parametrize("size", [20, 60, 100, 140])
+    def test_engine_v2(benchmark, size):
+        query, repo = incremental_workload(size)
+        result = benchmark(acim_minimize, query, repo, core_engine="v2")
+        assert result.pattern.size == 1
+
+    @pytest.mark.benchmark(group="core: ACIM object engine v1 baseline")
+    @pytest.mark.parametrize("size", [20, 60, 100, 140])
+    def test_engine_v1(benchmark, size):
+        query, repo = incremental_workload(size)
+        result = benchmark(acim_minimize, query, repo, core_engine="v1")
+        assert result.pattern.size == 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,6 +1,6 @@
 """Containment-oracle cache benchmark: cached vs uncached, all layers.
 
-Measures the three cache layers of the oracle-cache subsystem against
+Measures the two cache layers of the oracle-cache subsystem against
 their memo-free baselines, asserting byte-for-byte result equality on
 every section:
 
@@ -11,10 +11,8 @@ every section:
    (:func:`~repro.bench.experiments.oracle_cache_workload`);
 2. **Sibling-subtree prune memo** — ACIM redundancy checks reusing the
    pruned images of unchanged sibling subtrees
-   (``cim_minimize(..., oracle_cache=True)``);
-3. **CDM rule-probe memo** — Figure 6 rule probes shared across sibling
-   leaves of equal type (``cdm_minimize(..., oracle_cache=True)``),
-   plus the batch-backend composition (workers rebuild their own cache).
+   (``cim_minimize(..., oracle_cache=True)``), plus the batch-backend
+   composition (workers rebuild their own memo).
 
 Run as a script (or via ``benchmarks/run_all.py``) to write the
 machine-readable ``BENCH_oracle_cache.json`` at the repo root::
@@ -47,17 +45,16 @@ from repro.api import MinimizeOptions
 from repro.batch import minimize_batch
 from repro.bench.experiments import oracle_cache_workload
 from repro.bench.timing import best_of
+from repro.constraints.model import parse_constraints
 from repro.core.acim import acim_minimize
-from repro.core.cdm import cdm_minimize
 from repro.core.containment import mapping_targets
 from repro.core.oracle_cache import ContainmentOracleCache, oracle_cache_disabled
 from repro.parsing.sexpr import to_sexpr
-from repro.workloads.batchgen import batch_workload
 from repro.workloads.querygen import duplicate_random_branch, random_query
 
 __all__ = ["SCHEMA_VERSION", "DEFAULT_OUTPUT", "run_comparison", "main"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Default output artifact, at the repo root so the perf trajectory is
 #: tracked in-tree from this PR onward.
@@ -148,46 +145,23 @@ def _prune_memo_section(*, repeat: int, fast: bool) -> dict:
     }
 
 
-def _cdm_probe_section(*, repeat: int, fast: bool) -> dict:
-    """CDM with vs without the rule-probe memo on the fig8 batch
-    workload (shared constraint set, repeated sibling types)."""
-    count = 12 if fast else 24
-    queries, constraints = batch_workload(
-        count, kind="fig8", distinct=4, size=30 if fast else 60, seed=SEED
-    )
-
-    def run_all(flag: bool):
-        return [cdm_minimize(q, constraints, oracle_cache=flag) for q in queries]
-
-    probe_off_seconds = best_of(lambda: run_all(False), repeat=repeat)
-    probe_on_seconds = best_of(lambda: run_all(True), repeat=repeat)
-    on_results = run_all(True)
-    off_results = run_all(False)
-    if [to_sexpr(r.pattern) for r in on_results] != [
-        to_sexpr(r.pattern) for r in off_results
-    ]:
-        raise AssertionError("rule-probe memo changed a CDM result")
-    hits = sum(r.probe_cache_hits for r in on_results)
-    misses = sum(r.probe_cache_misses for r in on_results)
-    return {
-        "queries": len(queries),
-        "probe_off_seconds": probe_off_seconds,
-        "probe_on_seconds": probe_on_seconds,
-        "speedup": probe_off_seconds / max(probe_on_seconds, 1e-12),
-        "probe_cache_hits": hits,
-        "probe_cache_misses": misses,
-        "probe_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
-    }
-
-
 def _batch_section(*, fast: bool) -> dict:
     """Composition check: BatchMinimizer with the subsystem on vs off
     produces identical patterns, and the engine counters surface the
-    per-layer hit counts."""
-    count = 10 if fast else 20
-    queries, constraints = batch_workload(
-        count, kind="fig8", distinct=4, size=24, seed=SEED
-    )
+    per-layer hit counts. Uses heterogeneous duplicated-branch queries
+    (the prune memo's regime — see :func:`_prune_memo_section`) so the
+    surfaced counters are live, not structurally zero."""
+    count = 6 if fast else 12
+    size = 20 if fast else 30
+    queries = []
+    for seed in range(count):
+        rng = random.Random(SEED + seed)
+        queries.append(
+            duplicate_random_branch(
+                random_query(size, types=["a", "b", "c", "d", "e"], rng=rng), rng=rng
+            )
+        )
+    constraints = parse_constraints("")
     on = minimize_batch(
         queries, constraints, MinimizeOptions(memoize=False, oracle_cache=True)
     )
@@ -198,13 +172,14 @@ def _batch_section(*, fast: bool) -> dict:
     if [to_sexpr(p) for p in on.patterns()] != [to_sexpr(p) for p in off.patterns()]:
         raise AssertionError("oracle-cache subsystem changed a batch result")
     counters = on.stats.counters()
+    if not counters.get("prune_memo_hits", 0):
+        raise AssertionError("batch workload failed to exercise the prune memo")
     return {
         "queries": count,
+        "query_size": size,
         "identical_results": True,
         "prune_memo_hits": counters.get("prune_memo_hits", 0),
         "prune_memo_misses": counters.get("prune_memo_misses", 0),
-        "cdm_probe_cache_hits": counters.get("cdm_probe_cache_hits", 0),
-        "cdm_probe_cache_misses": counters.get("cdm_probe_cache_misses", 0),
     }
 
 
@@ -212,7 +187,6 @@ def run_comparison(*, repeat: int = 3, fast: bool = False) -> dict:
     """Run every section; return the ``BENCH_oracle_cache.json`` payload."""
     oracle = _oracle_section(repeat=repeat, fast=fast)
     prune = _prune_memo_section(repeat=repeat, fast=fast)
-    cdm = _cdm_probe_section(repeat=repeat, fast=fast)
     batch = _batch_section(fast=fast)
 
     largest = max(oracle["rows"], key=lambda r: r["queries"])
@@ -224,7 +198,6 @@ def run_comparison(*, repeat: int = 3, fast: bool = False) -> dict:
         "fast": fast,
         "oracle": oracle,
         "prune_memo": prune,
-        "cdm_probe": cdm,
         "batch": batch,
         "summary": {
             "oracle_speedup_at_largest": largest["speedup"],
@@ -260,8 +233,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         f"wrote {args.out}: oracle cache speedup "
         f"{summary['oracle_speedup_at_largest']:.1f}x at hit rate "
         f"{summary['oracle_hit_rate_at_largest']:.0%} "
-        f"(prune memo {payload['prune_memo']['speedup']:.2f}x, "
-        f"CDM probe {payload['cdm_probe']['speedup']:.2f}x); "
+        f"(prune memo {payload['prune_memo']['speedup']:.2f}x, batch "
+        f"prune-memo hits {payload['batch']['prune_memo_hits']}); "
         f"results identical to uncached"
     )
     return 0 if summary["meets_target"] else 1

@@ -37,13 +37,14 @@ settings compose.
 
 from __future__ import annotations
 
-from contextlib import nullcontext
+from contextlib import ExitStack
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional, Sequence, Union
 
 from .constraints.model import IntegrityConstraint
 from .constraints.repository import ConstraintRepository, coerce_repository
 from .core.containment import equivalent as _equivalent
+from .core.engine_config import CORE_ENGINES, core_engine_scope
 from .core.ic_containment import equivalent_under as _equivalent_under
 from .core.oracle_cache import oracle_cache_disabled
 from .core.pattern import TreePattern
@@ -88,7 +89,9 @@ class MinimizeOptions:
         through the session (scoped — the global switch is untouched);
         ``True`` forces it on for worker processes.
     jobs:
-        Worker processes for batch fan-out (``0`` = one per core).
+        Worker processes for batch fan-out (``0`` = one per core;
+        ``"auto"`` = one per core, but tiny workloads run serially to
+        skip pool spin-up).
     strategy:
         One of :data:`STRATEGIES`.
     memoize:
@@ -113,12 +116,18 @@ class MinimizeOptions:
         A :class:`~repro.resilience.faults.FaultPlan` arming
         deterministic fault injection throughout the stack (chaos
         testing / failure replay). ``None`` disables injection.
+    core_engine:
+        Which images/containment core implementation runs the
+        minimization work — ``"v1"`` (object/set) or ``"v2"`` (flat
+        bitset). ``None`` follows the process-wide resolution of
+        :func:`repro.core.engine_config.resolve_core_engine`. Results
+        are byte-identical either way.
     """
 
     engine: str = "dp"
     incremental: bool = True
     oracle_cache: Optional[bool] = None
-    jobs: int = 1
+    jobs: Union[int, str] = 1
     strategy: str = "pipeline"
     memoize: bool = True
     chunksize: Optional[int] = None
@@ -126,6 +135,7 @@ class MinimizeOptions:
     verify: bool = False
     watchdog: Optional[float] = None
     fault_plan: Optional[FaultPlan] = None
+    core_engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -136,8 +146,16 @@ class MinimizeOptions:
             raise ValueError(
                 f"unknown strategy {self.strategy!r} (expected one of {STRATEGIES})"
             )
-        if self.jobs is not None and self.jobs < 0:
+        if isinstance(self.jobs, str):
+            if self.jobs != "auto":
+                raise ValueError(f'jobs must be an int or "auto", got {self.jobs!r}')
+        elif self.jobs is not None and self.jobs < 0:
             raise ValueError(f"jobs must be >= 0, got {self.jobs}")
+        if self.core_engine is not None and self.core_engine not in CORE_ENGINES:
+            raise ValueError(
+                f"unknown core_engine {self.core_engine!r} "
+                f"(expected one of {CORE_ENGINES})"
+            )
         if self.watchdog is not None and self.watchdog <= 0:
             raise ValueError(f"watchdog must be > 0 seconds, got {self.watchdog}")
         if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
@@ -261,8 +279,6 @@ class QueryResult:
                 (node_id, node_type) for node_id, node_type, _ in result.cdm.eliminated
             )
             timings["cdm_seconds"] = result.cdm.seconds
-            counters["cdm_probe_cache_hits"] = result.cdm.probe_cache_hits
-            counters["cdm_probe_cache_misses"] = result.cdm.probe_cache_misses
         if result.acim is not None:
             eliminated.extend(result.acim.eliminated)
             timings["acim_seconds"] = result.acim.total_seconds
@@ -453,11 +469,16 @@ class Session:
     # ------------------------------------------------------------------
 
     def _cache_scope(self):
-        """The oracle-cache scope implied by the options: a re-entrant
-        disabled scope for ``oracle_cache=False``, no-op otherwise."""
+        """The cache/engine scope implied by the options: a re-entrant
+        oracle-cache-disabled scope for ``oracle_cache=False``, plus the
+        core-engine scope when ``core_engine`` is set (both no-ops
+        otherwise)."""
+        stack = ExitStack()
         if self.options.oracle_cache is False:
-            return oracle_cache_disabled()
-        return nullcontext()
+            stack.enter_context(oracle_cache_disabled())
+        if self.options.core_engine is not None:
+            stack.enter_context(core_engine_scope(self.options.core_engine))
+        return stack
 
     def _minimizer_for(self, repo: Constraints) -> "BatchMinimizer":
         """The per-repository batch backend (created on first use; the

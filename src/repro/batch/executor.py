@@ -37,6 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..resilience.faults import FaultInjector
 
 __all__ = [
+    "AUTO_SERIAL_THRESHOLD",
     "ExecutorStats",
     "process_map",
     "resolve_jobs",
@@ -50,10 +51,25 @@ _R = TypeVar("_R")
 #: Rounds of chunk retry on a recreated pool before the serial fallback.
 MAX_POOL_RETRIES = 2
 
+#: ``jobs="auto"`` runs batches of at most this many payloads serially:
+#: pool spin-up (fork + initializer + repository unpickle per worker)
+#: costs more than minimizing a handful of queries in-process.
+AUTO_SERIAL_THRESHOLD = 8
 
-def resolve_jobs(jobs: Optional[int]) -> int:
-    """Normalize a ``jobs`` request: ``None``/``0`` means one worker per
-    available core; negative values raise ``ValueError``."""
+
+def resolve_jobs(jobs: "Optional[int | str]") -> int:
+    """Normalize a ``jobs`` request: ``None``/``0``/``"auto"`` means one
+    worker per available core; negative values (and strings other than
+    ``"auto"``) raise ``ValueError``.
+
+    ``"auto"`` additionally lets :func:`process_map` drop tiny batches
+    to the serial path — that heuristic lives there, not here: this
+    function only answers "how many workers *could* run".
+    """
+    if isinstance(jobs, str):
+        if jobs != "auto":
+            raise ValueError(f'jobs must be an int or "auto", got {jobs!r}')
+        return os.cpu_count() or 1
     if jobs is None or jobs == 0:
         return os.cpu_count() or 1
     if jobs < 0:
@@ -297,7 +313,7 @@ def process_map(
     fn: Callable[[_P], _R],
     payloads: Sequence[_P],
     *,
-    jobs: int = 1,
+    jobs: "int | str" = 1,
     chunksize: Optional[int] = None,
     initializer: Optional[Callable[..., None]] = None,
     initargs: Iterable[object] = (),
@@ -315,6 +331,13 @@ def process_map(
     in-process (the initializer is still called, so worker globals are
     set up identically). Payloads that fail to pickle are executed
     in-process too, spliced back into their original positions.
+
+    ``jobs="auto"`` resolves to one worker per core, except that tiny
+    batches (single-core hosts, or at most
+    :data:`AUTO_SERIAL_THRESHOLD` payloads) run serially — pool
+    spin-up would dominate. The heuristic applies **only** in auto
+    mode: an explicit ``jobs=N`` always dispatches through the pool
+    machinery, which the chaos/resilience paths rely on.
 
     ``pool`` selects a persistent :class:`WorkerPool` instead of a
     per-call executor: the pool's pinned initializer must match
@@ -336,7 +359,10 @@ def process_map(
     - ``stats`` — an :class:`ExecutorStats` the call adds its retry /
       watchdog / fallback counters into.
     """
+    auto = jobs == "auto"
     jobs = resolve_jobs(jobs)
+    if auto and (jobs <= 1 or len(payloads) <= AUTO_SERIAL_THRESHOLD):
+        jobs = 1
     stats = stats if stats is not None else ExecutorStats()
     if initializer is not None and (jobs == 1 or payloads):
         # Run the initializer in-process as well: the serial path and any

@@ -185,6 +185,7 @@ _WORKER_REPO: Optional[ConstraintRepository] = None
 _WORKER_USE_CDM: bool = True
 _WORKER_ORACLE: Optional[bool] = None
 _WORKER_INCREMENTAL: bool = True
+_WORKER_CORE_ENGINE: Optional[str] = None
 
 
 def _init_worker(
@@ -192,12 +193,19 @@ def _init_worker(
     use_cdm_prefilter: bool,
     oracle_cache: Optional[bool] = None,
     incremental: bool = True,
+    core_engine: Optional[str] = None,
 ) -> None:
-    global _WORKER_REPO, _WORKER_USE_CDM, _WORKER_ORACLE, _WORKER_INCREMENTAL
+    global _WORKER_REPO, _WORKER_USE_CDM, _WORKER_ORACLE
+    global _WORKER_INCREMENTAL, _WORKER_CORE_ENGINE
     _WORKER_REPO = pickle.loads(repo_bytes)
     _WORKER_USE_CDM = use_cdm_prefilter
     _WORKER_ORACLE = oracle_cache
     _WORKER_INCREMENTAL = incremental
+    # Threaded explicitly into every minimize() call rather than set as
+    # the process default: the initializer also runs in the *parent*
+    # process (for the serial path), which must not have its process-wide
+    # engine default mutated as a side effect.
+    _WORKER_CORE_ENGINE = core_engine
 
 
 def _minimize_one(pattern: TreePattern) -> MinimizeResult:
@@ -207,6 +215,7 @@ def _minimize_one(pattern: TreePattern) -> MinimizeResult:
         use_cdm_prefilter=_WORKER_USE_CDM,
         oracle_cache=_WORKER_ORACLE,
         incremental=_WORKER_INCREMENTAL,
+        core_engine=_WORKER_CORE_ENGINE,
     )
 
 
@@ -304,6 +313,7 @@ class BatchMinimizer:
                 stacklevel=2,
             )
         if options is not None:
+            self._jobs_spec = options.jobs
             self.jobs = resolve_jobs(options.jobs)
             self.memoize = options.memoize
             self.use_cdm_prefilter = options.use_cdm_prefilter
@@ -311,16 +321,19 @@ class BatchMinimizer:
             self.chunksize = options.chunksize
             self.incremental = options.incremental
             self.watchdog = options.watchdog
+            self.core_engine = options.core_engine
             fault_plan = options.fault_plan
             persistent_pool = options.persistent_pool
         else:
-            self.jobs = resolve_jobs(legacy.get("jobs", 1))
+            self._jobs_spec = legacy.get("jobs", 1)
+            self.jobs = resolve_jobs(self._jobs_spec)
             self.memoize = legacy.get("memoize", True)
             self.use_cdm_prefilter = legacy.get("use_cdm_prefilter", True)
             self.oracle_cache = legacy.get("oracle_cache", None)
             self.chunksize = legacy.get("chunksize", None)
             self.incremental = True
             self.watchdog = None
+            self.core_engine = None
             fault_plan = None
             persistent_pool = False
         if injector is None and fault_plan is not None and fault_plan:
@@ -350,6 +363,7 @@ class BatchMinimizer:
             self.use_cdm_prefilter,
             self.oracle_cache,
             self.incremental,
+            self.core_engine,
         )
         self._pool: Optional[WorkerPool] = (
             WorkerPool(self.jobs, initializer=_init_worker, initargs=self._initargs)
@@ -406,7 +420,7 @@ class BatchMinimizer:
         results = process_map(
             _minimize_one,
             [patterns[i] for i in fresh],
-            jobs=self.jobs if len(fresh) > 1 else 1,
+            jobs=self._jobs_spec if len(fresh) > 1 else 1,
             chunksize=self.chunksize,
             initializer=_init_worker,
             initargs=self._initargs,
@@ -427,12 +441,6 @@ class BatchMinimizer:
         for index, result in by_index.items():
             if result.acim is not None:
                 for key, value in result.acim.images_stats.counters().items():
-                    stats.engine_counters[key] = stats.engine_counters.get(key, 0) + value
-            if result.cdm is not None:
-                for key, value in (
-                    ("cdm_probe_cache_hits", result.cdm.probe_cache_hits),
-                    ("cdm_probe_cache_misses", result.cdm.probe_cache_misses),
-                ):
                     stats.engine_counters[key] = stats.engine_counters.get(key, 0) + value
             fp = prints[index]
             if self.memoize and fp not in self._cache:
@@ -490,6 +498,7 @@ class BatchMinimizer:
                 self.use_cdm_prefilter,
                 self.oracle_cache,
                 self.incremental,
+                self.core_engine,
             )
             return BatchItemResult(
                 index=index,
@@ -526,6 +535,7 @@ def _fresh_minimize(
     use_cdm_prefilter: bool,
     oracle_cache: Optional[bool] = None,
     incremental: bool = True,
+    core_engine: Optional[str] = None,
 ) -> MinimizeResult:
     return minimize(
         pattern,
@@ -533,6 +543,7 @@ def _fresh_minimize(
         use_cdm_prefilter=use_cdm_prefilter,
         oracle_cache=oracle_cache,
         incremental=incremental,
+        core_engine=core_engine,
     )
 
 

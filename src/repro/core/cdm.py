@@ -35,7 +35,6 @@ from typing import Iterable, Optional
 from ..constraints.model import IntegrityConstraint
 from ..constraints.repository import ConstraintRepository, coerce_repository
 from ..constraints.closure import closure
-from . import oracle_cache as _oracle_cache
 from .edges import EdgeKind
 from .infocontent import ArgKind, InfoArg, InfoContent
 from .node import PatternNode
@@ -63,11 +62,6 @@ class CdmResult:
     seconds:
         Wall-clock time of the sweep (closure time excluded; pass a closed
         repository for benchmark-grade numbers).
-    probe_cache_hits / probe_cache_misses:
-        Rule-probe cache counters. ``_match_rule`` is a pure function of
-        the ``(justifier, target)`` argument pair for a fixed (closed)
-        repository, and sibling leaves of the same type produce identical
-        argument pairs — one run-wide memo answers the repeats.
     """
 
     pattern: TreePattern
@@ -75,8 +69,6 @@ class CdmResult:
     rule_counts: dict[str, int] = field(default_factory=dict)
     contents: dict[int, InfoContent] = field(default_factory=dict)
     seconds: float = 0.0
-    probe_cache_hits: int = 0
-    probe_cache_misses: int = 0
 
     @property
     def removed_count(self) -> int:
@@ -154,7 +146,6 @@ def cdm_minimize(
     *,
     in_place: bool = False,
     keep_contents: bool = False,
-    oracle_cache: Optional[bool] = None,
 ) -> CdmResult:
     """Run Algorithm CDM on ``pattern`` under ``constraints``.
 
@@ -167,26 +158,16 @@ def cdm_minimize(
     fixpoint — deleting discharged leaf children — and the final content
     is what the parent later sees. Upward cascades (a node becoming an
     unconstrained leaf) are therefore handled in the same sweep.
-
-    ``oracle_cache`` controls the run-wide rule-probe memo (see
-    :class:`CdmResult`); ``None`` follows the process-wide oracle-cache
-    switch. Results are identical either way.
     """
     repo = coerce_repository(constraints)
     if not repo.is_closed:
         repo = closure(repo)
     query = pattern if in_place else pattern.copy()
     result = CdmResult(pattern=query)
-    use_probe_cache = (
-        _oracle_cache.global_enabled() if oracle_cache is None else bool(oracle_cache)
-    )
-    probe_cache: Optional[dict[tuple[InfoArg, InfoArg], Optional[str]]] = (
-        {} if use_probe_cache else None
-    )
 
     start = time.perf_counter()
     contents: dict[int, InfoContent] = {}
-    _sweep(query.root, contents, repo, result, probe_cache)
+    _sweep(query.root, contents, repo, result)
     result.seconds = time.perf_counter() - start
 
     if keep_contents:
@@ -194,39 +175,11 @@ def cdm_minimize(
     return result
 
 
-def _probe_rule(
-    justifier: InfoArg,
-    target: InfoArg,
-    repo: ConstraintRepository,
-    result: CdmResult,
-    probe_cache: Optional[dict[tuple[InfoArg, InfoArg], Optional[str]]],
-) -> Optional[str]:
-    """``_match_rule`` through the run-wide probe memo.
-
-    Sound because ``_match_rule`` only reads the (fixed, closed)
-    repository and the two argument values — node identity, sources, and
-    sweep position never enter the answer.
-    """
-    if probe_cache is None:
-        return _match_rule(justifier, target, repo)
-    key = (justifier, target)
-    try:
-        rule = probe_cache[key]
-    except KeyError:
-        rule = _match_rule(justifier, target, repo)
-        probe_cache[key] = rule
-        result.probe_cache_misses += 1
-    else:
-        result.probe_cache_hits += 1
-    return rule
-
-
 def _sweep(
     root: PatternNode,
     contents: dict[int, InfoContent],
     repo: ConstraintRepository,
     result: CdmResult,
-    probe_cache: Optional[dict[tuple[InfoArg, InfoArg], Optional[str]]] = None,
 ) -> None:
     # Explicit-stack postorder: queries can be deeper than Python's
     # recursion budget, and deep recursion is disproportionately slow on
@@ -246,7 +199,7 @@ def _sweep(
             for arg, source in propagate_child_content(child, contents[child.id]):
                 content.add(arg, source)
 
-        _minimize_at(node, content, repo, result, probe_cache)
+        _minimize_at(node, content, repo, result)
 
         if node.is_leaf:
             # All children were discharged: ~t relaxes to t before the
@@ -260,7 +213,6 @@ def _minimize_at(
     content: InfoContent,
     repo: ConstraintRepository,
     result: CdmResult,
-    probe_cache: Optional[dict[tuple[InfoArg, InfoArg], Optional[str]]] = None,
 ) -> None:
     # One ordered pass suffices: rule applications only ever *remove*
     # arguments and sources, so a target that has no live justifier now
@@ -269,7 +221,7 @@ def _minimize_at(
     for target in content.removable_args():
         if not content.is_live(target):
             continue
-        rule = _find_justification(content, target, repo, result, probe_cache)
+        rule = _find_justification(content, target, repo, result)
         if rule is not None:
             _discharge(node, content, target, rule, result)
 
@@ -279,7 +231,6 @@ def _find_justification(
     target: InfoArg,
     repo: ConstraintRepository,
     result: CdmResult,
-    probe_cache: Optional[dict[tuple[InfoArg, InfoArg], Optional[str]]] = None,
 ) -> Optional[str]:
     # A self-pair justification (the target trimming its own duplicates,
     # e.g. t ->> t) must keep one source alive, so it is only a fallback:
@@ -291,11 +242,11 @@ def _find_justification(
             continue
         if justifier == target:
             if fallback is None and len(content.sources_of(target)) >= 2:
-                rule = _probe_rule(justifier, target, repo, result, probe_cache)
+                rule = _match_rule(justifier, target, repo)
                 if rule is not None:
                     fallback = f"{rule}(self-pair)"
             continue
-        rule = _probe_rule(justifier, target, repo, result, probe_cache)
+        rule = _match_rule(justifier, target, repo)
         if rule is not None:
             return rule
     return fallback

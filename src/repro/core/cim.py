@@ -31,7 +31,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from .images import ImagesEngine, ImagesStats, VirtualTarget
+from .images import ImagesStats, VirtualTarget, create_images_engine
 from .node import PatternNode
 from .pattern import TreePattern
 
@@ -93,6 +93,7 @@ def cim_minimize(
     pair_filter=None,
     incremental: bool = True,
     oracle_cache: Optional[bool] = None,
+    core_engine: Optional[str] = None,
 ) -> CimResult:
     """Minimize ``pattern`` by maximal elimination of redundant leaves.
 
@@ -136,6 +137,12 @@ def cim_minimize(
         process-wide switch
         (:func:`repro.core.oracle_cache.global_enabled`); ``False`` is
         the memo-free baseline. Results are identical either way.
+    core_engine:
+        Which images-engine implementation runs the redundancy checks —
+        ``"v1"`` (object/set engine) or ``"v2"`` (flat bitset engine).
+        ``None`` resolves through
+        :func:`repro.core.engine_config.resolve_core_engine`. Results
+        are byte-identical either way.
 
     Returns
     -------
@@ -161,12 +168,13 @@ def cim_minimize(
     candidates = [
         n.id for n in query.leaves() if _eligible(n, protect, include_temporaries)
     ]
-    engine = ImagesEngine(
+    engine = create_images_engine(
         query,
         live_virtual,
         result.stats,
         pair_filter=pair_filter,
         prune_memo=oracle_cache,
+        engine=core_engine,
     )
 
     while candidates:
@@ -216,12 +224,13 @@ def cim_minimize(
                     else:
                         survivors.append(vt)
                 live_virtual = survivors
-            engine = ImagesEngine(
+            engine = create_images_engine(
                 query,
                 live_virtual,
                 result.stats,
                 pair_filter=pair_filter,
                 prune_memo=oracle_cache,
+                engine=core_engine,
             )
         if (
             parent is not None
@@ -233,13 +242,13 @@ def cim_minimize(
     return result
 
 
-def is_minimal(pattern: TreePattern) -> bool:
+def is_minimal(pattern: TreePattern, *, core_engine: Optional[str] = None) -> bool:
     """Whether a pattern is already minimal (no redundant leaf exists).
 
     Equivalent to ``cim_minimize(pattern).removed_count == 0`` but without
     copying or deleting.
     """
-    engine = ImagesEngine(pattern)
+    engine = create_images_engine(pattern, engine=core_engine)
     return not any(
         engine.is_redundant_leaf(leaf)
         for leaf in pattern.leaves()

@@ -28,6 +28,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from . import oracle_cache as _oracle_cache
+from .engine_config import resolve_core_engine
+from .engine_v2 import flat_mapping_targets
 from .fingerprint import are_isomorphic
 from .node import PatternNode
 from .pattern import TreePattern
@@ -109,6 +111,7 @@ def mapping_targets(
     *,
     stats: Optional[ContainmentStats] = None,
     cache: object = USE_GLOBAL_CACHE,
+    engine: Optional[str] = None,
 ) -> dict[int, set[int]]:
     """For every node ``v`` of ``source``, the ids of ``target`` nodes that
     ``v`` can map to under some containment mapping of ``v``'s subtree.
@@ -129,6 +132,13 @@ def mapping_targets(
     onto the caller's node ids on a hit — identical output, no DP. Pass
     ``cache=None`` for an uncached run, or an explicit cache instance to
     use instead of the global one.
+
+    This function is a dispatching facade: ``engine`` selects the v1
+    object-walking DP below or the bitset DP of
+    :func:`repro.core.engine_v2.flat_mapping_targets` (identical results
+    and counters), resolved through
+    :func:`repro.core.engine_config.resolve_core_engine` when ``None``.
+    The oracle-cache layer wraps both.
     """
     if stats is None:
         stats = ContainmentStats()
@@ -139,6 +149,19 @@ def mapping_targets(
             stats.oracle_cache_hits += 1
             return remapped
         stats.oracle_cache_misses += 1
+    if resolve_core_engine(engine) == "v2":
+        targets = flat_mapping_targets(source, target, stats)
+    else:
+        targets = _mapping_targets_v1(source, target, stats)
+    if oc is not None:
+        oc.store(source, target, targets)
+    return targets
+
+
+def _mapping_targets_v1(
+    source: TreePattern, target: TreePattern, stats: ContainmentStats
+) -> dict[int, set[int]]:
+    """The original object-walking DP (engine v1)."""
     target_nodes = list(target.nodes())
     target_postorder = list(target.postorder())
     targets: dict[int, set[int]] = {}
@@ -192,8 +215,6 @@ def mapping_targets(
             if _children_mappable(v, u, targets, reach_below):
                 admissible.add(u.id)
         targets[v.id] = admissible
-    if oc is not None:
-        oc.store(source, target, targets)
     return targets
 
 

@@ -1,0 +1,103 @@
+"""Core-engine selection (v1 object engine vs v2 flat engine).
+
+The minimization core has two interchangeable implementations:
+
+* **v1** — the original object-walking engine
+  (:class:`repro.core.images.ImagesEngine` and the set-based
+  ``mapping_targets`` DP in :mod:`repro.core.containment`);
+* **v2** — the flat engine (:mod:`repro.core.engine_v2`): patterns
+  compiled to arrays, images sets and DP rows held as bitsets.
+
+Both produce byte-identical results (pinned by the differential suites in
+``tests/test_engine_v2.py``); v2 is the default because it is faster.
+
+Resolution order for every dispatch site, most specific first:
+
+1. an explicit ``engine=...`` argument (``MinimizeOptions.core_engine``,
+   the ``--engine``/``--core-engine`` CLI flags);
+2. the innermost active :func:`core_engine_scope` (how ``Session``
+   applies its options re-entrantly);
+3. the process default set via :func:`set_default_core_engine`;
+4. the ``REPRO_CORE_ENGINE`` environment variable;
+5. ``"v2"``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import os
+from typing import Iterator, Optional
+
+__all__ = [
+    "CORE_ENGINES",
+    "DEFAULT_CORE_ENGINE",
+    "resolve_core_engine",
+    "default_core_engine",
+    "set_default_core_engine",
+    "core_engine_scope",
+]
+
+#: The valid values everywhere a core engine can be named.
+CORE_ENGINES = ("v1", "v2")
+
+#: The built-in default when nothing else chooses.
+DEFAULT_CORE_ENGINE = "v2"
+
+_ENV_VAR = "REPRO_CORE_ENGINE"
+
+#: Lazily-resolved process default (None = not resolved yet).
+_process_default: Optional[str] = None
+
+_scope: contextvars.ContextVar[Optional[str]] = contextvars.ContextVar(
+    "repro_core_engine_scope", default=None
+)
+
+
+def _validate(engine: str) -> str:
+    if engine not in CORE_ENGINES:
+        raise ValueError(
+            f"unknown core engine {engine!r} (expected one of {CORE_ENGINES})"
+        )
+    return engine
+
+
+def default_core_engine() -> str:
+    """The process-wide default engine (env-seeded, lazily resolved)."""
+    global _process_default
+    if _process_default is None:
+        env = os.environ.get(_ENV_VAR, "").strip()
+        _process_default = env if env in CORE_ENGINES else DEFAULT_CORE_ENGINE
+    return _process_default
+
+
+def set_default_core_engine(engine: str) -> None:
+    """Set the process-wide default engine (workers call this from their
+    initializer — context variables do not cross process boundaries)."""
+    global _process_default
+    _process_default = _validate(engine)
+
+
+def resolve_core_engine(engine: Optional[str] = None) -> str:
+    """Resolve an optional explicit choice to a concrete engine name."""
+    if engine is not None:
+        return _validate(engine)
+    scoped = _scope.get()
+    if scoped is not None:
+        return scoped
+    return default_core_engine()
+
+
+@contextlib.contextmanager
+def core_engine_scope(engine: Optional[str]) -> Iterator[None]:
+    """Pin the engine for the duration of the ``with`` block (re-entrant,
+    task-local). ``None`` is a no-op scope, so callers can pass an
+    unresolved option straight through."""
+    if engine is None:
+        yield
+        return
+    token = _scope.set(_validate(engine))
+    try:
+        yield
+    finally:
+        _scope.reset(token)

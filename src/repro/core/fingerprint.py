@@ -38,7 +38,17 @@ def subtree_keys(pattern: TreePattern) -> Dict[int, str]:
     Same encoding as :meth:`TreePattern.canonical_key`, computed for all
     nodes in one iterative postorder pass; ``subtree_keys(p)[p.root.id]``
     equals ``p.canonical_key()``.
+
+    The table is memoized on the pattern and invalidated by its
+    structural version counter (bumped by every mutation — node flags,
+    extra types, attach/detach), so repeated fingerprinting of an
+    unchanged pattern — the oracle cache's steady state — costs a dict
+    lookup. Callers must treat the returned dict as read-only.
     """
+    memo = getattr(pattern, "_subtree_keys_memo", None)
+    version = pattern._version
+    if memo is not None and memo[0] == version:
+        return memo[1]
     keys: Dict[int, str] = {}
     stack: list[tuple[PatternNode, bool]] = [(pattern.root, False)]
     while stack:
@@ -53,6 +63,7 @@ def subtree_keys(pattern: TreePattern) -> Dict[int, str]:
         extras = ",".join(sorted(node.extra_types))
         flags = ("*" if node.is_output else "") + ("?" if node.temporary else "")
         keys[node.id] = f"{node.type}|{extras}|{flags}({';'.join(child_keys)})"
+    pattern._subtree_keys_memo = (version, keys)
     return keys
 
 
@@ -64,12 +75,13 @@ def fingerprint(pattern: TreePattern) -> str:
     to SHA-256 collisions — fingerprint equality implies
     :func:`are_isomorphic`.
     """
-    return hashlib.sha256(pattern.canonical_key().encode("utf-8")).hexdigest()
+    key = subtree_keys(pattern)[pattern.root.id]
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()
 
 
 def are_isomorphic(a: TreePattern, b: TreePattern) -> bool:
     """Exact unordered-isomorphism check (no hashing involved)."""
-    return a.canonical_key() == b.canonical_key()
+    return subtree_keys(a)[a.root.id] == subtree_keys(b)[b.root.id]
 
 
 def isomorphism(

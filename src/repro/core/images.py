@@ -40,7 +40,13 @@ from .edges import EdgeKind
 from .node import PatternNode
 from .pattern import TreePattern
 
-__all__ = ["VirtualTarget", "AncestorTable", "ImagesStats", "ImagesEngine"]
+__all__ = [
+    "VirtualTarget",
+    "AncestorTable",
+    "ImagesStats",
+    "ImagesEngine",
+    "create_images_engine",
+]
 
 
 @dataclass(frozen=True)
@@ -252,6 +258,39 @@ class ImagesStats:
             "prune_memo_misses": self.prune_memo_misses,
             "prune_memo_evictions": self.prune_memo_evictions,
         }
+
+
+def create_images_engine(
+    pattern: TreePattern,
+    virtual: Sequence[VirtualTarget] = (),
+    stats: Optional[ImagesStats] = None,
+    pair_filter: Optional[Callable[[int, int], bool]] = None,
+    prune_memo: Optional[bool] = None,
+    *,
+    engine: Optional[str] = None,
+):
+    """Construct a redundant-leaf engine for ``pattern``.
+
+    This is the dispatching facade the minimizers go through: ``engine``
+    (``"v1"``/``"v2"``/``None``) resolves via
+    :func:`repro.core.engine_config.resolve_core_engine` — explicit
+    argument, then the active ``Session`` scope, then the process default
+    (``REPRO_CORE_ENGINE``, default v2). Both engines expose the same
+    API and produce byte-identical results; v2
+    (:class:`repro.core.engine_v2.FlatImagesEngine`) runs the images sets
+    as bitsets over a flat compilation of the pattern.
+    """
+    from .engine_config import resolve_core_engine
+
+    if resolve_core_engine(engine) == "v2":
+        from .engine_v2 import FlatImagesEngine
+
+        return FlatImagesEngine(
+            pattern, virtual, stats, pair_filter=pair_filter, prune_memo=prune_memo
+        )
+    return ImagesEngine(
+        pattern, virtual, stats, pair_filter=pair_filter, prune_memo=prune_memo
+    )
 
 
 class ImagesEngine:

@@ -52,9 +52,9 @@ class PatternNode:
         "id",
         "type",
         "edge",
-        "is_output",
-        "temporary",
-        "extra_types",
+        "_is_output",
+        "_temporary",
+        "_extra_types",
         "_parent",
         "_children",
         "_pattern",
@@ -75,12 +75,50 @@ class PatternNode:
         self.id = node_id
         self.type = node_type
         self.edge = edge
-        self.is_output = is_output
-        self.temporary = temporary
-        self.extra_types: frozenset[str] = frozenset()
+        self._is_output = is_output
+        self._temporary = temporary
+        self._extra_types: frozenset[str] = frozenset()
         self._parent: Optional[PatternNode] = None
         self._children: list[PatternNode] = []
         self._pattern = pattern
+
+    # ------------------------------------------------------------------
+    # Semantic attributes
+    #
+    # Plain attributes to callers, but writes go through setters that
+    # bump the owning pattern's structural version — the invalidation
+    # signal for the canonical-key memo of repro.core.fingerprint.
+    # ------------------------------------------------------------------
+
+    @property
+    def is_output(self) -> bool:
+        """Whether this node carries the ``*`` output marker."""
+        return self._is_output
+
+    @is_output.setter
+    def is_output(self, value: bool) -> None:
+        self._is_output = value
+        self._pattern._version += 1
+
+    @property
+    def temporary(self) -> bool:
+        """True for nodes materialized by augmentation."""
+        return self._temporary
+
+    @temporary.setter
+    def temporary(self, value: bool) -> None:
+        self._temporary = value
+        self._pattern._version += 1
+
+    @property
+    def extra_types(self) -> frozenset[str]:
+        """Co-occurrence types associated by augmentation."""
+        return self._extra_types
+
+    @extra_types.setter
+    def extra_types(self, value: frozenset[str]) -> None:
+        self._extra_types = value
+        self._pattern._version += 1
 
     # ------------------------------------------------------------------
     # Structure accessors
@@ -175,12 +213,14 @@ class PatternNode:
             )
         child._parent = self
         self._children.append(child)
+        self._pattern._version += 1
 
     def _detach(self) -> None:
         if self._parent is None:
             raise InvalidPatternError("cannot detach the root node")
         self._parent._children.remove(self)
         self._parent = None
+        self._pattern._version += 1
 
     # ------------------------------------------------------------------
     # Display

@@ -48,6 +48,10 @@ class TreePattern:
     def __init__(self, root_type: str, *, root_is_output: bool = False) -> None:
         self._next_id = 0
         self._nodes: dict[int, PatternNode] = {}
+        # Bumped on every structural or semantic mutation (node flags,
+        # extra types, attach/detach) — see PatternNode's setters. The
+        # canonical-key memo in repro.core.fingerprint keys on it.
+        self._version = 0
         self._root = self._new_node(root_type, None, is_output=root_is_output)
 
     # ------------------------------------------------------------------
@@ -310,11 +314,31 @@ class TreePattern:
     # Copying
     # ------------------------------------------------------------------
 
+    def __reduce_ex__(self, protocol):
+        """Pickle through the flat array form (:mod:`repro.core.engine_v2`).
+
+        A pattern's natural object graph is cyclic (parent/child links,
+        node→pattern backrefs) and recursion-deep for chain queries;
+        shipping a :class:`~repro.core.engine_v2.FlatPattern` instead
+        keeps batch-worker pickles small and depth-independent. The
+        round trip preserves node ids, the id counter, and child
+        insertion order, so unpickled patterns behave identically.
+        """
+        from . import engine_v2  # local import: engine_v2 imports this module
+
+        if engine_v2.flat_pickle_enabled():
+            return (
+                engine_v2.pattern_from_flat,
+                (engine_v2.FlatPattern.from_pattern(self),),
+            )
+        return super().__reduce_ex__(protocol)
+
     def copy(self) -> "TreePattern":
         """Deep-copy this pattern, preserving node ids and flags."""
         clone = TreePattern.__new__(TreePattern)
         clone._next_id = self._next_id
         clone._nodes = {}
+        clone._version = 0
 
         def clone_node(node: PatternNode) -> PatternNode:
             new = PatternNode(

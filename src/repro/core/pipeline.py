@@ -88,6 +88,7 @@ def minimize(
     seed: Optional[int] = None,
     incremental: bool = True,
     oracle_cache: Optional[bool] = None,
+    core_engine: Optional[str] = None,
 ) -> MinimizeResult:
     """Minimize ``pattern`` (optionally under ``constraints``).
 
@@ -98,8 +99,10 @@ def minimize(
     benchmark measures the difference. ``incremental=False`` selects the
     from-scratch engine-rebuild baseline inside ACIM (see
     :func:`repro.core.cim.cim_minimize`); ``oracle_cache=False``
-    disables the sibling-subtree prune memo there (and the CDM rule-probe
-    cache), ``None`` follows the process-wide oracle-cache switch.
+    disables the sibling-subtree prune memo there, ``None`` follows the
+    process-wide oracle-cache switch. ``core_engine`` picks the images
+    engine implementation (``"v1"`` objects / ``"v2"`` flat bitsets; see
+    :mod:`repro.core.engine_config`) — results are byte-identical.
 
     Returns a :class:`MinimizeResult`; the minimized query is
     ``result.pattern`` and the input is never mutated.
@@ -117,6 +120,7 @@ def minimize(
             seed=seed,
             incremental=incremental,
             oracle_cache=oracle_cache,
+            core_engine=core_engine,
         )
         result.pattern = result.acim.pattern
         return result
@@ -128,7 +132,7 @@ def minimize(
 
     working = pattern
     if use_cdm_prefilter:
-        result.cdm = cdm_minimize(working, repo, oracle_cache=oracle_cache)
+        result.cdm = cdm_minimize(working, repo)
         working = result.cdm.pattern
 
     result.acim = acim_minimize(
@@ -138,6 +142,7 @@ def minimize(
         seed=seed,
         incremental=incremental,
         oracle_cache=oracle_cache,
+        core_engine=core_engine,
     )
     result.pattern = result.acim.pattern
     return result

@@ -33,6 +33,7 @@ from ..constraints.model import parse_constraints
 from ..errors import ReproError
 from ..matching.evaluator import ENGINES
 from ..resilience.faults import FaultPlan
+from ..tools.minimize_cli import _jobs_arg
 from .protocol import serve_stdio, serve_tcp
 from .service import MinimizationService
 
@@ -69,15 +70,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_jobs_arg,
         default=1,
-        help="worker processes, kept warm across batches (0 = one per core)",
+        help=(
+            "worker processes, kept warm across batches (0 = one per "
+            "core; 'auto' = one per core, tiny batches serial)"
+        ),
     )
     parser.add_argument(
         "--engine",
         choices=ENGINES,
         default="dp",
         help="matching engine for evaluation-side work (default dp)",
+    )
+    parser.add_argument(
+        "--core-engine",
+        choices=("v1", "v2"),
+        default=None,
+        help=(
+            "images/containment core for minimization work: v1 "
+            "(object/set) or v2 (flat bitset; the default). "
+            "Byte-identical results"
+        ),
     )
     parser.add_argument(
         "--strategy",
@@ -158,6 +172,7 @@ async def _serve(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         jobs=args.jobs,
         oracle_cache=False if args.no_oracle_cache else None,
+        core_engine=args.core_engine,
         watchdog=args.watchdog,
         fault_plan=(
             _parse_fault_plan(args.fault_plan) if args.fault_plan else None

@@ -32,6 +32,7 @@ from ..errors import ReproError
 from ..matching.pathstack import is_path_pattern
 from ..parsing.serializer import to_xpath
 from ..parsing.xpath import parse_xpath
+from .minimize_cli import _jobs_arg
 
 __all__ = ["main", "build_parser"]
 
@@ -58,9 +59,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_jobs_arg,
         default=1,
-        help="worker processes for fanning documents (0 = one per core; default 1)",
+        help=(
+            "worker processes for fanning documents (0 = one per core; "
+            "'auto' = one per core, tiny batches serial; default 1)"
+        ),
     )
     parser.add_argument(
         "--format",
@@ -73,6 +77,15 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("dp", "twig", "pathstack", "twigmerge"),
         default="dp",
         help="matching engine (pathstack requires linear queries)",
+    )
+    parser.add_argument(
+        "--core-engine",
+        choices=("v1", "v2"),
+        default=None,
+        help=(
+            "images/containment core for --minimize: v1 (object/set) or "
+            "v2 (flat bitset; the default). Byte-identical results"
+        ),
     )
     parser.add_argument(
         "-c", "--constraints", default=None, help="';'-separated integrity constraints"
@@ -164,6 +177,7 @@ def main(argv: list[str] | None = None) -> int:
             engine=args.engine,
             jobs=args.jobs,
             oracle_cache=False if args.no_oracle_cache else None,
+            core_engine=args.core_engine,
         )
         with Session(options, constraints=constraints) as session:
             minimized_results = None

@@ -38,6 +38,19 @@ from ..parsing.xpath import parse_xpath
 __all__ = ["main", "build_parser"]
 
 
+def _jobs_arg(value: str):
+    """``--jobs`` values: an integer worker count or the literal
+    ``auto`` (one per core, tiny batches serial)."""
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``tpq-minimize`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -66,9 +79,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_jobs_arg,
         default=1,
-        help="worker processes for --batch (0 = one per core; default 1)",
+        help=(
+            "worker processes for --batch (0 = one per core; 'auto' = one "
+            "per core but tiny batches run serially; default 1)"
+        ),
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("v1", "v2"),
+        default=None,
+        help=(
+            "core images/containment engine: v1 (object/set) or v2 (flat "
+            "bitset; the default). Results are byte-identical; default "
+            "follows REPRO_CORE_ENGINE"
+        ),
     )
     parser.add_argument(
         "-c",
@@ -111,7 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "disable the process-wide containment-oracle cache and the "
-            "prune/rule-probe memos (results are identical either way)"
+            "prune memo (results are identical either way)"
         ),
     )
     return parser
@@ -144,6 +170,7 @@ def _session_options(args) -> MinimizeOptions:
     return MinimizeOptions(
         jobs=args.jobs,
         oracle_cache=False if args.no_oracle_cache else None,
+        core_engine=args.engine,
     )
 
 
@@ -212,7 +239,7 @@ def _run_single(args, constraints) -> int:
         # run outside the pipeline; the session's cache scope still
         # applies through the re-entrant guard in main().
         if args.algorithm == "cim":
-            run = cim_minimize(query)
+            run = cim_minimize(query, core_engine=args.engine)
             eliminated = list(run.eliminated)
             explain_lines = [f"removed node #{i} ({t}) [CIM]" for i, t in run.eliminated]
         elif args.algorithm == "cdm":
@@ -223,7 +250,7 @@ def _run_single(args, constraints) -> int:
                 for i, t, rule in run.eliminated
             ]
         else:  # acim
-            run = acim_minimize(query, constraints)
+            run = acim_minimize(query, constraints, core_engine=args.engine)
             eliminated = list(run.eliminated)
             explain_lines = [f"removed node #{i} ({t}) [ACIM]" for i, t in run.eliminated]
         result = QueryResult(

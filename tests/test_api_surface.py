@@ -74,6 +74,7 @@ def test_session_api_is_exported():
         "verify",
         "watchdog",
         "fault_plan",
+        "core_engine",
     }
 
 

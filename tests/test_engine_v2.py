@@ -1,0 +1,562 @@
+"""Differential tests for the flat (v2) core engine.
+
+The v2 engine (``repro.core.engine_v2``) re-implements the images engine
+and the containment DP over flat preorder arrays and bitset rows. Its
+contract is **byte-for-byte equality with v1**: same minimized patterns,
+same elimination order, same witnesses, same integer counters — for
+every driver (CIM, ACIM, CDM, the pipeline, the batch backend, the
+serving layer). These tests pin that contract on 400+ seeded workloads
+plus hypothesis-generated ones, and additionally cover the flat
+building blocks: FlatPattern round-trips, canonical subtree keys,
+bitset helpers, flat pickling, and incremental ``delete_leaf``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import copy
+import os
+import pickle
+import random
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import MinimizeOptions, Session
+from repro.constraints.model import (
+    co_occurrence,
+    parse_constraints,
+    required_child,
+    required_descendant,
+)
+from repro.core.acim import acim_minimize
+from repro.core.cdm import cdm_minimize
+from repro.core.cim import cim_minimize, is_minimal
+from repro.core.containment import ContainmentStats, mapping_targets
+from repro.core.edges import EdgeKind
+from repro.core.engine_config import (
+    CORE_ENGINES,
+    core_engine_scope,
+    resolve_core_engine,
+)
+from repro.core.engine_v2 import (
+    FlatImagesEngine,
+    FlatPattern,
+    bits_to_ids,
+    flat_pickle,
+    flat_pickle_enabled,
+    ids_to_bits,
+    iter_slots,
+    pattern_from_flat,
+)
+from repro.core.fingerprint import subtree_keys
+from repro.core.images import ImagesEngine, ImagesStats, create_images_engine
+from repro.core.pattern import TreePattern
+from repro.core.pipeline import minimize
+from repro.errors import InvalidPatternError
+from repro.parsing.sexpr import to_sexpr
+from repro.parsing.xpath import parse_xpath
+from repro.service import MinimizationService
+from repro.workloads import (
+    chain_query,
+    duplicate_random_branch,
+    isomorphic_shuffle,
+    random_query,
+)
+
+TYPES = ["a", "b", "c", "d"]
+
+
+def _random_constraints(rng: random.Random, types=TYPES):
+    """A small random, acyclic-forward IC set (same shape as the
+    property suites use: child/descendant edges only point forward in
+    the type order so closures stay finite)."""
+    out = []
+    for _ in range(rng.randint(0, 5)):
+        kind = rng.choice(["child", "desc", "cooc"])
+        if kind == "cooc":
+            i, j = rng.randrange(len(types)), rng.randrange(len(types))
+            if i != j:
+                out.append(co_occurrence(types[i], types[j]))
+        else:
+            i = rng.randrange(len(types) - 1)
+            j = rng.randint(i + 1, len(types) - 1)
+            make = required_child if kind == "child" else required_descendant
+            out.append(make(types[i], types[j]))
+    return out
+
+
+def _workload(seed: int) -> tuple[TreePattern, list]:
+    rng = random.Random(seed)
+    query = random_query(rng.randint(2, 14), types=TYPES, rng=rng)
+    if rng.random() < 0.6:
+        query = duplicate_random_branch(query, rng=rng)
+    return query, _random_constraints(rng)
+
+
+def _cim_record(pattern, engine, **kw):
+    stats = ImagesStats()
+    result = cim_minimize(
+        pattern, collect_witnesses=True, stats=stats, core_engine=engine, **kw
+    )
+    return (
+        to_sexpr(result.pattern),
+        result.eliminated,
+        result.witnesses,
+        stats.counters(),
+    )
+
+
+def _acim_record(pattern, ics, engine, **kw):
+    result = acim_minimize(
+        pattern, ics, collect_witnesses=True, core_engine=engine, **kw
+    )
+    return (
+        to_sexpr(result.pattern),
+        result.eliminated,
+        result.witnesses,
+        result.images_stats.counters(),
+        result.virtual_count,
+    )
+
+
+def _pipeline_record(pattern, ics, engine):
+    result = minimize(pattern, ics, collect_witnesses=True, core_engine=engine)
+    cdm = [] if result.cdm is None else result.cdm.eliminated
+    acim = ([], {}, {})
+    if result.acim is not None:
+        acim = (
+            result.acim.eliminated,
+            result.acim.witnesses,
+            result.acim.images_stats.counters(),
+        )
+    return (to_sexpr(result.pattern), cdm, acim)
+
+
+class TestDifferentialSeeded:
+    """v2 == v1, byte for byte, across 400+ seeded workloads.
+
+    Every seed drives four drivers (CIM, ACIM, the full pipeline, CDM
+    under both engine scopes), so 110 seeds are 440 differential
+    workload runs — on top of the hypothesis suites below.
+    """
+
+    SEEDS = range(110)
+
+    def test_cim_matches(self):
+        for seed in self.SEEDS:
+            query, _ = _workload(seed)
+            assert _cim_record(query, "v1") == _cim_record(query, "v2"), seed
+
+    def test_acim_matches(self):
+        for seed in self.SEEDS:
+            query, ics = _workload(seed)
+            assert _acim_record(query, ics, "v1") == _acim_record(
+                query, ics, "v2"
+            ), seed
+
+    def test_pipeline_matches(self):
+        for seed in self.SEEDS:
+            query, ics = _workload(seed)
+            assert _pipeline_record(query, ics, "v1") == _pipeline_record(
+                query, ics, "v2"
+            ), seed
+
+    def test_cdm_matches(self):
+        # CDM never touches the images engine, but the scope must not
+        # perturb it either way.
+        for seed in self.SEEDS:
+            query, ics = _workload(seed)
+            records = []
+            for engine in CORE_ENGINES:
+                with core_engine_scope(engine):
+                    run = cdm_minimize(query, ics)
+                records.append((to_sexpr(run.pattern), run.eliminated, run.rule_counts))
+            assert records[0] == records[1], seed
+
+    def test_cim_seeded_order_matches(self):
+        """The seeded-random elimination order visits leaves identically
+        in both engines (same rng consumption, same min-id tie-breaks)."""
+        for seed in range(40):
+            query, _ = _workload(seed)
+            assert _cim_record(query, "v1", seed=seed) == _cim_record(
+                query, "v2", seed=seed
+            ), seed
+
+    def test_from_scratch_baseline_matches(self):
+        for seed in range(40):
+            query, ics = _workload(seed)
+            assert _acim_record(query, ics, "v1", incremental=False) == _acim_record(
+                query, ics, "v2", incremental=False
+            ), seed
+
+    def test_memo_free_baseline_matches(self):
+        for seed in range(40):
+            query, ics = _workload(seed)
+            assert _acim_record(query, ics, "v1", oracle_cache=False) == _acim_record(
+                query, ics, "v2", oracle_cache=False
+            ), seed
+
+    def test_is_minimal_matches(self):
+        for seed in self.SEEDS:
+            query, _ = _workload(seed)
+            assert is_minimal(query, core_engine="v1") == is_minimal(
+                query, core_engine="v2"
+            ), seed
+
+
+@st.composite
+def patterns(draw, max_size: int = 9) -> TreePattern:
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    pattern = TreePattern(draw(st.sampled_from(TYPES)))
+    nodes = [pattern.root]
+    for _ in range(size - 1):
+        parent = nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))]
+        edge = EdgeKind.DESCENDANT if draw(st.booleans()) else EdgeKind.CHILD
+        nodes.append(pattern.add_child(parent, draw(st.sampled_from(TYPES)), edge))
+    nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))].is_output = True
+    pattern.validate()
+    return pattern
+
+
+class TestDifferentialHypothesis:
+    @settings(max_examples=60, deadline=None)
+    @given(patterns())
+    def test_cim_matches(self, pattern):
+        assert _cim_record(pattern, "v1") == _cim_record(pattern, "v2")
+
+    @settings(max_examples=60, deadline=None)
+    @given(patterns(), st.integers(min_value=0, max_value=10_000))
+    def test_acim_matches(self, pattern, ic_seed):
+        ics = _random_constraints(random.Random(ic_seed))
+        assert _acim_record(pattern, ics, "v1") == _acim_record(pattern, ics, "v2")
+
+    @settings(max_examples=60, deadline=None)
+    @given(patterns(), patterns())
+    def test_mapping_targets_matches(self, source, target):
+        records = []
+        for engine in CORE_ENGINES:
+            stats = ContainmentStats()
+            table = mapping_targets(
+                source, target, stats=stats, cache=None, engine=engine
+            )
+            records.append((table, stats.counters()))
+        assert records[0] == records[1]
+
+
+class TestFlatPattern:
+    def test_round_trip_preserves_everything(self):
+        for seed in range(60):
+            rng = random.Random(seed)
+            pattern = random_query(rng.randint(1, 20), types=TYPES, rng=rng)
+            back = FlatPattern.from_pattern(pattern).to_pattern()
+            assert to_sexpr(back) == to_sexpr(pattern)
+            assert [n.id for n in back.nodes()] == [n.id for n in pattern.nodes()]
+            for a, b in zip(pattern.nodes(), back.nodes()):
+                assert (a.id, a.type, a.edge, a.is_output, a.temporary) == (
+                    b.id,
+                    b.type,
+                    b.edge,
+                    b.is_output,
+                    b.temporary,
+                )
+                assert [c.id for c in a.children] == [c.id for c in b.children]
+
+    def test_round_trip_preserves_extra_types(self):
+        pattern = parse_xpath("a/b[c]")
+        pattern.add_extra_type(pattern.node(1), "x")
+        back = FlatPattern.from_pattern(pattern).to_pattern()
+        assert back.node(1).extra_types == pattern.node(1).extra_types
+        assert back.node(1).has_type("x")
+
+    def test_next_id_survives(self):
+        pattern = parse_xpath("a/b[c][d]")
+        pattern.delete_leaf(pattern.node(3))
+        back = FlatPattern.from_pattern(pattern).to_pattern()
+        fresh = back.add_child(back.root, "z", EdgeKind.CHILD)
+        expected = pattern.add_child(pattern.root, "z", EdgeKind.CHILD)
+        assert fresh.id == expected.id
+
+    def test_subtree_keys_match_fingerprint_module(self):
+        for seed in range(60):
+            rng = random.Random(seed)
+            pattern = random_query(rng.randint(1, 20), types=TYPES, rng=rng)
+            assert FlatPattern.from_pattern(pattern).subtree_keys() == subtree_keys(
+                pattern
+            )
+
+    def test_canonical_key_matches(self):
+        for seed in range(60):
+            rng = random.Random(seed)
+            pattern = random_query(rng.randint(1, 20), types=TYPES, rng=rng)
+            assert (
+                FlatPattern.from_pattern(pattern).canonical_key()
+                == pattern.canonical_key()
+            )
+
+    def test_isomorphic_shuffles_share_canonical_key(self):
+        rng = random.Random(7)
+        pattern = random_query(12, types=TYPES, rng=rng)
+        twin = isomorphic_shuffle(pattern, rng=rng)
+        assert (
+            FlatPattern.from_pattern(pattern).canonical_key()
+            == FlatPattern.from_pattern(twin).canonical_key()
+        )
+
+
+class TestFlatPickle:
+    def test_flat_pickle_is_default_and_round_trips(self):
+        assert flat_pickle_enabled()
+        for seed in range(20):
+            rng = random.Random(seed)
+            pattern = random_query(rng.randint(1, 20), types=TYPES, rng=rng)
+            back = pickle.loads(pickle.dumps(pattern))
+            assert to_sexpr(back) == to_sexpr(pattern)
+            assert [n.id for n in back.nodes()] == [n.id for n in pattern.nodes()]
+
+    def test_legacy_pickle_still_round_trips(self):
+        pattern = parse_xpath("a/b[c][.//d]")
+        with flat_pickle(False):
+            assert not flat_pickle_enabled()
+            blob = pickle.dumps(pattern)
+        assert flat_pickle_enabled()
+        assert to_sexpr(pickle.loads(blob)) == to_sexpr(pattern)
+
+    def test_flat_blob_is_smaller(self):
+        pattern = chain_query(120)
+        flat = pickle.dumps(pattern)
+        with flat_pickle(False):
+            legacy = pickle.dumps(pattern)
+        assert len(flat) < len(legacy) / 2, (len(flat), len(legacy))
+
+    def test_deepcopy_goes_through_flat_path(self):
+        pattern = parse_xpath("a/b[c][c/d]")
+        clone = copy.deepcopy(pattern)
+        assert to_sexpr(clone) == to_sexpr(pattern)
+        clone.delete_leaf(clone.node(4))
+        assert pattern.has_node(4)
+
+    def test_pattern_from_flat_is_module_level(self):
+        # __reduce_ex__ references it by name; it must stay picklable.
+        flat = FlatPattern.from_pattern(parse_xpath("a/b"))
+        assert to_sexpr(pattern_from_flat(flat)) == to_sexpr(parse_xpath("a/b"))
+
+
+class TestBitsetHelpers:
+    @settings(max_examples=100, deadline=None)
+    @given(st.sets(st.integers(min_value=0, max_value=400), max_size=40))
+    def test_round_trip(self, ids):
+        id_of = sorted(ids)
+        slot_of = {node_id: slot for slot, node_id in enumerate(id_of)}
+        bits = ids_to_bits(ids, slot_of)
+        assert bits.bit_count() == len(ids)
+        assert bits_to_ids(bits, id_of) == ids
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.sets(st.integers(min_value=0, max_value=300), max_size=40))
+    def test_iter_slots_ascending(self, slots):
+        bits = 0
+        for s in slots:
+            bits |= 1 << s
+        assert list(iter_slots(bits)) == sorted(slots)
+
+    def test_empty(self):
+        assert list(iter_slots(0)) == []
+        assert bits_to_ids(0, []) == set()
+        assert ids_to_bits((), {}) == 0
+
+
+class TestFlatDeleteLeaf:
+    """Incremental ``delete_leaf`` == a from-scratch rebuild."""
+
+    def _redundancy_profile(self, engine, pattern):
+        return {
+            leaf.id: engine.is_redundant_leaf(leaf)
+            for leaf in pattern.leaves()
+            if not leaf.is_root and not leaf.is_output
+        }
+
+    def test_incremental_matches_rebuild(self):
+        for seed in range(30):
+            rng = random.Random(seed)
+            pattern = duplicate_random_branch(
+                random_query(rng.randint(2, 12), types=TYPES, rng=rng), rng=rng
+            )
+            incremental = FlatImagesEngine(pattern)
+            deletable = [
+                n.id
+                for n in pattern.leaves()
+                if not n.is_root and not n.is_output
+            ]
+            for leaf_id in deletable:
+                if not pattern.has_node(leaf_id):
+                    continue
+                leaf = pattern.node(leaf_id)
+                if not leaf.is_leaf or not incremental.is_redundant_leaf(leaf):
+                    continue
+                pattern.delete_leaf(leaf)
+                incremental.delete_leaf(leaf)
+                fresh = FlatImagesEngine(pattern)
+                assert self._redundancy_profile(
+                    incremental, pattern
+                ) == self._redundancy_profile(fresh, pattern), seed
+
+    def test_delete_leaf_validation(self):
+        pattern = parse_xpath("a/b[c][c]")
+        engine = FlatImagesEngine(pattern)
+        with pytest.raises(InvalidPatternError):
+            engine.delete_leaf(pattern.node(1))  # still has descendants
+        ghost = parse_xpath("x").root
+        with pytest.raises(InvalidPatternError):
+            engine.delete_leaf(ghost)
+
+    def test_delete_returns_dropped_virtual_targets(self):
+        from repro.core.images import VirtualTarget
+
+        pattern = parse_xpath("a/b[c][c]")
+        vt = VirtualTarget(id=-1, node_type="d", parent_id=3, edge=EdgeKind.CHILD)
+        engine = FlatImagesEngine(pattern, (vt,))
+        leaf = pattern.node(3)
+        pattern.delete_leaf(leaf)
+        dropped = engine.delete_leaf(leaf)
+        assert dropped == (vt,)
+        assert engine.virtual == ()
+
+
+class TestEngineConfig:
+    def test_default_is_v2(self):
+        assert resolve_core_engine(None) in CORE_ENGINES
+        assert resolve_core_engine("v1") == "v1"
+        assert resolve_core_engine("v2") == "v2"
+
+    def test_explicit_beats_scope(self):
+        with core_engine_scope("v1"):
+            assert resolve_core_engine(None) == "v1"
+            assert resolve_core_engine("v2") == "v2"
+        with core_engine_scope("v2"):
+            with core_engine_scope("v1"):
+                assert resolve_core_engine(None) == "v1"
+            assert resolve_core_engine(None) == "v2"
+
+    def test_scope_none_is_noop(self):
+        before = resolve_core_engine(None)
+        with core_engine_scope(None):
+            assert resolve_core_engine(None) == before
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_core_engine("v3")
+        with pytest.raises(ValueError):
+            with core_engine_scope("bogus"):
+                pass
+
+    def test_env_var_controls_process_default(self):
+        for engine in CORE_ENGINES:
+            env = dict(os.environ, REPRO_CORE_ENGINE=engine)
+            env["PYTHONPATH"] = "src"
+            out = subprocess.run(
+                [
+                    sys.executable,
+                    "-c",
+                    "from repro.core.engine_config import resolve_core_engine;"
+                    "print(resolve_core_engine(None))",
+                ],
+                capture_output=True,
+                text=True,
+                env=env,
+                cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            )
+            assert out.stdout.strip() == engine, out.stderr
+
+    def test_factory_dispatches(self):
+        pattern = parse_xpath("a/b[c]")
+        assert isinstance(create_images_engine(pattern, engine="v1"), ImagesEngine)
+        assert isinstance(create_images_engine(pattern, engine="v2"), FlatImagesEngine)
+
+    def test_options_validate_core_engine(self):
+        assert MinimizeOptions(core_engine="v1").core_engine == "v1"
+        with pytest.raises(ValueError):
+            MinimizeOptions(core_engine="v9")
+
+
+class TestBatchAndSessionDifferential:
+    CONSTRAINTS = parse_constraints("a -> b; b ->> c; a ~ c")
+
+    def _queries(self, n=24, seed=5):
+        rng = random.Random(seed)
+        out = []
+        while len(out) < n:
+            base = random_query(rng.randint(2, 10), types=TYPES, rng=rng)
+            out.append(base)
+            if rng.random() < 0.5 and len(out) < n:
+                out.append(isomorphic_shuffle(base, rng=rng))
+        return out
+
+    def _session_record(self, engine, queries):
+        with Session(
+            MinimizeOptions(core_engine=engine), constraints=self.CONSTRAINTS
+        ) as session:
+            results = session.minimize_many(queries)
+        records = []
+        for r in results:
+            payload = r.to_json()
+            payload.pop("timings")
+            records.append(payload)
+        return records
+
+    def test_session_batch_matches(self):
+        queries = self._queries()
+        assert self._session_record("v1", queries) == self._session_record(
+            "v2", queries
+        )
+
+    def test_service_matches(self):
+        queries = self._queries(n=16, seed=9)
+
+        def serve(engine):
+            async def scenario():
+                async with MinimizationService(
+                    MinimizeOptions(core_engine=engine),
+                    constraints=self.CONSTRAINTS,
+                ) as service:
+                    return await service.submit_many(queries)
+
+            results = asyncio.run(scenario())
+            return [(to_sexpr(r.pattern), r.eliminated) for r in results]
+
+        assert serve("v1") == serve("v2")
+
+
+class TestJobsAuto:
+    def test_resolve_jobs_auto(self):
+        from repro.batch.executor import resolve_jobs
+
+        assert resolve_jobs("auto") >= 1
+        with pytest.raises(ValueError):
+            resolve_jobs("never")
+
+    def test_process_map_auto_small_batch_is_serial(self):
+        from repro.batch.executor import AUTO_SERIAL_THRESHOLD, ExecutorStats, process_map
+
+        stats = ExecutorStats()
+        payloads = list(range(AUTO_SERIAL_THRESHOLD))
+        out = process_map(_double, payloads, jobs="auto", stats=stats)
+        assert out == [p * 2 for p in payloads]
+        assert stats.dispatched_chunks == 0
+
+    def test_options_accept_auto(self):
+        assert MinimizeOptions(jobs="auto").jobs == "auto"
+        with pytest.raises(ValueError):
+            MinimizeOptions(jobs="many")
+
+    def test_session_with_auto_jobs(self):
+        queries = [parse_xpath("a/b[c][c]"), parse_xpath("a//b")]
+        with Session(MinimizeOptions(jobs="auto")) as session:
+            results = session.minimize_many(queries)
+        assert [r.output_size for r in results] == [3, 2]
+
+
+def _double(x: int) -> int:
+    return x * 2

@@ -1,8 +1,8 @@
 """Differential and property tests for the containment-oracle cache.
 
 The load-bearing guarantee is *byte-for-byte equivalence*: with the
-cross-query oracle cache (and its satellite layers — the images-engine
-sibling-subtree prune memo and the CDM rule-probe memo) enabled, every
+cross-query oracle cache (and its satellite layer, the images-engine
+sibling-subtree prune memo) enabled, every
 oracle answer and every minimizer output must be exactly what the
 uncached code path produces. The differential sweeps here pin that over
 hundreds of seeded workloads; the hypothesis suites pin the two
@@ -229,7 +229,7 @@ class TestOracleDifferential:
 
 class TestMinimizerDifferential:
     """CIM / ACIM / CDM / pipeline outputs are unchanged by every cache
-    layer (process-wide oracle cache, prune memo, CDM probe memo)."""
+    layer (process-wide oracle cache, prune memo)."""
 
     @pytest.mark.parametrize("offset", range(0, 120, 30))
     def test_cim_acim_unchanged(self, offset):
@@ -256,16 +256,16 @@ class TestMinimizerDifferential:
             assert to_sexpr(on.pattern) == to_sexpr(off.pattern)
 
     def test_cdm_unchanged(self):
-        hits = 0
+        """CDM runs outside the oracle-cache subsystem entirely (the
+        Figure 6 rules are direct structural matches, not containment
+        checks), so disabling the cache cannot change its output."""
         for seed in range(60):
             q = random_query(24, types=["a", "b", "c"], seed=seed)
-            on = cdm_minimize(q, CONSTRAINTS, oracle_cache=True)
-            off = cdm_minimize(q, CONSTRAINTS, oracle_cache=False)
+            on = cdm_minimize(q, CONSTRAINTS)
+            with oracle_cache_disabled():
+                off = cdm_minimize(q, CONSTRAINTS)
             assert on.eliminated == off.eliminated, f"seed {seed}"
             assert to_sexpr(on.pattern) == to_sexpr(off.pattern), f"seed {seed}"
-            assert off.probe_cache_hits == off.probe_cache_misses == 0
-            hits += on.probe_cache_hits
-        assert hits > 0, "probe memo never hit across 60 workloads"
 
     def test_pipeline_unchanged(self):
         for seed in range(40):
@@ -304,7 +304,6 @@ class TestMinimizerDifferential:
         queries = [random_query(6, types=["a", "b", "c"], seed=s) for s in range(4)]
         batch = minimizer.minimize_all(queries)
         assert batch.stats.engine_counters.get("prune_memo_hits", 0) == 0
-        assert batch.stats.engine_counters.get("cdm_probe_cache_hits", 0) == 0
 
 
 class TestPruneMemo:
