@@ -14,6 +14,9 @@ but the timings is deterministic):
   memo-free baselines (:mod:`benchmarks.bench_oracle_cache`);
 - ``BENCH_service.json`` — micro-batched serving vs one-at-a-time
   clients at several arrival rates (:mod:`benchmarks.bench_service`);
+- ``BENCH_shard.json`` — sharded fleet throughput and fingerprint-
+  affinity hit rates vs the single-process service
+  (:mod:`benchmarks.bench_shard`);
 - ``BENCH_<figure>.json`` — one file per paper-figure experiment in
   :data:`repro.bench.experiments.ALL_EXPERIMENTS`, in the same schema as
   ``repro-bench <figure> --json``.
@@ -40,6 +43,7 @@ import bench_core_v2  # noqa: E402  (sibling module, script mode)
 import bench_incremental  # noqa: E402  (sibling module, script mode)
 import bench_oracle_cache  # noqa: E402  (sibling module, script mode)
 import bench_service  # noqa: E402  (sibling module, script mode)
+import bench_shard  # noqa: E402  (sibling module, script mode)
 
 from repro.bench.experiments import ALL_EXPERIMENTS, run_experiment  # noqa: E402
 from repro.bench.report import format_json  # noqa: E402
@@ -111,6 +115,15 @@ def main(argv: Optional[list[str]] = None) -> int:
             str(repeat),
             "--out",
             str(args.out_dir / "BENCH_service.json"),
+        ]
+        + (["--fast"] if args.fast else [])
+    ) or status
+    status = bench_shard.main(
+        [
+            "--repeat",
+            str(repeat),
+            "--out",
+            str(args.out_dir / "BENCH_shard.json"),
         ]
         + (["--fast"] if args.fast else [])
     ) or status

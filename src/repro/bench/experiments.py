@@ -686,9 +686,16 @@ def service(
     mid_factor = sorted(rate_factors)[len(rate_factors) // 2]
     mid_counters: dict[str, float] = {}
     mid_pair: "list[float]" = []
-    for factor in rate_factors:
+    for rate_index, factor in enumerate(rate_factors):
         rate = capacity * factor
-        offsets = poisson_arrivals(count, rate, seed=int(factor * 100))
+        arrival_seed = int(factor * 100)
+        offsets = poisson_arrivals(count, rate, seed=arrival_seed)
+        # Record every rate's arrival seed (indexed in rate order) so a
+        # failed run is reproducible from the artifact alone — the rates
+        # themselves derive from the *measured* capacity, which varies
+        # machine to machine, but the arrival pattern at each rate
+        # factor does not.
+        result.counters[f"arrival_seed_{rate_index}"] = arrival_seed
         serial_tp, _ = _stream_throughput(
             queries, offsets, constraints, max_batch_size=1, pipelined=False, repeat=repeat
         )

@@ -29,6 +29,11 @@ point               kinds                          armed by
                                                    pickle-fallback path)
 ``protocol.send``   ``truncate``, ``garbage``,     the JSON-lines protocol, once per
                     ``broken_pipe``                response write
+``shard.kill``      ``kill``                       :class:`repro.shard.ShardManager`,
+                                                   once per dispatched request;
+                                                   SIGKILLs the target shard
+                                                   process (the manager respawns
+                                                   it and requeues lost work)
 =================== ============================== =========================
 
 The minimal-query uniqueness theorem (Amer-Yahia et al., SIGMOD 2001)
@@ -60,6 +65,7 @@ FAULT_POINTS: dict[str, tuple[str, ...]] = {
     "batcher.flush": ("stall",),
     "executor.pickle": ("fail",),
     "protocol.send": ("truncate", "garbage", "broken_pipe"),
+    "shard.kill": ("kill",),
 }
 
 #: The kinds :meth:`FaultPlan.seeded` draws from by default — one fault

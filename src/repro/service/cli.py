@@ -8,6 +8,9 @@ Examples::
     # A long-lived TCP endpoint with warm workers:
     repro-serve --tcp 127.0.0.1:8777 --jobs 4 -C ics.txt
 
+    # A sharded fleet: one Session per core, fingerprint-affinity routed:
+    repro-serve --tcp 127.0.0.1:8777 --shards auto -C ics.txt
+
     # Tighter batching for latency-sensitive clients:
     repro-serve --max-wait 0.002 --max-batch-size 8
 
@@ -16,7 +19,9 @@ Examples::
 
 Lifecycle: SIGTERM and SIGINT trigger a **graceful drain** — the server
 stops accepting new requests/connections, flushes every in-flight
-response, releases the worker pool, and exits 0.
+response, releases the worker pool, and exits 0. With ``--shards``,
+SIGHUP triggers a **rolling restart**: shards drain, restart, and
+rejoin the ring warm, one at a time, while the fleet keeps serving.
 """
 
 from __future__ import annotations
@@ -33,6 +38,7 @@ from ..constraints.model import parse_constraints
 from ..errors import ReproError
 from ..matching.evaluator import ENGINES
 from ..resilience.faults import FaultPlan
+from ..shard import SHARD_POLICIES, ShardManager, resolve_shards
 from ..tools.minimize_cli import _jobs_arg
 from .protocol import serve_stdio, serve_tcp
 from .service import MinimizationService
@@ -105,6 +111,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the containment-oracle cache for served requests",
     )
     parser.add_argument(
+        "--shards",
+        type=_shards_arg,
+        default=None,
+        metavar="N",
+        help=(
+            "serve through N worker processes with fingerprint-affinity "
+            "routing ('auto' = cores minus one for the front-end; 0/1 or "
+            "a single-core 'auto' degrade to the single-process service)"
+        ),
+    )
+    parser.add_argument(
+        "--shard-policy",
+        choices=SHARD_POLICIES,
+        default="overflow",
+        help=(
+            "shard routing: 'affinity' (strict ring), 'overflow' (spill "
+            "cache-miss traffic off hot shards; default), or "
+            "'round-robin' (ignore fingerprints — benchmarking baseline)"
+        ),
+    )
+    parser.add_argument(
         "--max-batch-size",
         type=int,
         default=16,
@@ -149,6 +176,21 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _shards_arg(value: str):
+    """``--shards`` values: a non-negative int or the string 'auto'."""
+    if value == "auto":
+        return "auto"
+    try:
+        count = int(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"--shards expects an integer or 'auto', got {value!r}"
+        ) from exc
+    if count < 0:
+        raise argparse.ArgumentTypeError(f"--shards must be >= 0, got {count}")
+    return count
+
+
 def _parse_fault_plan(spec: str) -> FaultPlan:
     if spec.startswith("@"):
         spec = Path(spec[1:]).read_text()
@@ -178,24 +220,65 @@ async def _serve(args: argparse.Namespace) -> int:
             _parse_fault_plan(args.fault_plan) if args.fault_plan else None
         ),
     )
-    service = MinimizationService(
-        options,
-        constraints=constraints,
-        max_batch_size=args.max_batch_size,
-        max_wait=args.max_wait,
-        max_queue=args.max_queue,
-        default_timeout=args.timeout,
-    )
+    n_shards = resolve_shards(args.shards)
+    if n_shards:
+        service = ShardManager(
+            options,
+            constraints=constraints,
+            shards=n_shards,
+            policy=args.shard_policy,
+            max_batch_size=args.max_batch_size,
+            max_queue=args.max_queue,
+            default_timeout=args.timeout,
+        )
+        print(
+            f"repro-serve sharded: {n_shards} shards, "
+            f"policy={args.shard_policy}",
+            file=sys.stderr,
+            flush=True,
+        )
+    else:
+        if args.shards is not None:
+            # --shards 0/1 or single-core 'auto': the single-process
+            # service outperforms a 1-shard wrapper (no pipe hop).
+            print(
+                "repro-serve: sharding disabled "
+                "(resolved to < 2 shards); single-process service",
+                file=sys.stderr,
+                flush=True,
+            )
+        service = MinimizationService(
+            options,
+            constraints=constraints,
+            max_batch_size=args.max_batch_size,
+            max_wait=args.max_wait,
+            max_queue=args.max_queue,
+            default_timeout=args.timeout,
+        )
 
     # Graceful drain on SIGTERM/SIGINT: stop accepting, flush in-flight
     # responses, release the pool, exit 0.
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
     installed: list[signal.Signals] = []
+    restart_tasks: set[asyncio.Task] = set()
+
+    def _on_sighup() -> None:
+        # Rolling restart in the background; the fleet keeps serving.
+        task = asyncio.ensure_future(service.rolling_restart())
+        restart_tasks.add(task)
+        task.add_done_callback(restart_tasks.discard)
+
     for sig in (signal.SIGTERM, signal.SIGINT):
         with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
             loop.add_signal_handler(sig, stop.set)
             installed.append(sig)
+    if n_shards:
+        with contextlib.suppress(
+            NotImplementedError, RuntimeError, ValueError, AttributeError
+        ):
+            loop.add_signal_handler(signal.SIGHUP, _on_sighup)
+            installed.append(signal.SIGHUP)
     try:
         async with service:
             if args.tcp is not None:
@@ -216,6 +299,10 @@ async def _serve(args: argparse.Namespace) -> int:
         if stop.is_set():
             print("repro-serve drained, exiting", file=sys.stderr, flush=True)
     finally:
+        for task in restart_tasks:
+            task.cancel()
+        if restart_tasks:
+            await asyncio.gather(*restart_tasks, return_exceptions=True)
         for sig in installed:
             with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
                 loop.remove_signal_handler(sig)

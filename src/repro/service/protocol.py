@@ -20,6 +20,7 @@ Request objects::
     {"op": "stats", "id": 2}
     {"op": "faults", "id": 3}
     {"op": "ping", "id": 4}
+    {"op": "restart", "id": 5}   # sharded backends only: rolling restart
 
 Responses::
 
@@ -31,9 +32,16 @@ Responses::
 
 ``result`` for ``minimize`` is exactly the unified
 :meth:`repro.api.QueryResult.to_json` shape the CLIs' ``--json`` mode
-emits; ``stats`` returns the service's flat counter dict; ``faults``
-returns the fired fault-injection events (``{"fired": [[point, kind,
-hit], ...]}``); ``ping`` returns ``{"pong": true}``.
+emits; ``stats`` returns the service's flat counter dict (fleet-wide
+and per-shard when the backend is a :class:`~repro.shard.ShardManager`);
+``faults`` returns the fired fault-injection events (``{"fired":
+[[point, kind, hit], ...]}``); ``ping`` returns ``{"pong": true}``;
+``restart`` triggers a rolling shard restart and returns
+``{"restarted": n}`` (an error on non-sharded backends).
+
+The handler duck-types its backend: anything with the service's
+``submit``/``stats``/``counters``/``fault_events`` surface works, which
+is how the sharded front-end slots in without protocol changes.
 
 Robustness contract: a malformed line (bad JSON, garbage bytes, wrong
 shape) or an oversized line (over :data:`MAX_LINE_BYTES`) produces a
@@ -134,13 +142,29 @@ async def handle_line(service: MinimizationService, line: str) -> Optional[dict]
         if op == "ping":
             return {"id": request_id, "ok": True, "result": {"pong": True}}
         if op == "stats":
-            return {"id": request_id, "ok": True, "result": service.counters()}
+            # Sharded backends refresh fleet counters asynchronously
+            # (a stats round-trip to every live shard).
+            counters_async = getattr(service, "counters_async", None)
+            counters = (
+                await counters_async()
+                if counters_async is not None
+                else service.counters()
+            )
+            return {"id": request_id, "ok": True, "result": counters}
         if op == "faults":
             return {
                 "id": request_id,
                 "ok": True,
                 "result": {"fired": service.fault_events()},
             }
+        if op == "restart":
+            rolling_restart = getattr(service, "rolling_restart", None)
+            if rolling_restart is None:
+                raise ValueError(
+                    "restart requires a sharded backend (repro-serve --shards)"
+                )
+            restarted = await rolling_restart()
+            return {"id": request_id, "ok": True, "result": {"restarted": restarted}}
         if op == "minimize":
             fmt = request.get("format", "xpath")
             parser = _PARSERS.get(fmt)
@@ -159,7 +183,9 @@ async def handle_line(service: MinimizationService, line: str) -> Optional[dict]
                 pattern, timeout=request.get("timeout"), deadline=deadline
             )
             return {"id": request_id, "ok": True, "result": result.to_json(fmt=fmt)}
-        raise ValueError(f"unknown op {op!r} (expected minimize/stats/faults/ping)")
+        raise ValueError(
+            f"unknown op {op!r} (expected minimize/stats/faults/ping/restart)"
+        )
     except (ReproError, ValueError, TimeoutError, asyncio.TimeoutError) as exc:
         return _error_response(request_id, exc)
     except asyncio.CancelledError:

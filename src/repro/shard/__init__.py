@@ -1,0 +1,37 @@
+"""Sharded multi-process serving tier with fingerprint-affinity routing.
+
+The single-process :class:`~repro.service.MinimizationService` is bound
+by one interpreter: past one core's worth of minimization work, its
+queue is the ceiling. This package scales it out without giving up the
+cache effects everything else is built on:
+
+* :class:`HashRing` — a deterministic consistent-hash ring mapping
+  structural fingerprints to shards (membership changes move only the
+  affected arcs, so restarts cost ~1/n of the fleet hit rate, not all
+  of it);
+* :func:`shard_worker_main` / :class:`ShardWorkerConfig` — the worker
+  process serving micro-batched requests from one full
+  :class:`~repro.api.Session`;
+* :class:`ShardManager` — the asyncio front-end: affinity routing with
+  load-aware overflow, aggregated backpressure, deadline propagation,
+  rolling restarts with warm replay, and shard-kill chaos recovery. It
+  duck-types the single-process service, so the JSON-lines protocol
+  and ``repro-serve`` (``--shards N``) drive it unchanged.
+
+:func:`resolve_shards` maps user-facing ``--shards`` values (including
+``"auto"``) to a worker count, returning 0 when sharding would not
+help — callers then run the plain single-process service instead.
+"""
+
+from .manager import SHARD_POLICIES, ShardManager, resolve_shards
+from .ring import HashRing
+from .worker import ShardWorkerConfig, shard_worker_main
+
+__all__ = [
+    "SHARD_POLICIES",
+    "HashRing",
+    "ShardManager",
+    "ShardWorkerConfig",
+    "resolve_shards",
+    "shard_worker_main",
+]

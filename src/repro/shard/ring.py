@@ -1,0 +1,107 @@
+"""Consistent-hash ring over structural fingerprints.
+
+The sharded serving tier routes every request by the consistent hash of
+its structural fingerprint (:func:`repro.core.fingerprint.fingerprint`),
+so isomorphic queries — the ones the fingerprint replay memo and the
+containment-oracle cache exist for — always land on the shard that
+already memoized their structure.
+
+A plain ``hash(fp) % n`` would do that too, but the ring's point is
+*stability under membership change*: when a shard drains for a rolling
+restart (or dies under chaos), only the keys in its arcs move, and they
+move to the arcs' ring successors — every other fingerprint keeps its
+shard, so the fleet-wide cache hit rate degrades by roughly ``1/n``
+instead of collapsing to zero the way a modulus rehash would.
+
+Determinism matters as much as balance here: member positions derive
+from SHA-256 of ``"shard:{member}:{replica}"`` — no process-seeded
+``hash()``, so a front-end restart (or a differential test) reproduces
+the exact same routing.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Optional
+
+__all__ = ["HashRing"]
+
+#: Virtual nodes per member. 64 arcs per shard keeps the max/mean key
+#: imbalance under ~20% for small fleets while membership changes stay
+#: O(replicas log n).
+DEFAULT_REPLICAS = 64
+
+
+def _position(token: str) -> int:
+    """A point on the ring (the first 16 hex digits of SHA-256)."""
+    return int(hashlib.sha256(token.encode("utf-8")).hexdigest()[:16], 16)
+
+
+class HashRing:
+    """A deterministic consistent-hash ring of integer shard ids.
+
+    ``lookup(key)`` maps any string key (a fingerprint) to the member
+    owning the first ring position at or after the key's hash. Members
+    are added/removed in O(replicas log n); lookups are one bisect.
+    """
+
+    def __init__(
+        self, members: Iterable[int] = (), *, replicas: int = DEFAULT_REPLICAS
+    ) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._members: set[int] = set()
+        self._positions: list[int] = []  # sorted ring positions
+        self._owners: list[int] = []  # owner member per position
+        for member in members:
+            self.add(member)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: int) -> bool:
+        return member in self._members
+
+    @property
+    def members(self) -> "frozenset[int]":
+        """The current member set (live, non-draining shards)."""
+        return frozenset(self._members)
+
+    def add(self, member: int) -> None:
+        """Join ``member`` (idempotent); only its arcs change owners."""
+        if member in self._members:
+            return
+        self._members.add(member)
+        for replica in range(self.replicas):
+            position = _position(f"shard:{member}:{replica}")
+            index = bisect.bisect_left(self._positions, position)
+            # Ties are broken toward the smaller member id so insertion
+            # order never influences routing.
+            while (
+                index < len(self._positions)
+                and self._positions[index] == position
+                and self._owners[index] < member
+            ):
+                index += 1
+            self._positions.insert(index, position)
+            self._owners.insert(index, member)
+
+    def remove(self, member: int) -> None:
+        """Leave ``member`` (idempotent); its arcs fall to successors."""
+        if member not in self._members:
+            return
+        self._members.discard(member)
+        keep = [i for i, owner in enumerate(self._owners) if owner != member]
+        self._positions = [self._positions[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+
+    def lookup(self, key: str) -> Optional[int]:
+        """The member owning ``key``; ``None`` when the ring is empty."""
+        if not self._positions:
+            return None
+        index = bisect.bisect_right(self._positions, _position(key))
+        if index == len(self._positions):
+            index = 0  # wrap around
+        return self._owners[index]

@@ -1,0 +1,199 @@
+"""The shard worker process: one full :class:`~repro.api.Session` per shard.
+
+Each worker owns the complete per-process minimization state the
+affinity routing exists to protect — the constraint closure, the
+fingerprint replay memo, the containment-oracle cache, and (when the
+options ask for ``jobs != 1``) a warm worker pool of its own. The
+manager speaks to it over a duplex :mod:`multiprocessing` pipe with
+pickled tuples; patterns travel as :class:`~repro.core.pattern.TreePattern`
+(which pickles through the compact :class:`~repro.core.engine_v2.FlatPattern`
+encoding, losslessly including node ids), so replies are byte-identical
+to an in-process ``minimize`` call — no re-parse, no re-canonicalization.
+
+Wire shapes (parent → worker)::
+
+    ("minimize", request_id, pattern, budget_seconds_or_None)
+    ("stats", request_id)      # -> a ServiceStats snapshot
+    ("ping", request_id)
+    ("shutdown", request_id)   # ack, then exit 0
+
+and worker → parent::
+
+    ("ok", request_id, payload)
+    ("err", request_id, exception)
+
+The worker micro-batches on its own: after one blocking ``recv`` it
+drains whatever else is already in the pipe (up to ``max_batch_size``)
+and serves the whole burst through ``session.minimize_many`` — so a
+burst of isomorphic queries routed to this shard pays one representative
+minimization plus memo replays, exactly like the single-process service.
+
+Deadline propagation: the manager sends each request's *remaining*
+budget at dispatch; the worker re-anchors it on arrival and sheds
+expired requests at batch assembly, before any minimization work runs
+(the same shed-early contract as :class:`~repro.service.MinimizationService`).
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..api import MinimizeOptions, Session
+from ..core.oracle_cache import global_cache
+from ..errors import DeadlineExceededError
+from ..service.service import ServiceStats
+
+__all__ = ["ShardWorkerConfig", "shard_worker_main"]
+
+
+@dataclass(frozen=True)
+class ShardWorkerConfig:
+    """Everything a shard worker needs to boot (picklable)."""
+
+    index: int
+    options: MinimizeOptions = field(default_factory=MinimizeOptions)
+    #: Constraints for the worker's session (any shape
+    #: :func:`repro.constraints.repository.coerce_repository` accepts).
+    constraints: object = None
+    #: Upper bound on one drained burst through ``minimize_many``.
+    max_batch_size: int = 16
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"shard index must be >= 0, got {self.index}")
+        if self.max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+
+
+def _oracle_snapshot() -> dict[str, float]:
+    cache = global_cache()
+    if cache is None:
+        return {}
+    counters = cache.stats.counters()
+    return {k: v for k, v in counters.items() if not k.endswith("_rate")}
+
+
+def _stats_payload(
+    stats: ServiceStats, session: Session, oracle_base: dict[str, float]
+) -> ServiceStats:
+    """The stats reply: worker counters + session/oracle backend view."""
+    backend = {
+        k: v
+        for k, v in session.counters().items()
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+    }
+    for key, value in _oracle_snapshot().items():
+        backend[key] = value - oracle_base.get(key, 0)
+    stats.backend_counters = backend
+    return stats
+
+
+def shard_worker_main(conn, config: ShardWorkerConfig) -> None:
+    """Serve minimization requests over ``conn`` until shutdown/EOF.
+
+    This is the target of the shard's child process; it never raises —
+    per-request failures travel back as ``("err", id, exc)`` and only a
+    dead pipe (the manager is gone) or a ``shutdown`` message ends it.
+    """
+    # The front-end owns signal handling: a ^C on an interactive
+    # ``repro-serve`` reaches the whole process group, and the drain
+    # must outlive it here.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+    session = Session(config.options, constraints=config.constraints)
+    stats = ServiceStats()
+    oracle_base = _oracle_snapshot()
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return  # manager gone: nothing to answer to
+            batch = [(message, time.perf_counter())]
+            while len(batch) < config.max_batch_size and conn.poll(0):
+                try:
+                    batch.append((conn.recv(), time.perf_counter()))
+                except (EOFError, OSError):
+                    return
+            requests = []  # (request_id, pattern, deadline_at, received_at)
+            shutdown = False
+            for (message, received_at) in batch:
+                kind, request_id = message[0], message[1]
+                if kind == "minimize":
+                    budget = message[3]
+                    deadline_at = (
+                        received_at + budget if budget is not None else None
+                    )
+                    stats.submitted += 1
+                    requests.append((request_id, message[2], deadline_at, received_at))
+                elif kind == "stats":
+                    conn.send(
+                        ("ok", request_id, _stats_payload(stats, session, oracle_base))
+                    )
+                elif kind == "ping":
+                    conn.send(("ok", request_id, {"pong": True}))
+                elif kind == "shutdown":
+                    conn.send(("ok", request_id, {"bye": True}))
+                    shutdown = True
+                else:
+                    conn.send(
+                        ("err", request_id, ValueError(f"unknown message {kind!r}"))
+                    )
+            if requests:
+                _serve_batch(conn, session, stats, requests)
+            if shutdown:
+                return
+    finally:
+        session.close()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - pipe already gone
+            pass
+
+
+def _serve_batch(conn, session: Session, stats: ServiceStats, requests) -> None:
+    """Run one drained burst through the session; answer every request."""
+    started = time.perf_counter()
+    live = []
+    for request_id, pattern, deadline_at, received_at in requests:
+        if deadline_at is not None and started >= deadline_at:
+            stats.sheds += 1
+            conn.send(
+                (
+                    "err",
+                    request_id,
+                    DeadlineExceededError(
+                        "deadline elapsed in shard queue; request shed "
+                        "before minimization"
+                    ),
+                )
+            )
+            continue
+        stats.queue_wait.observe(started - received_at)
+        live.append((request_id, pattern, received_at))
+    if not live:
+        return
+    stats.batches += 1
+    stats.batched_requests += len(live)
+    try:
+        results = session.minimize_many([pattern for _, pattern, _ in live])
+    except Exception as exc:  # noqa: BLE001 - forwarded to the manager
+        stats.failed += len(live)
+        for request_id, _, _ in live:
+            conn.send(("err", request_id, exc))
+        return
+    finished = time.perf_counter()
+    for (request_id, _, received_at), result in zip(live, results):
+        # The full per-stage MinimizeResult is process-local debugging
+        # detail; never worth pickling across the shard pipe.
+        result.detail = None
+        stats.completed += 1
+        stats.latency.observe(finished - received_at)
+        conn.send(("ok", request_id, result))

@@ -640,3 +640,124 @@ class TestDrainRaces:
         assert stats.submitted == 12
         assert stats.timed_out == 4 and stats.cancelled == 4
         assert stats.completed >= 4  # survivors always complete
+
+
+class TestMultiClientTCP:
+    """Several concurrent TCP clients against one server: every client
+    gets exactly its own responses (no cross-client bleed), and a
+    protocol error on one connection never disturbs the others."""
+
+    @staticmethod
+    async def _serve(service):
+        stop = asyncio.Event()
+        bound: dict = {}
+        task = asyncio.ensure_future(
+            serve_tcp(
+                service, "127.0.0.1", 0, stop=stop,
+                on_bound=lambda p: bound.update(port=p),
+            )
+        )
+        while "port" not in bound:
+            await asyncio.sleep(0.005)
+        return stop, task, bound["port"]
+
+    # Two shapes with distinct minimized forms, so any response routed
+    # to the wrong client would also carry a visibly wrong answer.
+    SHAPES = [("a/b[c][c]", "a/b[c]"), ("a/b[c]/c", "a/b/c")]
+
+    async def _client(self, port: int, client_id: int, n_requests: int):
+        """One client connection: n interleaved requests with
+        client-scoped ids; returns {id: (response, expected_minimized)}."""
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        expected = {}
+        for j in range(n_requests):
+            query, minimized = self.SHAPES[(client_id + j) % len(self.SHAPES)]
+            request_id = f"client{client_id}-req{j}"
+            expected[request_id] = minimized
+            writer.write(
+                json.dumps(
+                    {"op": "minimize", "query": query, "id": request_id}
+                ).encode() + b"\n"
+            )
+        await writer.drain()
+        writer.write_eof()
+        responses = {}
+        while len(responses) < n_requests:
+            line = await asyncio.wait_for(reader.readline(), 30)
+            assert line, f"client {client_id}: connection closed early"
+            response = json.loads(line)
+            responses[response["id"]] = response
+        writer.close()
+        return expected, responses
+
+    def test_concurrent_clients_get_their_own_responses(self):
+        n_clients, n_requests = 5, 24
+
+        async def scenario():
+            async with MinimizationService(
+                constraints=CONSTRAINTS, max_queue=512, max_wait=0.002
+            ) as service:
+                stop, task, port = await self._serve(service)
+                pairs = await asyncio.gather(
+                    *(self._client(port, c, n_requests) for c in range(n_clients))
+                )
+                stop.set()
+                await task
+                return pairs, service.stats
+
+        pairs, stats = run(scenario())
+        for client_id, (expected, responses) in enumerate(pairs):
+            # Exactly this client's ids came back on this connection —
+            # nothing missing, nothing leaked in from another client.
+            assert set(responses) == set(expected), f"client {client_id} id bleed"
+            for request_id, response in responses.items():
+                assert response["ok"], response
+                assert response["result"]["minimized"] == expected[request_id]
+        assert stats.completed == n_clients * n_requests
+        # Requests from different connections shared micro-batches.
+        assert stats.mean_batch_size > 1.0
+
+    def test_protocol_error_is_isolated_to_its_connection(self):
+        async def scenario():
+            async with MinimizationService(
+                constraints=CONSTRAINTS, max_queue=512
+            ) as service:
+                stop, task, port = await self._serve(service)
+
+                async def broken_client():
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", port
+                    )
+                    writer.write(b"\x00\xfe{not json)\x80\n")
+                    writer.write(
+                        json.dumps(
+                            {"op": "minimize", "query": "a/b[c][c]", "id": "ok-after"}
+                        ).encode() + b"\n"
+                    )
+                    await writer.drain()
+                    writer.write_eof()
+                    responses = []
+                    while len(responses) < 2:
+                        line = await asyncio.wait_for(reader.readline(), 30)
+                        assert line, "broken client's connection died"
+                        responses.append(json.loads(line))
+                    writer.close()
+                    return responses
+
+                healthy, broken = await asyncio.gather(
+                    self._client(port, 9, 16), broken_client()
+                )
+                stop.set()
+                await task
+                return healthy, broken
+
+        (expected, responses), broken = run(scenario())
+        assert set(responses) == set(expected)
+        assert all(
+            r["ok"] and r["result"]["minimized"] == expected[i]
+            for i, r in responses.items()
+        )
+        by_ok = {bool(r["ok"]): r for r in broken}
+        assert by_ok[False]["error"]["type"] == "JSONDecodeError"
+        assert by_ok[True]["id"] == "ok-after"
+        assert by_ok[True]["result"]["minimized"] == "a/b[c]"
