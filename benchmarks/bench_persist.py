@@ -1,0 +1,310 @@
+"""Persistent-store benchmark: warm-start vs cold-start, plus degradation.
+
+Replays a duplicated Figure 8-flavoured query stream (many isomorphic
+repeats of a few distinct structures) through the persistent
+content-addressed cache (:class:`repro.store.PersistentStore`) in four
+configurations:
+
+- **cold** — a fresh store file: every distinct structure is minimized
+  from scratch and written behind;
+- **warm** — a simulated process restart (``reset_global_cache``)
+  reopening the same file: the replay memo warm-starts from disk and
+  the whole stream replays without re-minimizing;
+- **consult** — the same restart with boot-time preloading disabled
+  (``warm_limit=0``): every distinct fingerprint travels the
+  lookup-on-miss path instead, exercising the per-record read path and
+  its ``store_hits`` counter;
+- **corrupted** — the store file with every record's checksum flipped:
+  reads must degrade to *counted misses* (recompute, never a wrong
+  answer or an exception).
+
+A fifth leg mutates the constraint set (**closure churn**): the stored
+proofs are keyed by constraint-closure digest, so none may replay — the
+results must match a serial ``minimize`` loop under the *new*
+constraints, and the precise-invalidation counter must fire.
+
+Every leg is checked **byte-identical** against the serial loop (the
+paper's uniqueness theorem makes that a complete correctness oracle).
+
+Run as a script (or via ``benchmarks/run_all.py``) to write the
+machine-readable ``BENCH_persist.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_persist.py
+    PYTHONPATH=src python benchmarks/bench_persist.py --fast
+
+Exit code gates (CI):
+
+- every served stream is byte-identical to the serial loop (always);
+- the warm restart beats the cold start by ``--min-speedup`` (replaying
+  a memo from disk must be cheaper than re-minimizing);
+- the warm leg loaded records (``store_warm_loaded > 0``) and the
+  consult leg hit the store (``store_hits > 0``);
+- the corrupted leg counted corruption (``store_corrupt_records > 0``)
+  and still served the right bytes;
+- the closure-churn leg counted invalidations
+  (``store_invalidations > 0``) and served the new-constraints answers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sqlite3
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # script mode without install
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import MinimizeOptions, Session
+from repro.core.oracle_cache import reset_global_cache
+from repro.core.pipeline import minimize
+from repro.parsing.sexpr import to_sexpr
+from repro.store import PersistentStore
+from repro.workloads import batch_workload
+
+__all__ = ["SCHEMA_VERSION", "DEFAULT_OUTPUT", "run_comparison", "main"]
+
+SCHEMA_VERSION = 1
+
+#: Default output artifact, at the repo root so the perf trajectory is
+#: tracked in-tree.
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_persist.json"
+
+_COUNT, _FAST_COUNT = 180, 90
+_DISTINCT = 10
+_SIZE = 24
+_SEED = 13
+
+
+def _sexprs(results) -> "list[str]":
+    return [to_sexpr(r.pattern) for r in results]
+
+
+def _run_session(
+    queries, constraints, *, store_path=None, store=None
+) -> "tuple[float, list[str], dict]":
+    """One restart-fresh session over the stream: elapsed seconds, the
+    served s-expressions, and the session counters."""
+    reset_global_cache()
+    options = MinimizeOptions(store_path=store_path)
+    with Session(options, constraints=constraints, store=store) as session:
+        start = time.perf_counter()
+        results = session.minimize_many(queries)
+        elapsed = time.perf_counter() - start
+        counters = session.counters()
+    return elapsed, _sexprs(results), counters
+
+
+def _flip_checksums(path: Path) -> int:
+    """Flip the leading hex digit of every record checksum in ``path``;
+    the number of records mutilated."""
+    conn = sqlite3.connect(path)
+    try:
+        cursor = conn.execute(
+            "UPDATE records SET checksum = "
+            "CASE substr(checksum, 1, 1) WHEN '0' THEN '1' ELSE '0' END "
+            "|| substr(checksum, 2)"
+        )
+        conn.commit()
+        return cursor.rowcount
+    finally:
+        conn.close()
+
+
+def run_comparison(*, repeat: int = 3, fast: bool = False) -> dict:
+    """Run the five-leg comparison; the ``BENCH_persist.json`` payload."""
+    count = _FAST_COUNT if fast else _COUNT
+    repeat = max(repeat, 1)
+    queries, constraints = batch_workload(
+        count, kind="fig8", distinct=_DISTINCT, size=_SIZE, seed=_SEED
+    )
+    expected = [to_sexpr(minimize(q, constraints).pattern) for q in queries]
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench_persist_"))
+    try:
+        # --- cold: best-of over *fresh* store files ------------------
+        cold_best: Optional[tuple[float, list, dict, Path]] = None
+        for attempt in range(repeat):
+            path = workdir / f"cold{attempt}.db"
+            elapsed, served, counters = _run_session(
+                queries, constraints, store_path=str(path)
+            )
+            if cold_best is None or elapsed < cold_best[0]:
+                cold_best = (elapsed, served, counters, path)
+        assert cold_best is not None
+        cold_elapsed, cold_served, cold_counters, store_file = cold_best
+
+        # --- warm: restart onto the written file ---------------------
+        warm_best: Optional[tuple[float, list, dict]] = None
+        for _ in range(repeat):
+            warm_best_candidate = _run_session(
+                queries, constraints, store_path=str(store_file)
+            )
+            if warm_best is None or warm_best_candidate[0] < warm_best[0]:
+                warm_best = warm_best_candidate
+        assert warm_best is not None
+        warm_elapsed, warm_served, warm_counters = warm_best
+
+        # --- consult: restart with boot-preload disabled -------------
+        reset_global_cache()
+        consult_store = PersistentStore(store_file, warm_limit=0)
+        try:
+            consult_elapsed, consult_served, consult_counters = _run_session(
+                queries, constraints, store=consult_store
+            )
+        finally:
+            consult_store.close()
+
+        # --- corrupted: every checksum flipped -----------------------
+        corrupt_file = workdir / "corrupt.db"
+        shutil.copyfile(store_file, corrupt_file)
+        flipped = _flip_checksums(corrupt_file)
+        corrupt_store = PersistentStore(corrupt_file, warm_limit=0)
+        try:
+            _, corrupt_served, corrupt_counters = _run_session(
+                queries, constraints, store=corrupt_store
+            )
+        finally:
+            corrupt_store.close()
+
+        # --- closure churn: same stream, mutated constraints ---------
+        churned = list(constraints)[:-1]
+        churn_expected = [
+            to_sexpr(minimize(q, churned).pattern) for q in queries
+        ]
+        churn_store = PersistentStore(store_file, warm_limit=0)
+        try:
+            _, churn_served, churn_counters = _run_session(
+                queries, churned, store=churn_store
+            )
+        finally:
+            churn_store.close()
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    cold_qps = count / max(cold_elapsed, 1e-9)
+    warm_qps = count / max(warm_elapsed, 1e-9)
+    return {
+        "benchmark": "persist",
+        "schema_version": SCHEMA_VERSION,
+        "repeat": repeat,
+        "fast": fast,
+        "n_queries": count,
+        "n_distinct": _DISTINCT,
+        "workload_seed": _SEED,
+        "cold": {
+            "elapsed_s": cold_elapsed,
+            "throughput_qps": cold_qps,
+            "store_writes": cold_counters.get("store_writes", 0),
+        },
+        "warm": {
+            "elapsed_s": warm_elapsed,
+            "throughput_qps": warm_qps,
+            "store_warm_loaded": warm_counters.get("store_warm_loaded", 0),
+            "cache_hits": warm_counters.get("cache_hits", 0),
+        },
+        "consult": {
+            "elapsed_s": consult_elapsed,
+            "store_hits": consult_counters.get("store_hits", 0),
+        },
+        "corrupted": {
+            "records_mutilated": flipped,
+            "store_corrupt_records": corrupt_counters.get(
+                "store_corrupt_records", 0
+            ),
+        },
+        "closure_churn": {
+            "store_invalidations": churn_counters.get("store_invalidations", 0),
+        },
+        "summary": {
+            "byte_identical": (
+                cold_served == expected
+                and warm_served == expected
+                and consult_served == expected
+                and corrupt_served == expected
+            ),
+            "churn_byte_identical": churn_served == churn_expected,
+            "warm_speedup": cold_elapsed / max(warm_elapsed, 1e-9),
+            "warm_loaded": warm_counters.get("store_warm_loaded", 0) > 0,
+            "consult_hit_store": consult_counters.get("store_hits", 0) > 0,
+            "corruption_counted": corrupt_counters.get(
+                "store_corrupt_records", 0
+            )
+            > 0,
+            "invalidation_counted": churn_counters.get(
+                "store_invalidations", 0
+            )
+            > 0,
+        },
+    }
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Write ``BENCH_persist.json``; nonzero when a gate fails."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeat", type=int, default=3, help="best-of repetitions")
+    parser.add_argument(
+        "--fast", action="store_true", help="small stream (smoke tests / CI)"
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.2,
+        help=(
+            "required warm/cold throughput ratio — disk replay must beat "
+            "re-minimization (default 1.2)"
+        ),
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUTPUT, help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+    if args.repeat < 1:
+        parser.error("--repeat must be >= 1")
+
+    payload = run_comparison(repeat=args.repeat, fast=args.fast)
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    summary = payload["summary"]
+    print(
+        f"wrote {args.out}: warm {payload['warm']['throughput_qps']:.0f} q/s "
+        f"vs cold {payload['cold']['throughput_qps']:.0f} q/s "
+        f"({summary['warm_speedup']:.2f}x); warm-loaded "
+        f"{payload['warm']['store_warm_loaded']}, consult hits "
+        f"{payload['consult']['store_hits']}, corrupt records counted "
+        f"{payload['corrupted']['store_corrupt_records']}, invalidations "
+        f"{payload['closure_churn']['store_invalidations']}"
+    )
+    failures = []
+    if not summary["byte_identical"]:
+        failures.append("served results are not byte-identical to the serial loop")
+    if not summary["churn_byte_identical"]:
+        failures.append(
+            "closure-churn results differ from the serial loop under the "
+            "mutated constraints"
+        )
+    if summary["warm_speedup"] < args.min_speedup:
+        failures.append(
+            f"warm speedup {summary['warm_speedup']:.2f}x < required "
+            f"{args.min_speedup:.2f}x"
+        )
+    if not summary["warm_loaded"]:
+        failures.append("warm restart loaded no records from the store")
+    if not summary["consult_hit_store"]:
+        failures.append("consult leg never hit the store (store_hits == 0)")
+    if not summary["corruption_counted"]:
+        failures.append("corrupted leg counted no corrupt records")
+    if not summary["invalidation_counted"]:
+        failures.append("closure churn counted no invalidations")
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -17,6 +17,9 @@ but the timings is deterministic):
 - ``BENCH_shard.json`` — sharded fleet throughput and fingerprint-
   affinity hit rates vs the single-process service
   (:mod:`benchmarks.bench_shard`);
+- ``BENCH_persist.json`` — persistent-store warm-start vs cold-start,
+  plus corruption/closure-churn degradation legs
+  (:mod:`benchmarks.bench_persist`);
 - ``BENCH_<figure>.json`` — one file per paper-figure experiment in
   :data:`repro.bench.experiments.ALL_EXPERIMENTS`, in the same schema as
   ``repro-bench <figure> --json``.
@@ -42,6 +45,7 @@ import bench_batch  # noqa: E402  (sibling module, script mode)
 import bench_core_v2  # noqa: E402  (sibling module, script mode)
 import bench_incremental  # noqa: E402  (sibling module, script mode)
 import bench_oracle_cache  # noqa: E402  (sibling module, script mode)
+import bench_persist  # noqa: E402  (sibling module, script mode)
 import bench_service  # noqa: E402  (sibling module, script mode)
 import bench_shard  # noqa: E402  (sibling module, script mode)
 
@@ -124,6 +128,15 @@ def main(argv: Optional[list[str]] = None) -> int:
             str(repeat),
             "--out",
             str(args.out_dir / "BENCH_shard.json"),
+        ]
+        + (["--fast"] if args.fast else [])
+    ) or status
+    status = bench_persist.main(
+        [
+            "--repeat",
+            str(repeat),
+            "--out",
+            str(args.out_dir / "BENCH_persist.json"),
         ]
         + (["--fast"] if args.fast else [])
     ) or status

@@ -99,6 +99,7 @@ from .batch import (
     minimize_batch,
 )
 from .api import STRATEGIES, MinimizeOptions, QueryResult, Session
+from .store import PersistentStore, StoreStats
 from .resilience import (
     AsyncServiceClient,
     CircuitBreaker,
@@ -136,6 +137,9 @@ __all__ = [
     "QueryResult",
     "Session",
     "STRATEGIES",
+    # persistent content-addressed cache tier
+    "PersistentStore",
+    "StoreStats",
     # patterns & algorithms
     "CHILD",
     "DESCENDANT",

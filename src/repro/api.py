@@ -122,6 +122,15 @@ class MinimizeOptions:
         bitset). ``None`` follows the process-wide resolution of
         :func:`repro.core.engine_config.resolve_core_engine`. Results
         are byte-identical either way.
+    store_path:
+        Path of a persistent content-addressed cache
+        (:class:`repro.store.PersistentStore`, created on first use).
+        The session opens it, warm-starts its replay memo from it on
+        boot, attaches it behind the process-wide containment-oracle
+        cache, and write-behinds fresh results to it. ``None`` (default)
+        keeps everything in memory. (``repro-serve --store PATH`` wires
+        this; in sharded mode the manager is the single writer and the
+        workers read the same file.)
     """
 
     engine: str = "dp"
@@ -136,6 +145,7 @@ class MinimizeOptions:
     watchdog: Optional[float] = None
     fault_plan: Optional[FaultPlan] = None
     core_engine: Optional[str] = None
+    store_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -162,6 +172,8 @@ class MinimizeOptions:
             raise ValueError(
                 f"fault_plan must be a FaultPlan, got {type(self.fault_plan).__name__}"
             )
+        if self.store_path is not None and not str(self.store_path):
+            raise ValueError("store_path must be a non-empty path or None")
 
     @property
     def use_cdm_prefilter(self) -> bool:
@@ -333,6 +345,11 @@ class Session:
     constraints:
         Default integrity constraints for calls that don't pass their
         own ``repo``.
+    store:
+        An already-open :class:`repro.store.PersistentStore` to use
+        instead of opening ``options.store_path`` (the sharded tier
+        injects per-worker read-only stores this way). An injected store
+        is *not* closed by :meth:`close` — its owner closes it.
 
     Sessions are context managers; :meth:`close` releases any persistent
     worker pools. All methods are thread-safe to the extent the
@@ -340,7 +357,11 @@ class Session:
     """
 
     def __init__(
-        self, options: Optional[MinimizeOptions] = None, *, constraints: Constraints = None
+        self,
+        options: Optional[MinimizeOptions] = None,
+        *,
+        constraints: Constraints = None,
+        store: Optional[object] = None,
     ) -> None:
         self.options = options if options is not None else MinimizeOptions()
         if not isinstance(self.options, MinimizeOptions):
@@ -359,15 +380,41 @@ class Session:
             if self.options.fault_plan is not None and self.options.fault_plan
             else None
         )
+        #: The persistent content-addressed cache behind this session's
+        #: memo/oracle layers; ``None`` when neither ``store`` nor
+        #: ``options.store_path`` is configured.
+        self.store: Optional[object] = store
+        self._owns_store = False
+        if self.store is None and self.options.store_path is not None:
+            from .store import PersistentStore
+
+            self.store = PersistentStore(
+                self.options.store_path, injector=self.injector
+            )
+            self._owns_store = True
+        if self.store is not None and self.options.oracle_cache is not False:
+            from .core.oracle_cache import set_global_store
+
+            # The process-wide oracle cache gains the disk backend; a
+            # reset_global_cache() (restart simulation) re-attaches it.
+            set_global_store(self.store)
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Release persistent worker pools (idempotent)."""
+        """Release persistent worker pools and (when this session opened
+        it) flush and close the persistent store (idempotent)."""
         for minimizer in self._minimizers.values():
             minimizer.close()
+        if self.store is not None and not self._closed:
+            from .core.oracle_cache import global_store, set_global_store
+
+            if global_store() is self.store:
+                set_global_store(None)
+            if self._owns_store:
+                self.store.close()
         self._closed = True
 
     def __enter__(self) -> "Session":
@@ -453,10 +500,14 @@ class Session:
 
     def counters(self) -> dict[str, float]:
         """Aggregate batch/engine/cache counters over every call made
-        through this session (the ``*Stats``-style flat dict)."""
+        through this session (the ``*Stats``-style flat dict). With a
+        persistent store attached, its live ``store_*`` counters are
+        overlaid."""
         out = dict(self._counters)
         if out.get("queries"):
             out["hit_rate"] = out.get("cache_hits", 0) / out["queries"]
+        if self.store is not None:
+            out.update(self.store.stats.counters())
         return out
 
     @property
@@ -493,7 +544,10 @@ class Session:
         minimizer = self._minimizers.get(key)
         if minimizer is None:
             minimizer = BatchMinimizer(
-                repository, options=self.options, injector=self.injector
+                repository,
+                options=self.options,
+                injector=self.injector,
+                store=self.store,
             )
             self._minimizers[key] = minimizer
         return minimizer

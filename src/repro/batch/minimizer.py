@@ -169,11 +169,18 @@ class BatchResult:
 @dataclass
 class _MemoEntry:
     """A memoized representative: its input structure plus the recorded
-    elimination (CDM first, then ACIM — the pipeline's order)."""
+    elimination (CDM first, then ACIM — the pipeline's order).
+
+    ``result`` is ``None`` for entries warm-loaded from the persistent
+    store: the replay path (:meth:`BatchMinimizer._replay`) only ever
+    consumes ``input_pattern`` and ``eliminated``, so a disk-served
+    representative replays exactly like a memory-born one — the full
+    per-stage :class:`~repro.core.pipeline.MinimizeResult` simply isn't
+    available for it."""
 
     input_pattern: TreePattern
     eliminated: list[tuple[int, str]]
-    result: MinimizeResult
+    result: Optional[MinimizeResult] = None
 
 
 # Worker-process globals, set once per pool by `_init_worker` (the closed
@@ -282,6 +289,7 @@ class BatchMinimizer:
         options: "Optional[MinimizeOptions]" = None,
         *,
         injector: "Optional[FaultInjector]" = None,
+        store: Optional[object] = None,
         jobs: int = _UNSET,  # type: ignore[assignment]
         memoize: bool = _UNSET,  # type: ignore[assignment]
         use_cdm_prefilter: bool = _UNSET,  # type: ignore[assignment]
@@ -356,6 +364,15 @@ class BatchMinimizer:
             self.closure_seconds = time.perf_counter() - start
         self.repository = repo
         self._cache: dict[str, _MemoEntry] = {}
+        #: Optional persistent backend (duck-typed
+        #: :class:`repro.store.PersistentStore`). Replay records are
+        #: keyed by the digest of the *closed* repository, so an IC
+        #: change — new closure, new digest — invalidates exactly the
+        #: proofs it could affect.
+        self._store = store
+        self.closure_digest = repo.digest()
+        if self._store is not None and self.memoize:
+            self._warm_start()
         # The pool initargs are pinned per instance, so the closed
         # repository is pickled once here, not once per minimize_all call.
         self._initargs = (
@@ -410,6 +427,12 @@ class BatchMinimizer:
         for index, fp in enumerate(prints):
             if self.memoize and (fp in self._cache or fp in seen):
                 continue
+            if (
+                self.memoize
+                and self._store is not None
+                and self._load_from_store(fp)
+            ):
+                continue  # disk-served: the replay path handles it
             seen[fp] = index
             fresh.append(index)
         stats.fingerprint_seconds = time.perf_counter() - start
@@ -444,11 +467,19 @@ class BatchMinimizer:
                     stats.engine_counters[key] = stats.engine_counters.get(key, 0) + value
             fp = prints[index]
             if self.memoize and fp not in self._cache:
-                self._cache[fp] = _MemoEntry(
+                entry = _MemoEntry(
                     input_pattern=patterns[index].copy(),
                     eliminated=_result_eliminated(result),
                     result=result,
                 )
+                self._cache[fp] = entry
+                if self._store is not None:
+                    # Write-behind the memo's private snapshot (never
+                    # mutated after this point, so the async pickling
+                    # can't race the caller).
+                    self._store.put_minimization(
+                        fp, self.closure_digest, entry.input_pattern, entry.eliminated
+                    )
 
         start = time.perf_counter()
         items: list[BatchItemResult] = []
@@ -480,6 +511,37 @@ class BatchMinimizer:
     def cache_size(self) -> int:
         """Number of memoized representative structures."""
         return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # Persistent-store integration
+    # ------------------------------------------------------------------
+
+    def _warm_start(self) -> None:
+        """Preload the replay memo from the persistent store (boot-time
+        warm start): the most recent representatives recorded under this
+        repository's closure digest become memo entries, so the first
+        batch after a restart replays structures the previous process
+        already solved."""
+        for fp, pattern, eliminated in self._store.warm_minimizations(
+            self.closure_digest
+        ):
+            if fp not in self._cache:
+                self._cache[fp] = _MemoEntry(
+                    input_pattern=pattern, eliminated=list(eliminated)
+                )
+
+    def _load_from_store(self, fp: str) -> bool:
+        """Consult the persistent store for one fingerprint missed by the
+        in-memory memo; a disk hit becomes a memo entry (and the batch
+        serves it through the ordinary replay path)."""
+        record = self._store.get_minimization(fp, self.closure_digest)
+        if record is None:
+            return False
+        pattern, eliminated = record
+        self._cache[fp] = _MemoEntry(
+            input_pattern=pattern, eliminated=list(eliminated)
+        )
+        return True
 
     # ------------------------------------------------------------------
     # Memoization replay

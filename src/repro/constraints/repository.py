@@ -15,6 +15,7 @@ pair of types in a node's information content.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator
 
 from .model import ConstraintKind, IntegrityConstraint
@@ -165,6 +166,18 @@ class ConstraintRepository:
     def notation(self, sep: str = "; ") -> str:
         """All constraints in textual notation, deterministically ordered."""
         return sep.join(c.notation() for c in self)
+
+    def digest(self) -> str:
+        """A content digest of this repository: sha256 over the sorted
+        textual notation.
+
+        The persistent store (:mod:`repro.store`) versions minimization
+        records by the digest of the *closed* repository they were proven
+        under, so any IC change — which changes the closure, hence the
+        digest — invalidates exactly the records whose proofs it could
+        affect and no others.
+        """
+        return hashlib.sha256(self.notation("\n").encode("utf-8")).hexdigest()
 
 
 def coerce_repository(

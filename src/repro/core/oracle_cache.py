@@ -58,6 +58,8 @@ __all__ = [
     "global_cache",
     "global_enabled",
     "set_global_enabled",
+    "set_global_store",
+    "global_store",
     "reset_global_cache",
     "oracle_cache_disabled",
 ]
@@ -72,6 +74,9 @@ class OracleCacheStats:
     *does* pay, versus the full DP it avoids); ``collisions`` counts
     fingerprint matches whose isomorphism check failed (each is also a
     miss); ``stores``/``evictions`` track the entry population.
+    ``store_hits``/``store_misses`` count consultations of the attached
+    persistent backend on in-memory misses (a ``store_hit`` is also a
+    ``hit`` — the DP was avoided, just from disk).
     """
 
     hits: int = 0
@@ -80,6 +85,8 @@ class OracleCacheStats:
     stores: int = 0
     evictions: int = 0
     collisions: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
 
     @property
     def lookups(self) -> int:
@@ -101,6 +108,8 @@ class OracleCacheStats:
             "oracle_cache_stores": self.stores,
             "oracle_cache_evictions": self.evictions,
             "oracle_cache_collisions": self.collisions,
+            "oracle_cache_store_hits": self.store_hits,
+            "oracle_cache_store_misses": self.store_misses,
         }
 
 
@@ -136,19 +145,40 @@ class ContainmentOracleCache:
         Entry cap; least-recently-used entries are evicted beyond it.
     stats:
         Optional shared :class:`OracleCacheStats` to accumulate into.
+    store:
+        Optional persistent backend (duck-typed
+        :class:`repro.store.PersistentStore`): consulted on in-memory
+        miss via ``get_oracle`` and written behind via ``put_oracle``.
     """
 
-    def __init__(self, maxsize: int = 512, stats: Optional[OracleCacheStats] = None) -> None:
+    def __init__(
+        self,
+        maxsize: int = 512,
+        stats: Optional[OracleCacheStats] = None,
+        store: Optional[object] = None,
+    ) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
         self.stats = stats if stats is not None else OracleCacheStats()
         self._lock = threading.Lock()
         self._entries: "OrderedDict[tuple[str, str], _Entry]" = OrderedDict()
+        self._store = store
         # Per-thread hand-off of the subtree-key tables from a missed
         # lookup to the store() that follows it (the mapping_targets
-        # miss path), so the pair is canonicalized once, not twice.
+        # miss path), so the pair is canonicalized once, not twice. The
+        # slot holds *strong references* to the looked-up patterns plus
+        # their ``_version`` stamps: store() validates the hand-off by
+        # identity (``is``) and version, never by ``id()`` — a stale slot
+        # (a miss whose caller never stored: an exception, a disabled
+        # scope) can therefore never be matched against a different or
+        # since-mutated pattern, even when CPython reuses object ids
+        # after a GC.
         self._pending = threading.local()
+
+    def attach_store(self, store: Optional[object]) -> None:
+        """Attach (or detach, with ``None``) the persistent backend."""
+        self._store = store
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -178,9 +208,19 @@ class ContainmentOracleCache:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
+        if entry is None and self._store is not None:
+            entry = self._load_from_store(key)
         if entry is None:
-            self.stats.misses += 1
-            self._pending.value = (id(source), id(target), source_keys, target_keys)
+            with self._lock:
+                self.stats.misses += 1
+            self._pending.value = (
+                source,
+                target,
+                source._version,
+                target._version,
+                source_keys,
+                target_keys,
+            )
             return None
         source_map = isomorphism(
             entry.source, source, keys_a=entry.source_keys, keys_b=source_keys
@@ -191,17 +231,56 @@ class ContainmentOracleCache:
         if source_map is None or target_map is None:
             # SHA-256 collision: the stored pair is not isomorphic to the
             # caller's. Refuse the entry — the caller recomputes.
-            self.stats.collisions += 1
-            self.stats.misses += 1
-            self._pending.value = (id(source), id(target), source_keys, target_keys)
+            with self._lock:
+                self.stats.collisions += 1
+                self.stats.misses += 1
+            self._pending.value = (
+                source,
+                target,
+                source._version,
+                target._version,
+                source_keys,
+                target_keys,
+            )
             return None
         self._pending.value = None
-        self.stats.hits += 1
-        self.stats.remapped_nodes += len(entry.table)
+        with self._lock:
+            self.stats.hits += 1
+            self.stats.remapped_nodes += len(entry.table)
         return {
             source_map[v]: {target_map[u] for u in targets}
             for v, targets in entry.table.items()
         }
+
+    def _load_from_store(self, key: tuple[str, str]) -> Optional[_Entry]:
+        """Consult the persistent backend for ``key`` on an in-memory
+        miss; a loaded entry is inserted into the in-memory LRU."""
+        record = self._store.get_oracle(key[0], key[1])
+        if record is None:
+            with self._lock:
+                self.stats.store_misses += 1
+            return None
+        try:
+            src, tgt, table = record
+            entry = _Entry(
+                source=src,
+                target=tgt,
+                source_keys=subtree_keys(src),
+                target_keys=subtree_keys(tgt),
+                table={v: frozenset(targets) for v, targets in table.items()},
+            )
+        except Exception:  # noqa: BLE001 - malformed record: treat as miss
+            with self._lock:
+                self.stats.store_misses += 1
+            return None
+        with self._lock:
+            self.stats.store_hits += 1
+            if key not in self._entries and len(self._entries) >= self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+        return entry
 
     def store(
         self,
@@ -217,10 +296,19 @@ class ContainmentOracleCache:
         """
         pending = getattr(self._pending, "value", None)
         self._pending.value = None
-        if pending is not None and pending[0] == id(source) and pending[1] == id(target):
+        if (
+            pending is not None
+            and pending[0] is source
+            and pending[1] is target
+            and pending[2] == source._version
+            and pending[3] == target._version
+        ):
             # The keys computed by the missed lookup just before this
-            # store (the DP in between never mutates the patterns).
-            source_keys, target_keys = pending[2], pending[3]
+            # store: validated by object identity *and* mutation stamp,
+            # so a stale slot (the caller of an earlier miss never
+            # stored) or a since-mutated pattern falls through to a
+            # fresh canonicalization instead of poisoning the entry.
+            source_keys, target_keys = pending[4], pending[5]
         else:
             source_keys = subtree_keys(source)
             target_keys = subtree_keys(target)
@@ -241,7 +329,14 @@ class ContainmentOracleCache:
                 self.stats.evictions += 1
             self._entries[key] = entry
             self._entries.move_to_end(key)
-        self.stats.stores += 1
+            self.stats.stores += 1
+        if self._store is not None:
+            # Write-behind: the entry's private snapshots travel to disk,
+            # so later mutation of the caller's patterns can't race the
+            # serialization.
+            self._store.put_oracle(
+                key[0], key[1], entry.source, entry.target, entry.table
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -251,6 +346,12 @@ class ContainmentOracleCache:
 _global_lock = threading.Lock()
 _global_cache: Optional[ContainmentOracleCache] = None
 _global_enabled: bool = True
+#: Persistent backend attached to the process-wide cache. Kept at module
+#: level (not only on the instance) so :func:`reset_global_cache` — the
+#: restart simulation of tests and benchmarks — re-attaches it to the
+#: fresh instance, exactly like a real process reboot re-opening the
+#: same store file.
+_global_store: Optional[object] = None
 #: Nesting depth of active :func:`oracle_cache_disabled` scopes. The
 #: context manager counts instead of flipping ``_global_enabled`` so
 #: nested/concurrent scopes compose (re-entrant) and an exception inside
@@ -268,8 +369,25 @@ def global_cache() -> Optional[ContainmentOracleCache]:
     if _global_cache is None:
         with _global_lock:
             if _global_cache is None:
-                _global_cache = ContainmentOracleCache()
+                _global_cache = ContainmentOracleCache(store=_global_store)
     return _global_cache
+
+
+def global_store() -> Optional[object]:
+    """The persistent backend attached to the process-wide cache."""
+    return _global_store
+
+
+def set_global_store(store: Optional[object]) -> None:
+    """Attach (``None``: detach) a persistent backend to the process-wide
+    cache — current instance and any future one created after a
+    :func:`reset_global_cache`. Wired by :class:`repro.api.Session` when
+    ``MinimizeOptions.store_path`` is set."""
+    global _global_store
+    with _global_lock:
+        _global_store = store
+        if _global_cache is not None:
+            _global_cache.attach_store(store)
 
 
 def global_enabled() -> bool:

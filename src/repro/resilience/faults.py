@@ -34,6 +34,24 @@ point               kinds                          armed by
                                                    SIGKILLs the target shard
                                                    process (the manager respawns
                                                    it and requeues lost work)
+``store.write``     ``fail``, ``slow``             the persistent store's
+                                                   write-behind thread
+                                                   (:class:`repro.store.PersistentStore`),
+                                                   once per commit batch; ``fail``
+                                                   drops the batch (counted
+                                                   degradation — future misses,
+                                                   never an error), ``slow``
+                                                   sleeps ``delay`` seconds
+                                                   before the commit
+``store.compact``   ``kill``, ``fail``             :meth:`repro.store.PersistentStore.compact`,
+                                                   once per compaction, fired
+                                                   *mid-transaction*; ``kill``
+                                                   SIGKILLs the process (the
+                                                   WAL rolls back — the next
+                                                   open recovers the
+                                                   pre-compaction records
+                                                   byte-identically), ``fail``
+                                                   rolls back and counts
 =================== ============================== =========================
 
 The minimal-query uniqueness theorem (Amer-Yahia et al., SIGMOD 2001)
@@ -66,6 +84,8 @@ FAULT_POINTS: dict[str, tuple[str, ...]] = {
     "executor.pickle": ("fail",),
     "protocol.send": ("truncate", "garbage", "broken_pipe"),
     "shard.kill": ("kill",),
+    "store.write": ("fail", "slow"),
+    "store.compact": ("kill", "fail"),
 }
 
 #: The kinds :meth:`FaultPlan.seeded` draws from by default — one fault

@@ -165,6 +165,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "persistent content-addressed cache file (SQLite; created on "
+            "first use): warm-starts the replay memo on boot and "
+            "write-behinds new results. In sharded mode the front-end is "
+            "the single writer and every shard reads the same file"
+        ),
+    )
+    parser.add_argument(
         "--fault-plan",
         default=None,
         metavar="PLAN",
@@ -219,6 +231,7 @@ async def _serve(args: argparse.Namespace) -> int:
         fault_plan=(
             _parse_fault_plan(args.fault_plan) if args.fault_plan else None
         ),
+        store_path=str(args.store) if args.store is not None else None,
     )
     n_shards = resolve_shards(args.shards)
     if n_shards:

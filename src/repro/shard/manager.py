@@ -134,10 +134,42 @@ class _ShardRequest:
     warm: bool = False
 
 
+class _LruSet:
+    """A bounded set with least-recently-added/touched eviction.
+
+    Backs :attr:`_ShardHandle.seen_fps`: an unbounded set there leaks
+    one entry per distinct fingerprint for the life of the manager. The
+    bound is safe because membership only steers the overflow policy —
+    a forgotten fingerprint merely lets an old structure spill to a
+    less-loaded shard, never changes any result.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[str, None]" = OrderedDict()
+
+    def add(self, value: str) -> None:
+        self._entries[value] = None
+        self._entries.move_to_end(value)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 class _ShardHandle:
     """Front-end state for one shard: process, pipe, threads, routing."""
 
-    def __init__(self, index: int) -> None:
+    def __init__(self, index: int, seen_fps_cap: int = 4096) -> None:
         self.index = index
         self.process = None
         self.conn = None
@@ -146,8 +178,10 @@ class _ShardHandle:
         self.reader_thread: Optional[threading.Thread] = None
         #: request_id -> _ShardRequest awaiting this shard's response.
         self.pending: "dict[int, _ShardRequest]" = {}
-        #: Fingerprints this shard has been routed (≈ its memo contents).
-        self.seen_fps: "set[str]" = set()
+        #: Fingerprints this shard has been routed (≈ its memo contents),
+        #: LRU-bounded so a long-running manager cannot leak one entry
+        #: per distinct structure forever.
+        self.seen_fps: _LruSet = _LruSet(seen_fps_cap)
         #: fingerprint -> exemplar pattern, LRU-bounded; replayed to
         #: re-warm the shard after a planned restart.
         self.exemplars: "OrderedDict[str, TreePattern]" = OrderedDict()
@@ -200,6 +234,9 @@ class ShardManager:
     exemplar_cap:
         Hottest-fingerprint exemplars kept per shard for post-restart
         warm replay.
+    seen_fps_cap:
+        Bound on the per-shard routed-fingerprint set that steers the
+        overflow policy (LRU-evicted beyond it).
     """
 
     def __init__(
@@ -214,6 +251,7 @@ class ShardManager:
         spill_threshold: int = 8,
         default_timeout: Optional[float] = None,
         exemplar_cap: int = 128,
+        seen_fps_cap: int = 4096,
         max_dispatch_attempts: int = 4,
     ) -> None:
         if shards < 1:
@@ -243,6 +281,9 @@ class ShardManager:
         self.spill_threshold = spill_threshold
         self.default_timeout = default_timeout
         self.exemplar_cap = exemplar_cap
+        if seen_fps_cap < 1:
+            raise ValueError(f"seen_fps_cap must be >= 1, got {seen_fps_cap}")
+        self.seen_fps_cap = seen_fps_cap
         self.max_dispatch_attempts = max_dispatch_attempts
         #: Front-end (end-to-end) counters, in the service's own shape.
         self.stats = ServiceStats()
@@ -256,7 +297,21 @@ class ShardManager:
         )
         # Shards run their sessions *without* the plan: the front-end
         # owns chaos, so the whole fleet reports one fired-fault log.
-        self._worker_options = options.with_overrides(fault_plan=None)
+        # They also run without store_path: the manager is the store's
+        # single writer (DESIGN.md §9); workers get the path through
+        # ShardWorkerConfig.store_path and open it read-only.
+        self._worker_options = options.with_overrides(
+            fault_plan=None, store_path=None
+        )
+        #: The fleet's persistent store (single writable handle); shard
+        #: workers read the same file and spool their writes back here.
+        self.store = None
+        if options.store_path is not None:
+            from ..store import PersistentStore
+
+            self.store = PersistentStore(
+                options.store_path, injector=self.injector
+            )
         # Shard-tier counters (the manager's own, merged into counters()).
         self.shard_restarts = 0
         self.chunks_retried = 0
@@ -264,7 +319,7 @@ class ShardManager:
         self.routed_overflow = 0
         self.routed_round_robin = 0
         self.parked_total = 0
-        self._handles = [_ShardHandle(i) for i in range(shards)]
+        self._handles = [_ShardHandle(i, seen_fps_cap) for i in range(shards)]
         self._ring = HashRing()
         self._rr_next = 0
         self._request_seq = 0
@@ -299,6 +354,8 @@ class ShardManager:
             return
         self._closing = True
         if not self._started:
+            if self.store is not None:
+                self.store.close()
             return
         # Let queued work finish (bounded: a hung shard must not hang
         # shutdown forever).
@@ -319,6 +376,8 @@ class ShardManager:
                 request.future.set_exception(
                     ServiceClosedError("shard manager closed")
                 )
+        if self.store is not None:
+            self.store.close()
 
     async def __aenter__(self) -> "ShardManager":
         return await self.start()
@@ -338,6 +397,7 @@ class ShardManager:
             options=self._worker_options,
             constraints=self.constraints,
             max_batch_size=self.max_batch_size,
+            store_path=self.options.store_path,
         )
         process = self._mp_context.Process(
             target=shard_worker_main,
@@ -708,6 +768,12 @@ class ShardManager:
             status, request_id, payload = message
         except (TypeError, ValueError):
             return  # malformed: ignore (never tear the fleet down)
+        if status == "store":
+            # Unsolicited spool hand-off from a read-only worker store:
+            # the manager is the single writer and commits for the fleet.
+            if self.store is not None:
+                self.store.apply_rows(payload)
+            return
         request = handle.pending.pop(request_id, None)
         if request is None:
             return  # raced a timeout/cancel/requeue: discard
@@ -872,6 +938,11 @@ class ShardManager:
                 out[f"shard{index}_hit_rate"] = backend.get("cache_hits", 0) / queries
         if self.injector is not None:
             self.stats.faults_injected = self.injector.faults_injected
+        if self.store is not None:
+            # The manager-side (writable) store view, distinct from the
+            # workers' read-only store_* counters summed above.
+            for key, value in self.store.stats.counters().items():
+                out[f"manager_{key}"] = value
         out.update(self.stats.counters())
         out.update(
             {

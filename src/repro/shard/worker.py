@@ -21,6 +21,14 @@ and worker → parent::
 
     ("ok", request_id, payload)
     ("err", request_id, exception)
+    ("store", 0, rows)         # unsolicited: spooled persistent-store rows
+
+Persistent store: a worker opens ``config.store_path`` **read-only**
+(the single-writer rule — DESIGN.md §9) and shares the committed record
+corpus with every other shard. Its own fresh results spool locally and
+are forwarded to the manager as unsolicited ``("store", 0, rows)``
+messages after each served batch; the manager — the one writer — applies
+them, so cross-shard sharing needs no locks and no write contention.
 
 The worker micro-batches on its own: after one blocking ``recv`` it
 drains whatever else is already in the pipe (up to ``max_batch_size``)
@@ -60,6 +68,9 @@ class ShardWorkerConfig:
     constraints: object = None
     #: Upper bound on one drained burst through ``minimize_many``.
     max_batch_size: int = 16
+    #: Persistent-store file to open read-only (the manager holds the
+    #: write path); ``None`` disables the disk tier for this worker.
+    store_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.index < 0:
@@ -107,7 +118,12 @@ def shard_worker_main(conn, config: ShardWorkerConfig) -> None:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover - exotic platforms
         pass
-    session = Session(config.options, constraints=config.constraints)
+    store = None
+    if config.store_path is not None:
+        from ..store import PersistentStore
+
+        store = PersistentStore(config.store_path, read_only=True)
+    session = Session(config.options, constraints=config.constraints, store=store)
     stats = ServiceStats()
     oracle_base = _oracle_snapshot()
     try:
@@ -148,10 +164,18 @@ def shard_worker_main(conn, config: ShardWorkerConfig) -> None:
                     )
             if requests:
                 _serve_batch(conn, session, stats, requests)
+            if store is not None:
+                rows = store.drain_spooled()
+                if rows:
+                    # Unsolicited message: the manager (single writer)
+                    # commits these rows for the whole fleet.
+                    conn.send(("store", 0, rows))
             if shutdown:
                 return
     finally:
         session.close()
+        if store is not None:
+            store.close()
         try:
             conn.close()
         except OSError:  # pragma: no cover - pipe already gone

@@ -1,0 +1,740 @@
+"""Persistent content-addressed cache tier (disk-backed, SQLite/WAL).
+
+Every performance layer built since the batch backend keys its work on
+*content fingerprints* — the minimization replay memo
+(:class:`~repro.batch.minimizer.BatchMinimizer`), the containment-oracle
+DP tables (:class:`~repro.core.oracle_cache.ContainmentOracleCache`),
+and the shard tier's affinity routing — yet all of that state dies with
+the process. For the repeated-structure streams that dominate real
+workloads, the corpus of distinct tree-pattern structures *is* the
+durable asset of the service: :class:`PersistentStore` keeps it across
+restarts.
+
+Design (DESIGN.md §9):
+
+* **Content addressing.** Records are keyed ``(kind, key, closure)``:
+  ``kind`` names the record family (``"min"`` for fingerprint →
+  elimination replays, ``"oracle"`` for containment DP tables),
+  ``key`` is the content fingerprint (or the ``src:tgt`` digest pair),
+  and ``closure`` is the **constraint-closure digest**
+  (:meth:`repro.constraints.repository.ConstraintRepository.digest`)
+  the record was proven under. Changing the IC repository changes the
+  digest, so stale proofs are invalidated *precisely* — records under
+  other digests stay untouched, and oracle DP tables (pure structural
+  facts, independent of any IC) use the empty digest and survive any
+  churn.
+* **Corruption tolerance.** Every record carries a payload checksum and
+  a format version. A truncated, bit-flipped, or version-mismatched
+  record — or one that simply fails to unpickle — degrades to a
+  *counted miss* (:class:`StoreStats`), never an error and never a
+  wrong answer; the bad row is queued for deletion on the write path.
+* **Write-behind.** ``put`` never blocks the serving path: records are
+  queued and a background writer thread serializes, checksums, and
+  commits them in batches (one transaction per batch). SQLite runs in
+  WAL mode with a generous ``mmap_size``, so concurrent readers see
+  committed batches immediately and reads are page-cache friendly.
+* **Single writer.** Exactly one process writes a store file. The
+  sharded tier opens per-worker stores in **read-only** mode; worker
+  ``put`` calls spool locally (:meth:`PersistentStore.drain_spooled`)
+  and the shard manager — the single writer — applies them
+  (:meth:`PersistentStore.apply_rows`). Within one process the
+  write-behind thread is the only writer connection.
+* **Bounded growth.** The writer prunes the oldest records beyond
+  ``max_records``; :meth:`PersistentStore.compact` prunes and
+  checkpoints/vacuums on demand. Both paths are armed with the
+  ``store.write`` / ``store.compact`` fault points
+  (:mod:`repro.resilience.faults`): a killed-mid-compaction store
+  recovers byte-identically from the WAL on the next open.
+
+Wiring: ``MinimizeOptions(store_path=...)`` / ``repro-serve --store`` —
+the :class:`~repro.api.Session` opens the store, warm-starts its replay
+memo from it on boot, attaches it behind the process-wide oracle cache,
+and flushes it on close.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import queue as queue_module
+import signal
+import sqlite3
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (no import cycle)
+    from .core.pattern import TreePattern
+    from .resilience.faults import FaultInjector
+
+__all__ = [
+    "STORE_FORMAT",
+    "StoreStats",
+    "PersistentStore",
+]
+
+#: Payload format version. Bumped when the pickled payload shape (or the
+#: pattern encoding it relies on) changes incompatibly; records written
+#: under another format degrade to counted misses.
+STORE_FORMAT = 1
+
+#: Record families. ``min``: fingerprint → (representative pattern,
+#: elimination replay), keyed under the closure digest. ``oracle``:
+#: (source, target) content digests → containment DP table, closure-free
+#: (structural facts hold under any IC repository).
+KIND_MINIMIZATION = "min"
+KIND_ORACLE = "oracle"
+
+#: Sentinel telling the writer thread to exit.
+_WRITER_STOP = object()
+
+
+@dataclass
+class StoreStats:
+    """Observability counters for one :class:`PersistentStore`.
+
+    ``hits``/``misses`` count ``get`` outcomes; ``corrupt_records`` and
+    ``version_mismatches`` are the counted-degradation paths (each is
+    also a miss); ``invalidations`` counts misses where a record for the
+    same content exists under a *different* closure digest — the precise
+    IC-churn invalidation at work. Write-side: ``writes`` are records
+    committed, ``write_batches`` the transactions that carried them,
+    ``write_failures`` batches dropped by fault/IO errors (degradation,
+    never an error), ``pruned`` records deleted by the growth bound,
+    ``spooled``/``applied`` the read-only → single-writer hand-off.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    corrupt_records: int = 0
+    version_mismatches: int = 0
+    invalidations: int = 0
+    writes: int = 0
+    write_batches: int = 0
+    write_failures: int = 0
+    pruned: int = 0
+    warm_loaded: int = 0
+    compactions: int = 0
+    compact_failures: int = 0
+    spooled: int = 0
+    spool_dropped: int = 0
+    applied: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def counters(self) -> dict[str, float]:
+        """The counters as a flat dict (for JSON reports), ``store_``-prefixed."""
+        return {
+            "store_hits": self.hits,
+            "store_misses": self.misses,
+            "store_hit_rate": self.hit_rate,
+            "store_corrupt_records": self.corrupt_records,
+            "store_version_mismatches": self.version_mismatches,
+            "store_invalidations": self.invalidations,
+            "store_writes": self.writes,
+            "store_write_batches": self.write_batches,
+            "store_write_failures": self.write_failures,
+            "store_pruned": self.pruned,
+            "store_warm_loaded": self.warm_loaded,
+            "store_compactions": self.compactions,
+            "store_compact_failures": self.compact_failures,
+            "store_spooled": self.spooled,
+            "store_spool_dropped": self.spool_dropped,
+            "store_applied": self.applied,
+        }
+
+
+def _checksum(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _encode(obj: object) -> tuple[bytes, str]:
+    """Pickle ``obj`` (patterns travel through the compact FlatPattern
+    encoding, losslessly including node ids) and checksum the bytes."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return payload, _checksum(payload)
+
+
+class PersistentStore:
+    """A disk-backed content-addressed cache of minimization work.
+
+    Parameters
+    ----------
+    path:
+        The SQLite database file. Created (with parent directories) on
+        first writable open; a missing file in read-only mode yields an
+        always-miss store rather than an error.
+    read_only:
+        Open without a writer (the shard-worker mode): ``get`` serves
+        committed records, ``put`` spools locally for the single writer
+        to apply (:meth:`drain_spooled` → :meth:`apply_rows`).
+    max_records:
+        Growth bound; the writer prunes oldest-first beyond it.
+    batch_size / flush_interval:
+        Write-behind tuning: a commit happens when ``batch_size``
+        records have accumulated or ``flush_interval`` seconds have
+        passed since the oldest queued record, whichever is first.
+    warm_limit:
+        Default cap on records served by :meth:`warm_minimizations`.
+    stats:
+        Optional shared :class:`StoreStats` to accumulate into.
+    injector:
+        Optional :class:`~repro.resilience.faults.FaultInjector` arming
+        the ``store.write`` / ``store.compact`` points.
+    """
+
+    def __init__(
+        self,
+        path: "str | os.PathLike[str]",
+        *,
+        read_only: bool = False,
+        max_records: int = 200_000,
+        batch_size: int = 64,
+        flush_interval: float = 0.05,
+        warm_limit: int = 256,
+        spool_limit: int = 4096,
+        stats: Optional[StoreStats] = None,
+        injector: "Optional[FaultInjector]" = None,
+    ) -> None:
+        if max_records < 1:
+            raise ValueError(f"max_records must be >= 1, got {max_records}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.path = os.fspath(path)
+        self.read_only = read_only
+        self.max_records = max_records
+        self.batch_size = batch_size
+        self.flush_interval = flush_interval
+        self.warm_limit = warm_limit
+        self.spool_limit = spool_limit
+        self.stats = stats if stats is not None else StoreStats()
+        self.injector = injector
+        self._closed = False
+        self._read_lock = threading.Lock()
+        self._spool: "list[tuple[str, str, str, int, str, bytes]]" = []
+        self._spool_lock = threading.Lock()
+        self._queue: "queue_module.Queue" = queue_module.Queue()
+        self._writer_thread: Optional[threading.Thread] = None
+        self._read_conn: Optional[sqlite3.Connection] = None
+
+        if read_only:
+            self._read_conn = self._open_reader(must_exist=False)
+        else:
+            directory = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(directory, exist_ok=True)
+            # Schema creation runs on a short-lived writable connection so
+            # readers (this process's and other processes') can open
+            # immediately; the writer thread owns the long-lived write
+            # connection.
+            conn = self._connect(self.path)
+            try:
+                self._init_schema(conn)
+            finally:
+                conn.close()
+            self._read_conn = self._open_reader(must_exist=True)
+            self._writer_thread = threading.Thread(
+                target=self._writer_loop, name="repro-store-writer", daemon=True
+            )
+            self._writer_thread.start()
+
+    # ------------------------------------------------------------------
+    # Connections / schema
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _connect(path: str, *, uri: bool = False) -> sqlite3.Connection:
+        conn = sqlite3.connect(
+            path, uri=uri, timeout=5.0, check_same_thread=False
+        )
+        conn.execute("PRAGMA busy_timeout=5000")
+        return conn
+
+    def _open_reader(self, *, must_exist: bool) -> Optional[sqlite3.Connection]:
+        if not os.path.exists(self.path):
+            if must_exist:  # pragma: no cover - schema open just created it
+                raise FileNotFoundError(self.path)
+            return None  # read-only store over a missing file: always miss
+        conn = self._connect(f"file:{self.path}?mode=ro", uri=True)
+        # WAL readers don't block the writer (and vice versa); mmap makes
+        # repeated record reads page-cache lookups.
+        conn.execute("PRAGMA mmap_size=134217728")
+        return conn
+
+    @staticmethod
+    def _init_schema(conn: sqlite3.Connection) -> None:
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute(
+            """
+            CREATE TABLE IF NOT EXISTS records (
+                kind TEXT NOT NULL,
+                key TEXT NOT NULL,
+                closure TEXT NOT NULL,
+                fmt INTEGER NOT NULL,
+                checksum TEXT NOT NULL,
+                payload BLOB NOT NULL,
+                PRIMARY KEY (kind, key, closure)
+            )
+            """
+        )
+        conn.execute(
+            "CREATE INDEX IF NOT EXISTS records_by_kind_key "
+            "ON records (kind, key)"
+        )
+        conn.commit()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def writable(self) -> bool:
+        """Whether this instance owns the write path."""
+        return not self.read_only
+
+    def flush(self, timeout: Optional[float] = None) -> None:
+        """Block until every queued write has been committed (no-op for
+        read-only stores). ``timeout`` bounds the wait."""
+        if self.read_only or self._closed:
+            return
+        done = threading.Event()
+        self._queue.put(("barrier", done))
+        done.wait(timeout)
+
+    def close(self) -> None:
+        """Flush pending writes and release connections (idempotent)."""
+        if self._closed:
+            return
+        if not self.read_only and self._writer_thread is not None:
+            self.flush(timeout=10.0)
+            self._queue.put(_WRITER_STOP)
+            self._writer_thread.join(timeout=10.0)
+        self._closed = True
+        if self._read_conn is not None:
+            try:
+                self._read_conn.close()
+            except sqlite3.Error:  # pragma: no cover - already broken
+                pass
+            self._read_conn = None
+
+    def __enter__(self) -> "PersistentStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        """Committed record count (0 for a missing read-only file)."""
+        row = self._select_one("SELECT COUNT(*) FROM records", ())
+        return int(row[0]) if row else 0
+
+    # ------------------------------------------------------------------
+    # Generic record path
+    # ------------------------------------------------------------------
+
+    def _select_one(self, sql: str, params: tuple) -> Optional[tuple]:
+        conn = self._read_conn
+        if conn is None or self._closed:
+            return None
+        with self._read_lock:
+            try:
+                return conn.execute(sql, params).fetchone()
+            except sqlite3.Error:
+                return None
+
+    def get(self, kind: str, key: str, closure: str) -> Optional[object]:
+        """The decoded payload for ``(kind, key, closure)`` — or ``None``.
+
+        Never raises for a bad record: a missing row, a format-version
+        mismatch, a checksum failure, or an unpicklable payload all
+        degrade to a counted miss (and the bad row is queued for
+        deletion when this store owns the write path).
+        """
+        row = self._select_one(
+            "SELECT fmt, checksum, payload FROM records "
+            "WHERE kind=? AND key=? AND closure=?",
+            (kind, key, closure),
+        )
+        if row is None:
+            self.stats.misses += 1
+            self._count_invalidation(kind, key, closure)
+            return None
+        fmt, checksum, payload = row
+        if fmt != STORE_FORMAT:
+            self.stats.version_mismatches += 1
+            self.stats.misses += 1
+            self._discard(kind, key, closure)
+            return None
+        if not isinstance(payload, bytes) or _checksum(payload) != checksum:
+            self.stats.corrupt_records += 1
+            self.stats.misses += 1
+            self._discard(kind, key, closure)
+            return None
+        try:
+            obj = pickle.loads(payload)
+        except Exception:  # noqa: BLE001 - any unpickling failure is corruption
+            self.stats.corrupt_records += 1
+            self.stats.misses += 1
+            self._discard(kind, key, closure)
+            return None
+        self.stats.hits += 1
+        return obj
+
+    def _count_invalidation(self, kind: str, key: str, closure: str) -> None:
+        """A miss where the same content exists under another closure
+        digest is the precise-invalidation path — count it."""
+        row = self._select_one(
+            "SELECT 1 FROM records WHERE kind=? AND key=? AND closure<>? LIMIT 1",
+            (kind, key, closure),
+        )
+        if row is not None:
+            self.stats.invalidations += 1
+
+    def put(self, kind: str, key: str, closure: str, obj: object) -> None:
+        """Record ``obj`` under ``(kind, key, closure)`` (write-behind).
+
+        Writable stores enqueue for the background writer (serialization
+        happens off the serving path); read-only stores serialize now and
+        spool for the single writer (:meth:`drain_spooled`).
+        """
+        if self._closed:
+            return
+        if self.read_only:
+            try:
+                payload, checksum = _encode(obj)
+            except Exception:  # noqa: BLE001 - unpicklable: drop, never raise
+                self.stats.write_failures += 1
+                return
+            with self._spool_lock:
+                if len(self._spool) >= self.spool_limit:
+                    self._spool.pop(0)
+                    self.stats.spool_dropped += 1
+                self._spool.append(
+                    (kind, key, closure, STORE_FORMAT, checksum, payload)
+                )
+                self.stats.spooled += 1
+            return
+        self._queue.put(("put", kind, key, closure, obj))
+
+    def _discard(self, kind: str, key: str, closure: str) -> None:
+        if not self.read_only and not self._closed:
+            self._queue.put(("delete", kind, key, closure))
+
+    # ------------------------------------------------------------------
+    # Read-only spool → single-writer hand-off
+    # ------------------------------------------------------------------
+
+    def drain_spooled(self) -> "list[tuple[str, str, str, int, str, bytes]]":
+        """Take (and clear) the locally spooled rows — ready-to-commit
+        ``(kind, key, closure, fmt, checksum, payload)`` tuples the
+        single writer ingests via :meth:`apply_rows`."""
+        with self._spool_lock:
+            spooled, self._spool = self._spool, []
+        return spooled
+
+    def apply_rows(self, rows) -> None:
+        """Ingest pre-serialized rows (a read-only peer's spool) on the
+        write path. Malformed rows are dropped and counted."""
+        if self.read_only or self._closed:
+            return
+        for row in rows:
+            try:
+                kind, key, closure, fmt, checksum, payload = row
+            except (TypeError, ValueError):
+                self.stats.write_failures += 1
+                continue
+            if fmt != STORE_FORMAT or not isinstance(payload, bytes):
+                self.stats.write_failures += 1
+                continue
+            self._queue.put(("row", kind, key, closure, fmt, checksum, payload))
+            self.stats.applied += 1
+
+    # ------------------------------------------------------------------
+    # Typed record families
+    # ------------------------------------------------------------------
+
+    def put_minimization(
+        self,
+        fingerprint: str,
+        closure_digest: str,
+        pattern: "TreePattern",
+        eliminated: "list[tuple[int, str]]",
+    ) -> None:
+        """Persist one fingerprint → elimination replay record.
+
+        ``pattern`` must be a private snapshot (the replay memo already
+        copies its representatives); the recorded elimination is in the
+        snapshot's node ids, exactly as the in-memory memo keeps it.
+        """
+        self.put(
+            KIND_MINIMIZATION,
+            fingerprint,
+            closure_digest,
+            (pattern, list(eliminated)),
+        )
+
+    def get_minimization(
+        self, fingerprint: str, closure_digest: str
+    ) -> "Optional[tuple[TreePattern, list[tuple[int, str]]]]":
+        """The replay record for ``fingerprint`` under ``closure_digest``
+        — ``(representative_pattern, eliminated)`` — or ``None``."""
+        obj = self.get(KIND_MINIMIZATION, fingerprint, closure_digest)
+        if not isinstance(obj, tuple) or len(obj) != 2:
+            return None if obj is None else self._reject(obj)
+        return obj  # type: ignore[return-value]
+
+    def put_oracle(
+        self,
+        source_digest: str,
+        target_digest: str,
+        source: "TreePattern",
+        target: "TreePattern",
+        table: "dict[int, frozenset[int]]",
+    ) -> None:
+        """Persist one containment-oracle DP table (structural — keyed
+        under the empty closure digest; see the module docstring)."""
+        self.put(
+            KIND_ORACLE,
+            f"{source_digest}:{target_digest}",
+            "",
+            (source, target, dict(table)),
+        )
+
+    def get_oracle(
+        self, source_digest: str, target_digest: str
+    ) -> "Optional[tuple[TreePattern, TreePattern, dict[int, frozenset[int]]]]":
+        """The DP-table record for the digest pair, or ``None``."""
+        obj = self.get(KIND_ORACLE, f"{source_digest}:{target_digest}", "")
+        if not isinstance(obj, tuple) or len(obj) != 3:
+            return None if obj is None else self._reject(obj)
+        return obj  # type: ignore[return-value]
+
+    def _reject(self, obj: object) -> None:
+        """A record that unpickled to the wrong shape: corruption."""
+        self.stats.corrupt_records += 1
+        self.stats.hits -= 1  # get() counted a hit; it wasn't one
+        self.stats.misses += 1
+        return None
+
+    def warm_minimizations(
+        self, closure_digest: str, limit: Optional[int] = None
+    ) -> "Iterator[tuple[str, TreePattern, list[tuple[int, str]]]]":
+        """The most recent replay records under ``closure_digest``, as
+        ``(fingerprint, pattern, eliminated)`` — the Session's boot-time
+        warm start. Bad records are skipped (counted), never raised."""
+        limit = limit if limit is not None else self.warm_limit
+        conn = self._read_conn
+        if conn is None or self._closed or limit < 1:
+            return
+        with self._read_lock:
+            try:
+                rows = conn.execute(
+                    "SELECT key, fmt, checksum, payload FROM records "
+                    "WHERE kind=? AND closure=? ORDER BY rowid DESC LIMIT ?",
+                    (KIND_MINIMIZATION, closure_digest, limit),
+                ).fetchall()
+            except sqlite3.Error:
+                return
+        for key, fmt, checksum, payload in rows:
+            if fmt != STORE_FORMAT:
+                self.stats.version_mismatches += 1
+                continue
+            if not isinstance(payload, bytes) or _checksum(payload) != checksum:
+                self.stats.corrupt_records += 1
+                self._discard(KIND_MINIMIZATION, key, closure_digest)
+                continue
+            try:
+                obj = pickle.loads(payload)
+            except Exception:  # noqa: BLE001 - corruption, skip
+                self.stats.corrupt_records += 1
+                self._discard(KIND_MINIMIZATION, key, closure_digest)
+                continue
+            if not isinstance(obj, tuple) or len(obj) != 2:
+                self.stats.corrupt_records += 1
+                continue
+            self.stats.warm_loaded += 1
+            yield key, obj[0], obj[1]
+
+    # ------------------------------------------------------------------
+    # Compaction / growth bound
+    # ------------------------------------------------------------------
+
+    def compact(self, max_records: Optional[int] = None) -> None:
+        """Prune oldest records beyond the bound, checkpoint the WAL, and
+        vacuum. Runs on the writer thread (single-writer rule); blocks
+        until done. The ``store.compact`` fault point fires mid-
+        transaction, so a killed compaction rolls back cleanly."""
+        if self.read_only or self._closed:
+            return
+        self._queue.put(("compact", max_records))
+        self.flush(timeout=60.0)
+
+    # ------------------------------------------------------------------
+    # The writer thread
+    # ------------------------------------------------------------------
+
+    def _writer_loop(self) -> None:
+        conn = self._connect(self.path)
+        try:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            pending: list = []
+            barriers: list[threading.Event] = []
+            while True:
+                timeout = self.flush_interval if pending else None
+                try:
+                    message = self._queue.get(timeout=timeout)
+                except queue_module.Empty:
+                    message = None  # flush interval elapsed: commit
+                stop = message is _WRITER_STOP
+                if message is not None and not stop:
+                    if message[0] == "barrier":
+                        barriers.append(message[1])
+                    elif message[0] == "compact":
+                        self._commit(conn, pending, barriers)
+                        pending, barriers = [], []
+                        self._compact(conn, message[1])
+                        continue
+                    else:
+                        pending.append(message)
+                        if len(pending) < self.batch_size and not stop:
+                            continue
+                self._commit(conn, pending, barriers)
+                pending, barriers = [], []
+                if stop:
+                    return
+        finally:
+            try:
+                conn.close()
+            except sqlite3.Error:  # pragma: no cover
+                pass
+
+    def _commit(self, conn: sqlite3.Connection, pending, barriers) -> None:
+        """Commit one write-behind batch in a single transaction."""
+        try:
+            if pending:
+                fault = (
+                    self.injector.draw("store.write")
+                    if self.injector is not None
+                    else None
+                )
+                if fault is not None and fault.kind == "slow":
+                    import time as _time
+
+                    _time.sleep(fault.delay)
+                if fault is not None and fault.kind == "fail":
+                    # An injected write failure: the whole batch is
+                    # dropped — degradation (future misses), not an error.
+                    self.stats.write_failures += 1
+                else:
+                    self._apply_batch(conn, pending)
+        except sqlite3.Error:
+            self.stats.write_failures += 1
+            try:
+                conn.rollback()
+            except sqlite3.Error:  # pragma: no cover
+                pass
+        finally:
+            for barrier in barriers:
+                barrier.set()
+
+    def _apply_batch(self, conn: sqlite3.Connection, pending) -> None:
+        written = 0
+        for message in pending:
+            op = message[0]
+            if op == "put":
+                _, kind, key, closure, obj = message
+                try:
+                    payload, checksum = _encode(obj)
+                except Exception:  # noqa: BLE001 - unpicklable: drop
+                    self.stats.write_failures += 1
+                    continue
+                conn.execute(
+                    "INSERT OR REPLACE INTO records "
+                    "(kind, key, closure, fmt, checksum, payload) "
+                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    (kind, key, closure, STORE_FORMAT, checksum, payload),
+                )
+                written += 1
+            elif op == "row":
+                _, kind, key, closure, fmt, checksum, payload = message
+                conn.execute(
+                    "INSERT OR REPLACE INTO records "
+                    "(kind, key, closure, fmt, checksum, payload) "
+                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    (kind, key, closure, fmt, checksum, payload),
+                )
+                written += 1
+            elif op == "delete":
+                _, kind, key, closure = message
+                conn.execute(
+                    "DELETE FROM records WHERE kind=? AND key=? AND closure=?",
+                    (kind, key, closure),
+                )
+        self._prune(conn)
+        conn.commit()
+        if written:
+            self.stats.writes += written
+            self.stats.write_batches += 1
+
+    def _prune(self, conn: sqlite3.Connection) -> None:
+        """Enforce ``max_records`` oldest-first (part of the commit
+        transaction, so a crash can't half-prune)."""
+        (total,) = conn.execute("SELECT COUNT(*) FROM records").fetchone()
+        if total <= self.max_records:
+            return
+        excess = total - self.max_records
+        conn.execute(
+            "DELETE FROM records WHERE rowid IN "
+            "(SELECT rowid FROM records ORDER BY rowid ASC LIMIT ?)",
+            (excess,),
+        )
+        self.stats.pruned += excess
+
+    def _compact(self, conn: sqlite3.Connection, max_records: Optional[int]) -> None:
+        """One compaction pass: prune, (fault point), commit, checkpoint."""
+        bound = max_records if max_records is not None else self.max_records
+        try:
+            (total,) = conn.execute("SELECT COUNT(*) FROM records").fetchone()
+            excess = max(0, total - bound)
+            if excess:
+                conn.execute(
+                    "DELETE FROM records WHERE rowid IN "
+                    "(SELECT rowid FROM records ORDER BY rowid ASC LIMIT ?)",
+                    (excess,),
+                )
+            fault = (
+                self.injector.draw("store.compact")
+                if self.injector is not None
+                else None
+            )
+            if fault is not None and fault.kind == "kill":
+                # Chaos: die mid-transaction. The uncommitted delete
+                # rolls back; the next open recovers the WAL and serves
+                # the pre-compaction records byte-identically.
+                os.kill(os.getpid(), signal.SIGKILL)
+            if fault is not None and fault.kind == "fail":
+                conn.rollback()
+                self.stats.compact_failures += 1
+                return
+            conn.commit()
+            if excess:
+                self.stats.pruned += excess
+            conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            conn.execute("VACUUM")
+            self.stats.compactions += 1
+        except sqlite3.Error:
+            self.stats.compact_failures += 1
+            try:
+                conn.rollback()
+            except sqlite3.Error:  # pragma: no cover
+                pass

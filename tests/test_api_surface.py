@@ -75,6 +75,7 @@ def test_session_api_is_exported():
         "watchdog",
         "fault_plan",
         "core_engine",
+        "store_path",
     }
 
 

@@ -397,3 +397,127 @@ def test_cim_differential_property(q, seed):
         off = cim_minimize(bloated, oracle_cache=False)
     assert on.eliminated == off.eliminated
     assert to_sexpr(on.pattern) == to_sexpr(off.pattern)
+
+
+# ---------------------------------------------------------------------------
+# Pending-slot hand-off regressions (the id-reuse poisoning bug)
+# ---------------------------------------------------------------------------
+
+
+class TestPendingHandoff:
+    """The lookup→store hand-off must be validated by object identity and
+    mutation stamp — never by ``id()``, which CPython reuses after GC."""
+
+    def test_pending_slot_pins_the_looked_up_patterns(self):
+        """A missed lookup's patterns stay strongly referenced until the
+        matching store (or the next lookup) — so a *different* pattern
+        allocated at a recycled address can never match the slot."""
+        import gc
+        import weakref
+
+        cache = ContainmentOracleCache()
+        source = random_query(4, types=["a", "b"], seed=11)
+        target = random_query(5, types=["a", "b"], seed=12)
+        assert cache.lookup(source, target) is None  # miss arms the slot
+        refs = (weakref.ref(source), weakref.ref(target))
+        del source, target
+        gc.collect()
+        # Alive: the pending slot holds strong references, which is what
+        # makes identity (``is``) validation sound against id reuse.
+        assert refs[0]() is not None and refs[1]() is not None
+
+    def test_store_after_mutation_does_not_poison(self):
+        """Mutating a pattern between the missed lookup and the store
+        invalidates the hand-off: the entry must be keyed by the
+        pattern's *current* shape, not the stale pre-mutation keys."""
+        cache = ContainmentOracleCache()
+        source = random_query(4, types=["a", "b"], seed=21)
+        target = duplicate_random_branch(
+            random_query(6, types=["a", "b"], seed=22), seed=22
+        )
+        assert cache.lookup(source, target) is None
+        # Mutate the target after the miss (bumps its _version stamp).
+        leaf = next(
+            n for n in target.leaves() if not n.is_root and not n.is_output
+        )
+        target.delete_leaf(leaf)
+        table = mapping_targets(source, target, cache=None)
+        cache.store(source, target, table)
+        # The entry must now hit for the *mutated* shape...
+        probe_s, probe_t = source.copy(), target.copy()
+        hit = cache.lookup(probe_s, probe_t)
+        assert hit is not None
+        assert hit == mapping_targets(probe_s, probe_t, cache=None)
+
+    def test_interleaved_miss_then_foreign_store_recanonicalizes(self):
+        """A store for a pair *other than* the pending one must not
+        consume the slot: the correct entries land for both pairs."""
+        cache = ContainmentOracleCache()
+        s1 = random_query(4, types=["a", "b"], seed=31)
+        t1 = random_query(5, types=["a", "b"], seed=32)
+        s2 = random_query(3, types=["a", "c"], seed=33)
+        t2 = random_query(6, types=["a", "c"], seed=34)
+        assert cache.lookup(s1, t1) is None  # slot now pends (s1, t1)
+        # A different pair is stored first (an interleaved caller).
+        cache.store(s2, t2, mapping_targets(s2, t2, cache=None))
+        cache.store(s1, t1, mapping_targets(s1, t1, cache=None))
+        for s, t in ((s1, t1), (s2, t2)):
+            probe_s, probe_t = s.copy(), t.copy()
+            assert cache.lookup(probe_s, probe_t) == mapping_targets(
+                probe_s, probe_t, cache=None
+            )
+
+
+# ---------------------------------------------------------------------------
+# Stats-counter thread safety
+# ---------------------------------------------------------------------------
+
+
+class TestStatsUnderConcurrency:
+    def test_hammered_counters_balance_exactly(self):
+        """hits + misses must equal lookups *exactly* after a threaded
+        hammer — increments outside the lock would drop counts."""
+        import sys
+        import threading
+
+        cache = ContainmentOracleCache(maxsize=64)
+        rng = random.Random(41)
+        pairs = [_random_pair(rng) for _ in range(8)]
+        for s, t in pairs:
+            mapping_targets(s, t, cache=cache)
+        per_thread = 150
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        errors: list = []
+
+        def hammer(seed: int) -> None:
+            try:
+                local = random.Random(seed)
+                barrier.wait()
+                for _ in range(per_thread):
+                    s, t = local.choice(pairs)
+                    cache.lookup(
+                        isomorphic_shuffle(s, seed=local.randint(0, 99)),
+                        isomorphic_shuffle(t, seed=local.randint(0, 99)),
+                    )
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        old = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)  # force adversarial interleavings
+        try:
+            threads = [
+                threading.Thread(target=hammer, args=(seed,))
+                for seed in range(n_threads)
+            ]
+            for th in threads:
+                th.start()
+            for th in threads:
+                th.join()
+        finally:
+            sys.setswitchinterval(old)
+        assert errors == []
+        total = n_threads * per_thread
+        # The 8 seeding calls each counted one miss before storing.
+        assert cache.stats.hits + cache.stats.misses == total + len(pairs)
+        assert cache.stats.hits == total  # every pair was pre-seeded

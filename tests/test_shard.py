@@ -476,3 +476,87 @@ class TestShardChaos:
         assert sexprs(first) + sexprs(second) == expected
         # Kills (unplanned) and the rolling restart (planned) both count.
         assert manager.shard_restarts >= 3
+
+
+class TestSeenFpsBound:
+    """The per-shard routing memory must stay bounded on unbounded
+    fingerprint streams."""
+
+    def test_lru_set_unit(self):
+        from repro.shard.manager import _LruSet
+
+        lru = _LruSet(3)
+        for fp in ("a", "b", "c"):
+            lru.add(fp)
+        assert len(lru) == 3 and "a" in lru
+        lru.add("a")  # touch: now the LRU order is b, c, a
+        lru.add("d")  # evicts b
+        assert "b" not in lru
+        assert all(fp in lru for fp in ("c", "a", "d"))
+        assert len(lru) == 3
+        lru.clear()
+        assert len(lru) == 0 and "a" not in lru
+
+    def test_handles_never_exceed_the_cap(self):
+        cap = 8
+        queries, constraints, expected = workload(60, distinct=30, seed=37)
+
+        async def scenario():
+            async with ShardManager(
+                MinimizeOptions(),
+                constraints=constraints,
+                shards=2,
+                policy="overflow",  # the policy that consults seen_fps
+                max_queue=256,
+                seen_fps_cap=cap,
+            ) as manager:
+                results = await manager.submit_many(queries)
+                sizes = [len(h.seen_fps) for h in manager._handles]
+                return results, sizes
+
+        results, sizes = run(scenario())
+        # 30 distinct structures flowed through 2 shards: without the
+        # bound each handle would hold ~15+; with it, never above cap.
+        assert all(size <= cap for size in sizes)
+        assert sum(sizes) > 0
+        # Bounding routing memory must not change served answers.
+        assert sexprs(results) == expected
+
+
+class TestShardStore:
+    """The persistent store through the sharded tier: workers spool
+    read-only, the manager is the single writer."""
+
+    def test_spooled_rows_reach_the_managers_store(self, tmp_path):
+        path = str(tmp_path / "fleet.db")
+        queries, constraints, expected = workload(40, distinct=6, seed=41)
+
+        async def scenario():
+            async with ShardManager(
+                MinimizeOptions(store_path=path),
+                constraints=constraints,
+                shards=2,
+                max_queue=256,
+            ) as manager:
+                results = await manager.submit_many(queries)
+                counters = await manager.counters_async()
+                return results, counters
+
+        results, counters = run(scenario())
+        assert sexprs(results) == expected
+        # Workers spooled their memo entries; the manager applied them.
+        assert counters["manager_store_applied"] > 0
+
+        # The written store warm-starts a fresh (non-sharded) session to
+        # the exact same bytes.
+        from repro.api import Session
+        from repro.core.oracle_cache import reset_global_cache
+
+        reset_global_cache()
+        with Session(
+            MinimizeOptions(store_path=path), constraints=constraints
+        ) as session:
+            warm = sexprs(session.minimize_many(queries))
+            warm_counters = session.counters()
+        assert warm == expected
+        assert warm_counters["store_warm_loaded"] > 0
