@@ -1,0 +1,219 @@
+"""Scenario-harness benchmark: replay determinism and live-churn gates.
+
+Replays the example specs in ``docs/scenarios/`` through the
+:mod:`repro.scenario` harness and measures/checks three things:
+
+- **replay determinism** — the steady-state spec runs twice against an
+  in-process :class:`~repro.api.Session`; both event logs must hash to
+  the same :func:`~repro.scenario.events.event_log_digest` (the
+  byte-determinism gate the whole harness is built around);
+- **backend and pacing invariance** — the burst spec replays
+  sequentially on a session and *paced* (concurrent between churn
+  barriers) on a live micro-batching service; the churn-heavy spec
+  replays on session and service; every pairing must produce the
+  identical digest, proving the event log measures the workload and
+  not the backend;
+- **live IC churn** — the churn-heavy replay (25 constraint toggles on
+  a running target) must show precise invalidation doing real work:
+  nonzero ``invalidated_replays`` (closure-keyed memo entries dropped),
+  nonzero ``surviving_oracle_entries`` (the closure-free containment
+  oracle tier survives every churn), and zero cold-probe failures
+  (after each churn, served answers are byte-identical to a fresh
+  session built on the post-churn repository).
+
+Run as a script (or via ``benchmarks/run_all.py``) to write the
+machine-readable ``BENCH_scenario.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_scenario.py
+    PYTHONPATH=src python benchmarks/bench_scenario.py --fast
+
+Exit code gates (CI):
+
+- the double steady-state replay is digest-identical (determinism);
+- sequential-vs-paced and session-vs-service digests agree (invariance);
+- the churn leg fired updates (``ic_updates > 0``), invalidated replays
+  (``invalidated_replays > 0``), kept oracle entries alive
+  (``surviving_oracle_entries > 0``), and passed every cold probe.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # script mode without install
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.oracle_cache import reset_global_cache
+from repro.scenario import ScenarioReport, load_spec, run_scenario
+
+__all__ = ["SCHEMA_VERSION", "DEFAULT_OUTPUT", "run_comparison", "main"]
+
+SCHEMA_VERSION = 1
+
+#: Default output artifact, at the repo root so the trajectory is
+#: tracked in-tree.
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_scenario.json"
+
+SPEC_DIR = REPO_ROOT / "docs" / "scenarios"
+
+#: Event counts for ``--fast`` (smoke tests / CI); the full runs use
+#: each spec's own ``events``. churn-heavy keeps every=20 churn, so 60
+#: events still fire three genuine updates.
+_FAST_EVENTS = {"steady-state": 40, "burst": 40, "churn-heavy": 60}
+
+
+def _spec(name: str, fast: bool):
+    spec = load_spec(SPEC_DIR / f"{name}.json")
+    if fast:
+        spec = dataclasses.replace(spec, events=_FAST_EVENTS[name])
+    return spec
+
+
+def _leg(report: ScenarioReport) -> dict:
+    """The per-run JSON fragment."""
+    return {
+        "target": report.target,
+        "mode": report.mode,
+        "n_events": len(report.events),
+        "digest": report.digest,
+        "op_counts": dict(report.op_counts),
+        "elapsed_s": report.elapsed_seconds,
+        "events_per_s": len(report.events) / max(report.elapsed_seconds, 1e-9),
+    }
+
+
+def run_comparison(*, repeat: int = 3, fast: bool = False) -> dict:
+    """Run every leg; the ``BENCH_scenario.json`` payload.
+
+    ``repeat`` applies best-of to the throughput legs only — the
+    correctness gates come from single runs (they are deterministic, so
+    repeating them proves nothing the double-replay leg doesn't).
+    """
+    repeat = max(repeat, 1)
+    started = time.perf_counter()
+
+    # --- determinism: steady-state twice on the reference backend ----
+    steady = _spec("steady-state", fast)
+    steady_runs = []
+    for _ in range(max(2, repeat)):
+        reset_global_cache()
+        steady_runs.append(run_scenario(steady, target="session"))
+    steady_best = min(steady_runs, key=lambda r: r.elapsed_seconds)
+    steady_digests = sorted({r.digest for r in steady_runs})
+
+    # --- invariance: burst paced on a live service vs sequential -----
+    burst = _spec("burst", fast)
+    reset_global_cache()
+    burst_seq = run_scenario(burst, target="session")
+    reset_global_cache()
+    burst_paced = run_scenario(burst, target="service", paced=True)
+
+    # --- churn: live IC updates with cold-probe verification ---------
+    churn = _spec("churn-heavy", fast)
+    reset_global_cache()
+    churn_session = run_scenario(churn, target="session", verify=True)
+    reset_global_cache()
+    churn_service = run_scenario(churn, target="service")
+
+    payload = {
+        "benchmark": "scenario",
+        "schema_version": SCHEMA_VERSION,
+        "repeat": repeat,
+        "fast": fast,
+        "steady": {
+            "runs": len(steady_runs),
+            "digests": steady_digests,
+            "best": _leg(steady_best),
+        },
+        "burst": {
+            "sequential": _leg(burst_seq),
+            "paced": _leg(burst_paced),
+        },
+        "churn": {
+            "session": _leg(churn_session),
+            "service": _leg(churn_service),
+            "ic_updates": churn_session.ic_updates,
+            "invalidated_replays": churn_session.invalidated_replays,
+            "surviving_oracle_entries": churn_session.surviving_oracle_entries,
+            "verify_probes": churn_session.verify_probes,
+            "verify_failures": list(churn_session.verify_failures),
+        },
+        "elapsed_s": time.perf_counter() - started,
+    }
+    payload["summary"] = {
+        "replay_deterministic": len(steady_digests) == 1,
+        "pacing_invariant": burst_seq.digest == burst_paced.digest,
+        "backend_invariant": churn_session.digest == churn_service.digest,
+        "churn_fired": churn_session.ic_updates > 0,
+        "invalidation_counted": churn_session.invalidated_replays > 0,
+        "oracle_survived": churn_session.surviving_oracle_entries > 0,
+        "cold_probes_passed": (
+            churn_session.verify_probes > 0
+            and not churn_session.verify_failures
+        ),
+    }
+    return payload
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Write ``BENCH_scenario.json``; nonzero when a gate fails."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeat", type=int, default=3, help="best-of repetitions")
+    parser.add_argument(
+        "--fast", action="store_true", help="short replays (smoke tests / CI)"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUTPUT, help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+    if args.repeat < 1:
+        parser.error("--repeat must be >= 1")
+
+    payload = run_comparison(repeat=args.repeat, fast=args.fast)
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    summary = payload["summary"]
+    churn = payload["churn"]
+    print(
+        f"wrote {args.out}: steady "
+        f"{payload['steady']['best']['events_per_s']:.0f} events/s, churn "
+        f"{churn['ic_updates']} updates / {churn['invalidated_replays']} "
+        f"invalidated / {churn['surviving_oracle_entries']} oracle entries "
+        f"survived, probes {churn['verify_probes']} "
+        f"({len(churn['verify_failures'])} failures)"
+    )
+    failures = []
+    if not summary["replay_deterministic"]:
+        failures.append(
+            "steady-state replays diverged: "
+            + ", ".join(payload["steady"]["digests"])
+        )
+    if not summary["pacing_invariant"]:
+        failures.append("paced service replay diverged from the sequential log")
+    if not summary["backend_invariant"]:
+        failures.append("service churn replay diverged from the session log")
+    if not summary["churn_fired"]:
+        failures.append("churn leg fired no IC updates")
+    if not summary["invalidation_counted"]:
+        failures.append("churn invalidated no closure-keyed replays")
+    if not summary["oracle_survived"]:
+        failures.append("no oracle-cache entries survived churn")
+    if not summary["cold_probes_passed"]:
+        failures.append(
+            f"cold probes failed: {churn['verify_failures']!r}"
+            if churn["verify_failures"]
+            else "churn leg ran no cold probes"
+        )
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

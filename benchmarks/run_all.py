@@ -20,6 +20,9 @@ but the timings is deterministic):
 - ``BENCH_persist.json`` — persistent-store warm-start vs cold-start,
   plus corruption/closure-churn degradation legs
   (:mod:`benchmarks.bench_persist`);
+- ``BENCH_scenario.json`` — scenario-harness replay determinism,
+  pacing/backend invariance, and live IC-churn gates
+  (:mod:`benchmarks.bench_scenario`);
 - ``BENCH_<figure>.json`` — one file per paper-figure experiment in
   :data:`repro.bench.experiments.ALL_EXPERIMENTS`, in the same schema as
   ``repro-bench <figure> --json``.
@@ -46,6 +49,7 @@ import bench_core_v2  # noqa: E402  (sibling module, script mode)
 import bench_incremental  # noqa: E402  (sibling module, script mode)
 import bench_oracle_cache  # noqa: E402  (sibling module, script mode)
 import bench_persist  # noqa: E402  (sibling module, script mode)
+import bench_scenario  # noqa: E402  (sibling module, script mode)
 import bench_service  # noqa: E402  (sibling module, script mode)
 import bench_shard  # noqa: E402  (sibling module, script mode)
 
@@ -137,6 +141,15 @@ def main(argv: Optional[list[str]] = None) -> int:
             str(repeat),
             "--out",
             str(args.out_dir / "BENCH_persist.json"),
+        ]
+        + (["--fast"] if args.fast else [])
+    ) or status
+    status = bench_scenario.main(
+        [
+            "--repeat",
+            str(repeat),
+            "--out",
+            str(args.out_dir / "BENCH_scenario.json"),
         ]
         + (["--fast"] if args.fast else [])
     ) or status

@@ -37,11 +37,12 @@ settings compose.
 
 from __future__ import annotations
 
+import time
 from contextlib import ExitStack
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional, Sequence, Union
 
-from .constraints.model import IntegrityConstraint
+from .constraints.model import IntegrityConstraint, parse_constraints
 from .constraints.repository import ConstraintRepository, coerce_repository
 from .core.containment import equivalent as _equivalent
 from .core.engine_config import CORE_ENGINES, core_engine_scope
@@ -56,6 +57,7 @@ from .parsing.sexpr import to_sexpr
 from .resilience.faults import FaultInjector, FaultPlan
 
 __all__ = [
+    "ConstraintUpdateResult",
     "MinimizeOptions",
     "QueryResult",
     "Session",
@@ -327,6 +329,95 @@ class QueryResult:
         )
 
 
+def _coerce_constraint_list(
+    spec: "Constraints | str | IntegrityConstraint",
+) -> list[IntegrityConstraint]:
+    """Constraint objects, notation strings (``"A -> B; C ~ D"``), or
+    iterables mixing both, normalized to a list of constraints."""
+    if spec is None:
+        return []
+    if isinstance(spec, IntegrityConstraint):
+        return [spec]
+    if isinstance(spec, str):
+        return parse_constraints(spec)
+    out: list[IntegrityConstraint] = []
+    for item in spec:
+        if isinstance(item, IntegrityConstraint):
+            out.append(item)
+        elif isinstance(item, str):
+            out.extend(parse_constraints(item))
+        else:
+            raise TypeError(
+                "constraints must be IntegrityConstraint objects or notation "
+                f"strings, got {type(item).__name__}"
+            )
+    return out
+
+
+@dataclass
+class ConstraintUpdateResult:
+    """What one :meth:`Session.update_constraints` call did, precisely.
+
+    Attributes
+    ----------
+    added / dropped:
+        Base constraints actually inserted / removed (requests that were
+        already present / already absent are skipped — re-applying the
+        same update is a no-op).
+    old_digest / new_digest:
+        The closed-repository digests before and after. Equal digests
+        mean the update changed nothing (every cache survives).
+    mode:
+        Closure recompute mode: ``"incremental"`` (pure additions,
+        semi-naive worklist), ``"full"`` (drops force a recompute from
+        the surviving base), or ``"noop"``.
+    closure_size:
+        Constraints in the new closed repository.
+    closure_seconds:
+        Wall-clock cost of the closure recompute.
+    invalidated_replays:
+        Fingerprint-memo entries dropped because their recorded
+        eliminations were proven under the old closure digest. (The
+        persistent store needs no purge — its records are *keyed* by
+        digest, so old-epoch records simply stop matching.)
+    surviving_oracle_entries:
+        Containment-oracle cache entries retained: oracle facts are
+        closure-free (pure structural containment), so constraint churn
+        never invalidates them.
+    """
+
+    added: list[IntegrityConstraint] = field(default_factory=list)
+    dropped: list[IntegrityConstraint] = field(default_factory=list)
+    old_digest: str = ""
+    new_digest: str = ""
+    mode: str = "noop"
+    closure_size: int = 0
+    closure_seconds: float = 0.0
+    invalidated_replays: int = 0
+    surviving_oracle_entries: int = 0
+
+    @property
+    def changed(self) -> bool:
+        """Whether the closed constraint set actually changed."""
+        return self.old_digest != self.new_digest
+
+    def to_json(self) -> dict:
+        """JSON-serializable shape (the ``constraints`` protocol op's
+        response payload)."""
+        return {
+            "added": [c.notation() for c in self.added],
+            "dropped": [c.notation() for c in self.dropped],
+            "old_digest": self.old_digest,
+            "new_digest": self.new_digest,
+            "changed": self.changed,
+            "mode": self.mode,
+            "closure_size": self.closure_size,
+            "closure_seconds": self.closure_seconds,
+            "invalidated_replays": self.invalidated_replays,
+            "surviving_oracle_entries": self.surviving_oracle_entries,
+        }
+
+
 class Session:
     """A long-lived facade over the minimization stack.
 
@@ -371,6 +462,7 @@ class Session:
         self._default_constraints = constraints
         self._minimizers: dict[tuple, "BatchMinimizer"] = {}
         self._counters: dict[str, float] = {}
+        self._store_counters: dict[str, float] = {}
         self._closed = False
         #: One injector shared by every layer working through this
         #: session, so the whole stack reports into a single ordered
@@ -415,6 +507,12 @@ class Session:
                 set_global_store(None)
             if self._owns_store:
                 self.store.close()
+            # Snapshot the store counters at detach — after the close
+            # above so the final write-behind flush is counted: counters()
+            # keeps reporting the final store_* values after close(), even
+            # when a later session reopens the same store_path with fresh
+            # stats (the old overlay would read them as zero).
+            self._store_counters = dict(self.store.stats.counters())
         self._closed = True
 
     def __enter__(self) -> "Session":
@@ -495,6 +593,123 @@ class Session:
             return _equivalent(q1, q2)
 
     # ------------------------------------------------------------------
+    # Live constraint churn
+    # ------------------------------------------------------------------
+
+    def update_constraints(
+        self,
+        add: "Constraints | str | IntegrityConstraint" = None,
+        drop: "Constraints | str | IntegrityConstraint" = None,
+    ) -> ConstraintUpdateResult:
+        """Mutate the session-default constraints on a *live* session.
+
+        ``add``/``drop`` accept constraint objects, notation strings
+        (``"Book -> Title; A ~ B"``), or iterables mixing both. The new
+        closure is computed through
+        :meth:`~repro.constraints.repository.ConstraintRepository.begin_update`
+        — incrementally when only additions are staged — and invalidation
+        is *precise*:
+
+        * the default repository's fingerprint memo is dropped (its
+          recorded eliminations were proven under the old closure digest)
+          and its size is reported as ``invalidated_replays``;
+        * the containment-oracle cache survives untouched (oracle facts
+          are closure-free) — its size is reported as
+          ``surviving_oracle_entries``;
+        * the persistent store needs no purge: records are keyed by
+          closure digest, so old-epoch records stop matching while
+          records previously written under the *new* digest immediately
+          warm-start the successor memo.
+
+        A no-op update (same digest) invalidates nothing. Minimizers for
+        *explicitly passed* ``repo`` arguments are untouched — only the
+        session default changes. Callers racing in-flight ``minimize``
+        calls must order the update themselves (the service and shard
+        layers do: requests enqueued before the update are served under
+        the old closure, requests after under the new one).
+
+        Session counters gain ``ic_updates``, ``closure_invalidations``
+        (summed), and ``oracle_entries_surviving`` (latest snapshot).
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        adds = _coerce_constraint_list(add)
+        drops = _coerce_constraint_list(drop)
+        minimizer = self._minimizer_for(None)
+        old_key = tuple(coerce_repository(self._default_constraints))
+        old_digest = minimizer.closure_digest
+        new_repo = minimizer.repository.copy()
+        start = time.perf_counter()
+        with new_repo.begin_update() as update:
+            for constraint in adds:
+                update.add(constraint)
+            for constraint in drops:
+                update.drop(constraint)
+        closure_seconds = time.perf_counter() - start
+
+        from .core.oracle_cache import global_cache
+
+        cache = global_cache()
+        result = ConstraintUpdateResult(
+            added=list(update.added),
+            dropped=list(update.dropped),
+            old_digest=old_digest,
+            new_digest=update.new_digest or old_digest,
+            mode=update.mode or "noop",
+            closure_size=len(new_repo),
+            closure_seconds=closure_seconds,
+            surviving_oracle_entries=len(cache) if cache is not None else 0,
+        )
+        self._counters["ic_updates"] = self._counters.get("ic_updates", 0) + 1
+        if not result.changed:
+            if update.added or update.dropped:
+                # Base-only mutation: the staged add was already derived
+                # (or the drop is still derivable), so the closure — and
+                # its digest — are unchanged. Nothing is invalidated, but
+                # the new base must still stick, or a later drop of the
+                # "added" constraint would see only the derived copy and
+                # refuse.
+                minimizer.repository = new_repo
+                self._default_constraints = new_repo
+            return result
+
+        # Precise invalidation: exactly the old default repository's memo
+        # entries are stale — drop that minimizer (and its warm pool).
+        result.invalidated_replays = minimizer.cache_size
+        minimizer.close()
+        self._minimizers.pop(old_key, None)
+        self._default_constraints = new_repo
+        # Build the successor eagerly: it reuses the already-recomputed
+        # closure (new_repo is closed) and warm-starts from any store
+        # records previously written under the new digest.
+        self._minimizer_for(None)
+        self._counters["closure_invalidations"] = (
+            self._counters.get("closure_invalidations", 0)
+            + result.invalidated_replays
+        )
+        self._counters["oracle_entries_surviving"] = (
+            result.surviving_oracle_entries
+        )
+        return result
+
+    def constraints_digest(self) -> str:
+        """Digest of the session-default *closed* repository (the cache
+        epoch key; changes exactly when :meth:`update_constraints` does)."""
+        return self._minimizer_for(None).closure_digest
+
+    def constraints_info(self) -> dict:
+        """The current constraint epoch as a JSON-serializable dict (the
+        ``constraints`` protocol op's query response)."""
+        minimizer = self._minimizer_for(None)
+        repo = minimizer.repository
+        return {
+            "digest": minimizer.closure_digest,
+            "closure_size": len(repo),
+            "base_size": len(repo.base),
+            "ic_updates": int(self._counters.get("ic_updates", 0)),
+        }
+
+    # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
 
@@ -507,7 +722,11 @@ class Session:
         if out.get("queries"):
             out["hit_rate"] = out.get("cache_hits", 0) / out["queries"]
         if self.store is not None:
-            out.update(self.store.stats.counters())
+            out.update(
+                self._store_counters
+                if self._closed
+                else self.store.stats.counters()
+            )
         return out
 
     @property

@@ -31,7 +31,6 @@ from __future__ import annotations
 
 import pickle
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
@@ -226,6 +225,34 @@ def _minimize_one(pattern: TreePattern) -> MinimizeResult:
     )
 
 
+#: Kwargs accepted (with a DeprecationWarning) before the MinimizeOptions
+#: redesign; kept only to name the replacement field in the TypeError.
+_REMOVED_KWARGS = {
+    "jobs": "MinimizeOptions(jobs=...)",
+    "memoize": "MinimizeOptions(memoize=...)",
+    "use_cdm_prefilter": 'MinimizeOptions(strategy="pipeline"/"acim")',
+    "oracle_cache": "MinimizeOptions(oracle_cache=...)",
+    "chunksize": "MinimizeOptions(chunksize=...)",
+}
+
+
+def _legacy_kwargs_message(where: str, legacy: dict) -> str:
+    """The migration-hint TypeError text for removed legacy kwargs."""
+    removed = sorted(k for k in legacy if k in _REMOVED_KWARGS)
+    unknown = sorted(k for k in legacy if k not in _REMOVED_KWARGS)
+    parts = [f"{where}() got unexpected keyword argument(s)"]
+    if removed:
+        hints = "; ".join(f"{k} -> {_REMOVED_KWARGS[k]}" for k in removed)
+        parts = [
+            f"{where}() no longer accepts the legacy kwargs {removed}: "
+            "configure through options=MinimizeOptions(...) or a "
+            f"repro.api.Session ({hints})"
+        ]
+    if unknown:
+        parts.append(f"unknown kwargs {unknown}")
+    return "; ".join(parts)
+
+
 def _result_eliminated(result: MinimizeResult) -> list[tuple[int, str]]:
     """The pipeline's elimination record as ``(id, type)`` pairs, CDM
     deletions first (the order they actually happened in)."""
@@ -235,11 +262,6 @@ def _result_eliminated(result: MinimizeResult) -> list[tuple[int, str]]:
     if result.acim is not None:
         out.extend(result.acim.eliminated)
     return out
-
-
-#: Sentinel distinguishing "kwarg not passed" from an explicit value, so
-#: only *explicit* legacy kwargs trigger the deprecation warning.
-_UNSET: object = object()
 
 
 class BatchMinimizer:
@@ -254,33 +276,12 @@ class BatchMinimizer:
     options:
         A :class:`repro.api.MinimizeOptions` carrying the whole
         configuration (jobs, memoize, strategy, oracle_cache, chunksize,
-        incremental, persistent_pool). This is the preferred path — the
-        :class:`repro.api.Session` facade constructs minimizers this
-        way — and is mutually exclusive with the legacy kwargs below.
-    jobs:
-        **Deprecated** (use ``options``). Worker processes for the
-        distinct-query fan-out. ``1`` (default) runs serially
-        in-process; ``None``/``0`` uses the machine's core count.
-        Results are identical for every setting.
-    memoize:
-        **Deprecated** (use ``options``). Reuse minimization results
-        across isomorphic queries (on by default). The cache persists
-        across :meth:`minimize_all` calls, so a long-lived
-        ``BatchMinimizer`` keeps learning its workload.
-    use_cdm_prefilter:
-        **Deprecated** (use ``options.strategy``). Forwarded to
-        :func:`~repro.core.pipeline.minimize`.
-    oracle_cache:
-        **Deprecated** (use ``options``). Forwarded to
-        :func:`~repro.core.pipeline.minimize` for every representative
-        (serial path and worker processes alike; workers rebuild their
-        own process-local containment-oracle cache, this parameter only
-        carries the switch). ``None`` (default) follows the
-        process-wide oracle-cache switch in whichever process runs the
-        minimization.
-    chunksize:
-        **Deprecated** (use ``options``). Payloads per pool task
-        (default: auto, ~4 chunks per worker).
+        incremental, persistent_pool); ``None`` means all defaults. This
+        is the **only** configuration path — the scattered per-knob
+        kwargs of earlier releases (``jobs=``, ``memoize=``,
+        ``use_cdm_prefilter=``, ``oracle_cache=``, ``chunksize=``) were
+        removed after their deprecation cycle and now raise
+        :class:`TypeError` with a migration hint.
     """
 
     def __init__(
@@ -290,60 +291,25 @@ class BatchMinimizer:
         *,
         injector: "Optional[FaultInjector]" = None,
         store: Optional[object] = None,
-        jobs: int = _UNSET,  # type: ignore[assignment]
-        memoize: bool = _UNSET,  # type: ignore[assignment]
-        use_cdm_prefilter: bool = _UNSET,  # type: ignore[assignment]
-        oracle_cache: Optional[bool] = _UNSET,  # type: ignore[assignment]
-        chunksize: Optional[int] = _UNSET,  # type: ignore[assignment]
+        **legacy: object,
     ) -> None:
-        legacy = {
-            name: value
-            for name, value in (
-                ("jobs", jobs),
-                ("memoize", memoize),
-                ("use_cdm_prefilter", use_cdm_prefilter),
-                ("oracle_cache", oracle_cache),
-                ("chunksize", chunksize),
-            )
-            if value is not _UNSET
-        }
-        if options is not None and legacy:
-            raise ValueError(
-                "pass configuration through options=MinimizeOptions(...) OR the "
-                f"legacy kwargs, not both (got options and {sorted(legacy)})"
-            )
         if legacy:
-            warnings.warn(
-                f"BatchMinimizer({', '.join(sorted(legacy))}) kwargs are deprecated; "
-                "configure through repro.api.Session / "
-                "BatchMinimizer(constraints, options=MinimizeOptions(...))",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-        if options is not None:
-            self._jobs_spec = options.jobs
-            self.jobs = resolve_jobs(options.jobs)
-            self.memoize = options.memoize
-            self.use_cdm_prefilter = options.use_cdm_prefilter
-            self.oracle_cache = options.oracle_cache
-            self.chunksize = options.chunksize
-            self.incremental = options.incremental
-            self.watchdog = options.watchdog
-            self.core_engine = options.core_engine
-            fault_plan = options.fault_plan
-            persistent_pool = options.persistent_pool
-        else:
-            self._jobs_spec = legacy.get("jobs", 1)
-            self.jobs = resolve_jobs(self._jobs_spec)
-            self.memoize = legacy.get("memoize", True)
-            self.use_cdm_prefilter = legacy.get("use_cdm_prefilter", True)
-            self.oracle_cache = legacy.get("oracle_cache", None)
-            self.chunksize = legacy.get("chunksize", None)
-            self.incremental = True
-            self.watchdog = None
-            self.core_engine = None
-            fault_plan = None
-            persistent_pool = False
+            raise TypeError(_legacy_kwargs_message("BatchMinimizer", legacy))
+        if options is None:
+            from ..api import MinimizeOptions as _MinimizeOptions
+
+            options = _MinimizeOptions()
+        self._jobs_spec = options.jobs
+        self.jobs = resolve_jobs(options.jobs)
+        self.memoize = options.memoize
+        self.use_cdm_prefilter = options.use_cdm_prefilter
+        self.oracle_cache = options.oracle_cache
+        self.chunksize = options.chunksize
+        self.incremental = options.incremental
+        self.watchdog = options.watchdog
+        self.core_engine = options.core_engine
+        fault_plan = options.fault_plan
+        persistent_pool = options.persistent_pool
         if injector is None and fault_plan is not None and fault_plan:
             from ..resilience.faults import FaultInjector as _FaultInjector
 
@@ -613,40 +579,15 @@ def minimize_batch(
     patterns: Sequence[TreePattern],
     constraints: "ConstraintRepository | Iterable[IntegrityConstraint] | None" = None,
     options: "Optional[MinimizeOptions]" = None,
-    *,
-    jobs: int = _UNSET,  # type: ignore[assignment]
-    memoize: bool = _UNSET,  # type: ignore[assignment]
-    use_cdm_prefilter: bool = _UNSET,  # type: ignore[assignment]
-    oracle_cache: Optional[bool] = _UNSET,  # type: ignore[assignment]
-    chunksize: Optional[int] = _UNSET,  # type: ignore[assignment]
+    **legacy: object,
 ) -> BatchResult:
     """One-shot convenience wrapper around :class:`BatchMinimizer`.
 
-    Prefer ``minimize_batch(patterns, constraints, MinimizeOptions(...))``
-    (or a long-lived :class:`repro.api.Session`); the scattered kwargs
-    are deprecated, exactly as on :class:`BatchMinimizer`.
+    ``minimize_batch(patterns, constraints, MinimizeOptions(...))`` (or a
+    long-lived :class:`repro.api.Session`) is the only configuration
+    path; the removed per-knob kwargs raise :class:`TypeError` with a
+    migration hint, exactly as on :class:`BatchMinimizer`.
     """
-    legacy = {
-        name: value
-        for name, value in (
-            ("jobs", jobs),
-            ("memoize", memoize),
-            ("use_cdm_prefilter", use_cdm_prefilter),
-            ("oracle_cache", oracle_cache),
-            ("chunksize", chunksize),
-        )
-        if value is not _UNSET
-    }
-    with warnings.catch_warnings():
-        # The constructor warns with pointers at BatchMinimizer; re-raise
-        # the warning here, at the caller's line, instead.
-        warnings.simplefilter("ignore", DeprecationWarning)
-        minimizer = BatchMinimizer(constraints, options, **legacy)
     if legacy:
-        warnings.warn(
-            f"minimize_batch({', '.join(sorted(legacy))}) kwargs are deprecated; "
-            "pass options=MinimizeOptions(...) or use repro.api.Session",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-    return minimizer.minimize_all(patterns)
+        raise TypeError(_legacy_kwargs_message("minimize_batch", legacy))
+    return BatchMinimizer(constraints, options).minimize_all(patterns)

@@ -16,8 +16,8 @@ from .model import (
     required_child,
     required_descendant,
 )
-from .repository import ConstraintRepository, coerce_repository
-from .closure import closure, implied_by
+from .repository import ConstraintRepository, RepositoryUpdate, coerce_repository
+from .closure import closure, extend_closure, implied_by, reverse_implied_by
 
 __all__ = [
     "ConstraintKind",
@@ -28,7 +28,10 @@ __all__ = [
     "required_child",
     "required_descendant",
     "ConstraintRepository",
+    "RepositoryUpdate",
     "coerce_repository",
     "closure",
+    "extend_closure",
     "implied_by",
+    "reverse_implied_by",
 ]

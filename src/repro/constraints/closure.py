@@ -24,13 +24,23 @@ t1->t3``                  the required t2 child *is* a t3 node (same for
 
 Trivial co-occurrences ``t ~ t`` are never generated (they are vacuous and
 the model class forbids them).
+
+Two entry points: :func:`closure` computes the fixpoint from scratch;
+:func:`extend_closure` grows an already-closed repository by a handful of
+new constraints with a semi-naive worklist — each new fact is joined
+against the existing closure through the forward (:func:`implied_by`) and
+reverse (:func:`reverse_implied_by`) indexes, so the cost is proportional
+to the consequences of the *delta*, not to the whole repository. The two
+produce identical closures (the fixpoint is unique), which the
+differential tests pin digest-for-digest.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from .model import (
+    ConstraintKind,
     IntegrityConstraint,
     co_occurrence,
     required_child,
@@ -38,7 +48,7 @@ from .model import (
 )
 from .repository import ConstraintRepository, coerce_repository
 
-__all__ = ["closure", "implied_by"]
+__all__ = ["closure", "extend_closure", "implied_by", "reverse_implied_by"]
 
 
 def closure(
@@ -46,26 +56,65 @@ def closure(
 ) -> ConstraintRepository:
     """The logical closure of ``constraints`` as a closed repository.
 
-    The input is not modified. The fixpoint iterates until no rule adds a
+    The input is not modified (an already-closed repository is returned
+    as an independent copy). The fixpoint iterates until no rule adds a
     new constraint; with ``T`` types the result has O(T²) constraints per
     kind, so the computation is polynomial.
     """
     repo = coerce_repository(constraints).copy()
+    if repo.is_closed:
+        return repo
     changed = True
     while changed:
         changed = False
         for c in list(repo):
             for implied in implied_by(c, repo):
-                if repo.add(implied):
+                if repo._insert(implied, base=False):
                     changed = True
     repo._mark_closed()
     return repo
 
 
+def extend_closure(
+    repo: ConstraintRepository, additions: Sequence[IntegrityConstraint]
+) -> list[IntegrityConstraint]:
+    """Grow ``repo``'s closure in place by ``additions`` (new *base*
+    constraints); returns every constraint actually inserted (the staged
+    additions plus their derived consequences).
+
+    ``repo`` must hold a closed constraint set (the closed *flag* may be
+    temporarily cleared by the caller — :class:`RepositoryUpdate` does).
+    The worklist joins each new fact against the existing set in both
+    premise positions: :func:`implied_by` covers rules where the new fact
+    is the first premise, :func:`reverse_implied_by` (through the
+    repository's ``(kind, target)`` reverse index) covers rules where it
+    is the second. Consequences of two new facts are reached because the
+    first is already inserted when the second is processed.
+    """
+    inserted: list[IntegrityConstraint] = []
+    worklist: list[IntegrityConstraint] = []
+    for c in additions:
+        if repo._insert(c, base=True):
+            inserted.append(c)
+            worklist.append(c)
+    while worklist:
+        c = worklist.pop()
+        for implied in implied_by(c, repo):
+            if repo._insert(implied, base=False):
+                inserted.append(implied)
+                worklist.append(implied)
+        for implied in reverse_implied_by(c, repo):
+            if repo._insert(implied, base=False):
+                inserted.append(implied)
+                worklist.append(implied)
+    return inserted
+
+
 def implied_by(
     c: IntegrityConstraint, repo: ConstraintRepository
 ) -> list[IntegrityConstraint]:
-    """One-step consequences of constraint ``c`` against ``repo``.
+    """One-step consequences of constraint ``c`` against ``repo``, with
+    ``c`` as the *first* premise of each binary rule.
 
     Exposed separately so tests can exercise each inference rule in
     isolation.
@@ -97,4 +146,41 @@ def implied_by(
             out.append(required_child(c.source, t3))
         for t3 in repo.required_descendants_of(c.target):
             out.append(required_descendant(c.source, t3))
+    return out
+
+
+def reverse_implied_by(
+    c: IntegrityConstraint, repo: ConstraintRepository
+) -> list[IntegrityConstraint]:
+    """One-step consequences of ``c`` as the *second* premise of each
+    binary rule, joining through the repository's reverse index.
+
+    The full fixpoint never needs this (it revisits every constraint, so
+    each pair is eventually seen first-premise-wise); the incremental
+    worklist of :func:`extend_closure` does — an existing ``t1 -> t2``
+    must combine with a *new* ``t2 ~ t3`` even though the existing
+    constraint is never re-enqueued.
+    """
+    out: list[IntegrityConstraint] = []
+    if c.is_co_occurrence:
+        # t1 -> t2, [t2 ~ t3]  ⊢  t1 -> t3
+        for t1 in repo.sources(ConstraintKind.REQUIRED_CHILD, c.source):
+            out.append(required_child(t1, c.target))
+        # t1 ~ t2, [t2 ~ t3]  ⊢  t1 ~ t3 (skip the trivial t1 ~ t1)
+        for t1 in repo.sources(ConstraintKind.CO_OCCURRENCE, c.source):
+            if t1 != c.target:
+                out.append(co_occurrence(t1, c.target))
+    elif c.is_required_child:
+        # t1 ~ t2, [t2 -> t3]  ⊢  t1 -> t3
+        for t1 in repo.sources(ConstraintKind.CO_OCCURRENCE, c.source):
+            out.append(required_child(t1, c.target))
+    else:  # required descendant
+        # t1 ~ t2, [t2 ->> t3]  ⊢  t1 ->> t3
+        for t1 in repo.sources(ConstraintKind.CO_OCCURRENCE, c.source):
+            out.append(required_descendant(t1, c.target))
+    # t1 ->> t2 combines with a new second premise of *any* kind:
+    # [t2 ->> t3] (transitivity), [t2 -> t3] (child of a descendant),
+    # [t2 ~ t3] (obligation transfer) — all yield t1 ->> c.target.
+    for t1 in repo.sources(ConstraintKind.REQUIRED_DESCENDANT, c.source):
+        out.append(required_descendant(t1, c.target))
     return out

@@ -13,6 +13,7 @@ __all__ = [
     "InvalidPatternError",
     "OutputNodeError",
     "ConstraintError",
+    "RepositoryClosedError",
     "ParseError",
     "SchemaError",
     "DataModelError",
@@ -52,6 +53,17 @@ class OutputNodeError(PatternError):
 
 class ConstraintError(ReproError):
     """An integrity constraint is malformed or used inconsistently."""
+
+
+class RepositoryClosedError(ConstraintError):
+    """Direct mutation of a logically *closed* constraint repository.
+
+    A closed repository's digest keys every cached minimization proof
+    (fingerprint memo, persistent store), so an in-place ``add`` /
+    ``update`` / ``discard`` would silently invalidate them. Stage the
+    change through ``repository.begin_update()`` instead — it recomputes
+    the closure and reports the new digest.
+    """
 
 
 class ParseError(ReproError):

@@ -1,0 +1,298 @@
+"""Scenario specifications: the replayable workload description.
+
+A scenario is a JSON document describing *everything* a run needs —
+op mix, query-family popularity, arrival shape, tenants, initial
+integrity constraints, and constraint churn — so that one spec plus one
+seed fully determines the event stream. The runner
+(:mod:`repro.scenario.runner`) replays a spec against any serving
+target and produces a byte-deterministic event log.
+
+Spec shape::
+
+    {
+      "name": "steady-state",
+      "seed": 42,
+      "events": 200,
+      "arrival": {"process": "poisson", "rate": 400.0},
+      "constraints": 6,              # generated count, or a list of
+                                     # notation strings
+      "churn": {"every": 50, "pool": 4},   # optional; pool likewise
+      "tenants": [
+        {"name": "analytics", "weight": 3.0,
+         "ops": {"minimize": 0.7, "equivalence-check": 0.2,
+                 "evaluate": 0.1},
+         "families": 12, "family_size": 24, "zipf_s": 1.1},
+        {"name": "adhoc", "weight": 1.0,
+         "ops": {"minimize": 1.0},
+         "families": 4, "family_size": 40, "zipf_s": 0.0}
+      ]
+    }
+
+Semantics:
+
+* **ops** — per-tenant weights over :data:`SCENARIO_OPS`. ``ic-update``
+  may appear in the mix (randomly interleaved churn) and/or be driven
+  periodically by ``churn.every``; both toggle constraints from the
+  churn pool (an active one is dropped, an inactive one added), so any
+  fixed seed yields one exact add/drop sequence.
+* **families / zipf_s** — each tenant owns ``families`` generated query
+  structures; every request draws a family from a Zipf(``zipf_s``)
+  popularity curve (``0.0`` = uniform) and submits a fresh isomorphic
+  shuffle of it, so fingerprint-level caching is exercised exactly like
+  production repeat-structure traffic.
+* **arrival** — one of :data:`~repro.workloads.arrival.ARRIVAL_PROCESSES`
+  (``poisson`` / ``uniform`` / ``burst`` / ``diurnal``); offsets are
+  part of the deterministic event log whether or not the runner paces
+  real submissions with them.
+* **constraints / churn.pool** — an integer means "generate this many
+  constraints relevant to the tenants' families" (deterministic under
+  the seed); a list of notation strings pins them exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from ..errors import ReproError
+from ..workloads.arrival import ARRIVAL_PROCESSES
+
+__all__ = [
+    "SCENARIO_OPS",
+    "ArrivalSpec",
+    "ChurnSpec",
+    "ScenarioSpec",
+    "SpecError",
+    "TenantSpec",
+    "load_spec",
+]
+
+#: Operations a scenario event can perform.
+SCENARIO_OPS = ("minimize", "equivalence-check", "evaluate", "ic-update")
+
+
+class SpecError(ReproError):
+    """A scenario spec failed validation."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SpecError(message)
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """When requests arrive: process shape + average rate."""
+
+    process: str = "poisson"
+    rate: float = 200.0
+
+    def __post_init__(self) -> None:
+        _require(
+            self.process in ARRIVAL_PROCESSES,
+            f"arrival.process must be one of {ARRIVAL_PROCESSES}, "
+            f"got {self.process!r}",
+        )
+        _require(self.rate > 0, f"arrival.rate must be > 0, got {self.rate}")
+
+    def to_dict(self) -> dict:
+        return {"process": self.process, "rate": self.rate}
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Periodic live-IC churn: toggle a pool constraint every N events.
+
+    ``every == 0`` disables the periodic driver (the op mix can still
+    contain ``ic-update``). ``pool`` is an integer (generate that many
+    family-relevant constraints) or a tuple of notation strings.
+    """
+
+    every: int = 0
+    pool: Union[int, "tuple[str, ...]"] = 4
+
+    def __post_init__(self) -> None:
+        _require(self.every >= 0, f"churn.every must be >= 0, got {self.every}")
+        if isinstance(self.pool, int):
+            _require(self.pool >= 1, f"churn.pool must be >= 1, got {self.pool}")
+        else:
+            object.__setattr__(self, "pool", tuple(self.pool))
+            _require(len(self.pool) >= 1, "churn.pool must not be empty")
+
+    def to_dict(self) -> dict:
+        pool = self.pool if isinstance(self.pool, int) else list(self.pool)
+        return {"every": self.every, "pool": pool}
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's traffic: op mix, families, popularity curve."""
+
+    name: str
+    weight: float = 1.0
+    ops: "dict[str, float]" = field(
+        default_factory=lambda: {"minimize": 1.0}
+    )
+    families: int = 8
+    family_size: int = 24
+    zipf_s: float = 1.1
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "tenant.name must be non-empty")
+        _require(self.weight > 0, f"tenant.weight must be > 0, got {self.weight}")
+        _require(self.families >= 1, f"tenant.families must be >= 1, got {self.families}")
+        _require(
+            self.family_size >= 2,
+            f"tenant.family_size must be >= 2, got {self.family_size}",
+        )
+        _require(self.zipf_s >= 0, f"tenant.zipf_s must be >= 0, got {self.zipf_s}")
+        _require(bool(self.ops), f"tenant {self.name!r} needs a non-empty op mix")
+        for op, op_weight in self.ops.items():
+            _require(
+                op in SCENARIO_OPS,
+                f"tenant {self.name!r}: unknown op {op!r} "
+                f"(expected one of {SCENARIO_OPS})",
+            )
+            _require(
+                op_weight >= 0,
+                f"tenant {self.name!r}: op weight for {op!r} must be >= 0",
+            )
+        _require(
+            sum(self.ops.values()) > 0,
+            f"tenant {self.name!r}: op weights must not all be zero",
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "weight": self.weight,
+            "ops": dict(self.ops),
+            "families": self.families,
+            "family_size": self.family_size,
+            "zipf_s": self.zipf_s,
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete replayable scenario: spec + seed = one event stream."""
+
+    name: str
+    seed: int = 0
+    events: int = 100
+    arrival: ArrivalSpec = field(default_factory=ArrivalSpec)
+    tenants: "tuple[TenantSpec, ...]" = field(
+        default_factory=lambda: (TenantSpec(name="default"),)
+    )
+    constraints: Union[int, "tuple[str, ...]"] = 4
+    churn: Optional[ChurnSpec] = None
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "scenario name must be non-empty")
+        _require(self.events >= 1, f"events must be >= 1, got {self.events}")
+        object.__setattr__(self, "tenants", tuple(self.tenants))
+        _require(len(self.tenants) >= 1, "at least one tenant is required")
+        names = [t.name for t in self.tenants]
+        _require(
+            len(set(names)) == len(names),
+            f"tenant names must be unique, got {names}",
+        )
+        if isinstance(self.constraints, int):
+            _require(
+                self.constraints >= 0,
+                f"constraints count must be >= 0, got {self.constraints}",
+            )
+        else:
+            object.__setattr__(self, "constraints", tuple(self.constraints))
+        uses_ic = any(t.ops.get("ic-update", 0) > 0 for t in self.tenants)
+        if (uses_ic or (self.churn is not None and self.churn.every)) and (
+            self.churn is None
+        ):
+            raise SpecError(
+                "the op mix contains ic-update but the spec has no churn "
+                "pool; add a 'churn' section"
+            )
+
+    @property
+    def has_churn(self) -> bool:
+        """Whether any path can mutate constraints mid-run."""
+        if self.churn is not None and self.churn.every:
+            return True
+        return any(t.ops.get("ic-update", 0) > 0 for t in self.tenants)
+
+    def to_dict(self) -> dict:
+        out = {
+            "name": self.name,
+            "seed": self.seed,
+            "events": self.events,
+            "arrival": self.arrival.to_dict(),
+            "constraints": (
+                self.constraints
+                if isinstance(self.constraints, int)
+                else list(self.constraints)
+            ),
+            "tenants": [t.to_dict() for t in self.tenants],
+        }
+        if self.churn is not None:
+            out["churn"] = self.churn.to_dict()
+        return out
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        """Build and validate a spec from a parsed JSON object."""
+        if not isinstance(data, dict):
+            raise SpecError("scenario spec must be a JSON object")
+        known = {
+            "name", "seed", "events", "arrival", "constraints", "tenants",
+            "churn",
+        }
+        unknown = sorted(set(data) - known)
+        _require(not unknown, f"unknown spec fields: {unknown}")
+        _require("name" in data, "scenario spec needs a 'name'")
+        arrival = ArrivalSpec(**data.get("arrival", {}))
+        churn_data = data.get("churn")
+        churn = None
+        if churn_data is not None:
+            if not isinstance(churn_data, dict):
+                raise SpecError("'churn' must be an object")
+            pool = churn_data.get("pool", 4)
+            churn = ChurnSpec(
+                every=churn_data.get("every", 0),
+                pool=pool if isinstance(pool, int) else tuple(pool),
+            )
+        tenants_data = data.get("tenants", [{"name": "default"}])
+        if not isinstance(tenants_data, list):
+            raise SpecError("'tenants' must be a list")
+        tenants = tuple(TenantSpec(**t) for t in tenants_data)
+        constraints = data.get("constraints", 4)
+        if not isinstance(constraints, int):
+            constraints = tuple(constraints)
+        return cls(
+            name=data["name"],
+            seed=data.get("seed", 0),
+            events=data.get("events", 100),
+            arrival=arrival,
+            tenants=tenants,
+            constraints=constraints,
+            churn=churn,
+        )
+
+
+def load_spec(path: "str | Path") -> ScenarioSpec:
+    """Load and validate a scenario spec from a JSON file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"{path}: invalid JSON ({exc})") from None
+    except OSError as exc:
+        raise SpecError(f"{path}: {exc}") from None
+    try:
+        return ScenarioSpec.from_dict(data)
+    except TypeError as exc:
+        # Dataclass kwargs mismatch (an unknown tenant/arrival field).
+        raise SpecError(f"{path}: {exc}") from None

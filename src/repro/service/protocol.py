@@ -21,6 +21,9 @@ Request objects::
     {"op": "faults", "id": 3}
     {"op": "ping", "id": 4}
     {"op": "restart", "id": 5}   # sharded backends only: rolling restart
+    {"op": "constraints", "id": 6,        # live integrity-constraint churn
+     "add": ["Book -> Title"],            # optional notation strings
+     "drop": ["Book ->> Chapter"]}        # optional notation strings
 
 Responses::
 
@@ -37,7 +40,12 @@ and per-shard when the backend is a :class:`~repro.shard.ShardManager`);
 ``faults`` returns the fired fault-injection events (``{"fired":
 [[point, kind, hit], ...]}``); ``ping`` returns ``{"pong": true}``;
 ``restart`` triggers a rolling shard restart and returns
-``{"restarted": n}`` (an error on non-sharded backends).
+``{"restarted": n}`` (an error on non-sharded backends);
+``constraints`` with ``add``/``drop`` lists applies a live IC update
+(ordered exactly against in-flight requests) and returns
+:meth:`repro.api.ConstraintUpdateResult.to_json`, while a bare
+``{"op": "constraints"}`` just reports the current repository's
+digest / closure size / update count.
 
 The handler duck-types its backend: anything with the service's
 ``submit``/``stats``/``counters``/``fault_events`` surface works, which
@@ -165,6 +173,29 @@ async def handle_line(service: MinimizationService, line: str) -> Optional[dict]
                 )
             restarted = await rolling_restart()
             return {"id": request_id, "ok": True, "result": {"restarted": restarted}}
+        if op == "constraints":
+            add = request.get("add")
+            drop = request.get("drop")
+            for name, value in (("add", add), ("drop", drop)):
+                if value is not None and not (
+                    isinstance(value, list)
+                    and all(isinstance(item, str) for item in value)
+                ):
+                    raise ValueError(
+                        f"constraints {name!r} must be a list of notation strings"
+                    )
+            if not add and not drop:
+                return {
+                    "id": request_id,
+                    "ok": True,
+                    "result": service.constraints_info(),
+                }
+            update = await service.update_constraints(add=add, drop=drop)
+            # Single-process backends return a ConstraintUpdateResult;
+            # the sharded manager returns its aggregate dict directly.
+            to_json = getattr(update, "to_json", None)
+            result = to_json() if callable(to_json) else update
+            return {"id": request_id, "ok": True, "result": result}
         if op == "minimize":
             fmt = request.get("format", "xpath")
             parser = _PARSERS.get(fmt)
@@ -184,7 +215,8 @@ async def handle_line(service: MinimizationService, line: str) -> Optional[dict]
             )
             return {"id": request_id, "ok": True, "result": result.to_json(fmt=fmt)}
         raise ValueError(
-            f"unknown op {op!r} (expected minimize/stats/faults/ping/restart)"
+            f"unknown op {op!r} "
+            "(expected minimize/stats/faults/ping/restart/constraints)"
         )
     except (ReproError, ValueError, TimeoutError, asyncio.TimeoutError) as exc:
         return _error_response(request_id, exc)

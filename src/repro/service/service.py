@@ -39,7 +39,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from ..api import MinimizeOptions, QueryResult, Session
+from ..api import ConstraintUpdateResult, MinimizeOptions, QueryResult, Session
 from ..core.oracle_cache import global_cache
 from ..core.pattern import TreePattern
 from ..errors import (
@@ -177,14 +177,19 @@ class ServiceStats:
     #: Requests that arrived marked as client retries (the protocol's
     #: ``retry`` field — the resilient client's idempotent resends).
     client_retries: int = 0
+    #: Live integrity-constraint updates applied (the ``constraints``
+    #: protocol op / :meth:`MinimizationService.update_constraints`).
+    ic_updates: int = 0
     #: Client-side circuit-breaker opens reported by clients; stays 0
     #: unless a client surface feeds it (the breaker lives client-side).
     breaker_opens: int = 0
     batches: int = 0
     #: Flush cause tallies: the batch filled up vs. the oldest request's
-    #: ``max_wait`` deadline expired vs. drained at shutdown.
+    #: ``max_wait`` deadline expired vs. flushed early so a queued
+    #: constraint update stays ordered vs. drained at shutdown.
     flushes_full: int = 0
     flushes_deadline: int = 0
+    flushes_churn: int = 0
     flushes_drain: int = 0
     queue_high_watermark: int = 0
     #: Total requests over total batches — the micro-batching payoff.
@@ -207,8 +212,9 @@ class ServiceStats:
     _SUMMED_FIELDS = (
         "submitted", "completed", "rejected", "timed_out", "cancelled",
         "failed", "sheds", "faults_injected", "watchdog_kills",
-        "client_retries", "breaker_opens", "batches", "flushes_full",
-        "flushes_deadline", "flushes_drain", "batched_requests",
+        "client_retries", "ic_updates", "breaker_opens", "batches",
+        "flushes_full", "flushes_deadline", "flushes_churn",
+        "flushes_drain", "batched_requests",
     )
 
     @classmethod
@@ -250,10 +256,12 @@ class ServiceStats:
                 "faults_injected": self.faults_injected,
                 "watchdog_kills": self.watchdog_kills,
                 "client_retries": self.client_retries,
+                "ic_updates": self.ic_updates,
                 "breaker_opens": self.breaker_opens,
                 "batches": self.batches,
                 "flushes_full": self.flushes_full,
                 "flushes_deadline": self.flushes_deadline,
+                "flushes_churn": self.flushes_churn,
                 "flushes_drain": self.flushes_drain,
                 "queue_high_watermark": self.queue_high_watermark,
                 "mean_batch_size": self.mean_batch_size,
@@ -277,6 +285,20 @@ class _Request:
 
 class _Drain:
     """Queue sentinel: process everything ahead of it, then stop."""
+
+
+@dataclass
+class _IcUpdate:
+    """A queued live-constraint update.
+
+    Travels through the same bounded queue as requests so ordering is
+    exact: requests enqueued before it are flushed (and served under the
+    old closure) first, requests after it see the new closure.
+    """
+
+    add: object
+    drop: object
+    future: "asyncio.Future[ConstraintUpdateResult]"
 
 
 class MinimizationService:
@@ -484,6 +506,65 @@ class MinimizationService:
         )
 
     # ------------------------------------------------------------------
+    # Live constraint updates
+    # ------------------------------------------------------------------
+
+    async def update_constraints(
+        self, add=None, drop=None
+    ) -> ConstraintUpdateResult:
+        """Apply a live integrity-constraint update to the running service.
+
+        The update travels through the same bounded queue as requests,
+        so ordering against in-flight work is exact: every request
+        enqueued before this call is served under the old closure, every
+        request enqueued after it under the new one. The batcher flushes
+        any partially-accumulated batch before applying the update
+        (tallied as ``flushes_churn``).
+
+        ``add``/``drop`` accept anything ``Session.update_constraints``
+        does: constraint objects, notation strings, or iterables of
+        either.
+
+        Raises
+        ------
+        ServiceClosedError
+            The service is draining or was never started.
+        ConstraintError
+            The staged update is invalid (e.g. dropping a derived
+            constraint); the repository is left unchanged.
+        """
+        if self._closing or not self._started:
+            raise ServiceClosedError(
+                "service is closed" if self._closing else "service not started"
+            )
+        future: "asyncio.Future[ConstraintUpdateResult]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        await self._queue.put(_IcUpdate(add, drop, future))
+        return await future
+
+    def constraints_info(self) -> dict:
+        """The live constraint repository's digest / sizes / update count
+        — the protocol's parameterless ``constraints`` op."""
+        return self._session.constraints_info()
+
+    async def _apply_ic_update(self, update: _IcUpdate) -> None:
+        """Run one queued constraint update on the session (in a thread,
+        like batches) and resolve its future."""
+        try:
+            result = await asyncio.to_thread(
+                self._session.update_constraints, update.add, update.drop
+            )
+        except Exception as exc:  # noqa: BLE001 - forwarded to the caller
+            if not update.future.done():
+                update.future.set_exception(exc)
+            return
+        self.stats.ic_updates += 1
+        self.stats.backend_counters = self._merge_backend(self._session.counters())
+        if not update.future.done():
+            update.future.set_result(result)
+
+    # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
 
@@ -532,7 +613,11 @@ class MinimizationService:
             head = await self._queue.get()
             if isinstance(head, _Drain):
                 break
+            if isinstance(head, _IcUpdate):
+                await self._apply_ic_update(head)
+                continue
             batch = [head]
+            pending_update: Optional[_IcUpdate] = None
             deadline = asyncio.get_running_loop().time() + self.max_wait
             flush_reason = "full"
             while len(batch) < self.max_batch_size:
@@ -549,11 +634,19 @@ class MinimizationService:
                     draining = True
                     flush_reason = "drain"
                     break
+                if isinstance(item, _IcUpdate):
+                    # Flush what accumulated under the old closure, then
+                    # apply the update before touching the queue again.
+                    pending_update = item
+                    flush_reason = "churn"
+                    break
                 batch.append(item)
             if flush_reason == "full":
                 self.stats.flushes_full += 1
             elif flush_reason == "deadline":
                 self.stats.flushes_deadline += 1
+            elif flush_reason == "churn":
+                self.stats.flushes_churn += 1
             else:
                 self.stats.flushes_drain += 1
             if self.injector is not None:
@@ -563,6 +656,8 @@ class MinimizationService:
                     # deadlines keep ticking) while this batch waits.
                     await asyncio.sleep(fault.delay)
             await self._run_batch(batch)
+            if pending_update is not None:
+                await self._apply_ic_update(pending_update)
 
     async def _run_batch(self, batch: list[_Request]) -> None:
         """Execute one micro-batch on the session (in a thread, so the

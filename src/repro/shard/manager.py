@@ -48,7 +48,13 @@ Operational behaviors:
   loop;
 * **a breaker per shard** — a shard that keeps dying is routed around
   (its :class:`~repro.resilience.client.CircuitBreaker` opens) until
-  its cooldown lets a probe through.
+  its cooldown lets a probe through;
+* **live constraint churn** — :meth:`update_constraints` stages the
+  update manager-side, swaps the boot constraints (so respawns come up
+  post-churn), fans ``("constraints", id, add, drop)`` out to every
+  shard, digest-checks each ack, and bumps ``constraint_epoch`` only
+  once the whole fleet has switched — no worker serves a stale-closure
+  answer to requests submitted after the epoch bump.
 
 The manager duck-types :class:`~repro.service.MinimizationService`
 (``submit``/``stats``/``counters``/``fault_events``/``injector``), so
@@ -69,7 +75,9 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from ..api import MinimizeOptions, QueryResult
+from ..api import MinimizeOptions, QueryResult, _coerce_constraint_list
+from ..constraints.closure import closure
+from ..constraints.repository import coerce_repository
 from ..core.fingerprint import fingerprint
 from ..core.pattern import TreePattern
 from ..errors import (
@@ -312,6 +320,11 @@ class ShardManager:
             self.store = PersistentStore(
                 options.store_path, injector=self.injector
             )
+        #: Monotone fleet-wide constraint epoch: bumped once after every
+        #: shard has acked a live IC update, so ``constraint_epoch`` in
+        #: the counters proves no worker can still serve a stale-closure
+        #: answer for requests submitted after the bump.
+        self.constraint_epoch = 0
         # Shard-tier counters (the manager's own, merged into counters()).
         self.shard_restarts = 0
         self.chunks_retried = 0
@@ -733,10 +746,12 @@ class ShardManager:
                 return
         handle.sender_queue.put(("minimize", request_id, request.pattern, budget))
 
-    def _dispatch_control(self, handle: _ShardHandle, request: _ShardRequest) -> None:
+    def _dispatch_control(
+        self, handle: _ShardHandle, request: _ShardRequest, *extra
+    ) -> None:
         request_id = self._next_id()
         handle.pending[request_id] = request
-        handle.sender_queue.put((request.kind, request_id))
+        handle.sender_queue.put((request.kind, request_id, *extra))
 
     def _kill_shard(self, handle: _ShardHandle) -> None:
         """Execute a ``shard.kill`` fault: SIGKILL the worker process.
@@ -802,6 +817,133 @@ class ShardManager:
                 self.stats.failed += 1
         if not request.future.done():
             request.future.set_exception(exc)
+
+    # ------------------------------------------------------------------
+    # Live constraint updates
+    # ------------------------------------------------------------------
+
+    async def update_constraints(self, add=None, drop=None) -> dict:
+        """Apply a live IC update to every shard; awaits full fan-out.
+
+        The update is staged on a manager-side repository copy first —
+        an invalid update (dropping a derived constraint, add/drop
+        overlap) raises here before any worker is touched. Then
+        ``self.constraints`` is swapped so any respawn or rolling
+        restart boots post-churn, and the update fans out to each shard
+        in turn (each worker flushes its drained burst, switches
+        closure, and acks with its new digest). Every ack's digest is
+        cross-checked against the manager's; ``constraint_epoch`` is
+        bumped only after the last shard acks, so once this returns no
+        worker can serve a stale-closure answer to a later submit.
+
+        A shard that dies mid-push is fine: its replacement boots from
+        the already-swapped ``self.constraints`` and the re-push is
+        idempotent (re-adding an existing constraint and dropping an
+        absent one are both no-ops).
+
+        Returns an aggregate JSON-shaped dict (the ``constraints``
+        protocol op's response for sharded backends).
+        """
+        if self._closing or not self._started:
+            raise ServiceClosedError(
+                "shard manager is closed"
+                if self._closing
+                else "shard manager not started"
+            )
+        assert self._restart_lock is not None
+        async with self._restart_lock:
+            adds = _coerce_constraint_list(add)
+            drops = _coerce_constraint_list(drop)
+            repo = coerce_repository(self.constraints).copy()
+            if not repo.is_closed:
+                # Close first so old_digest is the served closure digest
+                # (what Session reports), not the open base-set digest.
+                repo = closure(repo)
+            with repo.begin_update() as update:
+                for constraint in adds:
+                    update.add(constraint)
+                for constraint in drops:
+                    update.drop(constraint)
+            self.constraints = repo
+            shard_payloads = []
+            for handle in self._handles:
+                payload = await self._push_constraints(handle, adds, drops)
+                if payload.get("new_digest") != update.new_digest:
+                    raise ServiceError(
+                        f"shard {handle.index} closure digest diverged after "
+                        f"constraint update ({payload.get('new_digest')!r} != "
+                        f"{update.new_digest!r})"
+                    )
+                shard_payloads.append(payload)
+            self.constraint_epoch += 1
+            self.stats.ic_updates += 1
+            return {
+                "constraint_epoch": self.constraint_epoch,
+                "old_digest": update.old_digest,
+                "new_digest": update.new_digest,
+                "changed": update.old_digest != update.new_digest,
+                "mode": update.mode,
+                "added": [c.notation() for c in update.added],
+                "dropped": [c.notation() for c in update.dropped],
+                "closure_size": len(repo),
+                "shards_updated": len(shard_payloads),
+                "shard_modes": [p.get("mode") for p in shard_payloads],
+                "invalidated_replays": sum(
+                    p.get("invalidated_replays", 0) for p in shard_payloads
+                ),
+                "surviving_oracle_entries": sum(
+                    p.get("surviving_oracle_entries", 0) for p in shard_payloads
+                ),
+            }
+
+    async def _push_constraints(
+        self, handle: _ShardHandle, adds, drops, *, timeout: float = 15.0
+    ) -> dict:
+        """Push one constraint update to one shard, riding out deaths
+        (the re-push after a respawn is idempotent)."""
+        deadline = time.perf_counter() + timeout
+        attempts = 0
+        while True:
+            if not handle.live:
+                if time.perf_counter() >= deadline:
+                    break
+                await asyncio.sleep(0.02)
+                continue
+            request = _ShardRequest(
+                kind="constraints", future=self._new_future(), warm=True
+            )
+            self._dispatch_control(handle, request, adds, drops)
+            attempts += 1
+            try:
+                return await asyncio.wait_for(
+                    asyncio.shield(request.future),
+                    max(0.05, deadline - time.perf_counter()),
+                )
+            except (asyncio.TimeoutError, ServiceError):
+                # Shard death mid-push (or a hung worker): the respawn
+                # boots post-churn; retry until the budget runs out so
+                # the digest cross-check still happens.
+                if time.perf_counter() >= deadline:
+                    break
+                await asyncio.sleep(0.02)
+        raise ServiceUnavailableError(
+            f"shard {handle.index} failed to ack the constraint update",
+            attempts=attempts,
+        )
+
+    def constraints_info(self) -> dict:
+        """The fleet's constraint repository digest / sizes / epoch —
+        the protocol's parameterless ``constraints`` op."""
+        repo = coerce_repository(self.constraints)
+        if not repo.is_closed:
+            repo = closure(repo)
+        return {
+            "digest": repo.digest(),
+            "closure_size": len(repo),
+            "base_size": len(repo.base),
+            "ic_updates": self.stats.ic_updates,
+            "constraint_epoch": self.constraint_epoch,
+        }
 
     # ------------------------------------------------------------------
     # Rolling restart
@@ -947,6 +1089,7 @@ class ShardManager:
         out.update(
             {
                 "shards": self.n_shards,
+                "constraint_epoch": self.constraint_epoch,
                 "shard_restarts": self.shard_restarts,
                 "chunks_retried": self.chunks_retried,
                 "routed_affinity": self.routed_affinity,

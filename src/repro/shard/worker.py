@@ -15,6 +15,10 @@ Wire shapes (parent → worker)::
     ("minimize", request_id, pattern, budget_seconds_or_None)
     ("stats", request_id)      # -> a ServiceStats snapshot
     ("ping", request_id)
+    ("constraints", request_id, add, drop)
+                               # live IC update; flushes the drained
+                               # burst first, then switches closure ->
+                               # a ConstraintUpdateResult.to_json dict
     ("shutdown", request_id)   # ack, then exit 0
 
 and worker → parent::
@@ -155,6 +159,23 @@ def shard_worker_main(conn, config: ShardWorkerConfig) -> None:
                     )
                 elif kind == "ping":
                     conn.send(("ok", request_id, {"pong": True}))
+                elif kind == "constraints":
+                    # Arrival order is the correctness contract: every
+                    # request drained *before* this message is served
+                    # under the old closure first; everything after it
+                    # (this burst's tail included) sees the new one.
+                    if requests:
+                        _serve_batch(conn, session, stats, requests)
+                        requests = []
+                    try:
+                        result = session.update_constraints(
+                            message[2], message[3]
+                        )
+                    except Exception as exc:  # noqa: BLE001 - to manager
+                        conn.send(("err", request_id, exc))
+                    else:
+                        stats.ic_updates += 1
+                        conn.send(("ok", request_id, result.to_json()))
                 elif kind == "shutdown":
                     conn.send(("ok", request_id, {"bye": True}))
                     shutdown = True

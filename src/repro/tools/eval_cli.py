@@ -42,6 +42,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tpq-eval",
         description="Evaluate tree pattern queries against XML or LDIF documents.",
+        epilog=(
+            "Every flag maps onto one repro.api.MinimizeOptions field — "
+            "the library's single configuration path. (The legacy "
+            "per-knob BatchMinimizer/minimize_batch kwargs such as "
+            "jobs=/memoize= were removed and now raise TypeError.)"
+        ),
     )
     parser.add_argument(
         "query", nargs="?", default=None, help="XPath-subset query (omit with --batch)"

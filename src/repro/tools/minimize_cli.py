@@ -56,6 +56,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tpq-minimize",
         description="Minimize a tree pattern query (CIM / CDM / ACIM / full pipeline).",
+        epilog=(
+            "Every flag maps onto one repro.api.MinimizeOptions field — "
+            "the library's single configuration path. (The legacy "
+            "per-knob BatchMinimizer/minimize_batch kwargs such as "
+            "jobs=/memoize= were removed and now raise TypeError.)"
+        ),
     )
     parser.add_argument(
         "query",

@@ -15,16 +15,26 @@ from .querygen import (
     redundancy_query,
     right_deep_cdm_query,
 )
-from .arrival import arrival_workload, poisson_arrivals, uniform_arrivals
+from .arrival import (
+    ARRIVAL_PROCESSES,
+    arrival_workload,
+    burst_arrivals,
+    diurnal_arrivals,
+    poisson_arrivals,
+    uniform_arrivals,
+)
 from .batchgen import BATCH_WORKLOAD_KINDS, batch_workload, chaos_workload, isomorphic_shuffle
 from .icgen import relevant_constraints
 from . import paper_queries
 
 __all__ = [
+    "ARRIVAL_PROCESSES",
     "BATCH_WORKLOAD_KINDS",
     "arrival_workload",
     "batch_workload",
+    "burst_arrivals",
     "chaos_workload",
+    "diurnal_arrivals",
     "isomorphic_shuffle",
     "poisson_arrivals",
     "uniform_arrivals",

@@ -206,20 +206,35 @@ class TestQueryResult:
         assert replay.detail is None  # a hit does no engine work
 
 
-class TestLegacyKwargsDeprecation:
-    def test_batch_minimizer_legacy_kwargs_warn(self):
-        with pytest.warns(DeprecationWarning, match="options"):
-            minimizer = BatchMinimizer(CONSTRAINTS, jobs=1, memoize=False)
-        batch = minimizer.minimize_all([parse_xpath("a/b[c][c]")])
-        assert to_sexpr(batch.items[0].pattern) == to_sexpr(
-            minimize(parse_xpath("a/b[c][c]"), CONSTRAINTS).pattern
-        )
+class TestLegacyKwargsRemoved:
+    """The deprecated per-knob kwargs finished their cycle: TypeError now."""
+
+    def test_batch_minimizer_legacy_kwargs_raise_with_hint(self):
+        with pytest.raises(TypeError, match="MinimizeOptions"):
+            BatchMinimizer(CONSTRAINTS, jobs=1, memoize=False)
+        with pytest.raises(TypeError, match="jobs -> MinimizeOptions"):
+            BatchMinimizer(CONSTRAINTS, jobs=4)
+
+    def test_minimize_batch_legacy_kwargs_raise_with_hint(self):
+        from repro.batch import minimize_batch
+
+        with pytest.raises(TypeError, match="MinimizeOptions"):
+            minimize_batch([parse_xpath("a/b[c][c]")], CONSTRAINTS, jobs=2)
+
+    def test_unknown_kwargs_still_rejected(self):
+        with pytest.raises(TypeError, match="unknown"):
+            BatchMinimizer(CONSTRAINTS, frobnicate=True)
 
     def test_options_path_is_silent(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             BatchMinimizer(CONSTRAINTS, options=MinimizeOptions(memoize=False))
 
-    def test_options_and_legacy_kwargs_are_exclusive(self):
-        with pytest.raises(ValueError, match="not both"):
-            BatchMinimizer(CONSTRAINTS, options=MinimizeOptions(), jobs=2)
+    def test_options_path_matches_serial_loop(self):
+        minimizer = BatchMinimizer(
+            CONSTRAINTS, options=MinimizeOptions(memoize=False)
+        )
+        batch = minimizer.minimize_all([parse_xpath("a/b[c][c]")])
+        assert to_sexpr(batch.items[0].pattern) == to_sexpr(
+            minimize(parse_xpath("a/b[c][c]"), CONSTRAINTS).pattern
+        )

@@ -158,12 +158,29 @@ class TestRepository:
         assert len(repo) == 4 and len(clone) == 5
         assert repo == self.make()
 
-    def test_closed_flag_cleared_on_add(self):
+    def test_closed_repository_rejects_direct_mutation(self):
+        from repro.errors import RepositoryClosedError
+
         repo = self.make()
         repo._mark_closed()
         assert repo.is_closed
-        repo.add(required_child("Z", "W"))
-        assert not repo.is_closed
+        with pytest.raises(RepositoryClosedError):
+            repo.add(required_child("Z", "W"))
+        with pytest.raises(RepositoryClosedError):
+            repo.update([required_child("Z", "W")])
+        with pytest.raises(RepositoryClosedError):
+            repo.discard(required_child("Book", "Title"))
+        assert repo.is_closed and len(repo) == 4
+
+    def test_begin_update_is_the_closed_mutation_path(self):
+        repo = self.make()
+        repo._mark_closed()
+        with repo.begin_update() as update:
+            update.add(required_child("Z", "W"))
+        assert repo.is_closed
+        assert required_child("Z", "W") in repo
+        assert update.new_digest == repo.digest()
+        assert update.new_digest != update.old_digest
 
     def test_notation_deterministic(self):
         repo = self.make()
