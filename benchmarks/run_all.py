@@ -23,6 +23,9 @@ but the timings is deterministic):
 - ``BENCH_scenario.json`` — scenario-harness replay determinism,
   pacing/backend invariance, and live IC-churn gates
   (:mod:`benchmarks.bench_scenario`);
+- ``BENCH_certify.json`` — sampled-audit and certify-all overhead on
+  the serving stack plus the certificate differential sweep
+  (:mod:`benchmarks.bench_certify`);
 - ``BENCH_<figure>.json`` — one file per paper-figure experiment in
   :data:`repro.bench.experiments.ALL_EXPERIMENTS`, in the same schema as
   ``repro-bench <figure> --json``.
@@ -45,6 +48,7 @@ if str(REPO_ROOT / "src") not in sys.path:  # script mode without install
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 import bench_batch  # noqa: E402  (sibling module, script mode)
+import bench_certify  # noqa: E402  (sibling module, script mode)
 import bench_core_v2  # noqa: E402  (sibling module, script mode)
 import bench_incremental  # noqa: E402  (sibling module, script mode)
 import bench_oracle_cache  # noqa: E402  (sibling module, script mode)
@@ -150,6 +154,15 @@ def main(argv: Optional[list[str]] = None) -> int:
             str(repeat),
             "--out",
             str(args.out_dir / "BENCH_scenario.json"),
+        ]
+        + (["--fast"] if args.fast else [])
+    ) or status
+    status = bench_certify.main(
+        [
+            "--repeat",
+            str(repeat),
+            "--out",
+            str(args.out_dir / "BENCH_certify.json"),
         ]
         + (["--fast"] if args.fast else [])
     ) or status

@@ -44,7 +44,11 @@ from typing import Iterable, Optional, Sequence, Union
 
 from .constraints.model import IntegrityConstraint, parse_constraints
 from .constraints.repository import ConstraintRepository, coerce_repository
-from .core.containment import equivalent as _equivalent
+from .core.containment import (
+    ContainmentStats,
+    equivalent as _equivalent,
+    is_contained_in as _is_contained_in,
+)
 from .core.engine_config import CORE_ENGINES, core_engine_scope
 from .core.ic_containment import equivalent_under as _equivalent_under
 from .core.oracle_cache import oracle_cache_disabled
@@ -133,6 +137,25 @@ class MinimizeOptions:
         keeps everything in memory. (``repro-serve --store PATH`` wires
         this; in sharded mode the manager is the single writer and the
         workers read the same file.)
+    certify:
+        Proof-carrying mode: every minimization records the containment
+        witnesses justifying each elimination into a
+        :class:`repro.certify.Certificate`, every *cached* answer —
+        in-memory memo replay, persistent-store hit, warm-started record
+        — has its certificate re-checked by the independent verifier
+        before it is served, and a failing record is quarantined
+        (deleted, counted, transparently recomputed cold) rather than
+        served. Answers carry ``QueryResult.certificate``. Unlike
+        ``verify`` (which re-proves equivalence with the *same*
+        containment engine), certification is checked by
+        :func:`repro.certify.check_certificate`, which shares no code
+        with the images engines.
+    audit_rate:
+        Sampling rate for the background audit of served answers (the
+        service layer's off-hot-path re-verification, and the session's
+        fast-path equivalence audit): 1-in-``audit_rate`` answers are
+        re-verified. ``0`` disables sampling; with ``certify=True``
+        every answer is checked synchronously anyway.
     """
 
     engine: str = "dp"
@@ -148,6 +171,8 @@ class MinimizeOptions:
     fault_plan: Optional[FaultPlan] = None
     core_engine: Optional[str] = None
     store_path: Optional[str] = None
+    certify: bool = False
+    audit_rate: int = 64
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -176,6 +201,12 @@ class MinimizeOptions:
             )
         if self.store_path is not None and not str(self.store_path):
             raise ValueError("store_path must be a non-empty path or None")
+        if not isinstance(self.audit_rate, int) or isinstance(self.audit_rate, bool):
+            raise ValueError(
+                f"audit_rate must be an int (0 disables), got {self.audit_rate!r}"
+            )
+        if self.audit_rate < 0:
+            raise ValueError(f"audit_rate must be >= 0, got {self.audit_rate}")
 
     @property
     def use_cdm_prefilter(self) -> bool:
@@ -219,6 +250,9 @@ class QueryResult:
     detail:
         The full per-stage :class:`~repro.core.pipeline.MinimizeResult`
         when this query was freshly minimized; ``None`` for replays.
+    certificate:
+        The witness :class:`~repro.certify.Certificate` proving this
+        answer, in the input's node ids (``certify=True`` only).
     """
 
     pattern: TreePattern
@@ -229,6 +263,7 @@ class QueryResult:
     timings: dict[str, float] = field(default_factory=dict)
     counters: dict[str, float] = field(default_factory=dict)
     detail: Optional[MinimizeResult] = None
+    certificate: Optional[object] = None
 
     @property
     def input_size(self) -> int:
@@ -274,6 +309,9 @@ class QueryResult:
             "fingerprint": self.fingerprint,
             "timings": dict(self.timings),
             "counters": dict(self.counters),
+            "certificate": (
+                self.certificate.to_json() if self.certificate is not None else None
+            ),
         }
 
     # ------------------------------------------------------------------
@@ -312,6 +350,7 @@ class QueryResult:
     @classmethod
     def from_batch_item(cls, item, input_pattern: TreePattern) -> "QueryResult":
         """Adapt a :class:`~repro.batch.minimizer.BatchItemResult`."""
+        certificate = getattr(item, "certificate", None)
         if item.result is not None:
             out = cls.from_minimize_result(
                 item.result, input_pattern, fingerprint=item.fingerprint
@@ -319,6 +358,7 @@ class QueryResult:
             # The replayed elimination is already in *this* query's node
             # ids; the MinimizeResult's record is in the representative's.
             out.eliminated = list(item.eliminated)
+            out.certificate = certificate
             return out
         return cls(
             pattern=item.pattern,
@@ -326,6 +366,7 @@ class QueryResult:
             eliminated=list(item.eliminated),
             cache_hit=item.cache_hit,
             fingerprint=item.fingerprint,
+            certificate=certificate,
         )
 
 
@@ -464,6 +505,9 @@ class Session:
         self._counters: dict[str, float] = {}
         self._store_counters: dict[str, float] = {}
         self._closed = False
+        #: Fast-path equivalence verdicts seen so far (the sampling
+        #: auditor's deterministic counter — never wall-clock random).
+        self._fast_path_seen = 0
         #: One injector shared by every layer working through this
         #: session, so the whole stack reports into a single ordered
         #: fired-faults log; ``None`` when no fault plan is configured.
@@ -485,11 +529,15 @@ class Session:
             )
             self._owns_store = True
         if self.store is not None and self.options.oracle_cache is not False:
-            from .core.oracle_cache import set_global_store
+            from .core.oracle_cache import set_global_store, set_global_store_audit
 
             # The process-wide oracle cache gains the disk backend; a
             # reset_global_cache() (restart simulation) re-attaches it.
             set_global_store(self.store)
+            if self.options.certify:
+                # Certified sessions re-validate every disk-loaded DP
+                # table with the independent checker before serving it.
+                set_global_store_audit(True)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -501,10 +549,16 @@ class Session:
         for minimizer in self._minimizers.values():
             minimizer.close()
         if self.store is not None and not self._closed:
-            from .core.oracle_cache import global_store, set_global_store
+            from .core.oracle_cache import (
+                global_store,
+                set_global_store,
+                set_global_store_audit,
+            )
 
             if global_store() is self.store:
                 set_global_store(None)
+                if self.options.certify:
+                    set_global_store_audit(False)
             if self._owns_store:
                 self.store.close()
             # Snapshot the store counters at detach — after the close
@@ -584,13 +638,146 @@ class Session:
         self, q1: TreePattern, q2: TreePattern, repo: Constraints = None
     ) -> bool:
         """Whether the queries are equivalent — absolutely, or under the
-        given (or session-default) constraints when any are present."""
+        given (or session-default) constraints when any are present.
+
+        The canonical-fingerprint fast path returns True *without a
+        proof artifact* — those verdicts are counted separately
+        (``equivalent_fast_path_uncertified``) and routed into the
+        sampling auditor: every ``audit_rate``-th one (all of them under
+        ``certify=True``) is re-proven with the full two-pass DP instead
+        of being exempt from auditing."""
         constraints = repo if repo is not None else self._default_constraints
         repository = coerce_repository(constraints)
         with self._cache_scope():
             if len(repository):
                 return _equivalent_under(q1, q2, repository)
-            return _equivalent(q1, q2)
+            stats = ContainmentStats()
+            verdict = _equivalent(q1, q2, stats=stats)
+            self._absorb(stats.counters())
+            if stats.equivalent_fast_path_uncertified:
+                self._audit_fast_path(q1, q2)
+            return verdict
+
+    def _audit_fast_path(self, q1: TreePattern, q2: TreePattern) -> None:
+        """Sample one fast-path equivalence verdict for re-proof.
+
+        The isomorphism short-circuit is exact, but it leaves nothing
+        re-checkable behind; the auditor re-derives the verdict with the
+        two-pass containment DP. Success converts the verdict from
+        *uncertified* to audited (the counter is decremented back);
+        failure would mean a canonical-hash collision and surfaces as
+        :class:`~repro.errors.CertificationError`.
+        """
+        self._fast_path_seen += 1
+        rate = self.options.audit_rate
+        if not self.options.certify and (
+            rate == 0 or (self._fast_path_seen - 1) % rate
+        ):
+            return
+        ok = _is_contained_in(q1, q2) and _is_contained_in(q2, q1)
+        self._counters["equivalent_fast_path_audited"] = (
+            self._counters.get("equivalent_fast_path_audited", 0) + 1
+        )
+        if not ok:  # pragma: no cover - would need a SHA-256 collision
+            from .errors import CertificationError
+
+            raise CertificationError(
+                "fast-path equivalence audit failed: canonically equal "
+                "patterns are not mutually containing"
+            )
+        self._counters["equivalent_fast_path_uncertified"] = (
+            self._counters.get("equivalent_fast_path_uncertified", 1) - 1
+        )
+
+    # ------------------------------------------------------------------
+    # Certification & audit
+    # ------------------------------------------------------------------
+
+    def check_certificate(self, result: QueryResult, repo: Constraints = None):
+        """Independently verify one answer's witness certificate.
+
+        Runs :func:`repro.certify.check_answer` — the
+        definition-level checker that shares no code with the images
+        engines — against the answer actually served. Returns the
+        :class:`repro.certify.CheckResult` (truthy on success); raises
+        :class:`ValueError` when the result carries no certificate
+        (minimize with ``certify=True`` to get one).
+        """
+        if result.certificate is None:
+            raise ValueError(
+                "result has no certificate — minimize with "
+                "MinimizeOptions(certify=True)"
+            )
+        from .certify import check_answer
+
+        minimizer = self._minimizer_for(repo)
+        with self._cache_scope():
+            return check_answer(
+                result.certificate,
+                result.input_pattern,
+                result.pattern,
+                minimizer.repository,
+            )
+
+    def audit_result(self, result: QueryResult, repo: Constraints = None) -> bool:
+        """Re-verify one served answer (the sampling auditor's unit of
+        work, safe to run off the hot path).
+
+        With a certificate attached, the independent checker validates
+        it against the served pattern; without one the input is
+        recomputed cold — straight through the pipeline, no memo — and
+        compared byte-for-byte via canonical keys (sound because the
+        minimal query is unique). On failure the answer's fingerprint is
+        quarantined from every cache layer and counted
+        (``audit_failures``/``quarantined_records``); the next request
+        for the structure recomputes cold. Returns whether the answer
+        verified.
+        """
+        minimizer = self._minimizer_for(repo)
+        with self._cache_scope():
+            if result.certificate is not None:
+                from .certify import check_answer
+
+                ok = bool(
+                    check_answer(
+                        result.certificate,
+                        result.input_pattern,
+                        result.pattern,
+                        minimizer.repository,
+                    )
+                )
+            else:
+                from .core.pipeline import minimize as _pipeline_minimize
+
+                fresh = _pipeline_minimize(
+                    result.input_pattern,
+                    minimizer.repository,
+                    use_cdm_prefilter=self.options.use_cdm_prefilter,
+                    incremental=self.options.incremental,
+                    oracle_cache=self.options.oracle_cache,
+                    core_engine=self.options.core_engine,
+                )
+                ok = (
+                    fresh.pattern.canonical_key() == result.pattern.canonical_key()
+                )
+        self._counters["audited"] = self._counters.get("audited", 0) + 1
+        if not ok:
+            self._counters["audit_failures"] = (
+                self._counters.get("audit_failures", 0) + 1
+            )
+            if result.fingerprint:
+                self.quarantine(result.fingerprint, repo)
+        return ok
+
+    def quarantine(self, fingerprint: str, repo: Constraints = None) -> None:
+        """Drop one fingerprint's cached answer from every cache layer
+        (replay memo and persistent store) and count it. The audit
+        pipeline's failure path — never serves, always recomputes."""
+        minimizer = self._minimizer_for(repo)
+        minimizer.quarantine(fingerprint)
+        self._counters["quarantined_records"] = (
+            self._counters.get("quarantined_records", 0) + 1
+        )
 
     # ------------------------------------------------------------------
     # Live constraint churn

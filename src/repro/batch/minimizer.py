@@ -80,6 +80,11 @@ class BatchItemResult:
     result:
         The full per-stage :class:`~repro.core.pipeline.MinimizeResult`
         for representatives; ``None`` for cache hits.
+    certificate:
+        The witness :class:`~repro.certify.Certificate` proving this
+        answer (only under ``MinimizeOptions(certify=True)``), in *this*
+        query's node ids — cache hits carry the representative's
+        certificate remapped through the isomorphism.
     """
 
     index: int
@@ -89,6 +94,7 @@ class BatchItemResult:
     eliminated: list[tuple[int, str]] = field(default_factory=list)
     input_size: int = 0
     result: Optional[MinimizeResult] = None
+    certificate: Optional[object] = None
 
     @property
     def removed_count(self) -> int:
@@ -105,6 +111,18 @@ class BatchStats:
     cache_hits: int = 0
     pickle_fallbacks: int = 0
     jobs: int = 1
+    #: Certification/audit pipeline counters (``certify=True`` only):
+    #: answers served with a freshly *verified* certificate; cached
+    #: records whose certificate failed the independent checker (each is
+    #: also a quarantined record — the record is deleted, never served);
+    #: transparent cold recomputations that replaced a quarantined
+    #: record; cache records skipped because they carried no certificate
+    #: to verify (recomputed, not quarantined).
+    certified: int = 0
+    audit_failures: int = 0
+    quarantined_records: int = 0
+    recomputed_after_quarantine: int = 0
+    uncertified_cache_skips: int = 0
     closure_seconds: float = 0.0
     fingerprint_seconds: float = 0.0
     minimize_seconds: float = 0.0
@@ -139,6 +157,11 @@ class BatchStats:
             "hit_rate": self.hit_rate,
             "pickle_fallbacks": self.pickle_fallbacks,
             "jobs": self.jobs,
+            "certified": self.certified,
+            "audit_failures": self.audit_failures,
+            "quarantined_records": self.quarantined_records,
+            "recomputed_after_quarantine": self.recomputed_after_quarantine,
+            "uncertified_cache_skips": self.uncertified_cache_skips,
             "closure_seconds": self.closure_seconds,
             "fingerprint_seconds": self.fingerprint_seconds,
             "minimize_seconds": self.minimize_seconds,
@@ -180,6 +203,10 @@ class _MemoEntry:
     input_pattern: TreePattern
     eliminated: list[tuple[int, str]]
     result: Optional[MinimizeResult] = None
+    #: Witness certificate for the representative (in its own node ids),
+    #: present when the entry was produced or loaded under
+    #: ``certify=True``; ``None`` for legacy/uncertified records.
+    certificate: Optional[object] = None
 
 
 # Worker-process globals, set once per pool by `_init_worker` (the closed
@@ -192,6 +219,7 @@ _WORKER_USE_CDM: bool = True
 _WORKER_ORACLE: Optional[bool] = None
 _WORKER_INCREMENTAL: bool = True
 _WORKER_CORE_ENGINE: Optional[str] = None
+_WORKER_CERTIFY: bool = False
 
 
 def _init_worker(
@@ -200,9 +228,10 @@ def _init_worker(
     oracle_cache: Optional[bool] = None,
     incremental: bool = True,
     core_engine: Optional[str] = None,
+    certify: bool = False,
 ) -> None:
     global _WORKER_REPO, _WORKER_USE_CDM, _WORKER_ORACLE
-    global _WORKER_INCREMENTAL, _WORKER_CORE_ENGINE
+    global _WORKER_INCREMENTAL, _WORKER_CORE_ENGINE, _WORKER_CERTIFY
     _WORKER_REPO = pickle.loads(repo_bytes)
     _WORKER_USE_CDM = use_cdm_prefilter
     _WORKER_ORACLE = oracle_cache
@@ -212,6 +241,7 @@ def _init_worker(
     # process (for the serial path), which must not have its process-wide
     # engine default mutated as a side effect.
     _WORKER_CORE_ENGINE = core_engine
+    _WORKER_CERTIFY = certify
 
 
 def _minimize_one(pattern: TreePattern) -> MinimizeResult:
@@ -222,6 +252,7 @@ def _minimize_one(pattern: TreePattern) -> MinimizeResult:
         oracle_cache=_WORKER_ORACLE,
         incremental=_WORKER_INCREMENTAL,
         core_engine=_WORKER_CORE_ENGINE,
+        certify=_WORKER_CERTIFY,
     )
 
 
@@ -308,6 +339,7 @@ class BatchMinimizer:
         self.incremental = options.incremental
         self.watchdog = options.watchdog
         self.core_engine = options.core_engine
+        self.certify = getattr(options, "certify", False)
         fault_plan = options.fault_plan
         persistent_pool = options.persistent_pool
         if injector is None and fault_plan is not None and fault_plan:
@@ -347,6 +379,7 @@ class BatchMinimizer:
             self.oracle_cache,
             self.incremental,
             self.core_engine,
+            self.certify,
         )
         self._pool: Optional[WorkerPool] = (
             WorkerPool(self.jobs, initializer=_init_worker, initargs=self._initargs)
@@ -432,11 +465,14 @@ class BatchMinimizer:
                 for key, value in result.acim.images_stats.counters().items():
                     stats.engine_counters[key] = stats.engine_counters.get(key, 0) + value
             fp = prints[index]
+            if self.certify:
+                self._check_fresh(result, patterns[index], stats)
             if self.memoize and fp not in self._cache:
                 entry = _MemoEntry(
                     input_pattern=patterns[index].copy(),
                     eliminated=_result_eliminated(result),
                     result=result,
+                    certificate=result.certificate,
                 )
                 self._cache[fp] = entry
                 if self._store is not None:
@@ -444,8 +480,19 @@ class BatchMinimizer:
                     # mutated after this point, so the async pickling
                     # can't race the caller).
                     self._store.put_minimization(
-                        fp, self.closure_digest, entry.input_pattern, entry.eliminated
+                        fp,
+                        self.closure_digest,
+                        entry.input_pattern,
+                        entry.eliminated,
+                        entry.certificate,
                     )
+                # The cache.poison fault point fires *after* the store
+                # write (put_minimization snapshots the recipe
+                # synchronously), so it corrupts exactly the in-memory
+                # memo entry — the adversary the replay-time certificate
+                # check exists to catch.
+                if self.injector is not None:
+                    self._poison(entry)
 
         start = time.perf_counter()
         items: list[BatchItemResult] = []
@@ -461,11 +508,12 @@ class BatchMinimizer:
                         eliminated=_result_eliminated(result),
                         input_size=pattern.size,
                         result=result,
+                        certificate=result.certificate,
                     )
                 )
                 continue
             stats.cache_hits += 1
-            items.append(self._replay(index, pattern, fp))
+            items.append(self._replay(index, pattern, fp, stats))
         stats.replay_seconds = time.perf_counter() - start
         return BatchResult(items=items, stats=stats)
 
@@ -478,6 +526,15 @@ class BatchMinimizer:
         """Number of memoized representative structures."""
         return len(self._cache)
 
+    def quarantine(self, fp: str) -> None:
+        """Drop one fingerprint's cached answer everywhere this backend
+        caches it: the in-memory replay memo and (when attached) the
+        persistent store. The audit pipeline's failure path — the next
+        request for the structure recomputes cold."""
+        self._cache.pop(fp, None)
+        if self._store is not None:
+            self._store.quarantine(fp, self.closure_digest)
+
     # ------------------------------------------------------------------
     # Persistent-store integration
     # ------------------------------------------------------------------
@@ -488,36 +545,171 @@ class BatchMinimizer:
         repository's closure digest become memo entries, so the first
         batch after a restart replays structures the previous process
         already solved."""
-        for fp, pattern, eliminated in self._store.warm_minimizations(
+        for fp, pattern, eliminated, certificate in self._store.warm_minimizations(
             self.closure_digest
         ):
             if fp not in self._cache:
                 self._cache[fp] = _MemoEntry(
-                    input_pattern=pattern, eliminated=list(eliminated)
+                    input_pattern=pattern,
+                    eliminated=list(eliminated),
+                    certificate=certificate,
                 )
 
     def _load_from_store(self, fp: str) -> bool:
         """Consult the persistent store for one fingerprint missed by the
         in-memory memo; a disk hit becomes a memo entry (and the batch
-        serves it through the ordinary replay path)."""
+        serves it through the ordinary replay path, which re-checks the
+        certificate under ``certify=True`` before anything is served)."""
         record = self._store.get_minimization(fp, self.closure_digest)
         if record is None:
             return False
-        pattern, eliminated = record
+        pattern, eliminated, certificate = record
         self._cache[fp] = _MemoEntry(
-            input_pattern=pattern, eliminated=list(eliminated)
+            input_pattern=pattern,
+            eliminated=list(eliminated),
+            certificate=certificate,
         )
         return True
+
+    # ------------------------------------------------------------------
+    # Certification / audit pipeline
+    # ------------------------------------------------------------------
+
+    def _check_fresh(self, result: MinimizeResult, pattern: TreePattern, stats: BatchStats) -> None:
+        """Verify a freshly minimized answer's own certificate.
+
+        A failure here is an engine/checker disagreement about a proof
+        built moments ago — a bug, not a data-integrity event — so it
+        raises :class:`~repro.errors.CertificationError` instead of
+        degrading.
+        """
+        from ..certify import check_certificate
+        from ..errors import CertificationError
+
+        if result.certificate is None:  # pragma: no cover - defensive
+            raise CertificationError(
+                "certify=True but the pipeline returned no certificate"
+            )
+        verdict = check_certificate(
+            result.certificate,
+            pattern,
+            self.repository,
+            eliminated=_result_eliminated(result),
+        )
+        if not verdict.ok:  # pragma: no cover - engine/checker bug
+            raise CertificationError(
+                f"fresh minimization failed its own certificate check: "
+                f"{verdict.reason}",
+                reason=verdict.reason,
+                step_index=verdict.step_index,
+            )
+        stats.certified += 1
+
+    def _audit_entry(self, fp: str, entry: _MemoEntry, stats: BatchStats) -> bool:
+        """Re-check a cached record's certificate before serving a replay.
+
+        Returns True when the record is proven and may be served. A
+        record without a certificate is *unproven* (recomputed, not
+        quarantined); a record whose certificate fails the independent
+        checker is quarantined — dropped from the memo, deleted from the
+        store, counted — and never served.
+        """
+        from ..certify import check_certificate
+
+        if entry.certificate is None:
+            stats.uncertified_cache_skips += 1
+            return False
+        verdict = check_certificate(
+            entry.certificate,
+            entry.input_pattern,
+            self.repository,
+            eliminated=entry.eliminated,
+        )
+        if verdict.ok:
+            stats.certified += 1
+            return True
+        stats.audit_failures += 1
+        stats.quarantined_records += 1
+        self.quarantine(fp)
+        return False
+
+    def _poison(self, entry: _MemoEntry) -> None:
+        """Arm the ``cache.poison`` fault point for one fresh memo insert
+        (mutates the in-memory replay recipe; see the faults table)."""
+        fault = self.injector.draw("cache.poison")
+        if fault is None or not entry.eliminated:
+            return
+        if fault.kind == "drop":
+            entry.eliminated.pop()
+        else:  # "retype"
+            node_id, node_type = entry.eliminated[-1]
+            entry.eliminated[-1] = (node_id, f"{node_type}~poisoned")
+
+    def _recompute(
+        self, index: int, pattern: TreePattern, fp: str, stats: BatchStats
+    ) -> BatchItemResult:
+        """Cold-path recovery: minimize from scratch, re-certify, refresh
+        the memo and store, and serve the fresh answer."""
+        result = _fresh_minimize(
+            pattern,
+            self.repository,
+            self.use_cdm_prefilter,
+            self.oracle_cache,
+            self.incremental,
+            self.core_engine,
+            self.certify,
+        )
+        if self.certify:
+            self._check_fresh(result, pattern, stats)
+        if self.memoize:
+            entry = _MemoEntry(
+                input_pattern=pattern.copy(),
+                eliminated=_result_eliminated(result),
+                result=result,
+                certificate=result.certificate,
+            )
+            self._cache[fp] = entry
+            if self._store is not None:
+                self._store.put_minimization(
+                    fp,
+                    self.closure_digest,
+                    entry.input_pattern,
+                    entry.eliminated,
+                    entry.certificate,
+                )
+        return BatchItemResult(
+            index=index,
+            pattern=result.pattern,
+            fingerprint=fp,
+            cache_hit=False,
+            eliminated=_result_eliminated(result),
+            input_size=pattern.size,
+            result=result,
+            certificate=result.certificate,
+        )
 
     # ------------------------------------------------------------------
     # Memoization replay
     # ------------------------------------------------------------------
 
-    def _replay(self, index: int, pattern: TreePattern, fp: str) -> BatchItemResult:
+    def _replay(
+        self, index: int, pattern: TreePattern, fp: str, stats: BatchStats
+    ) -> BatchItemResult:
         """Reproduce the representative's elimination on an isomorphic
         duplicate by mapping the recorded deletions through the
-        document-order-canonical isomorphism."""
+        document-order-canonical isomorphism.
+
+        Under ``certify=True`` nothing cached is served unverified: the
+        representative's certificate is re-checked first, and a missing
+        or failing certificate routes through :meth:`_recompute` (with
+        quarantine for the failing case)."""
         entry = self._cache[fp]
+        if self.certify:
+            quarantined_before = stats.quarantined_records
+            if not self._audit_entry(fp, entry, stats):
+                if stats.quarantined_records > quarantined_before:
+                    stats.recomputed_after_quarantine += 1
+                return self._recompute(index, pattern, fp, stats)
         mapping = isomorphism(entry.input_pattern, pattern)
         if mapping is None:  # pragma: no cover - SHA-256 collision
             result = _fresh_minimize(
@@ -527,6 +719,7 @@ class BatchMinimizer:
                 self.oracle_cache,
                 self.incremental,
                 self.core_engine,
+                self.certify,
             )
             return BatchItemResult(
                 index=index,
@@ -536,6 +729,7 @@ class BatchMinimizer:
                 eliminated=_result_eliminated(result),
                 input_size=pattern.size,
                 result=result,
+                certificate=result.certificate,
             )
         minimized = pattern.copy()
         eliminated: list[tuple[int, str]] = []
@@ -547,6 +741,9 @@ class BatchMinimizer:
                 )
             minimized.delete_leaf(node)
             eliminated.append((mapping[rep_id], node_type))
+        certificate = None
+        if self.certify and entry.certificate is not None:
+            certificate = entry.certificate.remapped(mapping)
         return BatchItemResult(
             index=index,
             pattern=minimized,
@@ -554,6 +751,7 @@ class BatchMinimizer:
             cache_hit=True,
             eliminated=eliminated,
             input_size=pattern.size,
+            certificate=certificate,
         )
 
 
@@ -564,6 +762,7 @@ def _fresh_minimize(
     oracle_cache: Optional[bool] = None,
     incremental: bool = True,
     core_engine: Optional[str] = None,
+    certify: bool = False,
 ) -> MinimizeResult:
     return minimize(
         pattern,
@@ -572,6 +771,7 @@ def _fresh_minimize(
         oracle_cache=oracle_cache,
         incremental=incremental,
         core_engine=core_engine,
+        certify=certify,
     )
 
 

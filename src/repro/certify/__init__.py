@@ -1,0 +1,24 @@
+"""Witness certificates and their independent checker.
+
+Every minimization answer can carry a :class:`Certificate`: one witness
+containment mapping per eliminated node plus the chase provenance it
+relies on, bound to the input fingerprint, the constraint-closure
+digest, and the output's canonical key. :func:`check_certificate` /
+:func:`check_answer` re-validate the proof from the definitions alone,
+sharing no code with the images engines that produced it; see
+:mod:`repro.certify.checker` for the independence argument.
+"""
+
+from .checker import CheckResult, check_answer, check_certificate, check_oracle_table
+from .witness import CERTIFICATE_VERSION, Certificate, VirtualRow, WitnessStep
+
+__all__ = [
+    "CERTIFICATE_VERSION",
+    "Certificate",
+    "VirtualRow",
+    "WitnessStep",
+    "CheckResult",
+    "check_certificate",
+    "check_answer",
+    "check_oracle_table",
+]

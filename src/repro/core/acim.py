@@ -66,6 +66,10 @@ class AcimResult:
     closure_seconds: float = 0.0
     augmentation_seconds: float = 0.0
     virtual_count: int = 0
+    #: The augmentation's VirtualTarget rows (kept only when
+    #: ``collect_witnesses=True``) — the chase provenance the recorded
+    #: witness endomorphisms may target; consumed by certificate assembly.
+    virtual_targets: tuple = ()
 
     @property
     def removed_count(self) -> int:
@@ -127,6 +131,8 @@ def acim_minimize(
             working.add_extra_type(working.node(node_id), t)
     result.augmentation_seconds = time.perf_counter() - start
     result.virtual_count = len(virtual)
+    if collect_witnesses:
+        result.virtual_targets = tuple(virtual)
 
     cim: CimResult = cim_minimize(
         working,

@@ -69,6 +69,9 @@ class CdmResult:
     rule_counts: dict[str, int] = field(default_factory=dict)
     contents: dict[int, InfoContent] = field(default_factory=dict)
     seconds: float = 0.0
+    #: One :class:`repro.certify.witness.WitnessStep` per eliminated node
+    #: (parallel to ``eliminated``; only when ``collect_witnesses=True``).
+    witness_steps: list = field(default_factory=list)
 
     @property
     def removed_count(self) -> int:
@@ -146,6 +149,7 @@ def cdm_minimize(
     *,
     in_place: bool = False,
     keep_contents: bool = False,
+    collect_witnesses: bool = False,
 ) -> CdmResult:
     """Run Algorithm CDM on ``pattern`` under ``constraints``.
 
@@ -158,6 +162,11 @@ def cdm_minimize(
     fixpoint — deleting discharged leaf children — and the final content
     is what the parent later sees. Upward cascades (a node becoming an
     unconstrained leaf) are therefore handled in the same sweep.
+
+    With ``collect_witnesses=True`` each elimination also records a
+    witness containment mapping derived from the rule that fired (a
+    sibling/descendant retarget, or a chase-implied virtual node), filling
+    :attr:`CdmResult.witness_steps` for certificate assembly.
     """
     repo = coerce_repository(constraints)
     if not repo.is_closed:
@@ -167,7 +176,7 @@ def cdm_minimize(
 
     start = time.perf_counter()
     contents: dict[int, InfoContent] = {}
-    _sweep(query.root, contents, repo, result)
+    _sweep(query.root, contents, repo, result, collect_witnesses)
     result.seconds = time.perf_counter() - start
 
     if keep_contents:
@@ -180,6 +189,7 @@ def _sweep(
     contents: dict[int, InfoContent],
     repo: ConstraintRepository,
     result: CdmResult,
+    collect_witnesses: bool = False,
 ) -> None:
     # Explicit-stack postorder: queries can be deeper than Python's
     # recursion budget, and deep recursion is disproportionately slow on
@@ -199,7 +209,7 @@ def _sweep(
             for arg, source in propagate_child_content(child, contents[child.id]):
                 content.add(arg, source)
 
-        _minimize_at(node, content, repo, result)
+        _minimize_at(node, content, repo, result, collect_witnesses)
 
         if node.is_leaf:
             # All children were discharged: ~t relaxes to t before the
@@ -213,6 +223,7 @@ def _minimize_at(
     content: InfoContent,
     repo: ConstraintRepository,
     result: CdmResult,
+    collect_witnesses: bool = False,
 ) -> None:
     # One ordered pass suffices: rule applications only ever *remove*
     # arguments and sources, so a target that has no live justifier now
@@ -221,9 +232,12 @@ def _minimize_at(
     for target in content.removable_args():
         if not content.is_live(target):
             continue
-        rule = _find_justification(content, target, repo, result)
-        if rule is not None:
-            _discharge(node, content, target, rule, result)
+        found = _find_justification(content, target, repo, result)
+        if found is not None:
+            rule, justifier = found
+            _discharge(
+                node, content, target, rule, justifier, result, collect_witnesses
+            )
 
 
 def _find_justification(
@@ -231,12 +245,12 @@ def _find_justification(
     target: InfoArg,
     repo: ConstraintRepository,
     result: CdmResult,
-) -> Optional[str]:
+) -> Optional[tuple[str, InfoArg]]:
     # A self-pair justification (the target trimming its own duplicates,
     # e.g. t ->> t) must keep one source alive, so it is only a fallback:
     # any other justifier discharges *every* source, and each target is
     # visited once.
-    fallback: Optional[str] = None
+    fallback: Optional[tuple[str, InfoArg]] = None
     for justifier in content.args():
         if not content.is_live(justifier):
             continue
@@ -244,12 +258,85 @@ def _find_justification(
             if fallback is None and len(content.sources_of(target)) >= 2:
                 rule = _match_rule(justifier, target, repo)
                 if rule is not None:
-                    fallback = f"{rule}(self-pair)"
+                    fallback = (f"{rule}(self-pair)", justifier)
             continue
         rule = _match_rule(justifier, target, repo)
         if rule is not None:
-            return rule
+            return (rule, justifier)
     return fallback
+
+
+def _witness_step(
+    node: PatternNode,
+    source: PatternNode,
+    target: InfoArg,
+    rule: str,
+    justifier: InfoArg,
+    kept_id: Optional[int],
+):
+    """The witness containment mapping for one CDM elimination.
+
+    Rebuilt from the rule that fired: the deleted leaf is retargeted
+    either at a live sibling/descendant node the justifier argument
+    tracks, or at a chase-implied virtual node (a step-local
+    :class:`~repro.certify.witness.VirtualRow`); every other node maps to
+    itself. Failure to locate the justifying node would mean the rule
+    fired on a stale argument — an internal invariant violation.
+    """
+    from ..certify.witness import VirtualRow, WitnessStep
+
+    base = rule[: -len("(self-pair)")] if rule.endswith("(self-pair)") else rule
+    if kept_id is not None:
+        # Self-pair: the deleted duplicate folds onto the kept source,
+        # a live sibling of the same type and edge kind.
+        return WitnessStep(
+            node_id=source.id,
+            node_type=source.type,
+            stage="cdm",
+            rule=rule,
+            mapping=((source.id, kept_id),),
+        )
+    if base == "self-child":
+        row = VirtualRow(-1, target.type, node.id, "child")
+        return WitnessStep(source.id, source.type, "cdm", rule, ((source.id, -1),), (row,))
+    if base == "self-descendant":
+        row = VirtualRow(-1, target.type, node.id, "descendant")
+        return WitnessStep(source.id, source.type, "cdm", rule, ((source.id, -1),), (row,))
+
+    # The remaining rules are justified by a live node the justifier
+    # argument witnesses: an unconstrained argument tracks its source
+    # leaves directly; a constrained one is backed by a surviving
+    # non-leaf child (or deeper node) of the justifier's type.
+    witness_node: Optional[PatternNode] = None
+    if base == "sibling-co-occurrence":
+        for child in node.children:
+            if (
+                child.edge is EdgeKind.CHILD
+                and child.type == justifier.type
+                and child.id != source.id
+            ):
+                witness_node = child
+                break
+    else:  # obligation-descendant / obligation-co-occurrence
+        for desc in node.descendants():
+            if desc.type == justifier.type and desc.id != source.id:
+                witness_node = desc
+                break
+    if witness_node is None:  # pragma: no cover - liveness invariant
+        raise AssertionError(
+            f"CDM rule {rule!r} fired with no live justifying node of type "
+            f"{justifier.type!r} under node {node.id}"
+        )
+    if base == "obligation-descendant":
+        # The justifying descendant requires a target.type descendant of
+        # its own; the deleted leaf maps onto that chase-implied node.
+        row = VirtualRow(-1, target.type, witness_node.id, "descendant")
+        return WitnessStep(source.id, source.type, "cdm", rule, ((source.id, -1),), (row,))
+    # sibling-co-occurrence / obligation-co-occurrence: the justifying
+    # node is itself (also) a target.type node — map the leaf onto it.
+    return WitnessStep(
+        source.id, source.type, "cdm", rule, ((source.id, witness_node.id),)
+    )
 
 
 def _discharge(
@@ -257,7 +344,9 @@ def _discharge(
     content: InfoContent,
     target: InfoArg,
     rule: str,
+    justifier: InfoArg,
     result: CdmResult,
+    collect_witnesses: bool = False,
 ) -> bool:
     """Delete the deletable source leaves behind ``target``; return
     whether anything was removed."""
@@ -265,10 +354,22 @@ def _discharge(
     # A self-pair rule (the target justifies its own duplicates) must
     # leave one source alive as the justifier. An undeletable source
     # (output/temporary) serves for free; otherwise keep the first.
-    kept_justifier = not rule.endswith("(self-pair)") or any(
-        node.pattern.node(s).is_output or node.pattern.node(s).temporary
-        for s in sources
-    )
+    self_pair = rule.endswith("(self-pair)")
+    kept_id: Optional[int] = None
+    kept_justifier = True
+    if self_pair:
+        undeletable = [
+            s
+            for s in sources
+            if node.pattern.node(s).is_output or node.pattern.node(s).temporary
+        ]
+        if undeletable:
+            kept_id = undeletable[0]
+        else:
+            # The first (deletable) source is skipped by the loop below
+            # and becomes the surviving justifier.
+            kept_id = sources[0]
+            kept_justifier = False
     removed_any = False
     for source_id in sources:
         child = node.pattern.node(source_id)
@@ -277,6 +378,10 @@ def _discharge(
         if not kept_justifier:
             kept_justifier = True
             continue
+        if collect_witnesses:
+            result.witness_steps.append(
+                _witness_step(node, child, target, rule, justifier, kept_id)
+            )
         node.pattern.delete_leaf(child)
         content.drop_source(target, source_id)
         result.eliminated.append((source_id, child.type, rule))

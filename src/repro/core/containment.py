@@ -78,6 +78,13 @@ class ContainmentStats:
     oracle_cache_hits: int = 0
     oracle_cache_misses: int = 0
     equivalent_fast_path: int = 0
+    #: Fast-path verdicts that were *served without a proof artifact*:
+    #: the isomorphism short-circuit is exact, but unlike the two-pass DP
+    #: it leaves nothing re-checkable behind. Counted separately so the
+    #: audit pipeline can sample these answers instead of exempting them
+    #: (decremented back by :meth:`repro.api.Session` when a sampled
+    #: audit re-proves the verdict with the full DP).
+    equivalent_fast_path_uncertified: int = 0
 
     def counters(self) -> dict[str, int]:
         """The counters as a flat dict (for JSON reports)."""
@@ -89,6 +96,7 @@ class ContainmentStats:
             "oracle_cache_hits": self.oracle_cache_hits,
             "oracle_cache_misses": self.oracle_cache_misses,
             "equivalent_fast_path": self.equivalent_fast_path,
+            "equivalent_fast_path_uncertified": self.equivalent_fast_path_uncertified,
         }
 
 
@@ -337,6 +345,7 @@ def equivalent(
     if are_isomorphic(q1, q2):
         if stats is not None:
             stats.equivalent_fast_path += 1
+            stats.equivalent_fast_path_uncertified += 1
         return True
     return is_contained_in(q1, q2, stats=stats, cache=cache) and is_contained_in(
         q2, q1, stats=stats, cache=cache

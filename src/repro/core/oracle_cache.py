@@ -60,6 +60,7 @@ __all__ = [
     "set_global_enabled",
     "set_global_store",
     "global_store",
+    "set_global_store_audit",
     "reset_global_cache",
     "oracle_cache_disabled",
 ]
@@ -87,6 +88,11 @@ class OracleCacheStats:
     collisions: int = 0
     store_hits: int = 0
     store_misses: int = 0
+    #: Store-loaded DP tables rejected by the independent checker
+    #: (:func:`repro.certify.check_oracle_table`) while store-load
+    #: auditing is on. Each is also a ``store_miss`` — the row is
+    #: quarantined and the caller recomputes.
+    store_audit_failures: int = 0
 
     @property
     def lookups(self) -> int:
@@ -110,6 +116,7 @@ class OracleCacheStats:
             "oracle_cache_collisions": self.collisions,
             "oracle_cache_store_hits": self.store_hits,
             "oracle_cache_store_misses": self.store_misses,
+            "oracle_cache_store_audit_failures": self.store_audit_failures,
         }
 
 
@@ -149,6 +156,15 @@ class ContainmentOracleCache:
         Optional persistent backend (duck-typed
         :class:`repro.store.PersistentStore`): consulted on in-memory
         miss via ``get_oracle`` and written behind via ``put_oracle``.
+    audit_store_loads:
+        When true, every DP table loaded from the persistent backend is
+        re-validated by the independent checker
+        (:func:`repro.certify.check_oracle_table`) before it is served;
+        a failing table is quarantined from the store and treated as a
+        miss. Costs about one DP recomputation per *disk load* (never
+        on in-memory hits), so it is wired from
+        ``MinimizeOptions(certify=True)`` rather than being on by
+        default.
     """
 
     def __init__(
@@ -156,10 +172,12 @@ class ContainmentOracleCache:
         maxsize: int = 512,
         stats: Optional[OracleCacheStats] = None,
         store: Optional[object] = None,
+        audit_store_loads: bool = False,
     ) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
+        self.audit_store_loads = audit_store_loads
         self.stats = stats if stats is not None else OracleCacheStats()
         self._lock = threading.Lock()
         self._entries: "OrderedDict[tuple[str, str], _Entry]" = OrderedDict()
@@ -273,6 +291,8 @@ class ContainmentOracleCache:
             with self._lock:
                 self.stats.store_misses += 1
             return None
+        if self.audit_store_loads and not self._audit_loaded(key, entry):
+            return None
         with self._lock:
             self.stats.store_hits += 1
             if key not in self._entries and len(self._entries) >= self.maxsize:
@@ -281,6 +301,35 @@ class ContainmentOracleCache:
             self._entries[key] = entry
             self._entries.move_to_end(key)
         return entry
+
+    def _audit_loaded(self, key: tuple[str, str], entry: _Entry) -> bool:
+        """Re-validate one store-loaded DP table with the independent
+        checker; a rejected table is quarantined and treated as a miss.
+
+        Disk rows survive process restarts, so a checksum-valid but
+        semantically wrong table (the ``store.tamper`` threat model)
+        would otherwise poison every future containment answer for this
+        pair. The checker shares no code with the DP that built the
+        table, so it cannot reproduce an engine bug either.
+        """
+        # Imported lazily: repro.certify is a leaf package, but keeping
+        # the core → certify edge soft preserves the checker's
+        # "independent of the engines" layering.
+        from ..certify import check_oracle_table  # noqa: PLC0415
+
+        try:
+            verdict = check_oracle_table(entry.source, entry.target, entry.table)
+        except Exception:  # noqa: BLE001 - malformed patterns: reject
+            verdict = None
+        if verdict:
+            return True
+        with self._lock:
+            self.stats.store_audit_failures += 1
+            self.stats.store_misses += 1
+        quarantine = getattr(self._store, "quarantine_oracle", None)
+        if quarantine is not None:
+            quarantine(key[0], key[1])
+        return False
 
     def store(
         self,
@@ -352,6 +401,10 @@ _global_enabled: bool = True
 #: fresh instance, exactly like a real process reboot re-opening the
 #: same store file.
 _global_store: Optional[object] = None
+#: Whether the process-wide cache audits store-loaded tables with the
+#: independent checker; module-level for the same restart-survival
+#: reason as ``_global_store``.
+_global_store_audit: bool = False
 #: Nesting depth of active :func:`oracle_cache_disabled` scopes. The
 #: context manager counts instead of flipping ``_global_enabled`` so
 #: nested/concurrent scopes compose (re-entrant) and an exception inside
@@ -369,7 +422,10 @@ def global_cache() -> Optional[ContainmentOracleCache]:
     if _global_cache is None:
         with _global_lock:
             if _global_cache is None:
-                _global_cache = ContainmentOracleCache(store=_global_store)
+                _global_cache = ContainmentOracleCache(
+                    store=_global_store,
+                    audit_store_loads=_global_store_audit,
+                )
     return _global_cache
 
 
@@ -388,6 +444,18 @@ def set_global_store(store: Optional[object]) -> None:
         _global_store = store
         if _global_cache is not None:
             _global_cache.attach_store(store)
+
+
+def set_global_store_audit(audit: bool) -> None:
+    """Turn store-load auditing on/off for the process-wide cache —
+    current instance and any future one created after a
+    :func:`reset_global_cache`. Wired by :class:`repro.api.Session`
+    when ``MinimizeOptions.certify`` is set."""
+    global _global_store_audit
+    with _global_lock:
+        _global_store_audit = bool(audit)
+        if _global_cache is not None:
+            _global_cache.audit_store_loads = _global_store_audit
 
 
 def global_enabled() -> bool:

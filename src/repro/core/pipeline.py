@@ -47,6 +47,10 @@ class MinimizeResult:
     acim: Optional[AcimResult] = None
     closure_seconds: float = 0.0
     input_size: int = 0
+    #: Equivalence proof for the whole run (one witness step per
+    #: eliminated node) — only with ``certify=True``; see
+    #: :mod:`repro.certify`.
+    certificate: Optional[object] = None
 
     @property
     def removed_count(self) -> int:
@@ -85,6 +89,7 @@ def minimize(
     *,
     use_cdm_prefilter: bool = True,
     collect_witnesses: bool = False,
+    certify: bool = False,
     seed: Optional[int] = None,
     incremental: bool = True,
     oracle_cache: Optional[bool] = None,
@@ -104,11 +109,18 @@ def minimize(
     engine implementation (``"v1"`` objects / ``"v2"`` flat bitsets; see
     :mod:`repro.core.engine_config`) — results are byte-identical.
 
+    With ``certify=True`` the run additionally assembles a
+    :class:`repro.certify.Certificate` (one witness step per eliminated
+    node, plus chase provenance) into ``result.certificate``; witness
+    collection is forced on in both stages.
+
     Returns a :class:`MinimizeResult`; the minimized query is
     ``result.pattern`` and the input is never mutated.
     """
     result = MinimizeResult(pattern=pattern, input_size=pattern.size)
     repo = coerce_repository(constraints)
+    raw_digest = repo.digest() if certify else ""
+    collect = collect_witnesses or certify
 
     if len(repo) == 0:
         # No ICs: the pipeline degenerates to plain CIM (via ACIM, which
@@ -116,13 +128,15 @@ def minimize(
         result.acim = acim_minimize(
             pattern,
             repo,
-            collect_witnesses=collect_witnesses,
+            collect_witnesses=collect,
             seed=seed,
             incremental=incremental,
             oracle_cache=oracle_cache,
             core_engine=core_engine,
         )
         result.pattern = result.acim.pattern
+        if certify:
+            result.certificate = _assemble_certificate(pattern, result, raw_digest)
         return result
 
     start = time.perf_counter()
@@ -132,17 +146,74 @@ def minimize(
 
     working = pattern
     if use_cdm_prefilter:
-        result.cdm = cdm_minimize(working, repo)
+        result.cdm = cdm_minimize(working, repo, collect_witnesses=collect)
         working = result.cdm.pattern
 
     result.acim = acim_minimize(
         working,
         repo,
-        collect_witnesses=collect_witnesses,
+        collect_witnesses=collect,
         seed=seed,
         incremental=incremental,
         oracle_cache=oracle_cache,
         core_engine=core_engine,
     )
     result.pattern = result.acim.pattern
+    if certify:
+        result.certificate = _assemble_certificate(pattern, result, raw_digest)
     return result
+
+
+def _assemble_certificate(
+    input_pattern: TreePattern, result: MinimizeResult, closure_digest: str
+):
+    """Build the :class:`repro.certify.Certificate` for a finished run.
+
+    CDM steps come ready-made (each carries its own step-local chase
+    rows); ACIM eliminations are converted from the engine's witness
+    endomorphisms, compressed to their non-identity pairs, with the
+    augmentation's VirtualTarget rows attached once at certificate
+    level.
+    """
+    from ..certify.witness import Certificate, VirtualRow, WitnessStep
+    from .edges import EdgeKind
+    from .fingerprint import fingerprint
+
+    steps: list[WitnessStep] = []
+    if result.cdm is not None:
+        steps.extend(result.cdm.witness_steps)
+    virtual_rows: tuple[VirtualRow, ...] = ()
+    if result.acim is not None:
+        virtual_rows = tuple(
+            VirtualRow(
+                id=vt.id,
+                node_type=vt.node_type,
+                parent_id=vt.parent_id,
+                edge="child" if vt.edge is EdgeKind.CHILD else "descendant",
+                extra_types=tuple(sorted(vt.extra_types)),
+            )
+            for vt in result.acim.virtual_targets
+        )
+        for node_id, node_type in result.acim.eliminated:
+            witness = result.acim.witnesses.get(node_id, {})
+            mapping = tuple(
+                sorted((src, tgt) for src, tgt in witness.items() if src != tgt)
+            )
+            steps.append(
+                WitnessStep(
+                    node_id=node_id,
+                    node_type=node_type,
+                    stage="acim",
+                    rule="images",
+                    mapping=mapping,
+                )
+            )
+    return Certificate(
+        fingerprint=fingerprint(input_pattern),
+        closure_digest=closure_digest,
+        input_size=input_pattern.size,
+        output_size=result.pattern.size,
+        steps=tuple(steps),
+        virtual_targets=virtual_rows,
+        output_key=result.pattern.canonical_key(),
+    )

@@ -19,6 +19,7 @@ __all__ = [
     "DataModelError",
     "EvaluationError",
     "StrategyError",
+    "CertificationError",
     "ServiceError",
     "ServiceClosedError",
     "ServiceOverloadedError",
@@ -104,6 +105,31 @@ class EvaluationError(ReproError):
 
 class StrategyError(ReproError):
     """An A/R/M strategy string is malformed."""
+
+
+class CertificationError(ReproError):
+    """A freshly computed answer's witness certificate failed the
+    independent checker (:mod:`repro.certify`).
+
+    This is never raised for cached/stored records — those quarantine
+    and recompute transparently. A fresh answer failing its own check
+    means the minimizer and the checker disagree about a proof built
+    moments ago: an engine bug, not a data-integrity event, so it
+    surfaces loudly instead of degrading.
+
+    Attributes
+    ----------
+    reason:
+        The checker's rejection reason.
+    step_index:
+        0-based witness step at which checking failed (-1 for
+        certificate-level failures).
+    """
+
+    def __init__(self, message: str, *, reason: str = "", step_index: int = -1):
+        super().__init__(message)
+        self.reason = reason
+        self.step_index = step_index
 
 
 class ServiceError(ReproError):

@@ -52,6 +52,25 @@ point               kinds                          armed by
                                                    pre-compaction records
                                                    byte-identically), ``fail``
                                                    rolls back and counts
+``store.tamper``    ``drop``, ``retype``           the persistent store's
+                                                   write-behind thread, once
+                                                   per committed ``min``
+                                                   record; mutates the replay
+                                                   recipe *before* checksum
+                                                   computation — a
+                                                   checksum-valid but
+                                                   semantically wrong record
+                                                   (the certification layer's
+                                                   adversary; see
+                                                   :mod:`repro.certify`)
+``cache.poison``    ``drop``, ``retype``           :meth:`repro.batch.minimizer.BatchMinimizer.minimize_all`,
+                                                   once per fresh replay-memo
+                                                   insertion; mutates the
+                                                   in-memory memo entry after
+                                                   the store write, so later
+                                                   fingerprint-replay hits
+                                                   would serve a wrong answer
+                                                   unless certified
 =================== ============================== =========================
 
 The minimal-query uniqueness theorem (Amer-Yahia et al., SIGMOD 2001)
@@ -86,6 +105,8 @@ FAULT_POINTS: dict[str, tuple[str, ...]] = {
     "shard.kill": ("kill",),
     "store.write": ("fail", "slow"),
     "store.compact": ("kill", "fail"),
+    "store.tamper": ("drop", "retype"),
+    "cache.poison": ("drop", "retype"),
 }
 
 #: The kinds :meth:`FaultPlan.seeded` draws from by default — one fault

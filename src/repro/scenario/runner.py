@@ -663,6 +663,36 @@ class ScenarioRunner:
                 "result_b": result_digest(sexpr_b, elim_b),
                 "constraints": self._mirror_digest,
             }
+        elif planned.op == "audit":
+            query = self._variant(planned)
+            sexpr, eliminated = await target.minimize(query)
+            # Independent re-proof of the *served* answer: a cold
+            # certified minimization of the same pattern, verified by
+            # the definition-level checker, must agree byte-for-byte.
+            # Every field below is deterministic under the spec seed
+            # (the minimal query is unique), so the event is
+            # digest-stable across targets.
+            probe = parse_sexpr(to_sexpr(query))
+            cold_options = self.options.with_overrides(
+                certify=True, store_path=None, fault_plan=None, jobs=1
+            )
+            post_churn = sorted(self._mirror.base)
+            with Session(cold_options, constraints=post_churn) as cold:
+                cold_result = cold.minimize(probe)
+                verdict = cold.check_certificate(cold_result)
+            cold_sexpr, cold_elim = _normalize_result(cold_result)
+            served_elim = [[int(i), str(t)] for i, t in eliminated]
+            certificate = cold_result.certificate
+            event.payload = {
+                "fingerprint": fingerprint(query),
+                "result": result_digest(sexpr, eliminated),
+                "verified": bool(verdict)
+                and (cold_sexpr, cold_elim) == (sexpr, served_elim),
+                "witness_steps": (
+                    len(certificate.steps) if certificate is not None else 0
+                ),
+                "constraints": self._mirror_digest,
+            }
         elif planned.op == "evaluate":
             query = self._variant(planned)
             if planned.family not in trees:

@@ -34,7 +34,11 @@ Semantics:
   may appear in the mix (randomly interleaved churn) and/or be driven
   periodically by ``churn.every``; both toggle constraints from the
   churn pool (an active one is dropped, an inactive one added), so any
-  fixed seed yields one exact add/drop sequence.
+  fixed seed yields one exact add/drop sequence. ``audit`` minimizes a
+  variant through the target and then re-proves the served answer with
+  a cold certified session checked by the independent verifier
+  (:mod:`repro.certify`); its event payload (result digest, verified
+  flag, witness-step count) is digest-stable across targets.
 * **families / zipf_s** — each tenant owns ``families`` generated query
   structures; every request draws a family from a Zipf(``zipf_s``)
   popularity curve (``0.0`` = uniform) and submits a fresh isomorphic
@@ -70,7 +74,13 @@ __all__ = [
 ]
 
 #: Operations a scenario event can perform.
-SCENARIO_OPS = ("minimize", "equivalence-check", "evaluate", "ic-update")
+SCENARIO_OPS = (
+    "minimize",
+    "equivalence-check",
+    "evaluate",
+    "ic-update",
+    "audit",
+)
 
 
 class SpecError(ReproError):

@@ -177,6 +177,28 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--certify",
+        action="store_true",
+        help=(
+            "record witness certificates and verify every answer — fresh "
+            "or cached — with the independent checker before serving it "
+            "(repro.certify); failed cached records are quarantined and "
+            "recomputed"
+        ),
+    )
+    parser.add_argument(
+        "--audit-rate",
+        type=int,
+        default=64,
+        metavar="N",
+        help=(
+            "re-verify 1-in-N served answers in the background, off the "
+            "reply path; a failed audit quarantines the record "
+            "(0 disables; ignored under --certify, which checks every "
+            "answer inline; default 64)"
+        ),
+    )
+    parser.add_argument(
         "--fault-plan",
         default=None,
         metavar="PLAN",
@@ -232,6 +254,8 @@ async def _serve(args: argparse.Namespace) -> int:
             _parse_fault_plan(args.fault_plan) if args.fault_plan else None
         ),
         store_path=str(args.store) if args.store is not None else None,
+        certify=args.certify,
+        audit_rate=args.audit_rate,
     )
     n_shards = resolve_shards(args.shards)
     if n_shards:

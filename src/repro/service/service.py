@@ -183,6 +183,15 @@ class ServiceStats:
     #: Client-side circuit-breaker opens reported by clients; stays 0
     #: unless a client surface feeds it (the breaker lives client-side).
     breaker_opens: int = 0
+    #: Certification/audit pipeline (mirrored from the session so the
+    #: fleet aggregate and the ``stats`` protocol op expose them
+    #: first-class): served answers re-verified by the sampling auditor
+    #: or the synchronous ``certify`` path; answers whose proof failed
+    #: (each also quarantines the offending cache record — the wrong
+    #: answer is never served again); records deleted by quarantine.
+    audited: int = 0
+    audit_failures: int = 0
+    quarantined_records: int = 0
     batches: int = 0
     #: Flush cause tallies: the batch filled up vs. the oldest request's
     #: ``max_wait`` deadline expired vs. flushed early so a queued
@@ -212,7 +221,8 @@ class ServiceStats:
     _SUMMED_FIELDS = (
         "submitted", "completed", "rejected", "timed_out", "cancelled",
         "failed", "sheds", "faults_injected", "watchdog_kills",
-        "client_retries", "ic_updates", "breaker_opens", "batches",
+        "client_retries", "ic_updates", "breaker_opens", "audited",
+        "audit_failures", "quarantined_records", "batches",
         "flushes_full", "flushes_deadline", "flushes_churn",
         "flushes_drain", "batched_requests",
     )
@@ -258,6 +268,9 @@ class ServiceStats:
                 "client_retries": self.client_retries,
                 "ic_updates": self.ic_updates,
                 "breaker_opens": self.breaker_opens,
+                "audited": self.audited,
+                "audit_failures": self.audit_failures,
+                "quarantined_records": self.quarantined_records,
                 "batches": self.batches,
                 "flushes_full": self.flushes_full,
                 "flushes_deadline": self.flushes_deadline,
@@ -368,6 +381,12 @@ class MinimizationService:
         self._batcher_task: Optional[asyncio.Task] = None
         self._closing = False
         self._started = False
+        #: Background audit bookkeeping: a deterministic served-answer
+        #: counter drives 1-in-``audit_rate`` sampling (never wall-clock
+        #: randomness), and in-flight audit tasks are tracked so a
+        #: graceful drain finishes them before the session closes.
+        self._audit_seen = 0
+        self._audit_tasks: "set[asyncio.Task]" = set()
         # Recent batch wall-clock (EWMA) → the retry_after hint.
         self._recent_batch_seconds = max_wait or 0.01
         self._oracle_stats_base = self._oracle_snapshot()
@@ -395,6 +414,10 @@ class MinimizationService:
             await self._queue.put(_Drain())
             await self._batcher_task
             self._batcher_task = None
+        if self._audit_tasks:
+            # Finish in-flight background audits before the session (and
+            # its store) goes away.
+            await asyncio.gather(*list(self._audit_tasks), return_exceptions=True)
         self._session.close()
 
     async def __aenter__(self) -> "MinimizationService":
@@ -588,12 +611,20 @@ class MinimizationService:
         return [[e.point, e.kind, e.hit] for e in self.injector.events()]
 
     def _sync_fault_counters(self) -> None:
-        """Mirror injector / executor tallies into the explicit stats
-        fields (they would otherwise be shadowed by the backend dict)."""
+        """Mirror injector / executor / audit tallies into the explicit
+        stats fields (they would otherwise be shadowed by the backend
+        dict)."""
         if self.injector is not None:
             self.stats.faults_injected = self.injector.faults_injected
         backend = self.stats.backend_counters
         self.stats.watchdog_kills = int(backend.get("watchdog_kills", 0))
+        # The session's combined audit view: synchronous certify checks
+        # (batch layer) plus this service's background sampling auditor.
+        self.stats.audited = int(
+            backend.get("audited", 0) + backend.get("certified", 0)
+        )
+        self.stats.audit_failures = int(backend.get("audit_failures", 0))
+        self.stats.quarantined_records = int(backend.get("quarantined_records", 0))
 
     def _oracle_snapshot(self) -> dict[str, float]:
         cache = global_cache()
@@ -709,6 +740,41 @@ class MinimizationService:
             request.future.set_result(result)
             self.stats.completed += 1
             self.stats.latency.observe(finished - request.enqueued_at)
+            self._maybe_audit(result)
+
+    def _maybe_audit(self, result: QueryResult) -> None:
+        """Sample one served answer into the background auditor.
+
+        Every ``audit_rate``-th completed request (deterministic
+        counter, so replayed request streams replay the audit schedule)
+        is re-verified off the hot path by
+        :meth:`repro.api.Session.audit_result` — the response has
+        already been sent; a failed audit quarantines the offending
+        cache record so the wrong answer can never be served *again*.
+        Under ``certify=True`` every answer was already checked
+        synchronously, so sampling adds nothing and is skipped.
+        """
+        rate = self.options.audit_rate
+        if rate < 1 or self.options.certify:
+            return
+        self._audit_seen += 1
+        if (self._audit_seen - 1) % rate:
+            return
+        task = asyncio.ensure_future(self._audit_one(result))
+        self._audit_tasks.add(task)
+        task.add_done_callback(self._audit_tasks.discard)
+
+    async def _audit_one(self, result: QueryResult) -> None:
+        """Run one sampled audit in a worker thread and fold the
+        session's updated audit counters back into the stats."""
+        try:
+            await asyncio.to_thread(self._session.audit_result, result)
+        except Exception:  # noqa: BLE001 - audits never take the service down
+            # An audit that *errored* (e.g. a close racing it) proved
+            # nothing either way; it is simply not counted as audited.
+            return
+        self.stats.backend_counters = self._merge_backend(self._session.counters())
+        self._sync_fault_counters()
 
     def _merge_backend(self, counters: dict[str, float]) -> dict[str, float]:
         """Session counters are already lifetime-cumulative; keep them

@@ -49,6 +49,14 @@ Operational behaviors:
 * **a breaker per shard** — a shard that keeps dying is routed around
   (its :class:`~repro.resilience.client.CircuitBreaker` opens) until
   its cooldown lets a probe through;
+* **sampled certification audit** — each shard worker re-verifies
+  1-in-``audit_rate`` of its served answers off the reply path
+  (:class:`~repro.shard.worker._SampledAuditor`); a failed audit
+  quarantines the offending memo/store record, the next request for
+  that fingerprint recomputes cold, and the fresh record spools back
+  here — the single writer — overwriting the bad row, so the shared
+  store self-heals. ``audited`` / ``audit_failures`` /
+  ``quarantined_records`` aggregate fleet-wide in :meth:`counters`;
 * **live constraint churn** — :meth:`update_constraints` stages the
   update manager-side, swaps the boot constraints (so respawns come up
   post-churn), fans ``("constraints", id, add, drop)`` out to every
@@ -1080,6 +1088,12 @@ class ShardManager:
                 out[f"shard{index}_hit_rate"] = backend.get("cache_hits", 0) / queries
         if self.injector is not None:
             self.stats.faults_injected = self.injector.faults_injected
+        # Certification/audit work happens inside the workers; mirror the
+        # fleet sums into the front-end stats so the overlay below
+        # reports them instead of the manager's own (always-zero) fields.
+        self.stats.audited = fleet.audited
+        self.stats.audit_failures = fleet.audit_failures
+        self.stats.quarantined_records = fleet.quarantined_records
         if self.store is not None:
             # The manager-side (writable) store view, distinct from the
             # workers' read-only store_* counters summed above.

@@ -105,7 +105,44 @@ def _stats_payload(
     for key, value in _oracle_snapshot().items():
         backend[key] = value - oracle_base.get(key, 0)
     stats.backend_counters = backend
+    # Mirror the certification counters into the explicit stats fields
+    # so ServiceStats.aggregate sums them fleet-wide (same convention as
+    # MinimizationService._sync_fault_counters).
+    stats.audited = int(backend.get("audited", 0) + backend.get("certified", 0))
+    stats.audit_failures = int(backend.get("audit_failures", 0))
+    stats.quarantined_records = int(backend.get("quarantined_records", 0))
     return stats
+
+
+class _SampledAuditor:
+    """Deterministic 1-in-N re-verification of this shard's answers.
+
+    Runs *after* every reply in the burst is on the wire, so an audit
+    (a certificate check, or a cold recompute when the answer carries
+    no certificate) never adds to response latency. A failed audit
+    quarantines the offending memo/store record via
+    :meth:`~repro.api.Session.audit_result`; the next request for that
+    fingerprint recomputes cold and the fresh record spools back to the
+    manager — the single writer — overwriting the bad row, so the
+    shared store self-heals. With ``certify`` on the rate is forced to
+    0: every answer is already checked inline on the serving path.
+    """
+
+    def __init__(self, session: Session, rate: int) -> None:
+        self.session = session
+        self.rate = rate
+        self.seen = 0
+
+    def observe(self, result) -> None:
+        if self.rate < 1:
+            return
+        self.seen += 1
+        if (self.seen - 1) % self.rate:
+            return
+        try:
+            self.session.audit_result(result)
+        except Exception:  # noqa: BLE001 - audits never take the worker down
+            pass
 
 
 def shard_worker_main(conn, config: ShardWorkerConfig) -> None:
@@ -130,6 +167,10 @@ def shard_worker_main(conn, config: ShardWorkerConfig) -> None:
     session = Session(config.options, constraints=config.constraints, store=store)
     stats = ServiceStats()
     oracle_base = _oracle_snapshot()
+    audit_rate = 0
+    if not getattr(config.options, "certify", False):
+        audit_rate = int(getattr(config.options, "audit_rate", 0) or 0)
+    auditor = _SampledAuditor(session, audit_rate)
     try:
         while True:
             try:
@@ -165,7 +206,7 @@ def shard_worker_main(conn, config: ShardWorkerConfig) -> None:
                     # under the old closure first; everything after it
                     # (this burst's tail included) sees the new one.
                     if requests:
-                        _serve_batch(conn, session, stats, requests)
+                        _serve_batch(conn, session, stats, requests, auditor)
                         requests = []
                     try:
                         result = session.update_constraints(
@@ -184,7 +225,7 @@ def shard_worker_main(conn, config: ShardWorkerConfig) -> None:
                         ("err", request_id, ValueError(f"unknown message {kind!r}"))
                     )
             if requests:
-                _serve_batch(conn, session, stats, requests)
+                _serve_batch(conn, session, stats, requests, auditor)
             if store is not None:
                 rows = store.drain_spooled()
                 if rows:
@@ -203,7 +244,13 @@ def shard_worker_main(conn, config: ShardWorkerConfig) -> None:
             pass
 
 
-def _serve_batch(conn, session: Session, stats: ServiceStats, requests) -> None:
+def _serve_batch(
+    conn,
+    session: Session,
+    stats: ServiceStats,
+    requests,
+    auditor: Optional[_SampledAuditor] = None,
+) -> None:
     """Run one drained burst through the session; answer every request."""
     started = time.perf_counter()
     live = []
@@ -242,3 +289,8 @@ def _serve_batch(conn, session: Session, stats: ServiceStats, requests) -> None:
         stats.completed += 1
         stats.latency.observe(finished - received_at)
         conn.send(("ok", request_id, result))
+    if auditor is not None:
+        # Off the reply path: every answer in the burst is already on
+        # the wire before any sampled re-verification runs.
+        for result in results:
+            auditor.observe(result)

@@ -76,8 +76,9 @@ __all__ = [
 
 #: Payload format version. Bumped when the pickled payload shape (or the
 #: pattern encoding it relies on) changes incompatibly; records written
-#: under another format degrade to counted misses.
-STORE_FORMAT = 1
+#: under another format degrade to counted misses. Format 2 added the
+#: witness :class:`~repro.certify.Certificate` slot to ``min`` payloads.
+STORE_FORMAT = 2
 
 #: Record families. ``min``: fingerprint → (representative pattern,
 #: elimination replay), keyed under the closure digest. ``oracle``:
@@ -102,7 +103,11 @@ class StoreStats:
     committed, ``write_batches`` the transactions that carried them,
     ``write_failures`` batches dropped by fault/IO errors (degradation,
     never an error), ``pruned`` records deleted by the growth bound,
-    ``spooled``/``applied`` the read-only → single-writer hand-off.
+    ``spooled``/``applied`` the read-only → single-writer hand-off;
+    ``quarantined`` counts records deleted by a failed certificate audit
+    (:meth:`PersistentStore.quarantine` — a checksum-valid record whose
+    witness no longer proves its answer is *semantic* corruption and is
+    never served).
     """
 
     hits: int = 0
@@ -114,6 +119,7 @@ class StoreStats:
     write_batches: int = 0
     write_failures: int = 0
     pruned: int = 0
+    quarantined: int = 0
     warm_loaded: int = 0
     compactions: int = 0
     compact_failures: int = 0
@@ -144,6 +150,7 @@ class StoreStats:
             "store_write_batches": self.write_batches,
             "store_write_failures": self.write_failures,
             "store_pruned": self.pruned,
+            "store_quarantined": self.quarantined,
             "store_warm_loaded": self.warm_loaded,
             "store_compactions": self.compactions,
             "store_compact_failures": self.compact_failures,
@@ -468,29 +475,56 @@ class PersistentStore:
         closure_digest: str,
         pattern: "TreePattern",
         eliminated: "list[tuple[int, str]]",
+        certificate: Optional[object] = None,
     ) -> None:
         """Persist one fingerprint → elimination replay record.
 
         ``pattern`` must be a private snapshot (the replay memo already
         copies its representatives); the recorded elimination is in the
         snapshot's node ids, exactly as the in-memory memo keeps it.
+        ``certificate`` is the optional witness
+        :class:`~repro.certify.Certificate` (in the same snapshot ids)
+        that re-proves the recipe on load.
         """
         self.put(
             KIND_MINIMIZATION,
             fingerprint,
             closure_digest,
-            (pattern, list(eliminated)),
+            (pattern, list(eliminated), certificate),
         )
 
     def get_minimization(
         self, fingerprint: str, closure_digest: str
-    ) -> "Optional[tuple[TreePattern, list[tuple[int, str]]]]":
+    ) -> "Optional[tuple[TreePattern, list[tuple[int, str]], Optional[object]]]":
         """The replay record for ``fingerprint`` under ``closure_digest``
-        — ``(representative_pattern, eliminated)`` — or ``None``."""
+        — ``(representative_pattern, eliminated, certificate)`` — or
+        ``None``. The certificate slot is ``None`` for records written
+        without certification."""
         obj = self.get(KIND_MINIMIZATION, fingerprint, closure_digest)
-        if not isinstance(obj, tuple) or len(obj) != 2:
+        if not isinstance(obj, tuple) or len(obj) != 3:
             return None if obj is None else self._reject(obj)
         return obj  # type: ignore[return-value]
+
+    def quarantine(self, fingerprint: str, closure_digest: str) -> None:
+        """Delete one ``min`` record that failed its certificate audit.
+
+        Quarantine is the *semantic* corruption path: the record's
+        checksum verified (the bytes are what the writer committed) but
+        its witness certificate no longer proves the recorded recipe, so
+        it must never be served. The row is queued for deletion on the
+        write path and counted (``StoreStats.quarantined``); read-only
+        stores can only count — the single writer quarantines on its own
+        next audit of the same record.
+        """
+        self.stats.quarantined += 1
+        self._discard(KIND_MINIMIZATION, fingerprint, closure_digest)
+
+    def quarantine_oracle(self, source_digest: str, target_digest: str) -> None:
+        """Delete one ``oracle`` record whose DP table failed the
+        independent checker — the oracle-tier analogue of
+        :meth:`quarantine` (same counting, same read-only semantics)."""
+        self.stats.quarantined += 1
+        self._discard(KIND_ORACLE, f"{source_digest}:{target_digest}", "")
 
     def put_oracle(
         self,
@@ -527,10 +561,11 @@ class PersistentStore:
 
     def warm_minimizations(
         self, closure_digest: str, limit: Optional[int] = None
-    ) -> "Iterator[tuple[str, TreePattern, list[tuple[int, str]]]]":
+    ) -> "Iterator[tuple[str, TreePattern, list[tuple[int, str]], Optional[object]]]":
         """The most recent replay records under ``closure_digest``, as
-        ``(fingerprint, pattern, eliminated)`` — the Session's boot-time
-        warm start. Bad records are skipped (counted), never raised."""
+        ``(fingerprint, pattern, eliminated, certificate)`` — the
+        Session's boot-time warm start. Bad records are skipped
+        (counted), never raised."""
         limit = limit if limit is not None else self.warm_limit
         conn = self._read_conn
         if conn is None or self._closed or limit < 1:
@@ -558,11 +593,11 @@ class PersistentStore:
                 self.stats.corrupt_records += 1
                 self._discard(KIND_MINIMIZATION, key, closure_digest)
                 continue
-            if not isinstance(obj, tuple) or len(obj) != 2:
+            if not isinstance(obj, tuple) or len(obj) != 3:
                 self.stats.corrupt_records += 1
                 continue
             self.stats.warm_loaded += 1
-            yield key, obj[0], obj[1]
+            yield key, obj[0], obj[1], obj[2]
 
     # ------------------------------------------------------------------
     # Compaction / growth bound
@@ -647,12 +682,40 @@ class PersistentStore:
             for barrier in barriers:
                 barrier.set()
 
+    def _tamper(self, obj: object) -> object:
+        """Arm the ``store.tamper`` fault point for one ``min`` payload.
+
+        When the fault fires, the replay recipe is mutated *before*
+        serialization — the committed record carries a correct checksum
+        over wrong bytes, so only the certification layer
+        (:mod:`repro.certify`) can catch it. ``drop`` removes the last
+        recorded elimination (the replayed answer is equivalent but not
+        minimal); ``retype`` corrupts the last pair's node type.
+        """
+        if self.injector is None:
+            return obj
+        fault = self.injector.draw("store.tamper")
+        if fault is None or not isinstance(obj, tuple) or len(obj) != 3:
+            return obj
+        pattern, eliminated, certificate = obj
+        eliminated = list(eliminated)
+        if not eliminated:
+            return obj
+        if fault.kind == "drop":
+            eliminated = eliminated[:-1]
+        else:  # "retype"
+            node_id, node_type = eliminated[-1]
+            eliminated[-1] = (node_id, f"{node_type}~tampered")
+        return (pattern, eliminated, certificate)
+
     def _apply_batch(self, conn: sqlite3.Connection, pending) -> None:
         written = 0
         for message in pending:
             op = message[0]
             if op == "put":
                 _, kind, key, closure, obj = message
+                if kind == KIND_MINIMIZATION:
+                    obj = self._tamper(obj)
                 try:
                     payload, checksum = _encode(obj)
                 except Exception:  # noqa: BLE001 - unpicklable: drop
@@ -667,6 +730,19 @@ class PersistentStore:
                 written += 1
             elif op == "row":
                 _, kind, key, closure, fmt, checksum, payload = message
+                if kind == KIND_MINIMIZATION and self.injector is not None:
+                    # store.tamper covers every write path that commits a
+                    # min record — including pre-serialized rows spooled
+                    # by read-only peers (the sharded fleet): decode,
+                    # mutate, re-encode, so the committed checksum stays
+                    # valid over the wrong bytes.
+                    try:
+                        obj = pickle.loads(payload)
+                        tampered = self._tamper(obj)
+                        if tampered is not obj:
+                            payload, checksum = _encode(tampered)
+                    except Exception:  # noqa: BLE001 - leave the row as-is
+                        pass
                 conn.execute(
                     "INSERT OR REPLACE INTO records "
                     "(kind, key, closure, fmt, checksum, payload) "

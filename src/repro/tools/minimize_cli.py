@@ -139,6 +139,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--certify",
+        action="store_true",
+        help=(
+            "record a witness certificate for every elimination and "
+            "re-verify each answer with the independent checker "
+            "(repro.certify) before printing; a failed check exits 2. "
+            "With --json the certificate is included in the output"
+        ),
+    )
+    parser.add_argument(
         "--no-oracle-cache",
         action="store_true",
         help=(
@@ -177,6 +187,7 @@ def _session_options(args) -> MinimizeOptions:
         jobs=args.jobs,
         oracle_cache=False if args.no_oracle_cache else None,
         core_engine=args.engine,
+        certify=args.certify,
     )
 
 
@@ -191,11 +202,29 @@ def _json_fmt(args) -> str:
     return "sexpr" if args.format == "sexpr" else "xpath"
 
 
+def _verify_results(session: Session, results: "list[QueryResult]") -> bool:
+    """Re-check every certificate with the independent checker (the
+    ``--certify`` post-condition); failures go to stderr."""
+    ok = True
+    for result in results:
+        verdict = session.check_certificate(result)
+        if not verdict:
+            ok = False
+            print(
+                "error: certificate check failed for "
+                f"{to_xpath(result.input_pattern)}: {verdict.reason}",
+                file=sys.stderr,
+            )
+    return ok
+
+
 def _run_batch(args, constraints) -> int:
     queries = _read_batch_queries(args.batch, args.sexpr)
     with Session(_session_options(args), constraints=constraints) as session:
         results = session.minimize_many(queries)
         counters = session.counters()
+        if args.certify and not _verify_results(session, results):
+            return 2
     if args.json:
         _emit_json(results, _json_fmt(args))
     else:
@@ -229,6 +258,8 @@ def _run_single(args, constraints) -> int:
     if args.algorithm == "pipeline":
         with Session(_session_options(args), constraints=constraints) as session:
             result = session.minimize(query)
+            if args.certify and not _verify_results(session, [result]):
+                return 2
         explain_lines: list[str] = []
         detail = result.detail
         if detail is not None and detail.cdm is not None:
@@ -284,6 +315,11 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("exactly one of QUERY or --batch FILE is required")
     if args.batch is not None and args.algorithm != "pipeline":
         parser.error("--batch only supports the default pipeline algorithm")
+    if args.certify and args.algorithm != "pipeline":
+        parser.error(
+            "--certify requires the pipeline algorithm (the standalone "
+            "CIM/CDM/ACIM drivers do not assemble certificates)"
+        )
     if args.json and args.format == "ascii":
         parser.error("--json renders queries as xpath or sexpr, not ascii")
     try:

@@ -24,6 +24,7 @@ SUBPACKAGES = [
     "repro.resilience",
     "repro.service",
     "repro.tools",
+    "repro.certify",
 ]
 
 
@@ -76,6 +77,8 @@ def test_session_api_is_exported():
         "fault_plan",
         "core_engine",
         "store_path",
+        "certify",
+        "audit_rate",
     }
 
 

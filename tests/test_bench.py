@@ -366,6 +366,39 @@ class TestBenchService:
         assert isinstance(summary["batched_beats_one_at_a_time"], bool)
 
 
+class TestBenchCertify:
+    """Schema smoke test for BENCH_certify.json (fast stream)."""
+
+    def test_fast_run_writes_valid_schema(self, tmp_path):
+        bc = _load_bench_script("bench_certify")
+        out = tmp_path / "BENCH_certify.json"
+        bc.main(["--fast", "--repeat", "1", "--out", str(out)])
+        payload = json.loads(out.read_text())
+
+        assert payload["benchmark"] == "certify"
+        assert payload["schema_version"] == bc.SCHEMA_VERSION
+        assert payload["fast"] is True
+
+        overhead = payload["audit_overhead"]
+        assert overhead["audit_rate"] == 64
+        assert set(overhead["legs"]) == {"baseline", "sampled_audit", "certify_all"}
+        for leg in overhead["legs"].values():
+            assert leg["seconds"] > 0 and leg["qps"] > 0
+            assert leg["audit_failures"] == 0  # no chaos in the benchmark
+        assert overhead["legs"]["baseline"]["certified"] == 0
+        assert overhead["legs"]["certify_all"]["certified"] >= overhead["n_queries"]
+
+        sweep = payload["differential_sweep"]
+        assert sweep["byte_identical"] is True
+        assert sweep["certificates_verified"] == sweep["n_queries"]
+        assert sweep["verified_fraction"] == 1.0
+        assert sweep["witness_steps_total"] > 0
+
+        summary = payload["summary"]
+        assert summary["all_certificates_verified"] is True
+        assert isinstance(summary["sampled_audit_under_10pct"], bool)
+
+
 class TestMarkdown:
     def test_markdown_table(self):
         from repro.bench.report import format_markdown

@@ -89,10 +89,11 @@ class TestRecordPath:
         with PersistentStore(tmp_path / "s.db") as store:
             store.put_minimization("fp", "digest", pattern, [(3, "c")])
             store.flush()
-            loaded, eliminated = store.get_minimization("fp", "digest")
+            loaded, eliminated, certificate = store.get_minimization("fp", "digest")
             assert to_sexpr(loaded) == to_sexpr(pattern)
             assert [n.id for n in loaded.nodes()] == [n.id for n in pattern.nodes()]
             assert eliminated == [(3, "c")]
+            assert certificate is None  # written without certification
 
     def test_reopen_serves_previous_process_records(self, tmp_path):
         path = tmp_path / "s.db"
@@ -217,7 +218,7 @@ class TestCorruptionTolerance:
         )
         with PersistentStore(path) as store:
             warm = list(store.warm_minimizations("d"))
-            assert [fp for fp, _, _ in warm] == ["good"]
+            assert [fp for fp, _, _, _ in warm] == ["good"]
             assert store.stats.corrupt_records == 1
             assert store.stats.warm_loaded == 1
 
